@@ -1,0 +1,158 @@
+package repro
+
+// The root benchmark harness: one testing.B target per paper table and
+// figure. Benchmarks report emulated kernel cycles per operation
+// ("kcycles/op") alongside wall time; the full sweeps with overhead
+// percentages are produced by `go run ./cmd/krxbench`.
+
+import (
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/diversify"
+	"repro/internal/figures"
+	"repro/internal/kas"
+	"repro/internal/kernel"
+	"repro/internal/sfi"
+)
+
+// table1Configs is the column subset exercised by the per-row benchmarks
+// (the full eleven-column sweep lives in cmd/krxbench).
+var table1Configs = []core.Config{
+	core.Vanilla,
+	{XOM: core.XOMSFI, SFILevel: sfi.O0, Seed: 1},
+	{XOM: core.XOMSFI, SFILevel: sfi.O3, Seed: 1},
+	{XOM: core.XOMMPX, Seed: 1},
+	{XOM: core.XOMSFI, SFILevel: sfi.O3, Diversify: true, RAProt: diversify.RAEncrypt, Seed: 1},
+	{XOM: core.XOMMPX, Diversify: true, RAProt: diversify.RADecoy, Seed: 1},
+}
+
+// BenchmarkTable1 regenerates the Table 1 rows: every LMBench-style
+// micro-op under representative protection columns.
+func BenchmarkTable1(b *testing.B) {
+	for _, op := range bench.MicroOps() {
+		op := op
+		b.Run(op.Name, func(b *testing.B) {
+			for _, cfg := range table1Configs {
+				cfg := cfg
+				b.Run(cfg.Name(), func(b *testing.B) {
+					k, err := kernel.Boot(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if op.Setup != nil {
+						if err := op.Setup(k); err != nil {
+							b.Fatal(err)
+						}
+					}
+					var cycles uint64
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						c, err := op.Run(k)
+						if err != nil {
+							b.Fatal(err)
+						}
+						cycles += c
+					}
+					b.ReportMetric(float64(cycles)/float64(b.N), "kcycles/op")
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkTable2 regenerates the Table 2 rows: the Phoronix-style macro
+// workloads under vanilla and full kR^X.
+func BenchmarkTable2(b *testing.B) {
+	cfgs := []core.Config{
+		core.Vanilla,
+		{XOM: core.XOMSFI, SFILevel: sfi.O3, Diversify: true, RAProt: diversify.RADecoy, Seed: 2},
+		{XOM: core.XOMMPX, Diversify: true, RAProt: diversify.RAEncrypt, Seed: 2},
+	}
+	for _, w := range bench.Workloads() {
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
+			for _, cfg := range cfgs {
+				cfg := cfg
+				b.Run(cfg.Name(), func(b *testing.B) {
+					k, err := kernel.Boot(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					var cycles uint64
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						c, err := w.Txn(k)
+						if err != nil {
+							b.Fatal(err)
+						}
+						cycles += c
+					}
+					b.ReportMetric(float64(cycles)/float64(b.N), "kcycles/op")
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkFigure1 regenerates the Figure 1 layout rendering.
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := figures.Figure1(kas.SectionSizes{}); len(out) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates the Figure 2 instrumentation phases (the
+// complete O0-O3+MPX pipeline on the paper's example routine).
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := figures.Figure2(); len(out) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkFigure3 regenerates the Figure 3 decoy prologues.
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := figures.Figure3(); len(out) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkKernelBuild measures the full kR^X pipeline (corpus through
+// linking and boot) per configuration — the "compile the kernel ten times"
+// step of §7.
+func BenchmarkKernelBuild(b *testing.B) {
+	for _, cfg := range table1Configs {
+		cfg := cfg
+		b.Run(cfg.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = int64(i)
+				if _, err := kernel.Boot(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGadgetScan measures the §7.3 attacker's Galileo-style scan over
+// a full kernel image.
+func BenchmarkGadgetScan(b *testing.B) {
+	k, err := kernel.Boot(core.Vanilla)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if gs := attack.ScanGadgets(k.Img.Text, k.Sym("_text")); len(gs) == 0 {
+			b.Fatal("no gadgets")
+		}
+	}
+}

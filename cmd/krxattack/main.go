@@ -1,0 +1,96 @@
+// Command krxattack runs the §7.3 security evaluation: the direct ROP,
+// direct JIT-ROP, indirect JIT-ROP, and substitution attack scenarios
+// against a matrix of kernel protection configurations, reporting which
+// attacks succeed where.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/diversify"
+	"repro/internal/kernel"
+	"repro/internal/sfi"
+)
+
+func main() {
+	var (
+		direct   = flag.Bool("direct", false, "direct ROP with precomputed addresses")
+		jitrop   = flag.Bool("jitrop", false, "direct JIT-ROP (leak-driven code harvest)")
+		indirect = flag.Bool("indirect", false, "indirect JIT-ROP (return-address harvest)")
+		subst    = flag.Bool("substitution", false, "the §5.3 substitution attack")
+		race     = flag.Bool("race", false, "the §5.3 race-hazard window probe")
+		ret2usr  = flag.Bool("ret2usr", false, "legacy ret2usr with and without SMEP")
+		survival = flag.Bool("survival", false, "gadget survival analysis across seeds")
+		seed     = flag.Int64("seed", 101, "target kernel diversification seed")
+	)
+	flag.Parse()
+	if !*direct && !*jitrop && !*indirect && !*subst && !*race && !*survival && !*ret2usr {
+		*direct, *jitrop, *indirect, *subst, *race, *survival, *ret2usr = true, true, true, true, true, true, true
+	}
+
+	targets := []core.Config{
+		core.Vanilla,
+		{Diversify: true, RAProt: diversify.RAEncrypt, Seed: *seed},
+		{XOM: core.XOMSFI, SFILevel: sfi.O3, Diversify: true, Seed: *seed},
+		{XOM: core.XOMSFI, SFILevel: sfi.O3, Diversify: true, RAProt: diversify.RAEncrypt, Seed: *seed},
+		{XOM: core.XOMSFI, SFILevel: sfi.O3, Diversify: true, RAProt: diversify.RADecoy, Seed: *seed},
+		{XOM: core.XOMMPX, Diversify: true, RAProt: diversify.RAEncrypt, Seed: *seed},
+	}
+
+	boot := func(cfg core.Config) *kernel.Kernel {
+		k, err := kernel.Boot(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "krxattack:", err)
+			os.Exit(1)
+		}
+		return k
+	}
+
+	for _, cfg := range targets {
+		fmt.Printf("=== target: %s ===\n", cfg.Name())
+		if *direct {
+			ref := boot(core.Config{XOM: cfg.XOM, SFILevel: cfg.SFILevel,
+				Diversify: cfg.Diversify, RAProt: cfg.RAProt, Seed: *seed + 7919})
+			fmt.Println(" ", attack.DirectROP(boot(cfg), ref))
+		}
+		if *jitrop {
+			fmt.Println(" ", attack.JITROP(boot(cfg)))
+		}
+		if *indirect {
+			fmt.Println(" ", attack.IndirectJITROP(boot(cfg)))
+		}
+		if *subst && cfg.RAProt == diversify.RAEncrypt && cfg.Diversify {
+			fmt.Println(" ", attack.Substitution(boot(cfg)))
+		}
+		if *race && cfg.RAProt == diversify.RAEncrypt && cfg.Diversify {
+			fmt.Println(" ", attack.RaceHazard(boot(cfg)))
+		}
+		fmt.Println()
+	}
+
+	if *ret2usr {
+		fmt.Println("=== ret2usr (the §3 baseline kR^X builds upon) ===")
+		legacy := boot(core.Vanilla)
+		legacy.CPU.SMEP = false
+		fmt.Println("  no SMEP: ", attack.Ret2usr(legacy))
+		fmt.Println("  SMEP:    ", attack.Ret2usr(boot(core.Vanilla)))
+		fmt.Println()
+	}
+
+	if *survival {
+		fmt.Println("=== gadget survival across seeds (§7.3 byte-for-byte comparison) ===")
+		a := boot(core.Config{Diversify: true, Seed: *seed})
+		b := boot(core.Config{Diversify: true, Seed: *seed + 1})
+		total, surviving := attack.GadgetSurvival(a, b)
+		fmt.Printf("  diversified: %d/%d gadgets at their original location (%.2f%%)\n",
+			surviving, total, 100*float64(surviving)/float64(total))
+		v1, v2 := boot(core.Vanilla), boot(core.Vanilla)
+		total, surviving = attack.GadgetSurvival(v1, v2)
+		fmt.Printf("  vanilla:     %d/%d gadgets at their original location (%.2f%%)\n",
+			surviving, total, 100*float64(surviving)/float64(total))
+	}
+}

@@ -1,0 +1,102 @@
+// Command krxbench runs the evaluation harness: Table 1 (LMBench-style
+// micro-benchmarks across all eleven protection configurations), Table 2
+// (Phoronix-style macro workloads across the six full-protection columns),
+// and the DESIGN.md ablation sweeps.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/diversify"
+	"repro/internal/sfi"
+)
+
+func main() {
+	var (
+		t1       = flag.Bool("table1", false, "run the Table 1 micro-benchmarks")
+		t2       = flag.Bool("table2", false, "run the Table 2 macro workloads")
+		ablation = flag.Bool("ablation", false, "run the ablation sweeps (k, XOM mechanisms, guard)")
+		compare  = flag.Bool("compare", false, "interleave the paper's numbers (measured / paper)")
+		profile  = flag.Bool("profile", false, "cycle-attribution profile (overhead decomposition)")
+		iters    = flag.Int("iters", 10, "measured iterations per data point")
+	)
+	flag.Parse()
+	if !*t1 && !*t2 && !*ablation && !*profile {
+		*t1, *t2, *ablation = true, true, true
+	}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "krxbench:", err)
+		os.Exit(1)
+	}
+
+	if *t1 {
+		tbl, err := bench.RunTable1(*iters)
+		if err != nil {
+			fail(err)
+		}
+		if *compare {
+			fmt.Println(bench.FormatComparison(tbl, nil, true))
+			printAgreement(bench.ShapeAgreement(tbl, nil, true))
+		} else {
+			fmt.Println(tbl.Format())
+		}
+	}
+	if *t2 {
+		tbl, err := bench.RunTable2(*iters)
+		if err != nil {
+			fail(err)
+		}
+		if *compare {
+			fmt.Println(bench.FormatComparison(tbl, bench.PaperTable2, false))
+			printAgreement(bench.ShapeAgreement(tbl, bench.PaperTable2, false))
+		} else {
+			fmt.Println(tbl.Format())
+		}
+	}
+	if *profile {
+		for _, cfg := range []core.Config{
+			core.Vanilla,
+			{XOM: core.XOMSFI, SFILevel: sfi.O0, Seed: 9},
+			{XOM: core.XOMSFI, SFILevel: sfi.O3, Seed: 9},
+			{XOM: core.XOMMPX, Seed: 9},
+			{XOM: core.XOMSFI, SFILevel: sfi.O3, Diversify: true, RAProt: diversify.RAEncrypt, Seed: 9},
+			{XOM: core.XOMSFI, SFILevel: sfi.O3, Diversify: true, RAProt: diversify.RADecoy, Seed: 9},
+		} {
+			p, err := bench.RunProfile(cfg)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(p.Format(6))
+		}
+	}
+	if *ablation {
+		ks, err := bench.KSweep(nil, *iters)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(bench.FormatKSweep(ks))
+		xs, err := bench.XOMCompare(*iters)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(bench.FormatXOMCompare(xs))
+		gc, err := bench.GuardCheck()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(gc)
+	}
+}
+
+func printAgreement(agree map[string]float64) {
+	fmt.Print("rank agreement with the paper:")
+	for cfg, a := range agree {
+		fmt.Printf("  %s=%.0f%%", cfg, 100*a)
+	}
+	fmt.Println()
+	fmt.Println()
+}

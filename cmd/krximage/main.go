@@ -1,0 +1,142 @@
+// Command krximage builds kernel images to disk and inspects them — the
+// simulation's equivalent of producing and examining a vmlinux. The saved
+// artifact is also the starting point of the offline attacker workflow
+// (direct ROP chains are precomputed against the distribution image).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/diversify"
+	"repro/internal/kernel"
+	"repro/internal/link"
+	"repro/internal/sfi"
+)
+
+func main() {
+	var (
+		out     = flag.String("o", "", "build the kernel corpus and write the image here")
+		inspect = flag.String("inspect", "", "print the contents of an image file")
+		gadgets = flag.Bool("gadgets", false, "with -inspect: scan the image for gadgets")
+		disasm  = flag.String("disasm", "", "with -inspect: disassemble the named function")
+		zip     = flag.Bool("z", false, "with -o: write the compressed (vmlinuz-style) container")
+		xom     = flag.String("xom", "sfi", "R^X mode: none|sfi|mpx|ept")
+		level   = flag.Int("O", 3, "SFI optimization level")
+		divers  = flag.Bool("diversify", true, "apply fine-grained KASLR")
+		raprot  = flag.String("ra", "x", "return-address protection: none|x|d")
+		seed    = flag.Int64("seed", 1, "diversification seed")
+	)
+	flag.Parse()
+	switch {
+	case *out != "":
+		if err := build(*out, *xom, *level, *divers, *raprot, *seed, *zip); err != nil {
+			fmt.Fprintln(os.Stderr, "krximage:", err)
+			os.Exit(1)
+		}
+	case *inspect != "":
+		if err := dump(*inspect, *gadgets, *disasm); err != nil {
+			fmt.Fprintln(os.Stderr, "krximage:", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func build(path, xom string, level int, divers bool, raprot string, seed int64, zip bool) error {
+	cfg := core.Config{Seed: seed, Diversify: divers}
+	switch xom {
+	case "sfi":
+		cfg.XOM, cfg.SFILevel = core.XOMSFI, sfi.Level(level)
+	case "mpx":
+		cfg.XOM = core.XOMMPX
+	case "ept":
+		cfg.XOM = core.XOMEPT
+	case "none":
+	default:
+		return fmt.Errorf("unknown -xom %q", xom)
+	}
+	switch raprot {
+	case "x":
+		cfg.RAProt = diversify.RAEncrypt
+	case "d":
+		cfg.RAProt = diversify.RADecoy
+	case "none":
+	default:
+		return fmt.Errorf("unknown -ra %q", raprot)
+	}
+	prog, err := kernel.BuildCorpus()
+	if err != nil {
+		return err
+	}
+	res, err := core.Build(prog, cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	write := res.Image.WriteImage
+	if zip {
+		write = res.Image.WriteCompressedImage
+	}
+	if err := write(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %s, %d functions, %d bytes .text\n",
+		path, cfg.Name(), len(res.Image.Funcs), len(res.Image.Text))
+	return nil
+}
+
+func dump(path string, gadgets bool, disasm string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	img, err := link.ReadCompressedImage(f)
+	if err != nil {
+		return err
+	}
+	if disasm != "" {
+		out, err := img.DisassembleFunc(disasm)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	}
+	fmt.Printf("layout: %s, guard %#x\n", img.Layout.Kind, img.Layout.GuardSize)
+	fmt.Printf("sections: .text %d  .rodata %d  .data %d  .bss %d\n",
+		len(img.Text), len(img.Rodata), len(img.Data), img.BssSize)
+	fmt.Printf("functions: %d, xkeys: %d, symbols: %d\n", len(img.Funcs), img.NumKeys, len(img.Symbols))
+	funcs := append([]link.FuncSym(nil), img.Funcs...)
+	sort.Slice(funcs, func(i, j int) bool { return funcs[i].Addr < funcs[j].Addr })
+	for i, fs := range funcs {
+		if i >= 12 {
+			fmt.Printf("  ... %d more\n", len(funcs)-i)
+			break
+		}
+		fmt.Printf("  %#016x +%-6d %s\n", fs.Addr, fs.Size, fs.Name)
+	}
+	if gadgets {
+		gs := attack.ScanGadgets(img.Text, img.Symbols["_text"])
+		fmt.Printf("gadgets: %d ret-terminated sequences\n", len(gs))
+		for i, g := range gs {
+			if i >= 8 {
+				fmt.Printf("  ... %d more\n", len(gs)-i)
+				break
+			}
+			fmt.Printf("  %#016x  %s\n", g.Addr, g)
+		}
+	}
+	return nil
+}

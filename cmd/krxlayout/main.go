@@ -1,0 +1,45 @@
+// Command krxlayout regenerates Figure 1: the vanilla and kR^X-KAS kernel
+// address-space layouts, using either illustrative section sizes or the
+// actual sizes of the built kernel corpus.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/figures"
+	"repro/internal/kas"
+	"repro/internal/kernel"
+	"repro/internal/link"
+)
+
+func main() {
+	real := flag.Bool("corpus", false, "use the real kernel corpus section sizes")
+	flag.Parse()
+
+	var sizes kas.SectionSizes
+	if *real {
+		prog, err := kernel.BuildCorpus()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "krxlayout:", err)
+			os.Exit(1)
+		}
+		res, err := core.Build(prog, core.Config{XOM: core.XOMSFI})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "krxlayout:", err)
+			os.Exit(1)
+		}
+		img := res.Image
+		sizes = kas.SectionSizes{
+			Text:    uint64(len(img.Text)),
+			KrxKeys: uint64(img.NumKeys) * 8,
+			Rodata:  uint64(len(img.Rodata)),
+			Data:    uint64(len(img.Data)),
+			Bss:     img.BssSize,
+		}
+		_ = link.FuncAlign
+	}
+	fmt.Print(figures.Figure1(sizes))
+}

@@ -1,0 +1,75 @@
+// Command krxstats reports the §7.2 instrumentation and diversification
+// statistics (pushfq/popfq elimination rate, lea elimination rate,
+// coalescing rate, safe-read fraction, single-basic-block fraction,
+// per-function entropy) and demonstrates the Appendix A page-table bug.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/audit"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/diversify"
+	"repro/internal/kernel"
+	"repro/internal/pgtable"
+	"repro/internal/sfi"
+)
+
+func main() {
+	appendixA := flag.Bool("appendix-a", false, "demonstrate the Appendix A XD-bit bug")
+	runAudit := flag.Bool("audit", false, "audit the security invariants of every preset")
+	flag.Parse()
+
+	if *appendixA {
+		demoAppendixA()
+		return
+	}
+	if *runAudit {
+		for _, cfg := range core.Presets() {
+			cfg.Seed = 7
+			k, err := kernel.Boot(cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "krxstats:", err)
+				os.Exit(1)
+			}
+			rep := audit.Audit(k)
+			fmt.Printf("=== %s ===\n%s\n", cfg.Name(), rep)
+			if !rep.OK() {
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	for _, cfg := range []core.Config{
+		{XOM: core.XOMSFI, SFILevel: sfi.O1, Seed: 5},
+		{XOM: core.XOMSFI, SFILevel: sfi.O3, Seed: 5},
+		{XOM: core.XOMMPX, Seed: 5},
+		{XOM: core.XOMSFI, SFILevel: sfi.O3, Diversify: true, RAProt: diversify.RAEncrypt, Seed: 5},
+		{XOM: core.XOMSFI, SFILevel: sfi.O3, Diversify: true, RAProt: diversify.RADecoy, Seed: 5},
+	} {
+		k, err := kernel.Boot(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "krxstats:", err)
+			os.Exit(1)
+		}
+		fmt.Println(bench.StatsReport(k))
+	}
+}
+
+func demoAppendixA() {
+	fmt.Println("Appendix A: the pgprot_large_2_4k() XD-truncation bug")
+	flags := pgtable.FlagPresent | pgtable.FlagWrite | pgtable.FlagPSE | pgtable.FlagXD
+	fmt.Printf("  2MB entry flags:        %#016x (W=1, XD=1: writable, non-executable)\n", flags)
+	fmt.Printf("  buggy 32-bit conversion: %#016x (XD silently cleared -> W+X violation!)\n",
+		pgtable.BuggyLarge2_4k(flags))
+	fmt.Printf("  fixed 64-bit conversion: %#016x (XD preserved)\n", pgtable.Large2_4k(flags))
+	fmt.Println()
+	fmt.Println("Appendix A: the MODULES_LEN sanity-check bug")
+	huge := pgtable.ModulesLen * 2
+	fmt.Printf("  module of %d bytes: buggy check accepts=%v, fixed check accepts=%v\n",
+		huge, pgtable.BuggyModuleFits(huge), pgtable.ModuleFits(huge))
+}

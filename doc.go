@@ -1,0 +1,31 @@
+// Package repro is a from-scratch Go reproduction of "kR^X: Comprehensive
+// Kernel Protection against Just-In-Time Code Reuse" (Pomonis et al.,
+// EuroSys 2017).
+//
+// The original system is a set of GCC plugins plus Linux kernel patches
+// enforcing execute-only kernel memory (R^X) through SFI-style range checks
+// or Intel MPX, combined with fine-grained KASLR (function and code-block
+// permutation) and return-address protection (XOR encryption or decoys).
+// Because a real kernel and compiler cannot be instrumented from Go, this
+// repository rebuilds the entire stack as a faithful simulation:
+//
+//   - internal/isa, internal/cpu — a KX64 (x86-64-flavoured) instruction
+//     set and emulator with x86 "execute-implies-read" semantics, MPX bound
+//     registers, SMEP, SYSCALL/SYSRET, and cycle accounting;
+//   - internal/ir, internal/sfi, internal/diversify, internal/link — the
+//     compiler pipeline: RTL-like IR, the krx pass (range checks, O0–O3,
+//     MPX), the kaslr pass (slicing, phantom blocks, permutation, return-
+//     address encryption/decoys), and the assembler/linker;
+//   - internal/kas, internal/mem, internal/pgtable — the kernel address
+//     space (vanilla vs kR^X-KAS, physmap synonyms, the .krx_phantom
+//     guard) and the Appendix A page-table machinery;
+//   - internal/kernel, internal/module — a mini-kernel (syscalls, faults,
+//     tracing clones, retrofitted vulnerabilities) and the kR^X-aware
+//     module loader-linker;
+//   - internal/attack — the §7.3 adversary: gadget scanning, direct ROP,
+//     direct and indirect JIT-ROP, and the §5.3 substitution attack;
+//   - internal/bench — the Table 1 / Table 2 harness and ablations.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and the
+// per-experiment index, and EXPERIMENTS.md for measured-vs-paper results.
+package repro

@@ -1,0 +1,78 @@
+// Livepatch shows runtime kernel-code maintenance coexisting with kR^X:
+// text is execute-only and its physmap synonym is closed, so patching goes
+// through a short-lived text_poke-style writable alias. A vulnerable
+// credential function is replaced at runtime with a hardened version
+// delivered as a module, and the R^X invariants are audited before and
+// after.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/attack"
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/diversify"
+	"repro/internal/ir"
+	"repro/internal/isa"
+	"repro/internal/kernel"
+	"repro/internal/module"
+	"repro/internal/patch"
+	"repro/internal/sfi"
+)
+
+func main() {
+	cfg := core.Config{XOM: core.XOMSFI, SFILevel: sfi.O3, Diversify: true, RAProt: diversify.RAEncrypt, Seed: 99}
+	k, err := kernel.Boot(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := &attack.Attacker{K: k}
+
+	// The hardened replacement, shipped as a module.
+	fixed, err := ir.NewBuilder("do_set_uid_v2").
+		I(
+			isa.CmpRI(isa.RDI, 0),
+			isa.Jcc(isa.CondNE, "ok"),
+			isa.MovRI(isa.RDI, 1000), // refuse escalation to root
+		).
+		Label("ok").
+		I(
+			isa.MovSym(isa.R8, "cred"),
+			isa.Store(isa.Mem(isa.R8, 0), isa.RDI),
+			isa.Ret(),
+		).Func()
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := module.NewLoader(k).Load(&module.Object{
+		Name: "cred-fix",
+		Prog: &ir.Program{Funcs: []*ir.Function{fixed}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded cred-fix module at %#x\n", m.Symbols["do_set_uid_v2"])
+
+	a.Hijack(k.Sym("do_set_uid"), 0)
+	fmt.Printf("before patch: hijack(do_set_uid, 0) -> uid=%d (escalated!)\n", a.UID())
+	a.Hijack(k.Sym("do_set_uid"), 1000) // reset
+
+	revert, err := patch.Livepatch(k, "do_set_uid", m.Symbols["do_set_uid_v2"])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("live-patched do_set_uid -> do_set_uid_v2 (via temporary text_poke alias)")
+
+	a.Hijack(k.Sym("do_set_uid"), 0)
+	fmt.Printf("after patch:  hijack(do_set_uid, 0) -> uid=%d (clamped, escalation closed)\n", a.UID())
+
+	rep := audit.Audit(k)
+	fmt.Printf("\nsecurity audit after patching (ok=%v):\n%s", rep.OK(), rep)
+
+	if err := patch.Revert(k, "do_set_uid", revert); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("patch reverted")
+}

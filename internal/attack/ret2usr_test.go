@@ -1,0 +1,37 @@
+package attack
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/diversify"
+	"repro/internal/sfi"
+)
+
+func TestRet2usrSucceedsWithoutSMEP(t *testing.T) {
+	// The legacy configuration (§1): shared address space, no supervisor
+	// mode execution prevention.
+	target := boot(t, core.Vanilla)
+	target.CPU.SMEP = false
+	r := Ret2usr(target)
+	if !r.Success {
+		t.Fatalf("ret2usr must succeed without SMEP: %v", r)
+	}
+}
+
+func TestRet2usrBlockedBySMEP(t *testing.T) {
+	// §3 hardening assumption: SMEP (or KERNEXEC/kGuard) blocks the
+	// kernel-to-user control transfer; kR^X builds on top of this.
+	target := boot(t, core.Vanilla) // SMEP on by default
+	r := Ret2usr(target)
+	if r.Success {
+		t.Fatalf("SMEP must stop ret2usr: %v", r)
+	}
+}
+
+func TestRet2usrBlockedUnderFullKRX(t *testing.T) {
+	target := boot(t, core.Config{XOM: core.XOMSFI, SFILevel: sfi.O3, Diversify: true, RAProt: diversify.RAEncrypt, Seed: 801})
+	if r := Ret2usr(target); r.Success {
+		t.Fatalf("ret2usr must stay dead under full kR^X: %v", r)
+	}
+}

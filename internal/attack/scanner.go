@@ -1,0 +1,116 @@
+// Package attack implements the adversary of §7.3: a Galileo-style gadget
+// scanner, ROP chain construction, and the three exploitation scenarios —
+// direct ROP with precomputed addresses, direct JIT-ROP (arbitrary-read
+// driven code harvesting), and indirect JIT-ROP (return-address harvesting
+// from kernel stacks) — plus the §5.3 substitution attack. Attackers
+// interact with the kernel exclusively through its user-reachable syscall
+// interface (the leak, plant/trigger, and stack-smash vulnerabilities).
+package attack
+
+import (
+	"repro/internal/isa"
+)
+
+// Gadget is a decodable instruction sequence ending in ret.
+type Gadget struct {
+	Addr uint64
+	Ins  []isa.Instr
+}
+
+// String renders the gadget.
+func (g Gadget) String() string {
+	s := ""
+	for i, in := range g.Ins {
+		if i > 0 {
+			s += " ; "
+		}
+		s += in.String()
+	}
+	return s
+}
+
+// maxGadgetBack is how many bytes before a ret the scanner explores.
+const maxGadgetBack = 24
+
+// ScanGadgets performs backward disassembly from every 0xC3 (ret) byte in
+// code (mapped at base), collecting every window that decodes cleanly into
+// instructions ending exactly at the ret — including sequences that start
+// inside the encoding of legitimate instructions (unaligned gadgets).
+func ScanGadgets(code []byte, base uint64) []Gadget {
+	var out []Gadget
+	for i := range code {
+		if code[i] != 0xC3 {
+			continue
+		}
+		for back := 1; back <= maxGadgetBack && back <= i; back++ {
+			start := i - back
+			ins, ok := decodesTo(code[start : i+1])
+			if ok {
+				out = append(out, Gadget{Addr: base + uint64(start), Ins: ins})
+			}
+		}
+	}
+	return out
+}
+
+// decodesTo decodes b as a full instruction sequence whose final
+// instruction is ret, consuming exactly len(b) bytes.
+func decodesTo(b []byte) ([]isa.Instr, bool) {
+	var ins []isa.Instr
+	off := 0
+	for off < len(b) {
+		in, n, err := isa.Decode(b[off:])
+		if err != nil {
+			return nil, false
+		}
+		ins = append(ins, in)
+		off += n
+		if in.Op == isa.RET {
+			return ins, off == len(b)
+		}
+		if in.IsTerminator() || in.Op == isa.INT3 {
+			return nil, false
+		}
+	}
+	return nil, false
+}
+
+// FindPopRet locates a "pop %reg ; ret" gadget for the requested register.
+func FindPopRet(gs []Gadget, reg isa.Reg) (Gadget, bool) {
+	for _, g := range gs {
+		if len(g.Ins) == 2 && g.Ins[0].Op == isa.POP && g.Ins[0].Dst == reg {
+			return g, true
+		}
+	}
+	return Gadget{}, false
+}
+
+// FindPattern returns the offsets of every occurrence of pat in code.
+func FindPattern(code, pat []byte) []int {
+	var out []int
+	for i := 0; i+len(pat) <= len(code); i++ {
+		match := true
+		for j := range pat {
+			if code[i+j] != pat[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// MovR8ImmPattern builds the byte pattern of "mov $imm, %r8" — the
+// signature used to locate do_set_uid (its first instruction loads the
+// well-known cred address, and data addresses are not randomized).
+func MovR8ImmPattern(imm uint64) []byte {
+	in := isa.MovRI(isa.R8, int64(imm))
+	b, err := in.Encode(nil)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

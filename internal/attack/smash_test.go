@@ -1,0 +1,78 @@
+package attack
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/diversify"
+	"repro/internal/kernel"
+	"repro/internal/sfi"
+)
+
+// smashWithKnownAddresses fires a chain built from host-known (omniscient)
+// addresses — isolating the return-address protection from the address-
+// discovery problem. raOffset picks which stack slot the chain starts at.
+func smashWithKnownAddresses(t *testing.T, k *kernel.Kernel, raOffset int) bool {
+	t.Helper()
+	a := &Attacker{K: k}
+	// Reset cred.
+	a.Hijack(k.Sym("do_set_uid"), 1000)
+	chain := []uint64{k.Sym("do_set_uid"), cpu.StopMagic}
+	// do_set_uid reads its uid from %rdi, which at smash time holds the
+	// stack-buffer address — nonzero — so success means "control reached
+	// do_set_uid": uid changed away from 1000.
+	a.SmashChain(chain, raOffset)
+	return a.UID() != 1000
+}
+
+func TestSmashSucceedsWithoutRAProtection(t *testing.T) {
+	k := boot(t, core.Config{XOM: core.XOMSFI, SFILevel: sfi.O3, Diversify: true, Seed: 701})
+	if !smashWithKnownAddresses(t, k, 64) {
+		t.Fatal("with known addresses and no RA protection, the smash must land")
+	}
+}
+
+func TestSmashGarbledByEncryption(t *testing.T) {
+	// §5.2.2 (X): the epilogue decrypts whatever sits in the RA slot; the
+	// attacker's raw address xored with the unknown key becomes garbage.
+	k := boot(t, core.Config{XOM: core.XOMSFI, SFILevel: sfi.O3, Diversify: true, RAProt: diversify.RAEncrypt, Seed: 702})
+	if smashWithKnownAddresses(t, k, 64) {
+		t.Fatal("encryption must garble the smashed return address")
+	}
+}
+
+func TestSmashAgainstDecoysIsACoinFlip(t *testing.T) {
+	// §5.2.2 (D): the real RA slot sits at +64 or +72 depending on the
+	// per-function compile-time variant. An attacker who must guess the
+	// slot wins half the time; with both offsets tried, exactly one works.
+	oneWorked, bothTried := 0, 0
+	for seed := int64(710); seed < 722; seed++ {
+		k := boot(t, core.Config{XOM: core.XOMSFI, SFILevel: sfi.O3, Diversify: true, RAProt: diversify.RADecoy, Seed: seed})
+		hit64 := smashWithKnownAddresses(t, k, 64)
+		// Fresh kernel for the second guess (the first may have halted it).
+		k2 := boot(t, core.Config{XOM: core.XOMSFI, SFILevel: sfi.O3, Diversify: true, RAProt: diversify.RADecoy, Seed: seed})
+		hit72 := smashWithKnownAddresses(t, k2, 72)
+		bothTried++
+		if hit64 != hit72 {
+			oneWorked++
+		}
+	}
+	if oneWorked < bothTried*3/4 {
+		t.Fatalf("decoy slot position should decide the smash: %d/%d", oneWorked, bothTried)
+	}
+	// And across seeds both variants must occur (otherwise it is not a
+	// guessing game).
+	var sawA, sawB bool
+	for seed := int64(710); seed < 722 && !(sawA && sawB); seed++ {
+		k := boot(t, core.Config{XOM: core.XOMSFI, SFILevel: sfi.O3, Diversify: true, RAProt: diversify.RADecoy, Seed: seed})
+		if smashWithKnownAddresses(t, k, 64) {
+			sawA = true
+		} else {
+			sawB = true
+		}
+	}
+	if !sawA || !sawB {
+		t.Fatalf("both decoy variants must appear across seeds (a=%v b=%v)", sawA, sawB)
+	}
+}

@@ -1,0 +1,152 @@
+package attack
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/diversify"
+	"repro/internal/isa"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+)
+
+// Substitution reproduces the §5.3 substitution attack against return-
+// address encryption: ciphertexts of two return sites of the same function
+// (hence encrypted under the same xkey) can be swapped, redirecting the
+// return to the other — valid — return site without knowing the key.
+//
+// The attack needs to capture a ciphertext while the callee is live on the
+// stack (the race-hazard window of §5.3); the simulation models that
+// window by single-stepping the CPU and reading/writing the stack slot
+// mid-call, which is exactly the capability a racing sibling thread with
+// the leak/corruption primitives would have.
+//
+// Victim: strncpy_from_user, called by both sys_open (call site 1) and
+// sys_execve (call site 2).
+func Substitution(target *kernel.Kernel) Result {
+	res := Result{Name: "substitution", Stage: "setup"}
+	if err := target.WriteUser(0, append([]byte("testfile"), 0)); err != nil {
+		res.Detail = "user setup failed"
+		return res
+	}
+	fStart, fEnd, ok := funcRange(target, "strncpy_from_user")
+	if !ok {
+		res.Detail = "victim function not found"
+		return res
+	}
+
+	// Capture the ciphertext stored by the victim's prologue when invoked
+	// from each call site.
+	res.Stage = "ciphertext-capture"
+	c1, slot1, ok := captureCiphertext(target, kernel.SysOpen, fStart, fEnd, nil)
+	if !ok {
+		res.Detail = "no ciphertext captured from sys_open"
+		return res
+	}
+	c2, _, ok := captureCiphertext(target, kernel.SysExecve, fStart, fEnd, nil)
+	if !ok {
+		res.Detail = "no ciphertext captured from sys_execve"
+		return res
+	}
+	if c1 == c2 {
+		res.Detail = "identical ciphertexts (unexpected)"
+		return res
+	}
+	// Ground truth for verification only: RS2 = C2 ^ xkey.
+	key := target.Keys[diversify.KeySym("strncpy_from_user")]
+	rs2 := c2 ^ key
+
+	// Replay the sys_open path, swapping C1 -> C2 mid-call, and watch
+	// where the victim returns.
+	res.Stage = "ciphertext-swap"
+	swapped := false
+	var landed uint64
+	_, _, done := captureCiphertext(target, kernel.SysOpen, fStart, fEnd, func(c *cpu.CPU, slot uint64) bool {
+		if !swapped && slot == slot1 {
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], c2)
+			if err := c.AS.Poke(slot, b[:]); err != nil {
+				return true
+			}
+			swapped = true
+		}
+		// After the swap, run until the victim returns and record where
+		// control lands.
+		if swapped && (c.RIP < fStart || c.RIP >= fEnd) {
+			landed = c.RIP
+			return true
+		}
+		return false
+	})
+	_ = done
+	if !swapped {
+		res.Detail = "swap window missed"
+		return res
+	}
+	if landed == rs2 {
+		res.Success = true
+		res.Detail = fmt.Sprintf("return redirected to the other call site's return site %#x", rs2)
+	} else {
+		res.Detail = fmt.Sprintf("landed at %#x, expected %#x", landed, rs2)
+	}
+	return res
+}
+
+// funcRange returns the placed address range of a function.
+func funcRange(k *kernel.Kernel, name string) (uint64, uint64, bool) {
+	for _, f := range k.Img.Funcs {
+		if f.Name == name {
+			return f.Addr, f.Addr + f.Size, true
+		}
+	}
+	return 0, 0, false
+}
+
+// captureCiphertext single-steps one syscall; when execution first enters
+// [fStart,fEnd), it records the return-address slot, lets the prologue run,
+// and returns the (encrypted) slot contents. An optional hook runs after
+// each step once inside the victim; returning true stops the walk.
+func captureCiphertext(k *kernel.Kernel, nr uint64, fStart, fEnd uint64,
+	hook func(*cpu.CPU, uint64) bool) (ciphertext, slot uint64, ok bool) {
+	c := k.CPU
+	c.Mode = cpu.User
+	c.RIP = kernel.UserCode
+	c.SetReg(isa.RSP, kernel.UserStack+kernel.UserStackPgs*mem.PageSize-128)
+	c.SetReg(isa.RAX, nr)
+	c.SetReg(isa.RDI, kernel.UserBuf)
+	c.SetReg(isa.RSI, 0)
+	c.SetReg(isa.RDX, 0)
+	entered := false
+	prologueSteps := 0
+	for i := 0; i < 1<<20; i++ {
+		inside := c.RIP >= fStart && c.RIP < fEnd
+		if inside && !entered {
+			entered = true
+			slot = c.Reg(isa.RSP) // the RA slot at function entry
+		}
+		stop, trap := c.Step()
+		if trap != nil || stop != cpu.StepContinue {
+			return 0, 0, false
+		}
+		if entered {
+			prologueSteps++
+			if prologueSteps == 4 && ciphertext == 0 {
+				v, f := c.AS.Read(slot, 8)
+				if f != nil {
+					return 0, 0, false
+				}
+				ciphertext = v
+			}
+			if hook != nil && prologueSteps >= 4 {
+				if hook(c, slot) {
+					return ciphertext, slot, true
+				}
+			}
+			if ciphertext != 0 && hook == nil {
+				return ciphertext, slot, true
+			}
+		}
+	}
+	return 0, 0, false
+}

@@ -1,0 +1,88 @@
+package attack
+
+import (
+	"bytes"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+)
+
+// GadgetSurvival quantifies the §7.3 byte-for-byte comparison ("under kR^X
+// no gadget remained at its original location"): it scans kernel a for
+// gadgets and counts how many still decode to identical bytes at the same
+// address in kernel b. The two kernels must be built from the same sources
+// (typically with different seeds).
+func GadgetSurvival(a, b *kernel.Kernel) (total, surviving int) {
+	gs := ScanGadgets(a.Img.Text, a.Sym("_text"))
+	aStart := a.Sym("_text")
+	for _, g := range gs {
+		total++
+		off := g.Addr - aStart
+		end := off + uint64(gadgetLen(g))
+		if end > uint64(len(b.Img.Text)) {
+			continue
+		}
+		if bytes.Equal(a.Img.Text[off:end], b.Img.Text[off:end]) {
+			surviving++
+		}
+	}
+	return total, surviving
+}
+
+func gadgetLen(g Gadget) int {
+	n := 0
+	for _, in := range g.Ins {
+		n += in.Length()
+	}
+	return n
+}
+
+// RaceHazard demonstrates the §5.3 race window of return-address
+// encryption: the caller's callq pushes the return address in cleartext,
+// and only the callee's prologue (1–3 instructions later) encrypts it. An
+// attacker who can probe the stack inside that window — here modelled by
+// single-stepping, standing in for a racing sibling thread with the leak
+// primitive — observes the raw return address.
+func RaceHazard(target *kernel.Kernel) Result {
+	res := Result{Name: "race-hazard", Stage: "window-probe"}
+	if err := target.WriteUser(0, append([]byte("testfile"), 0)); err != nil {
+		res.Detail = "user setup failed"
+		return res
+	}
+	fStart, fEnd, ok := funcRange(target, "strncpy_from_user")
+	if !ok {
+		res.Detail = "victim function not found"
+		return res
+	}
+	textStart, textEnd := target.Sym("_text"), target.Sym("_etext")
+
+	c := target.CPU
+	c.Mode = cpu.User
+	c.RIP = kernel.UserCode
+	c.SetReg(isa.RSP, kernel.UserStack+kernel.UserStackPgs*mem.PageSize-128)
+	c.SetReg(isa.RAX, kernel.SysOpen)
+	c.SetReg(isa.RDI, kernel.UserBuf)
+	for i := 0; i < 1<<20; i++ {
+		if c.RIP >= fStart && c.RIP < fEnd {
+			// First instruction inside the victim: its prologue has not
+			// yet run. The slot at (%rsp) holds the cleartext RA.
+			v, f := c.AS.Read(c.Reg(isa.RSP), 8)
+			if f == nil && v >= textStart && v < textEnd {
+				res.Success = true
+				res.Detail = "cleartext return address observed before prologue encryption"
+				return res
+			}
+			res.Detail = "slot already mangled at function entry"
+			return res
+		}
+		stop, trap := c.Step()
+		if trap != nil || stop != cpu.StepContinue {
+			res.Detail = "victim never reached"
+			return res
+		}
+	}
+	res.Detail = "window not found"
+	return res
+}

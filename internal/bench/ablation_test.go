@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKSweepCodeSizeGrows(t *testing.T) {
+	rs, err := KSweep([]int{10, 30}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[1].TextBytes <= rs[0].TextBytes {
+		t.Errorf("k=30 text (%d) should exceed k=10 text (%d)", rs[1].TextBytes, rs[0].TextBytes)
+	}
+	if rs[1].PhantomBlocks <= rs[0].PhantomBlocks {
+		t.Error("more entropy needs more phantom padding")
+	}
+	for _, r := range rs {
+		if r.EntropyFloor < float64(r.K) {
+			t.Errorf("k=%d entropy floor %.1f below target", r.K, r.EntropyFloor)
+		}
+	}
+	if out := FormatKSweep(rs); !strings.Contains(out, ".text bytes") {
+		t.Error("sweep formatting broken")
+	}
+}
+
+func TestXOMCompareOrdering(t *testing.T) {
+	rs, err := XOMCompare(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]XOMCompareResult{}
+	for _, r := range rs {
+		byName[r.Name] = r
+	}
+	v := byName["Vanilla"].SyscallCycles
+	sfiC := byName["kR^X-SFI (O3)"].SyscallCycles
+	mpx := byName["kR^X-MPX"].SyscallCycles
+	ept := byName["EPT (hypervisor)"].SyscallCycles
+	if !(v < mpx && mpx < sfiC) {
+		t.Errorf("ordering violated: vanilla %.0f, mpx %.0f, sfi %.0f", v, mpx, sfiC)
+	}
+	// EPT enforcement itself is free at runtime (the cost is the VMM,
+	// which the note records).
+	if ept > mpx {
+		t.Errorf("EPT (%.0f) should not exceed MPX (%.0f)", ept, mpx)
+	}
+	if out := FormatXOMCompare(rs); !strings.Contains(out, "nesting") {
+		t.Error("EPT note missing")
+	}
+}
+
+func TestGuardCheckHolds(t *testing.T) {
+	out, err := GuardCheck()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "safe=true") {
+		t.Errorf("guard check output unexpected:\n%s", out)
+	}
+}

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+)
+
+// Format renders a table in the paper's style: one row per benchmark, one
+// column per configuration, cells in percent ("~0%" for sub-0.05%).
+func (t *Table) Format() string {
+	var sb strings.Builder
+	sb.WriteString(t.Title + "\n")
+	fmt.Fprintf(&sb, "%-22s", "Benchmark")
+	for _, c := range t.Configs {
+		fmt.Fprintf(&sb, " %10s", c)
+	}
+	sb.WriteByte('\n')
+	sb.WriteString(strings.Repeat("-", 22+11*len(t.Configs)) + "\n")
+	section := OpKind(-1)
+	for ri, name := range t.RowNames {
+		if len(t.RowKinds) > ri && t.RowKinds[ri] != section {
+			section = t.RowKinds[ri]
+			if section == Bandwidth {
+				sb.WriteString("-- bandwidth --\n")
+			}
+		}
+		fmt.Fprintf(&sb, "%-22s", name)
+		for ci := range t.Configs {
+			sb.WriteString(" " + cell(t.Overhead[ri][ci]))
+		}
+		sb.WriteByte('\n')
+	}
+	// Column averages (the paper reports them for Table 2).
+	fmt.Fprintf(&sb, "%-22s", "Average")
+	for ci := range t.Configs {
+		var sum float64
+		for ri := range t.RowNames {
+			sum += t.Overhead[ri][ci]
+		}
+		sb.WriteString(" " + cell(sum/float64(len(t.RowNames))))
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+func cell(v float64) string {
+	if v > -0.05 && v < 0.05 {
+		return fmt.Sprintf("%10s", "~0%")
+	}
+	return fmt.Sprintf("%9.2f%%", v)
+}
+
+// StatsReport renders the §7.2 instrumentation/diversification statistics
+// for one built kernel (the text claims: pushfq elimination rate, lea
+// elimination rate, coalescing rate, safe-read fraction, single-block
+// function fraction, per-function entropy floor).
+func StatsReport(k *kernel.Kernel) string {
+	var sb strings.Builder
+	s := k.Build.SFIStats
+	d := k.Build.DivStats
+	fmt.Fprintf(&sb, "configuration: %s\n", k.Cfg.Name())
+	if s.ReadsTotal > 0 {
+		fmt.Fprintf(&sb, "memory reads analyzed:      %d\n", s.ReadsTotal)
+		fmt.Fprintf(&sb, "  safe (abs/%%rip-relative): %d (%.1f%%)\n",
+			s.SafeReads, 100*float64(s.SafeReads)/float64(s.ReadsTotal))
+		fmt.Fprintf(&sb, "  %%rsp+disp (guard):        %d (max disp %#x)\n", s.StackReads, s.MaxStackDisp)
+		fmt.Fprintf(&sb, "  string-op sites:          %d\n", s.StringReads)
+		fmt.Fprintf(&sb, "range checks: %d candidates -> %d emitted (%d coalesced, %.1f%%)\n",
+			s.RCCandidates, s.RCEmitted, s.RCCoalesced,
+			100*float64(s.RCCoalesced)/float64(max(1, s.RCCandidates)))
+		fmt.Fprintf(&sb, "  lea-eliminated (O2 form): %d of %d (%.1f%%)\n",
+			s.LeaEliminated, s.LeaEliminated+s.LeaForm,
+			100*float64(s.LeaEliminated)/float64(max(1, s.LeaEliminated+s.LeaForm)))
+		fmt.Fprintf(&sb, "  pushfq pairs: %d kept, %d eliminated (%.1f%% eliminated)\n",
+			s.PushfqPairs, s.PushfqEliminated,
+			100*float64(s.PushfqEliminated)/float64(max(1, s.PushfqPairs+s.PushfqEliminated)))
+	}
+	if d.Funcs > 0 {
+		fmt.Fprintf(&sb, "functions diversified:      %d\n", d.Funcs)
+		fmt.Fprintf(&sb, "  single basic block:       %d (%.1f%%)\n",
+			d.SingleBlockFuncs, 100*float64(d.SingleBlockFuncs)/float64(d.Funcs))
+		fmt.Fprintf(&sb, "  call-site slicing enough: %d, basic-block sliced: %d, phantom-padded: %d\n",
+			d.CallSliceEnough, d.BasicSliced, d.Padded)
+		fmt.Fprintf(&sb, "  phantom blocks added:     %d\n", d.PhantomBlocks)
+		fmt.Fprintf(&sb, "  tripwire carriers:        %d\n", d.TripwireBlocks)
+		fmt.Fprintf(&sb, "  entropy floor:            %.1f bits (k=%d)\n", d.MinEntropyBits, defaultK(k.Cfg))
+	}
+	return sb.String()
+}
+
+func defaultK(c core.Config) int {
+	if c.K == 0 {
+		return 30
+	}
+	return c.K
+}

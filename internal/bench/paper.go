@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// The paper's published numbers (Tables 1 and 2), embedded so the harness
+// can print measured-vs-paper comparisons and check shape agreement
+// mechanically. Values are percent overheads; NaN marks "~0%" cells.
+var tilde = math.NaN()
+
+// PaperTable1 maps row -> column -> percent, for the columns this
+// reproduction measures. Source: Table 1 of the paper.
+var PaperTable1 = map[string]map[string]float64{
+	"syscall()":           {"SFI(-O0)": 126.90, "SFI(-O1)": 13.41, "SFI(-O2)": 13.44, "SFI": 12.74, "MPX": 0.49, "D": 0.62, "X": 2.70, "SFI+D": 13.67, "SFI+X": 15.91, "MPX+D": 2.24, "MPX+X": 2.92},
+	"open()/close()":      {"SFI(-O0)": 306.24, "SFI(-O1)": 39.01, "SFI(-O2)": 37.45, "SFI": 24.82, "MPX": 3.47, "D": 15.03, "X": 18.30, "SFI+D": 40.68, "SFI+X": 44.56, "MPX+D": 19.44, "MPX+X": 22.79},
+	"read()/write()":      {"SFI(-O0)": 215.04, "SFI(-O1)": 22.05, "SFI(-O2)": 19.51, "SFI": 18.11, "MPX": 0.63, "D": 7.67, "X": 10.74, "SFI+D": 29.37, "SFI+X": 34.88, "MPX+D": 9.61, "MPX+X": 12.43},
+	"select(10 fds)":      {"SFI(-O0)": 119.33, "SFI(-O1)": 10.24, "SFI(-O2)": 9.93, "SFI": 10.25, "MPX": 1.26, "D": 3.00, "X": 5.49, "SFI+D": 15.05, "SFI+X": 16.96, "MPX+D": 4.59, "MPX+X": 6.37},
+	"select(100 TCP fds)": {"SFI(-O0)": 1037.33, "SFI(-O1)": 59.03, "SFI(-O2)": 49.00, "SFI": tilde, "MPX": tilde, "D": tilde, "X": 5.08, "SFI+D": 1.78, "SFI+X": 9.29, "MPX+D": 0.39, "MPX+X": 7.43},
+	"fstat()":             {"SFI(-O0)": 489.79, "SFI(-O1)": 15.31, "SFI(-O2)": 13.22, "SFI": 7.91, "MPX": tilde, "D": 4.46, "X": 12.92, "SFI+D": 16.30, "SFI+X": 26.68, "MPX+D": 8.36, "MPX+X": 14.64},
+	"mmap()/munmap()":     {"SFI(-O0)": 180.88, "SFI(-O1)": 7.24, "SFI(-O2)": 6.62, "SFI": 1.97, "MPX": 1.12, "D": 4.83, "X": 5.89, "SFI+D": 7.57, "SFI+X": 8.71, "MPX+D": 6.86, "MPX+X": 8.27},
+	"fork()+exit()":       {"SFI(-O0)": 208.86, "SFI(-O1)": 14.32, "SFI(-O2)": 14.26, "SFI": 7.22, "MPX": tilde, "D": 12.37, "X": 16.57, "SFI+D": 24.03, "SFI+X": 21.48, "MPX+D": 13.77, "MPX+X": 11.64},
+	"fork()+execve()":     {"SFI(-O0)": 191.83, "SFI(-O1)": 10.30, "SFI(-O2)": 21.75, "SFI": 23.15, "MPX": tilde, "D": 13.93, "X": 16.38, "SFI+D": 29.91, "SFI+X": 34.18, "MPX+D": 17.00, "MPX+X": 17.42},
+	"fork()+/bin/sh":      {"SFI(-O0)": 113.77, "SFI(-O1)": 11.62, "SFI(-O2)": 19.22, "SFI": 12.98, "MPX": 6.27, "D": 12.37, "X": 15.44, "SFI+D": 23.66, "SFI+X": 22.94, "MPX+D": 18.40, "MPX+X": 16.66},
+	"sigaction()":         {"SFI(-O0)": 63.49, "SFI(-O1)": 0.19, "SFI(-O2)": tilde, "SFI": 0.16, "MPX": 1.01, "D": 0.59, "X": 2.20, "SFI+D": 0.46, "SFI+X": 2.27, "MPX+D": 0.95, "MPX+X": 2.43},
+	"Signal delivery":     {"SFI(-O0)": 123.29, "SFI(-O1)": 18.05, "SFI(-O2)": 16.74, "SFI": 7.81, "MPX": 1.12, "D": 3.49, "X": 4.94, "SFI+D": 11.39, "SFI+X": 13.31, "MPX+D": 5.37, "MPX+X": 6.52},
+	"Protection fault":    {"SFI(-O0)": 13.40, "SFI(-O1)": 1.26, "SFI(-O2)": 0.97, "SFI": 1.33, "MPX": tilde, "D": 1.69, "X": 3.27, "SFI+D": 3.34, "SFI+X": 5.73, "MPX+D": 1.60, "MPX+X": 3.39},
+	"Page fault":          {"SFI(-O0)": 202.84, "SFI(-O1)": tilde, "SFI(-O2)": tilde, "SFI": 7.38, "MPX": 1.64, "D": 7.83, "X": 9.40, "SFI+D": 15.69, "SFI+X": 17.30, "MPX+D": 10.80, "MPX+X": 12.11},
+	"Pipe I/O":            {"SFI(-O0)": 126.26, "SFI(-O1)": 22.91, "SFI(-O2)": 21.39, "SFI": 15.12, "MPX": 0.42, "D": 4.30, "X": 6.89, "SFI+D": 19.39, "SFI+X": 22.39, "MPX+D": 6.07, "MPX+X": 7.62},
+	"UNIX socket I/O":     {"SFI(-O0)": 148.11, "SFI(-O1)": 12.39, "SFI(-O2)": 17.31, "SFI": 11.69, "MPX": 4.74, "D": 7.34, "X": 10.04, "SFI+D": 16.09, "SFI+X": 16.64, "MPX+D": 6.88, "MPX+X": 8.80},
+	"TCP socket I/O":      {"SFI(-O0)": 171.93, "SFI(-O1)": 25.15, "SFI(-O2)": 20.85, "SFI": 16.33, "MPX": 1.91, "D": 4.83, "X": 8.30, "SFI+D": 21.63, "SFI+X": 24.43, "MPX+D": 8.20, "MPX+X": 9.71},
+	"UDP socket I/O":      {"SFI(-O0)": 208.75, "SFI(-O1)": 25.71, "SFI(-O2)": 30.89, "SFI": 16.96, "MPX": tilde, "D": 7.38, "X": 12.76, "SFI+D": 24.98, "SFI+X": 26.80, "MPX+D": 11.22, "MPX+X": 13.28},
+}
+
+// PaperTable1Bandwidth holds the bandwidth section of Table 1.
+var PaperTable1Bandwidth = map[string]map[string]float64{
+	"Pipe I/O":        {"SFI(-O0)": 46.70, "SFI(-O1)": 0.96, "SFI(-O2)": 1.62, "SFI": 0.68, "MPX": tilde, "D": 0.59, "X": 1.00, "SFI+D": 2.80, "SFI+X": 3.53, "MPX+D": 0.78, "MPX+X": 1.61},
+	"UNIX socket I/O": {"SFI(-O0)": 35.77, "SFI(-O1)": 3.54, "SFI(-O2)": 4.81, "SFI": 6.43, "MPX": 1.43, "D": 2.79, "X": 3.39, "SFI+D": 5.71, "SFI+X": 7.00, "MPX+D": 3.17, "MPX+X": 3.41},
+	"TCP socket I/O":  {"SFI(-O0)": 53.96, "SFI(-O1)": 10.90, "SFI(-O2)": 10.25, "SFI": 6.05, "MPX": tilde, "D": 3.71, "X": 4.40, "SFI+D": 9.82, "SFI+X": 9.85, "MPX+D": 3.64, "MPX+X": 4.87},
+	"mmap() I/O":      {"SFI(-O0)": tilde, "SFI(-O1)": tilde, "SFI(-O2)": tilde, "SFI": tilde, "MPX": tilde, "D": tilde, "X": tilde, "SFI+D": tilde, "SFI+X": tilde, "MPX+D": tilde, "MPX+X": tilde},
+	"File I/O":        {"SFI(-O0)": 23.57, "SFI(-O1)": tilde, "SFI(-O2)": tilde, "SFI": 0.67, "MPX": 0.28, "D": 1.21, "X": 1.46, "SFI+D": 1.81, "SFI+X": 2.23, "MPX+D": 1.74, "MPX+X": 1.92},
+}
+
+// PaperTable2 holds the paper's Phoronix overheads.
+var PaperTable2 = map[string]map[string]float64{
+	"Apache":     {"SFI": 0.54, "MPX": 0.48, "SFI+D": 0.97, "SFI+X": 1.00, "MPX+D": 0.81, "MPX+X": 0.68},
+	"PostgreSQL": {"SFI": 3.36, "MPX": 1.06, "SFI+D": 6.15, "SFI+X": 6.02, "MPX+D": 3.45, "MPX+X": 4.74},
+	"Kbuild":     {"SFI": 1.48, "MPX": 0.03, "SFI+D": 3.21, "SFI+X": 3.50, "MPX+D": 2.82, "MPX+X": 3.52},
+	"Kextract":   {"SFI": 0.52, "MPX": tilde, "SFI+D": tilde, "SFI+X": tilde, "MPX+D": tilde, "MPX+X": tilde},
+	"GnuPG":      {"SFI": 0.15, "MPX": tilde, "SFI+D": 0.15, "SFI+X": 0.15, "MPX+D": tilde, "MPX+X": tilde},
+	"OpenSSL":    {"SFI": tilde, "MPX": tilde, "SFI+D": 0.03, "SFI+X": tilde, "MPX+D": 0.01, "MPX+X": tilde},
+	"PyBench":    {"SFI": tilde, "MPX": tilde, "SFI+D": tilde, "SFI+X": 0.15, "MPX+D": tilde, "MPX+X": tilde},
+	"PHPBench":   {"SFI": 0.06, "MPX": tilde, "SFI+D": 0.03, "SFI+X": 0.50, "MPX+D": 0.66, "MPX+X": tilde},
+	"IOzone":     {"SFI": 4.65, "MPX": tilde, "SFI+D": 8.96, "SFI+X": 8.59, "MPX+D": 3.25, "MPX+X": 4.26},
+	"DBench":     {"SFI": 0.86, "MPX": tilde, "SFI+D": 4.98, "SFI+X": tilde, "MPX+D": 4.28, "MPX+X": 3.54},
+	"PostMark":   {"SFI": 13.51, "MPX": 1.81, "SFI+D": 19.99, "SFI+X": 19.98, "MPX+D": 10.09, "MPX+X": 12.07},
+}
+
+// paperCell looks up a paper value for a (row, kind, config), returning
+// (value, found).
+func paperCell(row string, kind OpKind, cfg string) (float64, bool) {
+	var tbl map[string]map[string]float64
+	if kind == Bandwidth {
+		tbl = PaperTable1Bandwidth
+	} else {
+		tbl = PaperTable1
+	}
+	cols, ok := tbl[row]
+	if !ok {
+		return 0, false
+	}
+	v, ok := cols[cfg]
+	return v, ok
+}
+
+// FormatComparison renders a measured table with the paper's numbers
+// interleaved ("measured / paper"), for Table 1 or Table 2.
+func FormatComparison(t *Table, paper map[string]map[string]float64, useKinds bool) string {
+	var sb strings.Builder
+	sb.WriteString(t.Title + " — measured / paper\n")
+	fmt.Fprintf(&sb, "%-22s", "Benchmark")
+	for _, c := range t.Configs {
+		fmt.Fprintf(&sb, " %19s", c)
+	}
+	sb.WriteByte('\n')
+	for ri, name := range t.RowNames {
+		fmt.Fprintf(&sb, "%-22s", name)
+		for ci, cfg := range t.Configs {
+			var pv float64
+			var ok bool
+			if useKinds {
+				pv, ok = paperCell(name, t.RowKinds[ri], cfg)
+			} else if cols, found := paper[name]; found {
+				pv, ok = cols[cfg]
+			}
+			measured := strings.TrimSpace(cell(t.Overhead[ri][ci]))
+			ps := "--"
+			if ok {
+				ps = paperPct(pv)
+			}
+			fmt.Fprintf(&sb, " %19s", measured+" / "+ps)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func paperPct(v float64) string {
+	if math.IsNaN(v) {
+		return "~0%"
+	}
+	return fmt.Sprintf("%.2f%%", v)
+}
+
+// ShapeAgreement summarizes, per configuration column, the rank agreement
+// between measured and paper values across rows (Spearman-like: fraction
+// of row pairs ordered the same way). It quantifies "the shape holds".
+func ShapeAgreement(t *Table, paper map[string]map[string]float64, useKinds bool) map[string]float64 {
+	out := make(map[string]float64)
+	for ci, cfg := range t.Configs {
+		type pair struct{ m, p float64 }
+		var vals []pair
+		for ri, name := range t.RowNames {
+			var pv float64
+			var ok bool
+			if useKinds {
+				pv, ok = paperCell(name, t.RowKinds[ri], cfg)
+			} else if cols, found := paper[name]; found {
+				pv, ok = cols[cfg]
+			}
+			if !ok || math.IsNaN(pv) {
+				continue
+			}
+			vals = append(vals, pair{t.Overhead[ri][ci], pv})
+		}
+		agree, total := 0, 0
+		for i := 0; i < len(vals); i++ {
+			for j := i + 1; j < len(vals); j++ {
+				total++
+				if (vals[i].m < vals[j].m) == (vals[i].p < vals[j].p) {
+					agree++
+				}
+			}
+		}
+		if total > 0 {
+			out[cfg] = float64(agree) / float64(total)
+		}
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/diversify"
+	"repro/internal/isa"
+	"repro/internal/kernel"
+)
+
+// Profile is a cycle-attribution breakdown of one workload run: where the
+// kernel time goes by function, and how much of it is protection machinery
+// (the overhead decomposition behind Table 1's percentages).
+type Profile struct {
+	Config string
+
+	TotalCycles uint64
+	// Category cycles.
+	RangeCheck uint64 // pushfq/popfq, RC lea/cmp/ja, bndcu
+	RAProt     uint64 // xkey loads, xor (%rsp), zaps, decoy prologue/epilogue
+	Base       uint64 // everything else
+
+	// ByFunc attributes cycles to the containing function.
+	ByFunc map[string]uint64
+}
+
+// profiler classifies executed instructions. Classification uses the
+// instruction patterns the passes emit:
+//
+//	range checks:  pushfq/popfq; lea into %r11; cmp %r11 or cmp-imm in the
+//	               _krx_edata band followed by ja; bndcu
+//	ra protection: rip-relative load into %r11; xor %r11,(%rsp);
+//	               movq $0,-8(%rsp); push %r11; ret $8 / add $8,%rsp+ret
+type profiler struct {
+	p         *Profile
+	k         *kernel.Kernel
+	edataLo   uint64
+	edataHi   uint64
+	funcAt    []funcRangeEntry
+	prevWasRC bool // a cmp classified as RC: its ja belongs to the RC too
+
+	// Pattern gating: only look for a scheme's signature instructions
+	// when the kernel was actually built with that scheme (the patterns
+	// are unambiguous within such kernels but could collide with ordinary
+	// code otherwise — e.g. the entry stub's push %r11).
+	wantRC    bool
+	wantX     bool
+	wantDecoy bool
+}
+
+type funcRangeEntry struct {
+	start, end uint64
+	name       string
+}
+
+func newProfiler(k *kernel.Kernel) *profiler {
+	edata := k.Sym("_krx_edata")
+	pr := &profiler{
+		p: &Profile{Config: k.Cfg.Name(), ByFunc: make(map[string]uint64)},
+		k: k,
+		// RC immediates are _krx_edata minus a small displacement.
+		edataLo: edata - (1 << 20),
+		edataHi: edata,
+	}
+	pr.wantRC = k.Cfg.XOM == core.XOMSFI || k.Cfg.XOM == core.XOMMPX
+	pr.wantX = k.Cfg.RAProt == diversify.RAEncrypt
+	pr.wantDecoy = k.Cfg.RAProt == diversify.RADecoy
+	for _, f := range k.Img.Funcs {
+		pr.funcAt = append(pr.funcAt, funcRangeEntry{f.Addr, f.Addr + f.Size, f.Name})
+	}
+	sort.Slice(pr.funcAt, func(i, j int) bool { return pr.funcAt[i].start < pr.funcAt[j].start })
+	return pr
+}
+
+func (pr *profiler) funcName(rip uint64) string {
+	i := sort.Search(len(pr.funcAt), func(i int) bool { return pr.funcAt[i].end > rip })
+	if i < len(pr.funcAt) && rip >= pr.funcAt[i].start {
+		return pr.funcAt[i].name
+	}
+	if rip < 0xffff800000000000 {
+		return "[user]"
+	}
+	return "[module]"
+}
+
+func (pr *profiler) hook(rip uint64, in isa.Instr, cycles uint64) {
+	p := pr.p
+	p.TotalCycles += cycles
+	p.ByFunc[pr.funcName(rip)] += cycles
+
+	wasRC := pr.prevWasRC
+	pr.prevWasRC = false
+	switch {
+	case pr.wantRC && (in.Op == isa.PUSHFQ || in.Op == isa.POPFQ || in.Op == isa.BNDCU):
+		p.RangeCheck += cycles
+	case pr.wantRC && in.Op == isa.LEA && in.Dst == isa.R11:
+		p.RangeCheck += cycles
+		// The cmp/ja that follow belong to the same check.
+	case pr.wantRC && in.Op == isa.CMPri && in.Dst == isa.R11:
+		p.RangeCheck += cycles
+		pr.prevWasRC = true
+	case pr.wantRC && in.Op == isa.CMPri && uint64(in.Imm) >= pr.edataLo && uint64(in.Imm) <= pr.edataHi:
+		p.RangeCheck += cycles
+		pr.prevWasRC = true
+	case pr.wantRC && in.Op == isa.JCC && in.CC == isa.CondA && wasRC:
+		p.RangeCheck += cycles
+	case pr.wantX && in.Op == isa.MOVrm && in.Dst == isa.R11 && in.M.RIPRel:
+		p.RAProt += cycles // xkey load
+	case pr.wantX && in.Op == isa.XORmr && in.Dst == isa.R11 && in.M.Base == isa.RSP:
+		p.RAProt += cycles // return-address (de|en)cryption
+	case pr.wantX && in.Op == isa.MOVmi && in.M.Base == isa.RSP && in.M.Disp == -8 && in.Imm == 0:
+		p.RAProt += cycles // return-site zap
+	case pr.wantDecoy && in.Op == isa.PUSH && in.Dst == isa.R11:
+		p.RAProt += cycles // decoy prologue (a)
+	case pr.wantDecoy && in.Op == isa.RETI && in.Imm == 8:
+		p.RAProt += cycles // decoy epilogue (b)
+	case pr.wantDecoy && in.Op == isa.MOVri && in.Dst == isa.R11:
+		p.RAProt += cycles // tripwire address load
+	default:
+		p.Base += cycles
+	}
+}
+
+// RunProfile executes one transaction of every Table 2 workload under the
+// configuration and returns the cycle decomposition.
+func RunProfile(cfg core.Config) (*Profile, error) {
+	k, err := kernel.Boot(cfg)
+	if err != nil {
+		return nil, err
+	}
+	pr := newProfiler(k)
+	k.CPU.OnExec = pr.hook
+	defer func() { k.CPU.OnExec = nil }()
+	for _, w := range Workloads() {
+		if _, err := w.Txn(k); err != nil {
+			return nil, fmt.Errorf("profile: %s: %w", w.Name, err)
+		}
+	}
+	return pr.p, nil
+}
+
+// Format renders the decomposition plus the hottest functions.
+func (p *Profile) Format(topN int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Profile (%s): %d kernel cycles\n", p.Config, p.TotalCycles)
+	pct := func(v uint64) float64 { return 100 * float64(v) / float64(p.TotalCycles) }
+	fmt.Fprintf(&sb, "  base work:          %8d (%5.1f%%)\n", p.Base, pct(p.Base))
+	fmt.Fprintf(&sb, "  range checks:       %8d (%5.1f%%)\n", p.RangeCheck, pct(p.RangeCheck))
+	fmt.Fprintf(&sb, "  ra protection:      %8d (%5.1f%%)\n", p.RAProt, pct(p.RAProt))
+	type kv struct {
+		name string
+		c    uint64
+	}
+	var funcs []kv
+	for n, c := range p.ByFunc {
+		funcs = append(funcs, kv{n, c})
+	}
+	sort.Slice(funcs, func(i, j int) bool { return funcs[i].c > funcs[j].c })
+	fmt.Fprintf(&sb, "  hottest functions:\n")
+	for i, f := range funcs {
+		if i >= topN {
+			break
+		}
+		fmt.Fprintf(&sb, "    %-28s %8d (%5.1f%%)\n", f.name, f.c, pct(f.c))
+	}
+	return sb.String()
+}

@@ -1,0 +1,277 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+)
+
+// Workload is one Table 2 (Phoronix) row: a macro benchmark modelled as a
+// transaction mix of syscalls plus a user-space compute share. The user
+// share is self-calibrating: it is expressed as the fraction of total time
+// the real benchmark spends in user mode, and converted to cycles against
+// the measured vanilla kernel cost — so a workload that is 83% kernel time
+// (PostMark) amplifies kernel overhead, and a CPU-bound one (OpenSSL)
+// suppresses it, exactly as in the paper.
+type Workload struct {
+	Name       string
+	Metric     string
+	UserShare  float64 // fraction of total time spent in user mode (vanilla)
+	Txn        func(k *kernel.Kernel) (uint64, error)
+	Iterations int
+}
+
+func fileTxn(reads, writes int, size uint64) func(*kernel.Kernel) (uint64, error) {
+	return func(k *kernel.Kernel) (uint64, error) {
+		var total uint64
+		fd, err := openTestFile(k)
+		if err != nil {
+			return 0, err
+		}
+		for i := 0; i < reads; i++ {
+			c, err := timed(k.Syscall(kernel.SysRead, fd, kernel.UserBuf+4096, size%8192), "read")
+			if err != nil {
+				return 0, err
+			}
+			total += c
+			// Keep the file position bounded.
+			k.Syscall(kernel.SysClose, fd)
+			fd, err = openTestFile(k)
+			if err != nil {
+				return 0, err
+			}
+		}
+		for i := 0; i < writes; i++ {
+			c, err := timed(k.Syscall(kernel.SysWrite, fd, kernel.UserBuf+4096, size%8192), "write")
+			if err != nil {
+				return 0, err
+			}
+			total += c
+		}
+		c, err := timed(k.Syscall(kernel.SysClose, fd), "close")
+		if err != nil {
+			return 0, err
+		}
+		return total + c, nil
+	}
+}
+
+// Workloads returns the Table 2 rows. The user shares follow the
+// characterizations in §7.2 (PostMark spends ~83% of its time in kernel
+// mode, mostly read/write and open/close; GnuPG/OpenSSL/PyBench/PHPBench
+// are CPU-bound; Apache and PostgreSQL sit in between).
+func Workloads() []Workload {
+	return []Workload{
+		{
+			Name: "Apache", Metric: "Req/s", UserShare: 0.88,
+			Txn: func(k *kernel.Kernel) (uint64, error) {
+				var total uint64
+				for _, step := range []struct {
+					nr   uint64
+					args []uint64
+				}{
+					{kernel.SysTCPRead, []uint64{kernel.UserBuf + 8192, 256}},
+					{kernel.SysOpen, []uint64{kernel.UserBuf}},
+					{kernel.SysRead, []uint64{0, kernel.UserBuf + 4096, 1024}},
+					{kernel.SysTCPWrite, []uint64{kernel.UserBuf + 4096, 1024}},
+					{kernel.SysClose, []uint64{0}},
+					{kernel.SysSelect, []uint64{10}},
+				} {
+					c, err := timed(k.Syscall(step.nr, step.args...), "apache step")
+					if err != nil {
+						return 0, err
+					}
+					total += c
+				}
+				return total, nil
+			},
+		},
+		{
+			Name: "PostgreSQL", Metric: "Trans/s", UserShare: 0.72,
+			Txn: func(k *kernel.Kernel) (uint64, error) {
+				var total uint64
+				steps := [][]uint64{
+					{kernel.SysUnixRead, kernel.UserBuf + 8192, 512},
+					{kernel.SysRead, 0, kernel.UserBuf + 4096, 4096},
+					{kernel.SysWrite, 0, kernel.UserBuf + 4096, 2048},
+					{kernel.SysUnixWrite, kernel.UserBuf + 4096, 512},
+					{kernel.SysFstat, 0, kernel.UserBuf + 2048},
+				}
+				fd, err := openTestFile(k)
+				if err != nil {
+					return 0, err
+				}
+				defer k.Syscall(kernel.SysClose, fd)
+				for _, s := range steps {
+					args := append([]uint64{}, s[1:]...)
+					if s[0] == kernel.SysRead || s[0] == kernel.SysWrite || s[0] == kernel.SysFstat {
+						args[0] = fd
+					}
+					c, err := timed(k.Syscall(s[0], args...), "pg step")
+					if err != nil {
+						return 0, err
+					}
+					total += c
+				}
+				return total, nil
+			},
+		},
+		{
+			Name: "Kbuild", Metric: "sec", UserShare: 0.80,
+			Txn: func(k *kernel.Kernel) (uint64, error) {
+				var total uint64
+				// Compile one unit: stat/open/read source, fork cc, exec.
+				fd, err := openTestFile(k)
+				if err != nil {
+					return 0, err
+				}
+				for _, s := range [][]uint64{
+					{kernel.SysFstat, fd, kernel.UserBuf + 2048},
+					{kernel.SysRead, fd, kernel.UserBuf + 4096, 4096},
+					{kernel.SysFork},
+					{kernel.SysExecve, kernel.UserBuf},
+					{kernel.SysWrite, fd, kernel.UserBuf + 4096, 2048},
+					{kernel.SysClose, fd},
+				} {
+					c, err := timed(k.Syscall(s[0], s[1:]...), "kbuild step")
+					if err != nil {
+						return 0, err
+					}
+					total += c
+				}
+				return total, nil
+			},
+		},
+		{
+			Name: "Kextract", Metric: "sec", UserShare: 0.55,
+			Txn: fileTxn(1, 4, 4096),
+		},
+		{
+			Name: "GnuPG", Metric: "sec", UserShare: 0.995,
+			Txn: fileTxn(2, 0, 4096),
+		},
+		{
+			Name: "OpenSSL", Metric: "Sign/s", UserShare: 0.999,
+			Txn: func(k *kernel.Kernel) (uint64, error) {
+				return timed(k.Syscall(kernel.SysNull), "null")
+			},
+		},
+		{
+			Name: "PyBench", Metric: "msec", UserShare: 0.998,
+			Txn: func(k *kernel.Kernel) (uint64, error) {
+				return timed(k.Syscall(kernel.SysGetpid), "getpid")
+			},
+		},
+		{
+			Name: "PHPBench", Metric: "Score", UserShare: 0.997,
+			Txn: func(k *kernel.Kernel) (uint64, error) {
+				return timed(k.Syscall(kernel.SysGetpid), "getpid")
+			},
+		},
+		{
+			Name: "IOzone", Metric: "MB/s", UserShare: 0.35,
+			Txn: fileTxn(4, 4, 8192),
+		},
+		{
+			Name: "DBench", Metric: "MB/s", UserShare: 0.55,
+			Txn: fileTxn(2, 2, 4096),
+		},
+		{
+			Name: "PostMark", Metric: "Trans/s", UserShare: 0.17,
+			Txn: func(k *kernel.Kernel) (uint64, error) {
+				// Mail transactions: create/read/append/delete small files.
+				var total uint64
+				for i := 0; i < 2; i++ {
+					fd, err := openTestFile(k)
+					if err != nil {
+						return 0, err
+					}
+					for _, s := range [][]uint64{
+						{kernel.SysRead, fd, kernel.UserBuf + 4096, 512},
+						{kernel.SysWrite, fd, kernel.UserBuf + 4096, 512},
+						{kernel.SysClose, fd},
+					} {
+						c, err := timed(k.Syscall(s[0], s[1:]...), "postmark step")
+						if err != nil {
+							return 0, err
+						}
+						total += c
+					}
+				}
+				return total, nil
+			},
+		},
+	}
+}
+
+// Table2Configs returns the six protection columns of Table 2.
+func Table2Configs() []core.Config {
+	p := core.Presets()
+	// SFI(O3), MPX, SFI+D, SFI+X, MPX+D, MPX+X.
+	return []core.Config{p[4], p[5], p[8], p[9], p[10], p[11]}
+}
+
+// RunTable2 measures the macro workloads: for each configuration, the
+// total (user + kernel) cycles per transaction relative to vanilla.
+func RunTable2(iters int) (*Table, error) {
+	if iters <= 0 {
+		iters = 5
+	}
+	wls := Workloads()
+	cfgs := Table2Configs()
+	t := &Table{Title: "Table 2: Phoronix Test Suite overhead (%)"}
+
+	measure := func(cfg core.Config) ([]float64, error) {
+		k, err := kernel.Boot(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, len(wls))
+		for i, w := range wls {
+			if _, err := w.Txn(k); err != nil { // warmup
+				return nil, fmt.Errorf("%s (%s): %w", w.Name, cfg.Name(), err)
+			}
+			var total uint64
+			for n := 0; n < iters; n++ {
+				c, err := w.Txn(k)
+				if err != nil {
+					return nil, fmt.Errorf("%s (%s): %w", w.Name, cfg.Name(), err)
+				}
+				total += c
+			}
+			out[i] = float64(total) / float64(iters)
+		}
+		return out, nil
+	}
+
+	base, err := measure(core.Vanilla)
+	if err != nil {
+		return nil, fmt.Errorf("bench: vanilla baseline: %w", err)
+	}
+	t.Baseline = base
+	for _, w := range wls {
+		t.RowNames = append(t.RowNames, w.Name)
+		t.RowKinds = append(t.RowKinds, Latency)
+	}
+	t.Overhead = make([][]float64, len(wls))
+	for i := range t.Overhead {
+		t.Overhead[i] = make([]float64, len(cfgs))
+	}
+	for ci, cfg := range cfgs {
+		t.Configs = append(t.Configs, cfg.Name())
+		m, err := measure(cfg)
+		if err != nil {
+			return nil, err
+		}
+		for ri, w := range wls {
+			// Total time = kernel cycles + user cycles; the user share is
+			// untouched by kernel hardening.
+			user := base[ri] * w.UserShare / (1 - w.UserShare)
+			totalBase := base[ri] + user
+			totalCfg := m[ri] + user
+			t.Overhead[ri][ci] = 100 * (totalCfg - totalBase) / totalBase
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,376 @@
+// Package cpu emulates a KX64 processor: fetch/decode/execute over a paged
+// address space, with user/kernel modes, SYSCALL/SYSRET and exception
+// delivery, MPX bound registers, SMEP, and per-instruction cycle accounting
+// (the evaluation's clock).
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Mode is the CPU privilege mode.
+type Mode uint8
+
+// Privilege modes.
+const (
+	User Mode = iota
+	Kernel
+)
+
+func (m Mode) String() string {
+	if m == Kernel {
+		return "kernel"
+	}
+	return "user"
+}
+
+// UpperHalf is the start of the kernel's canonical upper half.
+const UpperHalf uint64 = 0xffff800000000000
+
+// TrapKind classifies CPU exceptions.
+type TrapKind uint8
+
+// Trap kinds.
+const (
+	TrapNone       TrapKind = iota
+	TrapPageFault           // #PF
+	TrapBoundRange          // #BR (MPX violation)
+	TrapBreakpoint          // #BP (int3 — tripwires)
+	TrapUndefined           // #UD
+	TrapProtection          // #GP (SMEP, privilege violations)
+)
+
+func (k TrapKind) String() string {
+	switch k {
+	case TrapPageFault:
+		return "#PF"
+	case TrapBoundRange:
+		return "#BR"
+	case TrapBreakpoint:
+		return "#BP"
+	case TrapUndefined:
+		return "#UD"
+	case TrapProtection:
+		return "#GP"
+	}
+	return "none"
+}
+
+// Trap describes a delivered exception.
+type Trap struct {
+	Kind  TrapKind
+	Addr  uint64 // faulting data address (if applicable)
+	RIP   uint64 // address of the faulting instruction
+	Mode  Mode   // mode at the time of the fault
+	Fault *mem.Fault
+}
+
+func (t *Trap) Error() string {
+	return fmt.Sprintf("%s at rip=%#x addr=%#x (%s mode)", t.Kind, t.RIP, t.Addr, t.Mode)
+}
+
+// StopReason explains why Run returned.
+type StopReason uint8
+
+// Stop reasons.
+const (
+	StopHalt   StopReason = iota // HLT executed in kernel mode
+	StopReturn                   // RET popped the sentinel stop address
+	StopTrap                     // unhandled exception (kernel-mode fault)
+	StopLimit                    // instruction budget exhausted
+	StopSysret                   // sysret executed with StopOnSysret set
+	StopIret                     // iret executed with StopOnIret set
+)
+
+func (r StopReason) String() string {
+	switch r {
+	case StopHalt:
+		return "halt"
+	case StopReturn:
+		return "return"
+	case StopTrap:
+		return "trap"
+	case StopLimit:
+		return "limit"
+	case StopSysret:
+		return "sysret"
+	case StopIret:
+		return "iret"
+	}
+	return "?"
+}
+
+// StopMagic is the sentinel return address: a RET that pops this value stops
+// the run cleanly (how the harness invokes a single kernel routine).
+const StopMagic uint64 = 0xFFFF0FF0FF0FF0F0
+
+// Bound is one MPX bound register.
+type Bound struct {
+	LB uint64
+	UB uint64
+}
+
+// RunResult summarizes a Run invocation.
+type RunResult struct {
+	Reason  StopReason
+	Trap    *Trap
+	Instrs  uint64
+	Cycles  uint64
+	HaltRIP uint64 // rip of the HLT when Reason == StopHalt
+}
+
+// CPU is the emulated processor.
+type CPU struct {
+	AS *mem.AddressSpace
+
+	Regs   [isa.NumGPR]uint64
+	RIP    uint64
+	RFlags uint64
+	Bnd    [isa.NumBnd]Bound
+	Mode   Mode
+
+	Cycles uint64
+	Instrs uint64
+
+	// SyscallEntry is the kernel's syscall entry point (MSR_LSTAR).
+	SyscallEntry uint64
+	// FaultEntry is the kernel's exception entry point: user-mode faults
+	// are delivered here (kernel-mode faults stop the run — the kR^X
+	// violation handler halts the system anyway).
+	FaultEntry uint64
+	// KernelStackTop is loaded into %rsp on mode switch into the kernel.
+	KernelStackTop uint64
+	// SMEP blocks kernel-mode instruction fetches from user addresses.
+	SMEP bool
+
+	// StopOnSysret makes Run return (StopSysret) right after a sysret
+	// completes, and StopOnIret likewise for iret. The benchmark harness
+	// uses these to bound one user->kernel->user round trip.
+	StopOnSysret bool
+	StopOnIret   bool
+
+	// KernelBnd0, when MPXKernel is set, is loaded into %bnd0 on kernel
+	// entry (ub = _krx_edata); the user value is spilled and restored on
+	// exit, so kR^X-MPX does not interfere with user MPX usage (§5.1.3).
+	MPXKernel  bool
+	KernelBnd0 Bound
+
+	// MSRs models wrmsr/rdmsr state (keyed by %rcx).
+	MSRs map[uint64]uint64
+
+	// OnExec, when set, is invoked after every executed instruction with
+	// its address and the cycles it consumed (including rep-string
+	// per-element charges). Used by the profiler; nil costs nothing.
+	OnExec func(rip uint64, in isa.Instr, cycles uint64)
+
+	savedUserRSP  uint64
+	savedUserBnd0 Bound
+	inSyscall     bool
+
+	fetchBuf [16]byte
+}
+
+// New creates a CPU over the given address space.
+func New(as *mem.AddressSpace) *CPU {
+	return &CPU{AS: as, MSRs: make(map[uint64]uint64)}
+}
+
+// Reg returns a register value.
+func (c *CPU) Reg(r isa.Reg) uint64 { return c.Regs[r] }
+
+// SetReg sets a register value.
+func (c *CPU) SetReg(r isa.Reg, v uint64) { c.Regs[r] = v }
+
+// effAddr computes the effective address of a memory operand, given the
+// address of the *next* instruction (for %rip-relative references).
+func (c *CPU) effAddr(m isa.MemRef, next uint64) uint64 {
+	ea := uint64(int64(m.Disp))
+	if m.RIPRel {
+		return next + ea
+	}
+	if m.HasBase() {
+		ea += c.Regs[m.Base]
+	}
+	if m.HasIndex() {
+		ea += c.Regs[m.Index] * uint64(m.Scale)
+	}
+	return ea
+}
+
+// checkDataAccess enforces the privilege rules for a data access at addr.
+func (c *CPU) checkDataAccess(addr uint64) *Trap {
+	if c.Mode == User && addr >= UpperHalf {
+		return &Trap{Kind: TrapProtection, Addr: addr, RIP: c.RIP, Mode: c.Mode}
+	}
+	return nil
+}
+
+func (c *CPU) load(addr uint64, size uint8) (uint64, *Trap) {
+	if t := c.checkDataAccess(addr); t != nil {
+		return 0, t
+	}
+	v, f := c.AS.Read(addr, size)
+	if f != nil {
+		return 0, &Trap{Kind: TrapPageFault, Addr: addr, RIP: c.RIP, Mode: c.Mode, Fault: f}
+	}
+	return v, nil
+}
+
+func (c *CPU) store(addr uint64, v uint64, size uint8) *Trap {
+	if t := c.checkDataAccess(addr); t != nil {
+		return t
+	}
+	if f := c.AS.Write(addr, v, size); f != nil {
+		return &Trap{Kind: TrapPageFault, Addr: addr, RIP: c.RIP, Mode: c.Mode, Fault: f}
+	}
+	return nil
+}
+
+func (c *CPU) push(v uint64) *Trap {
+	c.Regs[isa.RSP] -= 8
+	return c.store(c.Regs[isa.RSP], v, 8)
+}
+
+func (c *CPU) pop() (uint64, *Trap) {
+	v, t := c.load(c.Regs[isa.RSP], 8)
+	if t != nil {
+		return 0, t
+	}
+	c.Regs[isa.RSP] += 8
+	return v, nil
+}
+
+// FMask is the simulated IA32_FMASK: flag bits cleared on kernel entry.
+// Clearing DF matters for correctness — kernel string operations assume
+// ascending addresses (the paper's footnote 7) — and real kernels mask it
+// for exactly this reason.
+const FMask = isa.FlagDF | isa.FlagsArith
+
+// EnterKernel performs the SYSCALL mode transition.
+func (c *CPU) EnterKernel(returnRIP uint64) {
+	c.Regs[isa.RCX] = returnRIP
+	c.Regs[isa.R11] = c.RFlags
+	c.RFlags &^= FMask
+	c.savedUserRSP = c.Regs[isa.RSP]
+	c.Regs[isa.RSP] = c.KernelStackTop
+	c.Mode = Kernel
+	c.inSyscall = true
+	c.RIP = c.SyscallEntry
+	if c.MPXKernel {
+		c.savedUserBnd0 = c.Bnd[0]
+		c.Bnd[0] = c.KernelBnd0
+	}
+}
+
+// ExitKernel performs the SYSRET transition.
+func (c *CPU) ExitKernel() {
+	c.RIP = c.Regs[isa.RCX]
+	c.RFlags = c.Regs[isa.R11]
+	c.Regs[isa.RSP] = c.savedUserRSP
+	c.Mode = User
+	c.inSyscall = false
+	if c.MPXKernel {
+		c.Bnd[0] = c.savedUserBnd0
+	}
+}
+
+// deliverTrap routes an exception: user-mode traps enter the kernel fault
+// handler (if configured); kernel-mode traps are fatal for the run.
+func (c *CPU) deliverTrap(t *Trap) *Trap {
+	c.Cycles += isa.TrapCost
+	if t.Mode == User && c.FaultEntry != 0 {
+		// Push an exception frame on the kernel stack: rip, rsp, rflags.
+		c.savedUserRSP = c.Regs[isa.RSP]
+		c.Regs[isa.RSP] = c.KernelStackTop
+		c.Mode = Kernel
+		if c.MPXKernel {
+			c.savedUserBnd0 = c.Bnd[0]
+			c.Bnd[0] = c.KernelBnd0
+		}
+		// The frame carries enough to iret.
+		if tr := c.push(c.RFlags); tr != nil {
+			return tr
+		}
+		if tr := c.push(c.savedUserRSP); tr != nil {
+			return tr
+		}
+		if tr := c.push(t.RIP); tr != nil {
+			return tr
+		}
+		// Fault address in %rdi-equivalent scratch for the handler (the
+		// simulation's CR2).
+		c.Regs[isa.R9] = t.Addr
+		c.RIP = c.FaultEntry
+		return nil
+	}
+	return t
+}
+
+// Run executes until a stop condition or the instruction limit.
+func (c *CPU) Run(limit uint64) *RunResult {
+	res := &RunResult{}
+	startInstrs, startCycles := c.Instrs, c.Cycles
+	for {
+		if limit > 0 && c.Instrs-startInstrs >= limit {
+			res.Reason = StopLimit
+			break
+		}
+		stop, trap := c.Step()
+		if trap != nil {
+			if t := c.deliverTrap(trap); t != nil {
+				res.Reason = StopTrap
+				res.Trap = t
+				break
+			}
+			continue
+		}
+		if stop != StepContinue {
+			res.Reason = stop
+			if stop == StopHalt {
+				res.HaltRIP = c.RIP
+			}
+			break
+		}
+	}
+	res.Instrs = c.Instrs - startInstrs
+	res.Cycles = c.Cycles - startCycles
+	return res
+}
+
+// stepStop is an internal "keep going" sentinel distinct from the exported
+// stop reasons.
+const StepContinue StopReason = 0xFF
+
+// Step executes one instruction. It returns a stop reason (StepContinue to
+// keep going) or a trap.
+func (c *CPU) Step() (StopReason, *Trap) {
+	// Fetch.
+	if c.Mode == User && c.RIP >= UpperHalf {
+		return StepContinue, &Trap{Kind: TrapProtection, Addr: c.RIP, RIP: c.RIP, Mode: c.Mode}
+	}
+	if c.SMEP && c.Mode == Kernel && c.RIP < UpperHalf {
+		// SMEP: supervisor-mode execution prevention (blocks ret2usr).
+		return StepContinue, &Trap{Kind: TrapProtection, Addr: c.RIP, RIP: c.RIP, Mode: c.Mode}
+	}
+	n, f := c.AS.Fetch(c.RIP, c.fetchBuf[:])
+	if f != nil {
+		return StepContinue, &Trap{Kind: TrapPageFault, Addr: c.RIP, RIP: c.RIP, Mode: c.Mode, Fault: f}
+	}
+	in, ilen, err := isa.Decode(c.fetchBuf[:n])
+	if err != nil {
+		return StepContinue, &Trap{Kind: TrapUndefined, Addr: c.RIP, RIP: c.RIP, Mode: c.Mode}
+	}
+	c.Instrs++
+	rip := c.RIP
+	before := c.Cycles
+	c.Cycles += in.Cost()
+	next := c.RIP + uint64(ilen)
+	stop, trap := c.exec(in, next)
+	if c.OnExec != nil {
+		c.OnExec(rip, in, c.Cycles-before)
+	}
+	return stop, trap
+}

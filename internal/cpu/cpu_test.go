@@ -1,0 +1,584 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+	"repro/internal/kas"
+	"repro/internal/link"
+	"repro/internal/mem"
+)
+
+// buildAndInstall links the program under kR^X-KAS, installs it, and returns
+// a CPU positioned to call fn with a sentinel return address.
+func buildAndInstall(t *testing.T, prog *ir.Program) (*CPU, *link.Image, *kas.Space) {
+	t.Helper()
+	img, err := link.Link(prog, link.Options{Layout: kas.KRX})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := kas.NewPhysPool(16 << 20)
+	sp, err := kas.Install(img.Layout, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := img.Install(sp); err != nil {
+		t.Fatal(err)
+	}
+	c := New(sp.AS)
+	return c, img, sp
+}
+
+// callKernelFunc positions the CPU at fn in kernel mode with a fresh stack.
+func callKernelFunc(t *testing.T, c *CPU, img *link.Image, sp *kas.Space, fn string) {
+	t.Helper()
+	stack, err := sp.AllocMapped(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := stack + 4*mem.PageSize - 16
+	c.Mode = Kernel
+	c.Regs[isa.RSP] = top
+	if f := c.AS.Write(top, StopMagic, 8); f != nil {
+		t.Fatal(f)
+	}
+	addr, ok := img.FuncAddr(fn)
+	if !ok {
+		t.Fatalf("no function %s", fn)
+	}
+	c.RIP = addr
+}
+
+func mustFunc(t *testing.T, b *ir.Builder) *ir.Function {
+	t.Helper()
+	f, err := b.Func()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestArithmeticAndFlags(t *testing.T) {
+	f := mustFunc(t, ir.NewBuilder("f").
+		I(
+			isa.MovRI(isa.RAX, 5),
+			isa.AddRI(isa.RAX, 7), // 12
+			isa.MovRI(isa.RBX, 4),
+			isa.SubRR(isa.RAX, isa.RBX), // 8
+			isa.ShlRI(isa.RAX, 2),       // 32
+			isa.ShrRI(isa.RAX, 1),       // 16
+			isa.OrRI(isa.RAX, 1),        // 17
+			isa.XorRR(isa.RCX, isa.RCX),
+			isa.Ret(),
+		))
+	c, img, sp := buildAndInstall(t, &ir.Program{Funcs: []*ir.Function{f}})
+	callKernelFunc(t, c, img, sp, "f")
+	res := c.Run(1000)
+	if res.Reason != StopReturn {
+		t.Fatalf("run: %v trap=%v", res.Reason, res.Trap)
+	}
+	if c.Reg(isa.RAX) != 17 {
+		t.Errorf("rax = %d, want 17", c.Reg(isa.RAX))
+	}
+	if c.Reg(isa.RCX) != 0 {
+		t.Errorf("rcx = %d, want 0", c.Reg(isa.RCX))
+	}
+	if c.RFlags&isa.FlagZF == 0 {
+		t.Error("xor rcx,rcx must set ZF")
+	}
+}
+
+func TestBranchesAndLoop(t *testing.T) {
+	// Sum 1..10 with a loop.
+	f := mustFunc(t, ir.NewBuilder("sum").
+		I(
+			isa.XorRR(isa.RAX, isa.RAX),
+			isa.MovRI(isa.RCX, 10),
+		).
+		Label("loop").
+		I(
+			isa.AddRR(isa.RAX, isa.RCX),
+			isa.Dec(isa.RCX),
+			isa.CmpRI(isa.RCX, 0),
+			isa.Jcc(isa.CondNE, "loop"),
+		).
+		Label("done").
+		I(isa.Ret()))
+	c, img, sp := buildAndInstall(t, &ir.Program{Funcs: []*ir.Function{f}})
+	callKernelFunc(t, c, img, sp, "sum")
+	res := c.Run(1000)
+	if res.Reason != StopReturn || c.Reg(isa.RAX) != 55 {
+		t.Fatalf("sum: reason=%v rax=%d trap=%v", res.Reason, c.Reg(isa.RAX), res.Trap)
+	}
+}
+
+func TestCallAndMemory(t *testing.T) {
+	callee := mustFunc(t, ir.NewBuilder("double").
+		I(isa.AddRR(isa.RDI, isa.RDI), isa.MovRR(isa.RAX, isa.RDI), isa.Ret()))
+	caller := mustFunc(t, ir.NewBuilder("caller").
+		I(
+			isa.MovRI(isa.RDI, 21),
+			isa.Call("double"),
+			isa.Store(isa.MemAbs("result", 0), isa.RAX),
+			isa.Load(isa.RBX, isa.MemAbs("result", 0)),
+			isa.Ret(),
+		))
+	prog := &ir.Program{
+		Funcs: []*ir.Function{caller, callee},
+		Data:  []ir.DataSym{{Name: "result", Bytes: make([]byte, 8)}},
+	}
+	c, img, sp := buildAndInstall(t, prog)
+	callKernelFunc(t, c, img, sp, "caller")
+	res := c.Run(1000)
+	if res.Reason != StopReturn {
+		t.Fatalf("run: %v trap=%v", res.Reason, res.Trap)
+	}
+	if c.Reg(isa.RBX) != 42 {
+		t.Errorf("rbx = %d, want 42", c.Reg(isa.RBX))
+	}
+}
+
+func TestIndirectCallThroughTable(t *testing.T) {
+	target := mustFunc(t, ir.NewBuilder("target").
+		I(isa.MovRI(isa.RAX, 0x1234), isa.Ret()))
+	caller := mustFunc(t, ir.NewBuilder("caller").
+		I(
+			isa.MovSym(isa.RBX, "table"),
+			isa.CallMem(isa.Mem(isa.RBX, 8)),
+			isa.Ret(),
+		))
+	prog := &ir.Program{
+		Funcs:  []*ir.Function{caller, target},
+		Data:   []ir.DataSym{{Name: "table", Bytes: make([]byte, 16)}},
+		Relocs: []ir.DataReloc{{In: "table", Off: 8, Sym: "target"}},
+	}
+	c, img, sp := buildAndInstall(t, prog)
+	callKernelFunc(t, c, img, sp, "caller")
+	res := c.Run(1000)
+	if res.Reason != StopReturn || c.Reg(isa.RAX) != 0x1234 {
+		t.Fatalf("indirect call: %v rax=%#x trap=%v", res.Reason, c.Reg(isa.RAX), res.Trap)
+	}
+}
+
+func TestRepMovsCopiesAndCosts(t *testing.T) {
+	f := mustFunc(t, ir.NewBuilder("copy").
+		I(
+			isa.MovSym(isa.RSI, "src"),
+			isa.MovSym(isa.RDI, "dst"),
+			isa.MovRI(isa.RCX, 8), // 8 quadwords = 64 bytes
+			isa.Movs(8, true),
+			isa.Ret(),
+		))
+	src := make([]byte, 64)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	prog := &ir.Program{
+		Funcs: []*ir.Function{f},
+		Data: []ir.DataSym{
+			{Name: "src", Bytes: src},
+			{Name: "dst", Bytes: make([]byte, 64)},
+		},
+	}
+	c, img, sp := buildAndInstall(t, prog)
+	callKernelFunc(t, c, img, sp, "copy")
+	res := c.Run(1000)
+	if res.Reason != StopReturn {
+		t.Fatalf("run: %v trap=%v", res.Reason, res.Trap)
+	}
+	got, err := sp.AS.Peek(img.Symbols["dst"], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != byte(i) {
+			t.Fatalf("dst[%d] = %d", i, got[i])
+		}
+	}
+	if c.Reg(isa.RCX) != 0 {
+		t.Error("rcx must be 0 after rep")
+	}
+}
+
+func TestMPXBoundViolation(t *testing.T) {
+	// bndcu against a low upper bound must raise #BR in kernel mode,
+	// which is fatal (the kR^X violation path).
+	f := mustFunc(t, ir.NewBuilder("f").
+		I(
+			isa.MovRI(isa.RSI, 0x5000),
+			isa.Bndcu(isa.BND0, isa.Mem(isa.RSI, 0x154)),
+			isa.Ret(),
+		))
+	c, img, sp := buildAndInstall(t, &ir.Program{Funcs: []*ir.Function{f}})
+	callKernelFunc(t, c, img, sp, "f")
+	c.Bnd[0] = Bound{LB: 0, UB: 0x5000}
+	res := c.Run(1000)
+	if res.Reason != StopTrap || res.Trap.Kind != TrapBoundRange {
+		t.Fatalf("expected #BR, got %v %v", res.Reason, res.Trap)
+	}
+	// With a permissive bound the same code runs clean.
+	callKernelFunc(t, c, img, sp, "f")
+	c.Bnd[0] = Bound{LB: 0, UB: ^uint64(0)}
+	res = c.Run(1000)
+	if res.Reason != StopReturn {
+		t.Fatalf("expected clean return, got %v %v", res.Reason, res.Trap)
+	}
+}
+
+func TestInt3TripwireIsFatalInKernel(t *testing.T) {
+	f := mustFunc(t, ir.NewBuilder("f").
+		I(isa.Int3(), isa.Ret()))
+	c, img, sp := buildAndInstall(t, &ir.Program{Funcs: []*ir.Function{f}})
+	callKernelFunc(t, c, img, sp, "f")
+	res := c.Run(100)
+	if res.Reason != StopTrap || res.Trap.Kind != TrapBreakpoint {
+		t.Fatalf("expected #BP trap, got %v %v", res.Reason, res.Trap)
+	}
+}
+
+func TestHaltStopsRun(t *testing.T) {
+	f := mustFunc(t, ir.NewBuilder("f").I(isa.Hlt()))
+	c, img, sp := buildAndInstall(t, &ir.Program{Funcs: []*ir.Function{f}})
+	callKernelFunc(t, c, img, sp, "f")
+	res := c.Run(100)
+	if res.Reason != StopHalt {
+		t.Fatalf("expected halt, got %v", res.Reason)
+	}
+	if res.HaltRIP != img.Symbols["f"] {
+		t.Errorf("HaltRIP = %#x, want %#x", res.HaltRIP, img.Symbols["f"])
+	}
+}
+
+func TestInstrLimit(t *testing.T) {
+	f := mustFunc(t, ir.NewBuilder("spin").
+		Label("loop").
+		I(isa.Jmp("loop")))
+	c, img, sp := buildAndInstall(t, &ir.Program{Funcs: []*ir.Function{f}})
+	callKernelFunc(t, c, img, sp, "spin")
+	res := c.Run(50)
+	if res.Reason != StopLimit || res.Instrs != 50 {
+		t.Fatalf("limit: %v instrs=%d", res.Reason, res.Instrs)
+	}
+}
+
+func TestSyscallRoundTrip(t *testing.T) {
+	// Kernel entry: set rax=99, sysret.
+	entry := mustFunc(t, ir.NewBuilder("entry").
+		I(isa.MovRI(isa.RAX, 99), isa.Sysret()))
+	// User program: syscall; hlt is privileged so end with a jmp self that
+	// we catch by limit — instead store to user memory and loop.
+	user := mustFunc(t, ir.NewBuilder("user").
+		I(isa.Syscall()).
+		Label("spin").
+		I(isa.Jmp("spin")))
+	prog := &ir.Program{Funcs: []*ir.Function{entry}}
+	c, img, sp := buildAndInstall(t, prog)
+
+	// Place user code in the lower half.
+	uimg, err := link.Link(&ir.Program{Funcs: []*ir.Function{user}}, link.Options{Layout: kas.Vanilla})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const userBase = 0x400000
+	if _, err := sp.AS.Map(userBase, 1, mem.PermRX); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.AS.Poke(userBase, uimg.Text); err != nil {
+		t.Fatal(err)
+	}
+	ustack, err := sp.AS.Map(0x7f0000000000, 2, mem.PermRW)
+	_ = ustack
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	kstack, err := sp.AllocMapped(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SyscallEntry = img.Symbols["entry"]
+	c.KernelStackTop = kstack + 2*mem.PageSize - 16
+	c.Mode = User
+	c.RIP = userBase + (uimg.Symbols["user"] - uimg.Symbols["_text"])
+	c.Regs[isa.RSP] = 0x7f0000002000 - 16
+
+	res := c.Run(20)
+	if res.Reason != StopLimit {
+		t.Fatalf("user spin expected limit, got %v trap=%v", res.Reason, res.Trap)
+	}
+	if c.Mode != User {
+		t.Error("must be back in user mode after sysret")
+	}
+	if c.Reg(isa.RAX) != 99 {
+		t.Errorf("syscall result rax = %d", c.Reg(isa.RAX))
+	}
+}
+
+func TestSMEPBlocksRet2usr(t *testing.T) {
+	f := mustFunc(t, ir.NewBuilder("f").
+		I(isa.MovRI(isa.RAX, 0x400000), isa.CallReg(isa.RAX), isa.Ret()))
+	c, img, sp := buildAndInstall(t, &ir.Program{Funcs: []*ir.Function{f}})
+	// Map attacker-controlled user page with "shellcode".
+	if _, err := sp.AS.Map(0x400000, 1, mem.PermRX); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.AS.Poke(0x400000, []byte{byte(isa.RET)}); err != nil {
+		t.Fatal(err)
+	}
+	callKernelFunc(t, c, img, sp, "f")
+	c.SMEP = true
+	res := c.Run(100)
+	if res.Reason != StopTrap || res.Trap.Kind != TrapProtection {
+		t.Fatalf("SMEP must block kernel->user fetch: %v %v", res.Reason, res.Trap)
+	}
+	// Without SMEP the ret2usr fetch is allowed (legacy behaviour).
+	callKernelFunc(t, c, img, sp, "f")
+	c.SMEP = false
+	res = c.Run(100)
+	if res.Reason != StopReturn {
+		t.Fatalf("without SMEP the call should succeed: %v %v", res.Reason, res.Trap)
+	}
+}
+
+func TestUserCannotTouchKernelMemory(t *testing.T) {
+	c := New(mem.NewAddressSpace())
+	if _, err := c.AS.Map(0x400000, 1, mem.PermRX); err != nil {
+		t.Fatal(err)
+	}
+	// mov kernel_addr -> load must #GP in user mode.
+	ld := isa.Load(isa.RAX, isa.Mem(isa.RBX, 0))
+	code, err := ld.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AS.Poke(0x400000, code); err != nil {
+		t.Fatal(err)
+	}
+	c.Mode = User
+	c.RIP = 0x400000
+	c.Regs[isa.RBX] = kas.KernelBase
+	_, trap := c.Step()
+	if trap == nil || trap.Kind != TrapProtection {
+		t.Fatalf("user access to kernel memory must #GP, got %v", trap)
+	}
+}
+
+func TestUserFaultDeliveredToKernelHandler(t *testing.T) {
+	// Fault handler: count the fault, iret.
+	handler := mustFunc(t, ir.NewBuilder("do_fault").
+		I(
+			isa.Load(isa.RAX, isa.MemAbs("fault_count", 0)),
+			isa.Inc(isa.RAX),
+			isa.Store(isa.MemAbs("fault_count", 0), isa.RAX),
+			// Skip the faulting instruction: frame rip += instruction
+			// length (the test's faulting load is 10 bytes).
+			isa.Load(isa.RBX, isa.Mem(isa.RSP, 0)),
+			isa.AddRI(isa.RBX, 10),
+			isa.Store(isa.Mem(isa.RSP, 0), isa.RBX),
+			isa.Iret(),
+		))
+	prog := &ir.Program{
+		Funcs: []*ir.Function{handler},
+		Data:  []ir.DataSym{{Name: "fault_count", Bytes: make([]byte, 8)}},
+	}
+	c, img, sp := buildAndInstall(t, prog)
+
+	// User code: load from an unmapped user page, then spin.
+	userLd := isa.Load(isa.RAX, isa.Mem(isa.RBX, 0))
+	code, err := userLd.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jmpSelf := isa.Instr{Op: isa.JMP, Imm: -5}
+	code, err = jmpSelf.Encode(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.AS.Map(0x400000, 1, mem.PermRX); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.AS.Poke(0x400000, code); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.AS.Map(0x7f0000000000, 1, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	kstack, err := sp.AllocMapped(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.FaultEntry = img.Symbols["do_fault"]
+	c.KernelStackTop = kstack + 2*mem.PageSize
+	c.Mode = User
+	c.RIP = 0x400000
+	c.Regs[isa.RSP] = 0x7f0000001000 - 16
+	c.Regs[isa.RBX] = 0x500000 // unmapped user address
+
+	res := c.Run(40)
+	if res.Reason != StopLimit {
+		t.Fatalf("expected spin after handled fault, got %v trap=%v", res.Reason, res.Trap)
+	}
+	v, err2 := sp.AS.Peek(img.Symbols["fault_count"], 8)
+	if err2 != nil || v[0] != 1 {
+		t.Fatalf("fault_count = %v (err %v), want 1", v, err2)
+	}
+	if c.Mode != User {
+		t.Error("must resume in user mode after iret")
+	}
+}
+
+func TestKernelFaultIsFatal(t *testing.T) {
+	unmapped := kas.VmemmapBase // mapped by no test image
+	f := mustFunc(t, ir.NewBuilder("f").
+		I(isa.MovRI(isa.RBX, int64(unmapped)), isa.Load(isa.RAX, isa.Mem(isa.RBX, 0)), isa.Ret()))
+	c, img, sp := buildAndInstall(t, &ir.Program{Funcs: []*ir.Function{f}})
+	callKernelFunc(t, c, img, sp, "f")
+	c.FaultEntry = 0x1 // even with a handler, kernel faults stop the run
+	res := c.Run(100)
+	if res.Reason != StopTrap || res.Trap.Kind != TrapPageFault {
+		t.Fatalf("kernel fault must be fatal: %v %v", res.Reason, res.Trap)
+	}
+}
+
+func TestMPXSpillFillAcrossModeSwitch(t *testing.T) {
+	entry := mustFunc(t, ir.NewBuilder("entry").I(isa.Sysret()))
+	prog := &ir.Program{Funcs: []*ir.Function{entry}}
+	c, img, sp := buildAndInstall(t, prog)
+	if _, err := sp.AS.Map(0x400000, 1, mem.PermRX); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := isa.Syscall().Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err = isa.Nop().Encode(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.AS.Poke(0x400000, sc); err != nil {
+		t.Fatal(err)
+	}
+	kstack, _ := sp.AllocMapped(1)
+	c.SyscallEntry = img.Symbols["entry"]
+	c.KernelStackTop = kstack + mem.PageSize
+	c.MPXKernel = true
+	c.KernelBnd0 = Bound{LB: 0, UB: img.Symbols["_krx_edata"]}
+	userBound := Bound{LB: 0x1000, UB: 0x2000}
+	c.Bnd[0] = userBound
+	c.Mode = User
+	c.RIP = 0x400000
+	if _, err := sp.AS.Map(0x7f0000000000, 1, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	c.Regs[isa.RSP] = 0x7f0000001000 - 16
+
+	// Step the syscall: kernel bnd0 must be loaded.
+	if _, trap := c.Step(); trap != nil {
+		t.Fatal(trap)
+	}
+	if c.Bnd[0] != c.KernelBnd0 {
+		t.Fatalf("kernel bnd0 not loaded: %+v", c.Bnd[0])
+	}
+	// Step the sysret: user bnd0 must be restored.
+	if _, trap := c.Step(); trap != nil {
+		t.Fatal(trap)
+	}
+	if c.Bnd[0] != userBound {
+		t.Fatalf("user bnd0 not restored: %+v", c.Bnd[0])
+	}
+}
+
+func TestCmpsRepeCompare(t *testing.T) {
+	f := mustFunc(t, ir.NewBuilder("cmp").
+		I(
+			isa.MovSym(isa.RSI, "a"),
+			isa.MovSym(isa.RDI, "b"),
+			isa.MovRI(isa.RCX, 8),
+			isa.Cmps(1, true),
+			isa.Ret(),
+		))
+	prog := &ir.Program{
+		Funcs: []*ir.Function{f},
+		Data: []ir.DataSym{
+			{Name: "a", Bytes: []byte("abcdefgh")},
+			{Name: "b", Bytes: []byte("abcdXfgh")},
+		},
+	}
+	c, img, sp := buildAndInstall(t, prog)
+	callKernelFunc(t, c, img, sp, "cmp")
+	res := c.Run(1000)
+	if res.Reason != StopReturn {
+		t.Fatalf("run: %v %v", res.Reason, res.Trap)
+	}
+	// repe cmpsb stops at the mismatch ('e' vs 'X', index 4): rcx was
+	// decremented 5 times -> 3 left, ZF clear.
+	if c.Reg(isa.RCX) != 3 {
+		t.Errorf("rcx = %d, want 3", c.Reg(isa.RCX))
+	}
+	if c.RFlags&isa.FlagZF != 0 {
+		t.Error("ZF must be clear at mismatch")
+	}
+}
+
+func TestWrmsrRdmsr(t *testing.T) {
+	f := mustFunc(t, ir.NewBuilder("msr").
+		I(
+			isa.MovRI(isa.RCX, 0xC0000082), // MSR_LSTAR
+			isa.MovRI(isa.RAX, 0x12345678),
+			isa.MovRI(isa.RDX, 0x1),
+			isa.Wrmsr(),
+			isa.XorRR(isa.RAX, isa.RAX),
+			isa.XorRR(isa.RDX, isa.RDX),
+			isa.Instr{Op: isa.RDMSR},
+			isa.Ret(),
+		))
+	c, img, sp := buildAndInstall(t, &ir.Program{Funcs: []*ir.Function{f}})
+	callKernelFunc(t, c, img, sp, "msr")
+	res := c.Run(100)
+	if res.Reason != StopReturn {
+		t.Fatalf("%v %v", res.Reason, res.Trap)
+	}
+	if c.Reg(isa.RAX) != 0x12345678 || c.Reg(isa.RDX) != 1 {
+		t.Errorf("rdmsr: rax=%#x rdx=%#x", c.Reg(isa.RAX), c.Reg(isa.RDX))
+	}
+}
+
+func TestCyclesAccumulate(t *testing.T) {
+	f := mustFunc(t, ir.NewBuilder("f").
+		I(isa.Pushfq(), isa.Popfq(), isa.Ret()))
+	c, img, sp := buildAndInstall(t, &ir.Program{Funcs: []*ir.Function{f}})
+	callKernelFunc(t, c, img, sp, "f")
+	res := c.Run(100)
+	if res.Reason != StopReturn {
+		t.Fatal(res.Reason)
+	}
+	want := isa.Pushfq().Cost() + isa.Popfq().Cost() + isa.Ret().Cost()
+	if res.Cycles != want {
+		t.Errorf("cycles = %d, want %d", res.Cycles, want)
+	}
+}
+
+func TestRunawayRepIsBounded(t *testing.T) {
+	// A hijacked rep with a garbage count must trap instead of hanging
+	// the emulator inside one Step.
+	f := mustFunc(t, ir.NewBuilder("f").
+		I(
+			isa.MovRI(isa.RCX, -1), // rcx = 2^64-1
+			isa.MovSym(isa.RSI, "buf"),
+			isa.Lods(1, true),
+			isa.Ret(),
+		))
+	prog := &ir.Program{
+		Funcs: []*ir.Function{f},
+		// Enough mapped bytes that the per-instruction cap, not a page
+		// fault, is what stops the runaway rep.
+		BSS: []ir.BSSSym{{Name: "buf", Size: 5 << 20}},
+	}
+	c, img, sp := buildAndInstall(t, prog)
+	callKernelFunc(t, c, img, sp, "f")
+	res := c.Run(100)
+	if res.Reason != StopTrap || res.Trap.Kind != TrapProtection {
+		t.Fatalf("runaway rep must #GP, got %v %v", res.Reason, res.Trap)
+	}
+}

@@ -1,0 +1,257 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// stepOne executes a single encoded instruction on a scratch CPU with the
+// given initial register values and returns the CPU afterwards.
+func stepOne(t *testing.T, in isa.Instr, init map[isa.Reg]uint64, flags uint64) (*CPU, *Trap) {
+	t.Helper()
+	as := mem.NewAddressSpace()
+	if _, err := as.Map(0x1000, 1, mem.PermX); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.Map(0x8000, 4, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	code, err := in.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Poke(0x1000, code); err != nil {
+		t.Fatal(err)
+	}
+	c := New(as)
+	c.Mode = Kernel
+	c.RIP = 0x1000
+	c.RFlags = flags
+	c.SetReg(isa.RSP, 0x9000)
+	for r, v := range init {
+		c.SetReg(r, v)
+	}
+	_, trap := c.Step()
+	return c, trap
+}
+
+// Property: ADD/SUB/CMP flag semantics agree with a direct reference
+// computation for arbitrary operands.
+func TestQuickAddSubFlags(t *testing.T) {
+	f := func(a, b uint64, sub bool) bool {
+		var in isa.Instr
+		if sub {
+			in = isa.SubRR(isa.RAX, isa.RBX)
+		} else {
+			in = isa.AddRR(isa.RAX, isa.RBX)
+		}
+		c, trap := stepOne(t, in, map[isa.Reg]uint64{isa.RAX: a, isa.RBX: b}, 0)
+		if trap != nil {
+			return false
+		}
+		var want uint64
+		var cf, of bool
+		if sub {
+			want = a - b
+			cf = a < b
+			of = (a^b)&(a^want)>>63 != 0
+		} else {
+			want = a + b
+			cf = want < a
+			of = (^(a ^ b) & (a ^ want) >> 63) != 0
+		}
+		if c.Reg(isa.RAX) != want {
+			return false
+		}
+		if (c.RFlags&isa.FlagCF != 0) != cf || (c.RFlags&isa.FlagOF != 0) != of {
+			return false
+		}
+		if (c.RFlags&isa.FlagZF != 0) != (want == 0) {
+			return false
+		}
+		if (c.RFlags&isa.FlagSF != 0) != (want>>63 != 0) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: after CMP, every unsigned and signed condition code agrees
+// with Go's comparison operators.
+func TestQuickCmpConditions(t *testing.T) {
+	f := func(a, b uint64) bool {
+		c, trap := stepOne(t, isa.CmpRR(isa.RAX, isa.RBX),
+			map[isa.Reg]uint64{isa.RAX: a, isa.RBX: b}, 0)
+		if trap != nil {
+			return false
+		}
+		fl := c.RFlags
+		sa, sb := int64(a), int64(b)
+		checks := []struct {
+			cc   isa.Cond
+			want bool
+		}{
+			{isa.CondE, a == b},
+			{isa.CondNE, a != b},
+			{isa.CondA, a > b},
+			{isa.CondAE, a >= b},
+			{isa.CondB, a < b},
+			{isa.CondBE, a <= b},
+			{isa.CondG, sa > sb},
+			{isa.CondGE, sa >= sb},
+			{isa.CondL, sa < sb},
+			{isa.CondLE, sa <= sb},
+		}
+		for _, ch := range checks {
+			if ch.cc.Eval(fl) != ch.want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: logic ops clear CF/OF and set ZF/SF from the result.
+func TestQuickLogicFlags(t *testing.T) {
+	f := func(a, b uint64, sel uint8) bool {
+		var in isa.Instr
+		var want uint64
+		switch sel % 3 {
+		case 0:
+			in, want = isa.AndRR(isa.RAX, isa.RBX), a&b
+		case 1:
+			in, want = isa.OrRR(isa.RAX, isa.RBX), a|b
+		default:
+			in, want = isa.XorRR(isa.RAX, isa.RBX), a^b
+		}
+		c, trap := stepOne(t, in, map[isa.Reg]uint64{isa.RAX: a, isa.RBX: b}, isa.FlagCF|isa.FlagOF)
+		if trap != nil {
+			return false
+		}
+		if c.Reg(isa.RAX) != want {
+			return false
+		}
+		if c.RFlags&(isa.FlagCF|isa.FlagOF) != 0 {
+			return false
+		}
+		return (c.RFlags&isa.FlagZF != 0) == (want == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: push then pop round-trips any value and preserves %rsp.
+func TestQuickPushPopRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		as := mem.NewAddressSpace()
+		if _, err := as.Map(0x1000, 1, mem.PermX); err != nil {
+			return false
+		}
+		if _, err := as.Map(0x8000, 4, mem.PermRW); err != nil {
+			return false
+		}
+		var code []byte
+		var err error
+		for _, in := range []isa.Instr{isa.Push(isa.RAX), isa.Pop(isa.RBX)} {
+			code, err = in.Encode(code)
+			if err != nil {
+				return false
+			}
+		}
+		if err := as.Poke(0x1000, code); err != nil {
+			return false
+		}
+		c := New(as)
+		c.Mode = Kernel
+		c.RIP = 0x1000
+		c.SetReg(isa.RSP, 0x9000)
+		c.SetReg(isa.RAX, v)
+		for i := 0; i < 2; i++ {
+			if _, trap := c.Step(); trap != nil {
+				return false
+			}
+		}
+		return c.Reg(isa.RBX) == v && c.Reg(isa.RSP) == 0x9000
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: DF controls string-op direction symmetrically — copying forward
+// then backward returns the pointers to their start positions.
+func TestQuickStringDirection(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := uint64(1 + rng.Intn(16))
+		as := mem.NewAddressSpace()
+		if _, err := as.Map(0x1000, 1, mem.PermX); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := as.Map(0x8000, 4, mem.PermRW); err != nil {
+			t.Fatal(err)
+		}
+		code, err := isa.Movs(8, true).Encode(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := as.Poke(0x1000, code); err != nil {
+			t.Fatal(err)
+		}
+		c := New(as)
+		c.Mode = Kernel
+		c.RIP = 0x1000
+		c.SetReg(isa.RSI, 0x8100)
+		c.SetReg(isa.RDI, 0x8800)
+		c.SetReg(isa.RCX, n)
+		if _, trap := c.Step(); trap != nil {
+			t.Fatal(trap)
+		}
+		if c.Reg(isa.RSI) != 0x8100+8*n || c.Reg(isa.RDI) != 0x8800+8*n {
+			t.Fatalf("forward movs pointers wrong: rsi=%#x rdi=%#x n=%d", c.Reg(isa.RSI), c.Reg(isa.RDI), n)
+		}
+		// Backward.
+		c.RIP = 0x1000
+		c.RFlags |= isa.FlagDF
+		c.SetReg(isa.RCX, n)
+		if _, trap := c.Step(); trap != nil {
+			t.Fatal(trap)
+		}
+		if c.Reg(isa.RSI) != 0x8100 || c.Reg(isa.RDI) != 0x8800 {
+			t.Fatalf("backward movs did not return pointers: rsi=%#x rdi=%#x", c.Reg(isa.RSI), c.Reg(isa.RDI))
+		}
+	}
+}
+
+// Property: shifts match Go's shift semantics for counts 0-63.
+func TestQuickShifts(t *testing.T) {
+	f := func(v uint64, count uint8, sel uint8) bool {
+		sh := count & 63
+		var in isa.Instr
+		var want uint64
+		switch sel % 3 {
+		case 0:
+			in, want = isa.ShlRI(isa.RAX, sh), v<<sh
+		case 1:
+			in, want = isa.ShrRI(isa.RAX, sh), v>>sh
+		default:
+			in, want = isa.Instr{Op: isa.SARri, Dst: isa.RAX, Imm: int64(sh)}, uint64(int64(v)>>sh)
+		}
+		c, trap := stepOne(t, in, map[isa.Reg]uint64{isa.RAX: v}, 0)
+		return trap == nil && c.Reg(isa.RAX) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

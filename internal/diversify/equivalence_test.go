@@ -1,0 +1,139 @@
+package diversify
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/ir"
+	"repro/internal/isa"
+	"repro/internal/kas"
+	"repro/internal/sfi"
+	"repro/internal/testkit"
+)
+
+// genProgram builds a random well-formed program: a few leaf helpers and a
+// kmain that branches, loops boundedly, reads/writes a data blob, and calls
+// the helpers. Execution is deterministic in (rdi, rsi).
+func genProgram(t *testing.T, rng *rand.Rand) *ir.Program {
+	t.Helper()
+	nHelpers := 1 + rng.Intn(3)
+	var funcs []*ir.Function
+	for h := 0; h < nHelpers; h++ {
+		b := ir.NewBuilder(fmt.Sprintf("helper%d", h))
+		// Helpers compute on rdi and read the blob.
+		b.I(
+			isa.MovSym(isa.R8, "blob"),
+			isa.Load(isa.RAX, isa.Mem(isa.R8, int32(rng.Intn(8))*8)),
+			isa.AddRR(isa.RAX, isa.RDI),
+		)
+		for j := 0; j < rng.Intn(4); j++ {
+			switch rng.Intn(3) {
+			case 0:
+				b.I(isa.AddRI(isa.RAX, int32(rng.Intn(100))))
+			case 1:
+				b.I(isa.ShlRI(isa.RAX, uint8(1+rng.Intn(3))))
+			case 2:
+				b.I(isa.XorRR(isa.RAX, isa.RDI))
+			}
+		}
+		b.I(isa.Ret())
+		f, err := b.Func()
+		if err != nil {
+			t.Fatal(err)
+		}
+		funcs = append(funcs, f)
+	}
+
+	b := ir.NewBuilder("kmain").
+		I(
+			isa.MovRR(isa.RBX, isa.RDI), // rbx: accumulator (callee won't touch)
+			isa.CmpRR(isa.RDI, isa.RSI),
+			isa.Jcc(isa.CondA, "bigger"),
+		).
+		Label("smaller").
+		I(
+			isa.MovRR(isa.RDI, isa.RSI),
+			isa.Call(funcs[rng.Intn(len(funcs))].Name),
+			isa.AddRR(isa.RBX, isa.RAX),
+			isa.Jmp("loop"),
+		).
+		Label("bigger").
+		I(
+			isa.Call(funcs[rng.Intn(len(funcs))].Name),
+			isa.AddRR(isa.RBX, isa.RAX),
+		).
+		Label("loop").
+		I(isa.MovRI(isa.RCX, int64(2+rng.Intn(5)))).
+		Label("body").
+		I(
+			isa.MovSym(isa.R8, "blob"),
+			isa.Load(isa.RDX, isa.Mem(isa.R8, 16)),
+			isa.AddRR(isa.RBX, isa.RDX),
+			isa.Store(isa.Mem(isa.R8, 24), isa.RBX),
+			isa.Dec(isa.RCX),
+			isa.CmpRI(isa.RCX, 0),
+			isa.Jcc(isa.CondNE, "body"),
+		).
+		Label("out").
+		I(isa.MovRR(isa.RAX, isa.RBX), isa.Ret())
+	kmain, err := b.Func()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	blob := make([]byte, 64)
+	rng.Read(blob)
+	return &ir.Program{
+		Funcs: append([]*ir.Function{kmain, testkit.KrxHandler()}, funcs...),
+		Data:  []ir.DataSym{{Name: "blob", Bytes: blob}},
+	}
+}
+
+// run executes kmain(a, b) on a fresh install and returns rax.
+func runProg(t *testing.T, prog *ir.Program, a, b uint64) uint64 {
+	t.Helper()
+	env := testkit.Build(t, prog, kas.KRX)
+	env.FillKeys(t, 0x9e3779b97f4a7c15)
+	res := env.Call(t, "kmain", a, b)
+	if res.Reason != cpu.StopReturn {
+		t.Fatalf("run: %v trap=%v", res.Reason, res.Trap)
+	}
+	return env.CPU.Reg(isa.RAX)
+}
+
+// TestRandomProgramEquivalence: for random programs and random inputs, the
+// full pipeline (SFI + every diversification variant + register
+// randomization) preserves the computed result exactly.
+func TestRandomProgramEquivalence(t *testing.T) {
+	seedRng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 12; trial++ {
+		src := genProgram(t, rand.New(rand.NewSource(int64(1000+trial))))
+		a := uint64(seedRng.Intn(1 << 20))
+		bArg := uint64(seedRng.Intn(1 << 20))
+		// Data is mutated by kmain: every run needs a pristine program.
+		want := runProg(t, src.Clone(), a, bArg)
+
+		for _, raprot := range []RAProt{RANone, RAEncrypt, RADecoy} {
+			for _, regrand := range []bool{false, true} {
+				p := src.Clone()
+				if _, err := sfi.InstrumentProgram(p, sfi.Config{Mode: sfi.ModeSFI, Level: sfi.O3}); err != nil {
+					t.Fatal(err)
+				}
+				cfg := Config{
+					K: 20, RAProt: raprot, RegRand: regrand,
+					Rand: rand.New(rand.NewSource(int64(trial*10) + int64(raprot))),
+				}
+				if _, err := DiversifyProgram(p, cfg); err != nil {
+					t.Fatal(err)
+				}
+				got := runProg(t, p, a, bArg)
+				if got != want {
+					t.Fatalf("trial %d ra=%v regrand=%v: kmain(%d,%d) = %d, want %d",
+						trial, raprot, regrand, a, bArg, got, want)
+				}
+			}
+		}
+	}
+}

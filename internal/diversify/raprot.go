@@ -1,0 +1,157 @@
+package diversify
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// TripOffset is the byte offset of the 0xCC tripwire inside a phantom
+// instruction (mov $0xCC, %r11 encodes as [opcode][reg][imm64], so the
+// tripwire is the first immediate byte).
+const TripOffset = 2
+
+// applyEncryption implements return-address encryption (X):
+//
+//	prologue / pre-return:  mov xkey.<fn>(%rip), %r11 ; xor %r11, (%rsp)
+//
+// The unmangled return address is pushed by the caller's callq, encrypted
+// immediately by the callee, and decrypted just before retq (or before a
+// tail jump, with the new callee re-encrypting). Return sites are
+// instrumented to zap the decrypted return address lingering below %rsp.
+// The xkey load is a %rip-relative safe read from the unreadable-by-
+// instrumented-code .krxkeys region.
+func applyEncryption(fn *ir.Function, s *Stats) {
+	key := KeySym(fn.Name)
+	crypt := []isa.Instr{
+		isa.Load(isa.R11, isa.MemRIP(key, 0)),
+		isa.XorMR(isa.Mem(isa.RSP, 0), isa.R11),
+	}
+	// Prologue: encrypt at function entry.
+	entry := fn.Blocks[0]
+	entry.Ins = append(append([]isa.Instr{}, crypt...), entry.Ins...)
+
+	for _, b := range fn.Blocks {
+		var out []isa.Instr
+		for _, in := range b.Ins {
+			switch {
+			case in.Op == isa.RET || in.Op == isa.RETI:
+				// Decrypt before returning.
+				out = append(out, crypt...)
+				out = append(out, in)
+				s.RetSites++
+			case (in.Op == isa.JMP && in.Sym != "") || in.Op == isa.JMPR || in.Op == isa.JMPM:
+				// Tail call (direct or indirect/JOP-style dispatch):
+				// decrypt; the new callee re-encrypts (§5.2.2).
+				out = append(out, crypt...)
+				out = append(out, in)
+			case in.IsCall():
+				out = append(out, in)
+				// Return site: zap the (now stale, decrypted) return
+				// address that sits below the stack pointer.
+				out = append(out, isa.StoreImm(isa.Mem(isa.RSP, -8), 0))
+			default:
+				out = append(out, in)
+			}
+		}
+		b.Ins = out
+	}
+}
+
+// applyDecoys implements return-address decoys (D):
+//
+// Every call site loads the address of a tripwire — an int3 byte hidden in
+// the immediate of a phantom instruction placed in a never-executed block of
+// the same routine — into the scratch register %r11. The callee prologue
+// stores decoy and real return addresses adjacently on the stack, in an
+// order fixed randomly at compile time and encoded only in the (unreadable)
+// code (Figure 3):
+//
+//	(a) decoy below:  push %r11
+//	    epilogue:     add $8, %rsp ; retq
+//	(b) decoy above:  mov (%rsp), %rax ; mov %r11, (%rsp) ; push %rax
+//	    epilogue:     retq $8
+//
+// An attacker harvesting the kernel stack sees both addresses and cannot
+// tell which is real; guessing wrong lands on int3 (#BR-class tripwire).
+func applyDecoys(fn *ir.Function, rng *rand.Rand, s *Stats) {
+	decoyBelow := rng.Intn(2) == 0
+
+	// Callee prologue.
+	entry := fn.Blocks[0]
+	var pro []isa.Instr
+	if decoyBelow {
+		pro = []isa.Instr{isa.Push(isa.R11)}
+	} else {
+		pro = []isa.Instr{
+			isa.Load(isa.RAX, isa.Mem(isa.RSP, 0)),
+			isa.Store(isa.Mem(isa.RSP, 0), isa.R11),
+			isa.Push(isa.RAX),
+		}
+	}
+	entry.Ins = append(pro, entry.Ins...)
+
+	// Call sites and epilogues.
+	var tripBlocks []*ir.Block
+	nTrip := 0
+	for _, b := range fn.Blocks {
+		var out []isa.Instr
+		for _, in := range b.Ins {
+			switch {
+			case in.IsCall():
+				// Pair this return site with a fresh phantom
+				// instruction; pass the tripwire address via %r11.
+				label := fmt.Sprintf("krx.trip.%d", nTrip)
+				nTrip++
+				tripBlocks = append(tripBlocks, &ir.Block{
+					Label: label,
+					Ins: []isa.Instr{
+						isa.MovRI(isa.R11, 0xCC), // phantom: overlaps int3
+						isa.Jmp(b.Label),         // never executed
+					},
+				})
+				out = append(out, isa.Instr{
+					Op: isa.MOVri, Dst: isa.R11,
+					TripSym: label, TripOff: TripOffset,
+				})
+				out = append(out, in)
+				s.CallSites++
+				s.TripwireBlocks++
+			case in.Op == isa.RET:
+				s.RetSites++
+				if decoyBelow {
+					out = append(out, isa.AddRI(isa.RSP, 8), in)
+				} else {
+					out = append(out, isa.RetImm(8))
+				}
+			case in.Op == isa.RETI:
+				// Fold the existing ret imm with the decoy slot.
+				s.RetSites++
+				if decoyBelow {
+					out = append(out, isa.AddRI(isa.RSP, 8), in)
+				} else {
+					out = append(out, isa.RetImm(uint16(in.Imm)+8))
+				}
+			case (in.Op == isa.JMP && in.Sym != "") || in.Op == isa.JMPR || in.Op == isa.JMPM:
+				// Tail call (direct or indirect): restore the stack to
+				// [real RA] before jumping; the new callee pushes its own
+				// decoy.
+				if decoyBelow {
+					out = append(out, isa.AddRI(isa.RSP, 8), in)
+				} else {
+					out = append(out,
+						isa.Load(isa.RAX, isa.Mem(isa.RSP, 0)),
+						isa.Store(isa.Mem(isa.RSP, 8), isa.RAX),
+						isa.AddRI(isa.RSP, 8),
+						in)
+				}
+			default:
+				out = append(out, in)
+			}
+		}
+		b.Ins = out
+	}
+	fn.Blocks = append(fn.Blocks, tripBlocks...)
+}

@@ -1,0 +1,75 @@
+package diversify
+
+import (
+	"math/rand"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// Register randomization: the complement §5.3 suggests for foiling
+// call-preceded gadget chaining ("they can be easily complemented with a
+// register randomization scheme"). Each function's use of the free scratch
+// registers is permuted by a per-function random permutation, so a gadget
+// that "pops into %r8" in one build pops into %r10 in another — harvested
+// call-preceded code can no longer be chained with pre-planned register
+// semantics.
+//
+// The permutation set is {%r8, %r9, %r10}: caller-saved scratch registers
+// that, by the KX64 kernel ABI, never carry values across function
+// boundaries (arguments travel in %rdi/%rsi/%rdx, results in %rax, and
+// %r11 is the reserved instrumentation scratch). Renaming them uniformly
+// within one function is therefore semantics-preserving.
+
+// regRandSet is the permutable scratch-register set.
+var regRandSet = []isa.Reg{isa.R8, isa.R9, isa.R10}
+
+// applyRegRand permutes the scratch registers of fn in place.
+func applyRegRand(fn *ir.Function, rng *rand.Rand) {
+	perm := rng.Perm(len(regRandSet))
+	m := make(map[isa.Reg]isa.Reg, len(regRandSet))
+	identity := true
+	for i, p := range perm {
+		m[regRandSet[i]] = regRandSet[p]
+		if i != p {
+			identity = false
+		}
+	}
+	if identity {
+		// Force a non-identity permutation: rotate by one.
+		for i := range regRandSet {
+			m[regRandSet[i]] = regRandSet[(i+1)%len(regRandSet)]
+		}
+	}
+	ren := func(r isa.Reg) isa.Reg {
+		if nr, ok := m[r]; ok {
+			return nr
+		}
+		return r
+	}
+	for _, b := range fn.Blocks {
+		for i := range b.Ins {
+			in := &b.Ins[i]
+			// Register fields are renamed wherever the format uses them;
+			// renaming an unused field is harmless (it is ignored).
+			switch in.Op {
+			case isa.RET, isa.RETI, isa.NOP, isa.HLT, isa.INT3, isa.UD2,
+				isa.PUSHFQ, isa.POPFQ, isa.SYSCALL, isa.SYSRET, isa.IRET,
+				isa.CLD, isa.STD, isa.WRMSR, isa.RDMSR, isa.SWAPGS,
+				isa.MOVS, isa.STOS, isa.LODS, isa.CMPS, isa.SCAS:
+				// no GPR operand fields (string ops use fixed registers)
+			default:
+				in.Dst = ren(in.Dst)
+				in.Src = ren(in.Src)
+			}
+			if m := in.MemOperand(); m != nil {
+				if m.HasBase() {
+					m.Base = ren(m.Base)
+				}
+				if m.HasIndex() {
+					m.Index = ren(m.Index)
+				}
+			}
+		}
+	}
+}

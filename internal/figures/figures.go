@@ -1,0 +1,157 @@
+// Package figures regenerates the paper's figures: the address-space
+// layouts of Figure 1, the instrumentation phases of Figure 2 on the
+// paper's running example (nhm_uncore_msr_enable_event), and the decoy
+// prologue variants of Figure 3.
+package figures
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/diversify"
+	"repro/internal/ir"
+	"repro/internal/isa"
+	"repro/internal/kas"
+	"repro/internal/mem"
+	"repro/internal/sfi"
+)
+
+// Figure2Source reconstructs nhm_uncore_msr_enable_event() — the example
+// routine of Figure 2 (Linux v3.19, arch/x86/.../perf_event_intel_uncore_snb.c).
+func Figure2Source() *ir.Function {
+	f, err := ir.NewBuilder("nhm_uncore_msr_enable_event").
+		I(
+			isa.CmpMI(isa.Mem(isa.RSI, 0x154), 0x7),
+			isa.Load(isa.RCX, isa.Mem(isa.RSI, 0x140)),
+			isa.Jcc(isa.CondG, "L1"),
+		).
+		Label("body").
+		I(
+			isa.Load(isa.RAX, isa.Mem(isa.RSI, 0x130)),
+			isa.OrRI(isa.RAX, 0x400000),
+			isa.MovRR(isa.RDX, isa.RAX),
+			isa.ShrRI(isa.RDX, 0x20),
+			isa.Jmp("L2"),
+		).
+		Label("L1").
+		I(
+			isa.XorRR(isa.RDX, isa.RDX),
+			isa.MovRI(isa.RAX, 0x1),
+		).
+		Label("L2").
+		I(isa.Wrmsr(), isa.Ret()).
+		Func()
+	if err != nil {
+		panic(err) // static construction
+	}
+	return f
+}
+
+func renderFunc(f *ir.Function) string {
+	var sb strings.Builder
+	for _, b := range f.Blocks {
+		if b.Label != "entry" {
+			fmt.Fprintf(&sb, "%s:\n", b.Label)
+		}
+		for _, in := range b.Ins {
+			fmt.Fprintf(&sb, "\t%s\n", in.String())
+		}
+	}
+	return sb.String()
+}
+
+// Figure2 renders the instrumentation phases (a)–(e): SFI at O0–O3 and the
+// MPX conversion.
+func Figure2() string {
+	var sb strings.Builder
+	phases := []struct {
+		title string
+		cfg   sfi.Config
+	}{
+		{"(a) kR^X-SFI basic scheme (O0)", sfi.Config{Mode: sfi.ModeSFI, Level: sfi.O0}},
+		{"(b) pushfq/popfq elimination (O1)", sfi.Config{Mode: sfi.ModeSFI, Level: sfi.O1}},
+		{"(c) lea elimination (O2)", sfi.Config{Mode: sfi.ModeSFI, Level: sfi.O2}},
+		{"(d) cmp/ja coalescing (O3)", sfi.Config{Mode: sfi.ModeSFI, Level: sfi.O3}},
+		{"(e) kR^X-MPX conversion", sfi.Config{Mode: sfi.ModeMPX}},
+	}
+	sb.WriteString("Figure 2: optimization phases of kR^X-SFI and kR^X-MPX\n")
+	sb.WriteString("on nhm_uncore_msr_enable_event() [Linux v3.19]\n\n")
+	sb.WriteString("original:\n" + renderFunc(Figure2Source()) + "\n")
+	for _, ph := range phases {
+		f := Figure2Source()
+		st, err := sfi.Instrument(f, ph.cfg)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Fprintf(&sb, "%s  [RCs emitted: %d, coalesced: %d, pushfq pairs: %d]\n",
+			ph.title, st.RCEmitted, st.RCCoalesced, st.PushfqPairs)
+		sb.WriteString(renderFunc(f) + "\n")
+	}
+	return sb.String()
+}
+
+// Figure1 renders the vanilla and kR^X-KAS layouts side by side for the
+// given section sizes.
+func Figure1(sizes kas.SectionSizes) string {
+	if sizes == (kas.SectionSizes{}) {
+		sizes = kas.SectionSizes{
+			Text: 48 * mem.PageSize, KrxKeys: mem.PageSize,
+			Rodata: 2 * mem.PageSize, Data: 4 * mem.PageSize,
+			Bss: 40 * mem.PageSize, Brk: mem.PageSize,
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("Figure 1: the Linux kernel space layout in x86-64\n\n")
+	for _, l := range []*kas.Layout{kas.PlanVanilla(sizes), kas.PlanKRX(sizes, 0)} {
+		for _, line := range l.Describe() {
+			sb.WriteString(line + "\n")
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// Figure3 renders the two decoy prologue variants by actually running the
+// kaslr pass over a victim function with seeds that select each variant.
+func Figure3() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 3: decoy return-address placement (function prologue)\n\n")
+	seen := map[bool]bool{}
+	for seed := int64(1); len(seen) < 2 && seed < 64; seed++ {
+		f, err := ir.NewBuilder("victim").
+			I(isa.MovRI(isa.RAX, 1), isa.Ret()).
+			Func()
+		if err != nil {
+			panic(err)
+		}
+		if _, err := diversify.Diversify(f, diversify.Config{
+			K: 1, RAProt: diversify.RADecoy, Rand: rand.New(rand.NewSource(seed)),
+		}); err != nil {
+			panic(err)
+		}
+		// The prologue is the start of the real entry block (the target
+		// of the entry phantom jmp).
+		entry := f.Blocks[0].Ins[0].Label
+		bi := f.BlockIndex(entry)
+		pro := f.Blocks[bi].Ins
+		below := pro[0].Op == isa.PUSH
+		if seen[below] {
+			continue
+		}
+		seen[below] = true
+		variant := "(b) decoy above the real return address"
+		if below {
+			variant = "(a) decoy below the real return address"
+		}
+		fmt.Fprintf(&sb, "%s:\n", variant)
+		for _, in := range pro {
+			fmt.Fprintf(&sb, "\t%s\n", in.String())
+			if in.Op == isa.RET || in.Op == isa.RETI {
+				break
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

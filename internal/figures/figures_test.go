@@ -1,0 +1,58 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/kas"
+)
+
+func TestFigure2ContainsAllPhases(t *testing.T) {
+	out := Figure2()
+	for _, want := range []string{
+		"(a) kR^X-SFI basic scheme",
+		"(b) pushfq/popfq elimination",
+		"(c) lea elimination",
+		"(d) cmp/ja coalescing",
+		"(e) kR^X-MPX conversion",
+		"pushfq",
+		"lea 0x154(%rsi), %r11",
+		"cmp $(_krx_edata-0x154), %rsi",
+		"bndcu 0x154(%rsi), %bnd0",
+		"callq krx_handler",
+		"wrmsr",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure 2 missing %q", want)
+		}
+	}
+	// Phase (d) must show exactly one remaining check: count the O3
+	// section's cmp occurrences.
+	dIdx := strings.Index(out, "(d)")
+	eIdx := strings.Index(out, "(e)")
+	if n := strings.Count(out[dIdx:eIdx], "_krx_edata"); n != 1 {
+		t.Errorf("phase (d) shows %d checks, want 1", n)
+	}
+}
+
+func TestFigure1BothLayouts(t *testing.T) {
+	out := Figure1(kas.SectionSizes{})
+	for _, want := range []string{"vanilla layout", "kR^X-KAS layout", "modules_text", "modules_data", ".krx_phantom", "physmap"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure 1 missing %q", want)
+		}
+	}
+}
+
+func TestFigure3BothVariants(t *testing.T) {
+	out := Figure3()
+	if !strings.Contains(out, "(a) decoy below") || !strings.Contains(out, "(b) decoy above") {
+		t.Fatalf("Figure 3 must show both variants:\n%s", out)
+	}
+	if !strings.Contains(out, "push %r11") {
+		t.Error("variant (a) prologue missing push %r11")
+	}
+	if !strings.Contains(out, "mov (%rsp), %rax") {
+		t.Error("variant (b) prologue missing the swap sequence")
+	}
+}

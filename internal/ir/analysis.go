@@ -1,0 +1,147 @@
+package ir
+
+// FlagsLiveness answers, for any program point, whether %rflags is live —
+// i.e. whether some instruction on some path will read the flags before
+// they are next overwritten. This drives the O1 optimization: a range-check
+// cmp inserted at a point where %rflags is dead needs no pushfq/popfq pair.
+//
+// %rflags is tracked as a single unit: if any instruction in the live
+// region uses any status bit, the whole register is considered live (the
+// paper's footnote 6 over-preserves the same way).
+type FlagsLiveness struct {
+	fn      *Function
+	liveIn  []bool
+	liveOut []bool
+}
+
+// ComputeFlagsLiveness runs the backward dataflow analysis to a fixpoint.
+func ComputeFlagsLiveness(f *Function) *FlagsLiveness {
+	n := len(f.Blocks)
+	fl := &FlagsLiveness{fn: f, liveIn: make([]bool, n), liveOut: make([]bool, n)}
+	// Conservative default for blocks whose control flow leaves the
+	// function (ret, tail jump, indirect jmp): assume flags are dead
+	// across call boundaries — the KX64 ABI, like SysV, does not preserve
+	// %rflags across calls and returns.
+	changed := true
+	for changed {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			out := false
+			for _, s := range f.Successors(i) {
+				out = out || fl.liveIn[s]
+			}
+			in := fl.scanBlock(i, 0, out)
+			if out != fl.liveOut[i] || in != fl.liveIn[i] {
+				fl.liveOut[i] = out
+				fl.liveIn[i] = in
+				changed = true
+			}
+		}
+	}
+	return fl
+}
+
+// scanBlock computes flags liveness immediately before instruction `from`
+// of block i, given liveness at block exit.
+func (fl *FlagsLiveness) scanBlock(i, from int, liveOut bool) bool {
+	b := fl.fn.Blocks[i]
+	for k := from; k < len(b.Ins); k++ {
+		in := b.Ins[k]
+		if in.ReadsFlags() {
+			return true
+		}
+		if in.WritesFlags() {
+			return false
+		}
+		if in.IsCall() {
+			// Calls clobber flags (callee-clobbered in the ABI).
+			return false
+		}
+	}
+	return liveOut
+}
+
+// LiveBefore reports whether %rflags is live immediately before instruction
+// index ii of block bi — i.e. whether an instrumentation cmp inserted there
+// must be wrapped in pushfq/popfq.
+func (fl *FlagsLiveness) LiveBefore(bi, ii int) bool {
+	return fl.scanBlock(bi, ii, fl.liveOut[bi])
+}
+
+// Dominators computes the dominator relation of the function's CFG.
+// dom[i] is the set (as a bitvector) of blocks that dominate block i.
+// Blocks unreachable from the entry dominate nothing and are dominated by
+// everything (standard convention; the passes never coalesce into them).
+func Dominators(f *Function) [][]bool {
+	n := len(f.Blocks)
+	dom := make([][]bool, n)
+	for i := range dom {
+		dom[i] = make([]bool, n)
+		for j := range dom[i] {
+			dom[i][j] = true
+		}
+	}
+	// Entry is dominated only by itself.
+	for j := 1; j < n; j++ {
+		dom[0][j] = false
+	}
+	preds := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for _, s := range f.Successors(i) {
+			preds[s] = append(preds[s], i)
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := 1; i < n; i++ {
+			if len(preds[i]) == 0 {
+				continue
+			}
+			// new = intersection of dom over preds, plus self.
+			newDom := make([]bool, n)
+			for j := range newDom {
+				newDom[j] = true
+			}
+			for _, p := range preds[i] {
+				for j := range newDom {
+					newDom[j] = newDom[j] && dom[p][j]
+				}
+			}
+			newDom[i] = true
+			for j := range newDom {
+				if newDom[j] != dom[i][j] {
+					dom[i] = newDom
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return dom
+}
+
+// ReachableBetween reports whether block `to` is reachable from block
+// `from` (following CFG edges, inclusive of from==to via a cycle). Used by
+// the O3 coalescing pass to find the blocks "between" two range checks.
+func ReachableBetween(f *Function, from, to int) bool {
+	if from == to {
+		return true
+	}
+	seen := make([]bool, len(f.Blocks))
+	stack := []int{from}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range f.Successors(b) {
+			if s == to {
+				return true
+			}
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}

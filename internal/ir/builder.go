@@ -1,0 +1,82 @@
+package ir
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Builder constructs functions block by block. It is the "assembler syntax"
+// used by the mini-kernel sources and by tests.
+type Builder struct {
+	fn  *Function
+	cur *Block
+	err error
+}
+
+// NewBuilder starts a function. The entry block is created implicitly with
+// the label "entry".
+func NewBuilder(name string) *Builder {
+	b := &Builder{fn: &Function{Name: name}}
+	b.Label("entry")
+	return b
+}
+
+// Label starts a new basic block. Starting a block while the previous one is
+// empty discards the empty block (convenient for entry relabeling).
+func (b *Builder) Label(label string) *Builder {
+	if b.cur != nil && len(b.cur.Ins) == 0 {
+		b.cur.Label = label
+		return b
+	}
+	b.cur = &Block{Label: label}
+	b.fn.Blocks = append(b.fn.Blocks, b.cur)
+	return b
+}
+
+// I appends instructions to the current block.
+func (b *Builder) I(ins ...isa.Instr) *Builder {
+	for _, in := range ins {
+		if last := len(b.cur.Ins) - 1; last >= 0 && b.cur.Ins[last].IsTerminator() && b.cur.Ins[last].Op != isa.JCC {
+			b.err = fmt.Errorf("ir: %s: instruction %q after terminator in block %q",
+				b.fn.Name, in.String(), b.cur.Label)
+			return b
+		}
+		b.cur.Ins = append(b.cur.Ins, in)
+	}
+	return b
+}
+
+// NoInstrument marks the function as exempt from R^X instrumentation.
+func (b *Builder) NoInstrument() *Builder {
+	b.fn.NoInstrument = true
+	return b
+}
+
+// NoDiversify marks the function as exempt from fine-grained KASLR.
+func (b *Builder) NoDiversify() *Builder {
+	b.fn.NoDiversify = true
+	return b
+}
+
+// Func finalizes and validates the function.
+func (b *Builder) Func() (*Function, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if err := b.fn.Validate(); err != nil {
+		return nil, err
+	}
+	return b.fn, nil
+}
+
+// MustFunc finalizes the function and panics on malformed input. The
+// mini-kernel sources are static, so construction errors are programmer
+// errors.
+func (b *Builder) MustFunc() *Function {
+	f, err := b.Func()
+	if err != nil {
+		panic(err)
+	}
+	return f
+}

@@ -1,0 +1,316 @@
+// Package ir provides the RTL-like intermediate representation that the
+// kR^X instrumentation passes operate on: functions made of labelled basic
+// blocks of KX64 instructions, with a computable control-flow graph,
+// %rflags liveness analysis (driving the O1 pushfq/popfq elimination), and
+// dominator computation (driving the O3 cmp/ja coalescing).
+//
+// The register %r11 is reserved by convention as the instrumentation scratch
+// register (range checks, xkey loads, tripwire addresses), mirroring the
+// paper's use of %r11; hand-written kernel code must not keep live values
+// in it across instructions.
+package ir
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Block is a basic block: a label and a straight-line instruction sequence.
+// A block either ends in a terminator (jmp, jcc, ret, ...) or falls through
+// to the next block in the function's Blocks order. (The diversification
+// pass materializes explicit jmps for fallthroughs before permuting.)
+type Block struct {
+	Label string
+	Ins   []isa.Instr
+}
+
+// Terminator returns the block's final instruction if it is a terminator.
+func (b *Block) Terminator() (isa.Instr, bool) {
+	if len(b.Ins) == 0 {
+		return isa.Instr{}, false
+	}
+	last := b.Ins[len(b.Ins)-1]
+	return last, last.IsTerminator()
+}
+
+// Function is a unit of compilation: an ordered list of basic blocks. The
+// first block is the entry point.
+type Function struct {
+	Name   string
+	Blocks []*Block
+
+	// NoInstrument exempts the function from R^X range checks. It is used
+	// for the kR^X-cloned accessor functions (the get_next/peek_next
+	// family, memcpy/memcmp/bitmap_copy clones) that ftrace, KProbes, and
+	// the module loader-linker need for legitimate code reads (§6).
+	NoInstrument bool
+
+	// NoDiversify exempts the function from fine-grained KASLR (boot
+	// stubs whose entry layout is architectural).
+	NoDiversify bool
+
+	// AccessorClone marks the function as one of the kR^X accessor clones
+	// (memcpy_krx and friends): these exist precisely to read code
+	// legitimately and must never be instrumented, even under the
+	// full-coverage (assembler-level) mode of §6.
+	AccessorClone bool
+
+	// Phantom marks compiler-generated tripwire carriers; set by the
+	// diversification pass.
+	Phantom bool
+}
+
+// Clone returns a deep copy of the function (passes mutate in place; the
+// evaluation compiles one source corpus under many configurations).
+func (f *Function) Clone() *Function {
+	nf := &Function{
+		Name: f.Name, NoInstrument: f.NoInstrument, NoDiversify: f.NoDiversify,
+		AccessorClone: f.AccessorClone, Phantom: f.Phantom,
+	}
+	nf.Blocks = make([]*Block, len(f.Blocks))
+	for i, b := range f.Blocks {
+		nb := &Block{Label: b.Label, Ins: make([]isa.Instr, len(b.Ins))}
+		copy(nb.Ins, b.Ins)
+		nf.Blocks[i] = nb
+	}
+	return nf
+}
+
+// BlockIndex returns the index of the block with the given label, or -1.
+func (f *Function) BlockIndex(label string) int {
+	for i, b := range f.Blocks {
+		if b.Label == label {
+			return i
+		}
+	}
+	return -1
+}
+
+// NumInstrs returns the total instruction count of the function.
+func (f *Function) NumInstrs() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Ins)
+	}
+	return n
+}
+
+// Successors returns the indices of the CFG successors of block i.
+// Conditional branches may appear anywhere in a block (instrumentation
+// inserts mid-block `ja` checks), so every JCC target contributes an edge.
+// Unresolvable control flow (ret, indirect jumps, tail jumps to symbols)
+// has no intra-function successors.
+func (f *Function) Successors(i int) []int {
+	b := f.Blocks[i]
+	var out []int
+	seen := make(map[int]bool)
+	add := func(t int) {
+		if t >= 0 && !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	// Mid-block conditional branches.
+	for k, in := range b.Ins {
+		if in.Op == isa.JCC && k != len(b.Ins)-1 && in.Label != "" {
+			add(f.BlockIndex(in.Label))
+		}
+	}
+	term, ok := b.Terminator()
+	if !ok {
+		// Implicit fallthrough.
+		if i+1 < len(f.Blocks) {
+			add(i + 1)
+		}
+		return out
+	}
+	switch term.Op {
+	case isa.JMP:
+		if term.Label != "" {
+			add(f.BlockIndex(term.Label))
+		}
+		// else: tail jump out of the function
+	case isa.JCC:
+		if term.Label != "" {
+			add(f.BlockIndex(term.Label))
+		}
+		if i+1 < len(f.Blocks) {
+			add(i + 1)
+		}
+	}
+	return out
+}
+
+// Validate checks structural well-formedness: unique non-empty labels,
+// branch targets that resolve, non-empty blocks, and JCC never being the
+// final block's terminator without a fallthrough.
+func (f *Function) Validate() error {
+	if f.Name == "" {
+		return fmt.Errorf("ir: function with empty name")
+	}
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("ir: function %s has no blocks", f.Name)
+	}
+	seen := make(map[string]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		if b.Label == "" {
+			return fmt.Errorf("ir: %s: block with empty label", f.Name)
+		}
+		if seen[b.Label] {
+			return fmt.Errorf("ir: %s: duplicate label %q", f.Name, b.Label)
+		}
+		seen[b.Label] = true
+		if len(b.Ins) == 0 {
+			return fmt.Errorf("ir: %s: empty block %q", f.Name, b.Label)
+		}
+		for k, in := range b.Ins {
+			// Conditional branches may appear mid-block (inserted range
+			// checks); unconditional terminators mid-block are dead code.
+			if k != len(b.Ins)-1 && in.IsTerminator() && in.Op != isa.JCC {
+				return fmt.Errorf("ir: %s: %q: terminator %q not at block end", f.Name, b.Label, in.String())
+			}
+		}
+	}
+	for i, b := range f.Blocks {
+		for _, in := range b.Ins {
+			if in.Label != "" && (in.Op == isa.JMP || in.Op == isa.JCC) {
+				if !seen[in.Label] {
+					return fmt.Errorf("ir: %s: %q: branch to unknown label %q", f.Name, b.Label, in.Label)
+				}
+			}
+		}
+		if _, hasTerm := b.Terminator(); !hasTerm && i == len(f.Blocks)-1 {
+			return fmt.Errorf("ir: %s: final block %q falls off the end", f.Name, b.Label)
+		}
+		if term, ok := b.Terminator(); ok && term.Op == isa.JCC && i == len(f.Blocks)-1 {
+			return fmt.Errorf("ir: %s: final block %q ends in conditional branch", f.Name, b.Label)
+		}
+	}
+	return nil
+}
+
+// String renders the function as assembly text.
+func (f *Function) String() string {
+	s := f.Name + ":\n"
+	for _, b := range f.Blocks {
+		s += b.Label + ":\n"
+		for _, in := range b.Ins {
+			s += "\t" + in.String() + "\n"
+		}
+	}
+	return s
+}
+
+// Program is a collection of functions plus data-section definitions,
+// forming a complete translation unit for the linker.
+type Program struct {
+	Funcs []*Function
+
+	// Data symbols to be placed in writable data sections.
+	Data []DataSym
+	// Rodata symbols to be placed in the read-only data section.
+	Rodata []DataSym
+	// BSS symbols (zero-initialized, size only).
+	BSS []BSSSym
+	// Relocs are absolute 8-byte pointer relocations inside data symbols
+	// (e.g. the syscall dispatch table holding function addresses).
+	Relocs []DataReloc
+}
+
+// DataReloc requests that the 8 bytes at offset Off inside data symbol In
+// be filled with the address of Sym plus Addend at link time.
+type DataReloc struct {
+	In     string // containing data symbol
+	Rodata bool   // In lives in .rodata rather than .data
+	Off    uint64
+	Sym    string // target symbol
+	Addend uint64
+}
+
+// DataRelocs returns the program's data relocations.
+func (p *Program) DataRelocs() []DataReloc { return p.Relocs }
+
+// DataSym is an initialized data definition.
+type DataSym struct {
+	Name  string
+	Bytes []byte
+	Align uint64
+}
+
+// BSSSym is a zero-initialized data definition.
+type BSSSym struct {
+	Name  string
+	Size  uint64
+	Align uint64
+}
+
+// Func returns the function with the given name, or nil.
+func (p *Program) Func(name string) *Function {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Clone deep-copies the program.
+func (p *Program) Clone() *Program {
+	np := &Program{
+		Funcs:  make([]*Function, len(p.Funcs)),
+		Data:   make([]DataSym, len(p.Data)),
+		Rodata: make([]DataSym, len(p.Rodata)),
+		BSS:    make([]BSSSym, len(p.BSS)),
+	}
+	for i, f := range p.Funcs {
+		np.Funcs[i] = f.Clone()
+	}
+	for i, d := range p.Data {
+		nb := make([]byte, len(d.Bytes))
+		copy(nb, d.Bytes)
+		np.Data[i] = DataSym{Name: d.Name, Bytes: nb, Align: d.Align}
+	}
+	for i, d := range p.Rodata {
+		nb := make([]byte, len(d.Bytes))
+		copy(nb, d.Bytes)
+		np.Rodata[i] = DataSym{Name: d.Name, Bytes: nb, Align: d.Align}
+	}
+	copy(np.BSS, p.BSS)
+	np.Relocs = make([]DataReloc, len(p.Relocs))
+	copy(np.Relocs, p.Relocs)
+	return np
+}
+
+// Validate validates every function and checks for duplicate symbol names.
+func (p *Program) Validate() error {
+	seen := make(map[string]bool)
+	for _, f := range p.Funcs {
+		if err := f.Validate(); err != nil {
+			return err
+		}
+		if seen[f.Name] {
+			return fmt.Errorf("ir: duplicate symbol %q", f.Name)
+		}
+		seen[f.Name] = true
+	}
+	for _, d := range p.Data {
+		if seen[d.Name] {
+			return fmt.Errorf("ir: duplicate symbol %q", d.Name)
+		}
+		seen[d.Name] = true
+	}
+	for _, d := range p.Rodata {
+		if seen[d.Name] {
+			return fmt.Errorf("ir: duplicate symbol %q", d.Name)
+		}
+		seen[d.Name] = true
+	}
+	for _, d := range p.BSS {
+		if seen[d.Name] {
+			return fmt.Errorf("ir: duplicate symbol %q", d.Name)
+		}
+		seen[d.Name] = true
+	}
+	return nil
+}

@@ -1,0 +1,302 @@
+package ir
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// diamond builds:
+//
+//	entry: cmp; jcc E -> right
+//	left:  add; jmp join
+//	right: sub           (fallthrough)
+//	join:  ret
+func diamond(t *testing.T) *Function {
+	t.Helper()
+	f, err := NewBuilder("diamond").
+		I(isa.CmpRI(isa.RAX, 0), isa.Jcc(isa.CondE, "right")).
+		Label("left").
+		I(isa.AddRI(isa.RAX, 1), isa.Jmp("join")).
+		Label("right").
+		I(isa.SubRI(isa.RAX, 1)).
+		Label("join").
+		I(isa.Ret()).
+		Func()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestBuilderAndValidate(t *testing.T) {
+	f := diamond(t)
+	if len(f.Blocks) != 4 {
+		t.Fatalf("got %d blocks", len(f.Blocks))
+	}
+	if f.Blocks[0].Label != "entry" {
+		t.Fatalf("entry label: %q", f.Blocks[0].Label)
+	}
+	if f.NumInstrs() != 6 {
+		t.Fatalf("NumInstrs = %d", f.NumInstrs())
+	}
+}
+
+func TestBuilderRejectsDeadCode(t *testing.T) {
+	_, err := NewBuilder("bad").
+		I(isa.Ret(), isa.Nop()).
+		Func()
+	if err == nil {
+		t.Fatal("instruction after terminator must be rejected")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []*Function{
+		{Name: "", Blocks: []*Block{{Label: "entry", Ins: []isa.Instr{isa.Ret()}}}},
+		{Name: "noblocks"},
+		{Name: "emptyblock", Blocks: []*Block{{Label: "entry"}}},
+		{Name: "dup", Blocks: []*Block{
+			{Label: "a", Ins: []isa.Instr{isa.Nop()}},
+			{Label: "a", Ins: []isa.Instr{isa.Ret()}},
+		}},
+		{Name: "badtarget", Blocks: []*Block{
+			{Label: "entry", Ins: []isa.Instr{isa.Jmp("nowhere")}},
+		}},
+		{Name: "fallsoff", Blocks: []*Block{
+			{Label: "entry", Ins: []isa.Instr{isa.Nop()}},
+		}},
+		{Name: "jccatend", Blocks: []*Block{
+			{Label: "entry", Ins: []isa.Instr{isa.Jcc(isa.CondE, "entry")}},
+		}},
+	}
+	for _, f := range cases {
+		if err := f.Validate(); err == nil {
+			t.Errorf("Validate(%s) should fail", f.Name)
+		}
+	}
+}
+
+func TestSuccessors(t *testing.T) {
+	f := diamond(t)
+	check := func(i int, want ...int) {
+		t.Helper()
+		got := f.Successors(i)
+		if len(got) != len(want) {
+			t.Fatalf("Successors(%d) = %v, want %v", i, got, want)
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("Successors(%d) = %v, want %v", i, got, want)
+			}
+		}
+	}
+	check(0, 2, 1) // jcc target, then fallthrough
+	check(1, 3)    // jmp join
+	check(2, 3)    // fallthrough
+	check(3)       // ret
+}
+
+func TestClone(t *testing.T) {
+	f := diamond(t)
+	c := f.Clone()
+	c.Blocks[0].Ins[0] = isa.Nop()
+	c.Blocks = append(c.Blocks[:1], c.Blocks[1:]...)
+	if f.Blocks[0].Ins[0].Op == isa.NOP {
+		t.Fatal("clone aliases original instructions")
+	}
+}
+
+func TestFlagsLivenessStraightLine(t *testing.T) {
+	f, err := NewBuilder("f").
+		I(
+			isa.Load(isa.RCX, isa.Mem(isa.RSI, 0)), // 0: flags dead before (cmp follows... no)
+			isa.CmpRI(isa.RCX, 7),                  // 1: defines flags
+			isa.Jcc(isa.CondG, "out"),              // 2: uses flags
+		).
+		Label("mid").
+		I(
+			isa.Load(isa.RAX, isa.Mem(isa.RSI, 8)), // flags dead here
+			isa.OrRI(isa.RAX, 0x400000),            // redefines flags
+			isa.Ret(),
+		).
+		Label("out").
+		I(isa.Ret()).
+		Func()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := ComputeFlagsLiveness(f)
+	// Before instr 0 of entry: next flags event is the cmp write -> dead.
+	if fl.LiveBefore(0, 0) {
+		t.Error("flags must be dead before the load (cmp redefines them)")
+	}
+	// Before the jcc: live (jcc reads).
+	if !fl.LiveBefore(0, 2) {
+		t.Error("flags must be live before jcc")
+	}
+	// Between cmp and jcc: inserting a flags-clobber there would break the
+	// branch, so flags are live there too.
+	if !fl.LiveBefore(0, 2) || !fl.LiveBefore(0, 1) == false {
+		// LiveBefore(0,1): from the cmp onward, first event is the cmp
+		// write -> dead before the cmp itself.
+		t.Error("liveness before cmp computed incorrectly")
+	}
+	// In "mid" before the load: the or redefines flags -> dead.
+	if fl.LiveBefore(1, 0) {
+		t.Error("flags must be dead at start of mid block")
+	}
+}
+
+func TestFlagsLivenessAcrossBlocks(t *testing.T) {
+	// entry: cmp; (fallthrough) mid: load; jcc -> the jcc in mid reads the
+	// flags set in entry, so flags are live-in at mid and live after the
+	// cmp in entry.
+	f, err := NewBuilder("g").
+		I(isa.CmpRI(isa.RAX, 0)).
+		Label("mid").
+		I(
+			isa.Load(isa.RCX, isa.Mem(isa.RSI, 0)),
+			isa.Jcc(isa.CondE, "mid"),
+		).
+		Label("done").
+		I(isa.Ret()).
+		Func()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := ComputeFlagsLiveness(f)
+	if !fl.LiveBefore(1, 0) {
+		t.Error("flags live-in at mid (jcc reads them)")
+	}
+	// Inserting an RC before the load in mid would clobber live flags, so
+	// that insertion point needs pushfq/popfq.
+	if !fl.LiveBefore(1, 0) {
+		t.Error("RC before load in mid must preserve flags")
+	}
+	// Before entry's cmp the flags are dead (cmp writes them).
+	if fl.LiveBefore(0, 0) {
+		t.Error("flags dead before entry cmp")
+	}
+}
+
+func TestFlagsLivenessCallClobbers(t *testing.T) {
+	f, err := NewBuilder("h").
+		I(
+			isa.CmpRI(isa.RAX, 0),
+			isa.Call("helper"), // clobbers flags
+			isa.Jcc(isa.CondE, "entry"),
+		).
+		Label("done").
+		I(isa.Ret()).
+		Func()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := ComputeFlagsLiveness(f)
+	// Before the call: the next flags event along the path is the call
+	// clobber, so flags are dead (the jcc after the call reads *post-call*
+	// flags — nonsensical code, but the analysis must be consistent).
+	if fl.LiveBefore(0, 1) {
+		t.Error("flags dead before call (call clobbers)")
+	}
+}
+
+func TestDominators(t *testing.T) {
+	f := diamond(t)
+	dom := Dominators(f)
+	// Entry dominates everything.
+	for i := range f.Blocks {
+		if !dom[i][0] {
+			t.Errorf("entry must dominate block %d", i)
+		}
+	}
+	// Neither branch arm dominates the join.
+	if dom[3][1] || dom[3][2] {
+		t.Error("branch arms must not dominate join")
+	}
+	// Every block dominates itself.
+	for i := range f.Blocks {
+		if !dom[i][i] {
+			t.Errorf("block %d must dominate itself", i)
+		}
+	}
+}
+
+func TestReachableBetween(t *testing.T) {
+	f := diamond(t)
+	if !ReachableBetween(f, 0, 3) {
+		t.Error("join reachable from entry")
+	}
+	if ReachableBetween(f, 1, 2) {
+		t.Error("right arm not reachable from left arm")
+	}
+	if !ReachableBetween(f, 0, 1) || !ReachableBetween(f, 0, 2) {
+		t.Error("arms reachable from entry")
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	f := diamond(t)
+	p := &Program{
+		Funcs:  []*Function{f},
+		Data:   []DataSym{{Name: "tbl", Bytes: []byte{1, 2}}},
+		Rodata: []DataSym{{Name: "msg", Bytes: []byte("hi")}},
+		BSS:    []BSSSym{{Name: "buf", Size: 64}},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p.Data = append(p.Data, DataSym{Name: "diamond"})
+	if err := p.Validate(); err == nil {
+		t.Error("duplicate symbol must be rejected")
+	}
+	if p.Func("diamond") != f || p.Func("nope") != nil {
+		t.Error("Func lookup broken")
+	}
+	c := p.Clone()
+	c.Funcs[0].Blocks[0].Ins[0] = isa.Nop()
+	if f.Blocks[0].Ins[0].Op == isa.NOP {
+		t.Error("program clone aliases functions")
+	}
+}
+
+func TestBuilderRelabelEmptyEntry(t *testing.T) {
+	f, err := NewBuilder("x").
+		Label("start").
+		I(isa.Ret()).
+		Func()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Blocks) != 1 || f.Blocks[0].Label != "start" {
+		t.Fatalf("relabel of empty entry failed: %+v", f.Blocks)
+	}
+}
+
+func TestDominatorsOnLoop(t *testing.T) {
+	// entry -> head -> body -> head (back edge); head -> exit.
+	f, err := NewBuilder("loop").
+		I(isa.XorRR(isa.RAX, isa.RAX)).
+		Label("head").
+		I(isa.CmpRI(isa.RAX, 10), isa.Jcc(isa.CondAE, "exit")).
+		Label("body").
+		I(isa.Inc(isa.RAX), isa.Jmp("head")).
+		Label("exit").
+		I(isa.Ret()).
+		Func()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom := Dominators(f)
+	head, body, exit := f.BlockIndex("head"), f.BlockIndex("body"), f.BlockIndex("exit")
+	if !dom[body][head] || !dom[exit][head] {
+		t.Error("loop head must dominate body and exit")
+	}
+	if dom[exit][body] {
+		t.Error("loop body must not dominate the exit")
+	}
+	if dom[head][body] {
+		t.Error("back edge must not make the body dominate the head")
+	}
+}

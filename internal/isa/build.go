@@ -1,0 +1,185 @@
+package isa
+
+// Constructor helpers. These keep IR-building code (the mini-kernel sources,
+// the instrumentation passes) readable and uniform.
+
+// MovRI builds mov $imm64, %dst.
+func MovRI(dst Reg, imm int64) Instr { return Instr{Op: MOVri, Dst: dst, Imm: imm} }
+
+// MovSym builds mov $sym, %dst (address of a link-time symbol).
+func MovSym(dst Reg, sym string) Instr { return Instr{Op: MOVri, Dst: dst, Sym: sym} }
+
+// MovRR builds mov %src, %dst.
+func MovRR(dst, src Reg) Instr { return Instr{Op: MOVrr, Dst: dst, Src: src} }
+
+// Load builds mov mem, %dst.
+func Load(dst Reg, m MemRef) Instr { return Instr{Op: MOVrm, Dst: dst, M: m} }
+
+// LoadSz builds a load with explicit access size.
+func LoadSz(dst Reg, m MemRef, size uint8) Instr {
+	return Instr{Op: MOVrm, Dst: dst, M: m, Size: size}
+}
+
+// Store builds mov %src, mem.
+func Store(m MemRef, src Reg) Instr { return Instr{Op: MOVmr, Dst: src, M: m} }
+
+// StoreSz builds a store with explicit access size.
+func StoreSz(m MemRef, src Reg, size uint8) Instr {
+	return Instr{Op: MOVmr, Dst: src, M: m, Size: size}
+}
+
+// StoreImm builds movq $imm32, mem.
+func StoreImm(m MemRef, imm int32) Instr { return Instr{Op: MOVmi, M: m, Imm: int64(imm)} }
+
+// Lea builds lea mem, %dst.
+func Lea(dst Reg, m MemRef) Instr { return Instr{Op: LEA, Dst: dst, M: m} }
+
+// Push builds push %reg.
+func Push(r Reg) Instr { return Instr{Op: PUSH, Dst: r} }
+
+// Pop builds pop %reg.
+func Pop(r Reg) Instr { return Instr{Op: POP, Dst: r} }
+
+// Pushfq builds pushfq.
+func Pushfq() Instr { return Instr{Op: PUSHFQ} }
+
+// Popfq builds popfq.
+func Popfq() Instr { return Instr{Op: POPFQ} }
+
+// AddRI builds add $imm, %dst.
+func AddRI(dst Reg, imm int32) Instr { return Instr{Op: ADDri, Dst: dst, Imm: int64(imm)} }
+
+// AddRR builds add %src, %dst.
+func AddRR(dst, src Reg) Instr { return Instr{Op: ADDrr, Dst: dst, Src: src} }
+
+// SubRI builds sub $imm, %dst.
+func SubRI(dst Reg, imm int32) Instr { return Instr{Op: SUBri, Dst: dst, Imm: int64(imm)} }
+
+// SubRR builds sub %src, %dst.
+func SubRR(dst, src Reg) Instr { return Instr{Op: SUBrr, Dst: dst, Src: src} }
+
+// AndRI builds and $imm, %dst.
+func AndRI(dst Reg, imm int32) Instr { return Instr{Op: ANDri, Dst: dst, Imm: int64(imm)} }
+
+// OrRI builds or $imm, %dst.
+func OrRI(dst Reg, imm int32) Instr { return Instr{Op: ORri, Dst: dst, Imm: int64(imm)} }
+
+// OrRR builds or %src, %dst.
+func OrRR(dst, src Reg) Instr { return Instr{Op: ORrr, Dst: dst, Src: src} }
+
+// AndRR builds and %src, %dst.
+func AndRR(dst, src Reg) Instr { return Instr{Op: ANDrr, Dst: dst, Src: src} }
+
+// NotR builds not %dst.
+func NotR(dst Reg) Instr { return Instr{Op: NOTr, Dst: dst} }
+
+// XorRR builds xor %src, %dst.
+func XorRR(dst, src Reg) Instr { return Instr{Op: XORrr, Dst: dst, Src: src} }
+
+// XorMR builds xor %src, mem (read-modify-write).
+func XorMR(m MemRef, src Reg) Instr { return Instr{Op: XORmr, Dst: src, M: m} }
+
+// ShlRI builds shl $imm8, %dst.
+func ShlRI(dst Reg, imm uint8) Instr { return Instr{Op: SHLri, Dst: dst, Imm: int64(imm)} }
+
+// ShrRI builds shr $imm8, %dst.
+func ShrRI(dst Reg, imm uint8) Instr { return Instr{Op: SHRri, Dst: dst, Imm: int64(imm)} }
+
+// ImulRI builds imul $imm, %dst.
+func ImulRI(dst Reg, imm int32) Instr { return Instr{Op: IMULri, Dst: dst, Imm: int64(imm)} }
+
+// CmpRI builds cmp $imm, %reg.
+func CmpRI(r Reg, imm int32) Instr { return Instr{Op: CMPri, Dst: r, Imm: int64(imm)} }
+
+// CmpRR builds cmp %src, %dst (computes dst - src).
+func CmpRR(dst, src Reg) Instr { return Instr{Op: CMPrr, Dst: dst, Src: src} }
+
+// CmpRM builds cmp mem, %reg.
+func CmpRM(r Reg, m MemRef) Instr { return Instr{Op: CMPrm, Dst: r, M: m} }
+
+// CmpMI builds cmpq $imm, mem.
+func CmpMI(m MemRef, imm int32) Instr { return Instr{Op: CMPmi, M: m, Imm: int64(imm)} }
+
+// CmpSymNeg builds cmp $(sym-disp), %reg: the O2-optimized range check.
+func CmpSymNeg(r Reg, sym string, disp int32) Instr {
+	return Instr{Op: CMPri, Dst: r, Sym: sym, SymNeg: true, Imm: int64(disp)}
+}
+
+// TestRR builds test %src, %dst.
+func TestRR(dst, src Reg) Instr { return Instr{Op: TESTrr, Dst: dst, Src: src} }
+
+// Inc builds inc %reg.
+func Inc(r Reg) Instr { return Instr{Op: INCr, Dst: r} }
+
+// Dec builds dec %reg.
+func Dec(r Reg) Instr { return Instr{Op: DECr, Dst: r} }
+
+// Jmp builds jmp label (intra-function).
+func Jmp(label string) Instr { return Instr{Op: JMP, Label: label} }
+
+// JmpSym builds jmp sym (inter-function tail jump).
+func JmpSym(sym string) Instr { return Instr{Op: JMP, Sym: sym} }
+
+// Jcc builds a conditional jump to label.
+func Jcc(cc Cond, label string) Instr { return Instr{Op: JCC, CC: cc, Label: label} }
+
+// JccSym builds a conditional jump to a link-time symbol (used by range
+// checks to branch to the violation handler).
+func JccSym(cc Cond, sym string) Instr { return Instr{Op: JCC, CC: cc, Sym: sym} }
+
+// Call builds callq sym.
+func Call(sym string) Instr { return Instr{Op: CALL, Sym: sym} }
+
+// CallReg builds callq *%reg.
+func CallReg(r Reg) Instr { return Instr{Op: CALLR, Dst: r} }
+
+// CallMem builds callq *mem.
+func CallMem(m MemRef) Instr { return Instr{Op: CALLM, M: m} }
+
+// Ret builds retq.
+func Ret() Instr { return Instr{Op: RET} }
+
+// RetImm builds retq $imm16 (pops the return address, then rsp += imm).
+func RetImm(imm uint16) Instr { return Instr{Op: RETI, Imm: int64(imm)} }
+
+// Movs builds a movs of the given element width, optionally REP-prefixed.
+func Movs(width uint8, rep bool) Instr { return Instr{Op: MOVS, SF: MakeStrFlags(width, rep)} }
+
+// Stos builds a stos of the given element width, optionally REP-prefixed.
+func Stos(width uint8, rep bool) Instr { return Instr{Op: STOS, SF: MakeStrFlags(width, rep)} }
+
+// Lods builds a lods of the given element width, optionally REP-prefixed.
+func Lods(width uint8, rep bool) Instr { return Instr{Op: LODS, SF: MakeStrFlags(width, rep)} }
+
+// Cmps builds a cmps of the given element width, optionally REP-prefixed.
+func Cmps(width uint8, rep bool) Instr { return Instr{Op: CMPS, SF: MakeStrFlags(width, rep)} }
+
+// Scas builds a scas of the given element width, optionally REP-prefixed.
+func Scas(width uint8, rep bool) Instr { return Instr{Op: SCAS, SF: MakeStrFlags(width, rep)} }
+
+// Bndcu builds bndcu mem, %bndN (fault if effective address > upper bound).
+func Bndcu(b BndReg, m MemRef) Instr { return Instr{Op: BNDCU, Bnd: b, M: m} }
+
+// Bndmk builds bndmk mem, %bndN (lb=0, ub=effective address).
+func Bndmk(b BndReg, m MemRef) Instr { return Instr{Op: BNDMK, Bnd: b, M: m} }
+
+// Int3 builds int3.
+func Int3() Instr { return Instr{Op: INT3} }
+
+// Nop builds nop.
+func Nop() Instr { return Instr{Op: NOP} }
+
+// Hlt builds hlt.
+func Hlt() Instr { return Instr{Op: HLT} }
+
+// Syscall builds syscall.
+func Syscall() Instr { return Instr{Op: SYSCALL} }
+
+// Sysret builds sysret.
+func Sysret() Instr { return Instr{Op: SYSRET} }
+
+// Iret builds iretq.
+func Iret() Instr { return Instr{Op: IRET} }
+
+// Wrmsr builds wrmsr.
+func Wrmsr() Instr { return Instr{Op: WRMSR} }

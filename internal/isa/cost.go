@@ -1,0 +1,95 @@
+package isa
+
+// The cycle-cost model. Costs are calibrated, not measured silicon: they are
+// chosen so that the *relative* penalties reported by the kR^X paper emerge
+// from the simulation. The load-bearing relationships are:
+//
+//   - pushfq/popfq are expensive (spilling/filling %rflags; the reason the
+//     O1 optimization exists and why SFI(-O0) overheads are enormous);
+//   - a cmp+ja range-check pair costs two simple-ALU cycles;
+//   - bndcu costs a single cycle (MPX "almost eliminates" the overhead);
+//   - mode switches (syscall/sysret) dominate a null system call, so a few
+//     range checks on the entry path produce a ~10% latency hit under
+//     SFI(-O3) but well under 1% under MPX;
+//   - rep string operations amortize: one range check per rep instruction,
+//     so bulk-copy bandwidth suffers far less than per-call latency.
+const (
+	costALU      = 1   // register/immediate arithmetic, mov, lea, cmp, test
+	costLoad     = 4   // memory load
+	costStore    = 3   // memory store
+	costRMW      = 6   // read-modify-write (xor mem)
+	costPush     = 2   // push/pop
+	costPushfq   = 16  // pushfq/popfq: %rflags spill/fill is expensive
+	costBranch   = 2   // conditional/unconditional direct branch
+	costIndirect = 6   // indirect call/jump (BTB-miss-ish)
+	costCallRet  = 4   // direct call / ret
+	costBndc     = 1   // MPX bound check
+	costBndMove  = 3   // MPX bound make/spill/fill
+	costStrBase  = 12  // string op setup
+	costStrUnit  = 1   // per-element cost of a rep string op (per 8 bytes)
+	costSyscall  = 120 // syscall/sysret mode switch (each way)
+	costIret     = 220 // exception return
+	costMSR      = 90  // wrmsr/rdmsr
+	costTrap     = 600 // exception delivery (#PF, #BR, #BP)
+	costHalt     = 10
+)
+
+// Cost returns the base cycle cost of executing the instruction once.
+// For REP-prefixed string operations this is the setup cost; the CPU adds
+// StrUnitCost per element executed.
+func (in Instr) Cost() uint64 {
+	switch in.Op {
+	case NOP, CLD, STD, SWAPGS:
+		return costALU
+	case MOVri, MOVrr, LEA, ADDri, ADDrr, SUBri, SUBrr, ANDri, ANDrr,
+		ORri, ORrr, XORri, XORrr, SHLri, SHRri, SARri, NOTr, NEGr,
+		CMPri, CMPrr, TESTrr, TESTri, INCr, DECr:
+		return costALU
+	case IMULrr, IMULri:
+		return 3
+	case MOVrm, ADDrm, SUBrm, XORrm, CMPrm, CMPmi:
+		return costLoad
+	case MOVmr, MOVmi:
+		return costStore
+	case XORmr:
+		return costRMW
+	case PUSH, POP:
+		return costPush
+	case PUSHFQ, POPFQ:
+		return costPushfq
+	case JMP:
+		return costBranch
+	case JCC:
+		return costBranch
+	case JMPR, JMPM, CALLM:
+		return costIndirect
+	case CALLR:
+		return costIndirect
+	case CALL, RET, RETI:
+		return costCallRet
+	case MOVS, STOS, LODS, CMPS, SCAS:
+		return costStrBase
+	case SYSCALL, SYSRET:
+		return costSyscall
+	case IRET:
+		return costIret
+	case WRMSR, RDMSR:
+		return costMSR
+	case BNDCU, BNDCL:
+		return costBndc
+	case BNDMK, BNDSTX, BNDLDX:
+		return costBndMove
+	case HLT:
+		return costHalt
+	case INT3, UD2:
+		return costALU
+	}
+	return costALU
+}
+
+// StrUnitCost is the per-element cost of a REP-prefixed string operation,
+// charged by the CPU on top of the base cost.
+const StrUnitCost = costStrUnit
+
+// TrapCost is the cycle cost of delivering an exception to the kernel.
+const TrapCost = costTrap

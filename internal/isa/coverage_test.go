@@ -1,0 +1,84 @@
+package isa
+
+import "testing"
+
+// TestEveryOpcodeRoundTrips constructs a minimal valid instance of every
+// defined opcode and checks Length/Encode/Decode agreement — no opcode
+// table entry may rot.
+func TestEveryOpcodeRoundTrips(t *testing.T) {
+	instance := func(op Opcode) Instr {
+		in := Instr{Op: op}
+		switch op.Format() {
+		case fmtReg, fmtRegImm64, fmtRegImm32, fmtRegImm8:
+			in.Dst = RAX
+		case fmtRegReg:
+			in.Dst, in.Src = RAX, RBX
+		case fmtRegMem:
+			in.Dst, in.M = RCX, Mem(RSI, 8)
+		case fmtMemReg:
+			in.Dst, in.M = RCX, Mem(RDI, 8)
+		case fmtMemImm32, fmtMem:
+			in.M = Mem(RDI, 8)
+		case fmtCondRel32:
+			in.CC = CondA
+		case fmtString:
+			in.SF = MakeStrFlags(8, true)
+		case fmtBndMem:
+			in.Bnd = BND0
+			in.M = Mem(RSI, 8)
+		}
+		return in
+	}
+	count := 0
+	for b := 0; b < 256; b++ {
+		op := Opcode(b)
+		if !op.Valid() {
+			continue
+		}
+		count++
+		in := instance(op)
+		enc, err := in.Encode(nil)
+		if err != nil {
+			t.Errorf("opcode %s (0x%02x): encode: %v", op, b, err)
+			continue
+		}
+		if len(enc) != in.Length() {
+			t.Errorf("opcode %s: Length %d != encoded %d", op, in.Length(), len(enc))
+		}
+		dec, n, err := Decode(enc)
+		if err != nil {
+			t.Errorf("opcode %s: decode: %v", op, err)
+			continue
+		}
+		if n != len(enc) || dec.Op != op {
+			t.Errorf("opcode %s: decoded %s, %d bytes", op, dec.Op, n)
+		}
+		if in.String() == "" || in.Cost() == 0 {
+			t.Errorf("opcode %s: missing String/Cost", op)
+		}
+	}
+	if count < 60 {
+		t.Fatalf("suspiciously few valid opcodes: %d", count)
+	}
+}
+
+// TestOpcodeMetadataConsistency: every opcode that reads memory has a
+// memory operand or is a string op; terminators never also report IsCall.
+func TestOpcodeMetadataConsistency(t *testing.T) {
+	for b := 0; b < 256; b++ {
+		op := Opcode(b)
+		if !op.Valid() {
+			continue
+		}
+		in := Instr{Op: op, Dst: RAX, Src: RBX, M: Mem(RSI, 0), CC: CondE, Bnd: BND0}
+		if in.IsCall() && in.IsTerminator() {
+			t.Errorf("%s: both call and terminator", op)
+		}
+		if in.ReadsMemory() {
+			isString := op == MOVS || op == LODS || op == CMPS || op == SCAS
+			if in.MemOperand() == nil && !isString {
+				t.Errorf("%s: reads memory but has no memory operand", op)
+			}
+		}
+	}
+}

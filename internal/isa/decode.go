@@ -1,0 +1,193 @@
+package isa
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Decoding errors.
+var (
+	// ErrTruncated indicates the byte stream ended mid-instruction.
+	ErrTruncated = errors.New("isa: truncated instruction")
+	// ErrBadOpcode indicates an undefined opcode byte.
+	ErrBadOpcode = errors.New("isa: undefined opcode")
+	// ErrBadEncoding indicates malformed operand bytes.
+	ErrBadEncoding = errors.New("isa: malformed operand encoding")
+)
+
+func decodeMem(b []byte) (MemRef, uint8, error) {
+	if len(b) < memRefBytes {
+		return MemRef{}, 0, ErrTruncated
+	}
+	mode := b[0]
+	if mode&0xC8 != 0 {
+		return MemRef{}, 0, fmt.Errorf("%w: mem mode byte 0x%02x", ErrBadEncoding, mode)
+	}
+	m := MemRef{Base: NoReg, Index: NoReg, Scale: b[3], Disp: int32(binary.LittleEndian.Uint32(b[4:8]))}
+	if mode&1 != 0 {
+		if b[1] >= NumGPR {
+			return MemRef{}, 0, fmt.Errorf("%w: base register %d", ErrBadEncoding, b[1])
+		}
+		m.Base = Reg(b[1])
+	} else if b[1] != 0xFF {
+		return MemRef{}, 0, fmt.Errorf("%w: absent base encoded as %d", ErrBadEncoding, b[1])
+	}
+	if mode&2 != 0 {
+		if b[2] >= NumGPR {
+			return MemRef{}, 0, fmt.Errorf("%w: index register %d", ErrBadEncoding, b[2])
+		}
+		m.Index = Reg(b[2])
+	} else if b[2] != 0xFF {
+		return MemRef{}, 0, fmt.Errorf("%w: absent index encoded as %d", ErrBadEncoding, b[2])
+	}
+	if mode&4 != 0 {
+		if m.HasBase() || m.HasIndex() {
+			return MemRef{}, 0, fmt.Errorf("%w: rip-relative with base/index", ErrBadEncoding)
+		}
+		m.RIPRel = true
+	}
+	switch m.Scale {
+	case 1, 2, 4, 8:
+	default:
+		return MemRef{}, 0, fmt.Errorf("%w: scale %d", ErrBadEncoding, m.Scale)
+	}
+	size := uint8(1) << ((mode >> 4) & 3)
+	return m, size, nil
+}
+
+// Decode decodes the instruction at the start of b. It returns the decoded
+// instruction and its length in bytes. Decoding is possible from any byte
+// offset (instructions are self-delimiting once the opcode byte is read),
+// which is what makes unaligned gadget discovery — and the overlapping
+// tripwires of the decoy scheme — possible.
+func Decode(b []byte) (Instr, int, error) {
+	if len(b) == 0 {
+		return Instr{}, 0, ErrTruncated
+	}
+	op := Opcode(b[0])
+	if !op.Valid() {
+		return Instr{}, 0, fmt.Errorf("%w: 0x%02x", ErrBadOpcode, b[0])
+	}
+	in := Instr{Op: op}
+	n := formatLength(op.Format())
+	if len(b) < n {
+		return Instr{}, 0, ErrTruncated
+	}
+	body := b[1:n]
+	switch op.Format() {
+	case fmtNone:
+	case fmtReg:
+		if body[0] >= NumGPR {
+			return Instr{}, 0, fmt.Errorf("%w: register %d", ErrBadEncoding, body[0])
+		}
+		in.Dst = Reg(body[0])
+	case fmtRegImm64:
+		if body[0] >= NumGPR {
+			return Instr{}, 0, fmt.Errorf("%w: register %d", ErrBadEncoding, body[0])
+		}
+		in.Dst = Reg(body[0])
+		in.Imm = int64(binary.LittleEndian.Uint64(body[1:9]))
+	case fmtRegImm32:
+		if body[0] >= NumGPR {
+			return Instr{}, 0, fmt.Errorf("%w: register %d", ErrBadEncoding, body[0])
+		}
+		in.Dst = Reg(body[0])
+		in.Imm = int64(int32(binary.LittleEndian.Uint32(body[1:5])))
+	case fmtRegImm8:
+		if body[0] >= NumGPR {
+			return Instr{}, 0, fmt.Errorf("%w: register %d", ErrBadEncoding, body[0])
+		}
+		in.Dst = Reg(body[0])
+		in.Imm = int64(body[1])
+	case fmtRegReg:
+		if body[0] >= NumGPR || body[1] >= NumGPR {
+			return Instr{}, 0, fmt.Errorf("%w: registers %d,%d", ErrBadEncoding, body[0], body[1])
+		}
+		in.Dst, in.Src = Reg(body[0]), Reg(body[1])
+	case fmtRegMem:
+		if body[0] >= NumGPR {
+			return Instr{}, 0, fmt.Errorf("%w: register %d", ErrBadEncoding, body[0])
+		}
+		in.Dst = Reg(body[0])
+		m, size, err := decodeMem(body[1:])
+		if err != nil {
+			return Instr{}, 0, err
+		}
+		in.M, in.Size = m, size
+	case fmtMemReg:
+		m, size, err := decodeMem(body)
+		if err != nil {
+			return Instr{}, 0, err
+		}
+		if body[memRefBytes] >= NumGPR {
+			return Instr{}, 0, fmt.Errorf("%w: register %d", ErrBadEncoding, body[memRefBytes])
+		}
+		in.M, in.Size, in.Dst = m, size, Reg(body[memRefBytes])
+	case fmtMemImm32:
+		m, size, err := decodeMem(body)
+		if err != nil {
+			return Instr{}, 0, err
+		}
+		in.M, in.Size = m, size
+		in.Imm = int64(int32(binary.LittleEndian.Uint32(body[memRefBytes : memRefBytes+4])))
+	case fmtMem:
+		m, size, err := decodeMem(body)
+		if err != nil {
+			return Instr{}, 0, err
+		}
+		in.M, in.Size = m, size
+	case fmtRel32:
+		in.Imm = int64(int32(binary.LittleEndian.Uint32(body[0:4])))
+	case fmtCondRel32:
+		if body[0] >= NumCond {
+			return Instr{}, 0, fmt.Errorf("%w: condition %d", ErrBadEncoding, body[0])
+		}
+		in.CC = Cond(body[0])
+		in.Imm = int64(int32(binary.LittleEndian.Uint32(body[1:5])))
+	case fmtImm16:
+		in.Imm = int64(binary.LittleEndian.Uint16(body[0:2]))
+	case fmtString:
+		if body[0]&^0x0D != 0 {
+			return Instr{}, 0, fmt.Errorf("%w: string flags 0x%02x", ErrBadEncoding, body[0])
+		}
+		in.SF = StrFlags(body[0])
+	case fmtBndMem:
+		if body[0] >= NumBnd {
+			return Instr{}, 0, fmt.Errorf("%w: bound register %d", ErrBadEncoding, body[0])
+		}
+		in.Bnd = BndReg(body[0])
+		m, size, err := decodeMem(body[1:])
+		if err != nil {
+			return Instr{}, 0, err
+		}
+		in.M, in.Size = m, size
+	}
+	return in, n, nil
+}
+
+// DisasmLine is one disassembled instruction with its address.
+type DisasmLine struct {
+	Addr  uint64
+	Bytes []byte
+	Instr Instr
+	Err   error // non-nil if the bytes do not decode
+}
+
+// Disassemble linearly decodes code starting at addr, skipping one byte on
+// decode failure (recording the failure), until the buffer is exhausted.
+func Disassemble(code []byte, addr uint64) []DisasmLine {
+	var out []DisasmLine
+	off := 0
+	for off < len(code) {
+		in, n, err := Decode(code[off:])
+		if err != nil {
+			out = append(out, DisasmLine{Addr: addr + uint64(off), Bytes: code[off : off+1], Err: err})
+			off++
+			continue
+		}
+		out = append(out, DisasmLine{Addr: addr + uint64(off), Bytes: code[off : off+n], Instr: in})
+		off += n
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Encoded instruction sizes are fully determined by the opcode format, so
+// layout can be computed before symbol resolution (two-pass assembly).
+const memRefBytes = 8
+
+// formatLength returns the encoded length in bytes of an instruction with
+// the given format.
+func formatLength(f opFormat) int {
+	switch f {
+	case fmtNone:
+		return 1
+	case fmtReg:
+		return 2
+	case fmtRegImm64:
+		return 10
+	case fmtRegImm32:
+		return 6
+	case fmtRegImm8:
+		return 3
+	case fmtRegReg:
+		return 3
+	case fmtRegMem, fmtMemReg:
+		return 2 + memRefBytes
+	case fmtMemImm32:
+		return 1 + memRefBytes + 4
+	case fmtMem:
+		return 1 + memRefBytes
+	case fmtRel32:
+		return 5
+	case fmtCondRel32:
+		return 6
+	case fmtImm16:
+		return 3
+	case fmtString:
+		return 2
+	case fmtBndMem:
+		return 2 + memRefBytes
+	}
+	return 1
+}
+
+// Length returns the encoded size of the instruction in bytes.
+func (in Instr) Length() int {
+	if !in.Op.Valid() {
+		return 1
+	}
+	return formatLength(in.Op.Format())
+}
+
+// sizeLog2 maps an access size in bytes to its log2 for the mem mode byte.
+func sizeLog2(size uint8) uint8 {
+	switch size {
+	case 1:
+		return 0
+	case 2:
+		return 1
+	case 4:
+		return 2
+	default:
+		return 3
+	}
+}
+
+func encodeMem(dst []byte, m MemRef, size uint8) ([]byte, error) {
+	if m.Sym != "" {
+		return nil, fmt.Errorf("isa: unresolved symbol %q in memory operand", m.Sym)
+	}
+	var mode byte
+	base, index := byte(0xFF), byte(0xFF)
+	if m.HasBase() {
+		if !m.Base.Valid() {
+			return nil, fmt.Errorf("isa: invalid base register %d", m.Base)
+		}
+		mode |= 1
+		base = byte(m.Base)
+	}
+	if m.HasIndex() {
+		if !m.Index.Valid() {
+			return nil, fmt.Errorf("isa: invalid index register %d", m.Index)
+		}
+		mode |= 2
+		index = byte(m.Index)
+	}
+	if m.RIPRel {
+		if m.HasBase() || m.HasIndex() {
+			return nil, fmt.Errorf("isa: rip-relative reference cannot have base/index")
+		}
+		mode |= 4
+	}
+	scale := m.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	switch scale {
+	case 1, 2, 4, 8:
+	default:
+		return nil, fmt.Errorf("isa: invalid scale %d", m.Scale)
+	}
+	mode |= sizeLog2(size) << 4
+	dst = append(dst, mode, base, index, scale)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(m.Disp))
+	return dst, nil
+}
+
+// Encode appends the byte encoding of the instruction to dst. The
+// instruction must be fully resolved: symbolic labels, symbols, and tripwire
+// references must already have been lowered to numeric displacements or
+// immediates by the assembler.
+func (in Instr) Encode(dst []byte) ([]byte, error) {
+	if !in.Op.Valid() {
+		return nil, fmt.Errorf("isa: invalid opcode 0x%02x", uint8(in.Op))
+	}
+	if in.Label != "" || in.Sym != "" || in.TripSym != "" {
+		return nil, fmt.Errorf("isa: unresolved reference in %q", in.String())
+	}
+	dst = append(dst, byte(in.Op))
+	var err error
+	switch in.Op.Format() {
+	case fmtNone:
+	case fmtReg:
+		if !in.Dst.Valid() {
+			return nil, fmt.Errorf("isa: invalid register in %q", in.String())
+		}
+		dst = append(dst, byte(in.Dst))
+	case fmtRegImm64:
+		dst = append(dst, byte(in.Dst))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(in.Imm))
+	case fmtRegImm32:
+		dst = append(dst, byte(in.Dst))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(in.Imm))
+	case fmtRegImm8:
+		dst = append(dst, byte(in.Dst), byte(in.Imm))
+	case fmtRegReg:
+		dst = append(dst, byte(in.Dst), byte(in.Src))
+	case fmtRegMem:
+		dst = append(dst, byte(in.Dst))
+		dst, err = encodeMem(dst, in.M, in.AccessSize())
+	case fmtMemReg:
+		dst, err = encodeMem(dst, in.M, in.AccessSize())
+		if err == nil {
+			dst = append(dst, byte(in.Dst))
+		}
+	case fmtMemImm32:
+		dst, err = encodeMem(dst, in.M, in.AccessSize())
+		if err == nil {
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(in.Imm))
+		}
+	case fmtMem:
+		dst, err = encodeMem(dst, in.M, in.AccessSize())
+	case fmtRel32:
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(in.Imm))
+	case fmtCondRel32:
+		if !in.CC.Valid() {
+			return nil, fmt.Errorf("isa: invalid condition in %q", in.String())
+		}
+		dst = append(dst, byte(in.CC))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(in.Imm))
+	case fmtImm16:
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(in.Imm))
+	case fmtString:
+		dst = append(dst, byte(in.SF))
+	case fmtBndMem:
+		if !in.Bnd.Valid() {
+			return nil, fmt.Errorf("isa: invalid bound register in %q", in.String())
+		}
+		dst = append(dst, byte(in.Bnd))
+		dst, err = encodeMem(dst, in.M, in.AccessSize())
+	}
+	if err != nil {
+		return nil, err
+	}
+	return dst, nil
+}

@@ -1,0 +1,32 @@
+package isa
+
+import "testing"
+
+// FuzzDecode: the decoder must never panic and must report in-bounds
+// lengths on arbitrary byte soup (the gadget scanner feeds it exactly
+// that).
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{0xC3})
+	f.Add([]byte{0xCC, 0xCC, 0xCC})
+	f.Add([]byte{byte(MOVri), 11, 0xCC, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{byte(JCC), 3, 0xFF, 0xFF, 0xFF, 0x7F})
+	f.Add([]byte{byte(MOVrm), 0, 0x33, 4, 7, 8, 1, 2, 3, 4})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		in, n, err := Decode(b)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(b) {
+			t.Fatalf("length %d out of bounds (%d)", n, len(b))
+		}
+		// A decoded instruction re-encodes without error to the same
+		// number of bytes.
+		enc, err := in.Encode(nil)
+		if err != nil {
+			t.Fatalf("re-encode of decoded %q failed: %v", in.String(), err)
+		}
+		if len(enc) != n {
+			t.Fatalf("re-encode length %d != decode length %d", len(enc), n)
+		}
+	})
+}

@@ -1,0 +1,441 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MemRef is a memory operand: base + index*scale + disp, optionally
+// %rip-relative, optionally referring to a link-time symbol. A MemRef with
+// neither base nor index and RIPRel=false is absolute addressing (disp32,
+// sign-extended, reaching the negative 2GB of the address space exactly like
+// -mcmodel=kernel on x86-64).
+type MemRef struct {
+	Base   Reg   // NoReg if absent
+	Index  Reg   // NoReg if absent
+	Scale  uint8 // 1, 2, 4, or 8 (ignored when Index == NoReg)
+	Disp   int32 // displacement
+	RIPRel bool  // %rip-relative addressing
+
+	// Sym, if non-empty, names a symbol whose address is added to Disp at
+	// link time. After linking, Sym is cleared and Disp holds the final
+	// value (for RIP-relative and absolute references).
+	Sym string
+}
+
+// HasBase reports whether the reference uses a base register.
+func (m MemRef) HasBase() bool { return m.Base != NoReg }
+
+// HasIndex reports whether the reference uses an index register.
+func (m MemRef) HasIndex() bool { return m.Index != NoReg }
+
+// IsSafe reports whether a read through this reference is a "safe read" in
+// the kR^X sense: its effective address is encoded entirely within the
+// instruction (absolute or %rip-relative) and cannot be influenced at
+// runtime, so no range check is required (W^X protects the instruction
+// bytes themselves).
+func (m MemRef) IsSafe() bool { return !m.HasBase() && !m.HasIndex() }
+
+// String renders the reference in AT&T syntax.
+func (m MemRef) String() string {
+	var sb strings.Builder
+	if m.Sym != "" {
+		sb.WriteString(m.Sym)
+		if m.Disp > 0 {
+			fmt.Fprintf(&sb, "+0x%x", m.Disp)
+		} else if m.Disp < 0 {
+			fmt.Fprintf(&sb, "-0x%x", -m.Disp)
+		}
+	} else if m.Disp != 0 || m.IsSafe() {
+		if m.Disp < 0 {
+			fmt.Fprintf(&sb, "-0x%x", uint32(-m.Disp))
+		} else {
+			fmt.Fprintf(&sb, "0x%x", uint32(m.Disp))
+		}
+	}
+	if m.RIPRel {
+		sb.WriteString("(%rip)")
+		return sb.String()
+	}
+	if m.HasBase() || m.HasIndex() {
+		sb.WriteByte('(')
+		if m.HasBase() {
+			sb.WriteByte('%')
+			sb.WriteString(m.Base.String())
+		}
+		if m.HasIndex() {
+			fmt.Fprintf(&sb, ",%%%s,%d", m.Index, m.Scale)
+		}
+		sb.WriteByte(')')
+	}
+	return sb.String()
+}
+
+// Mem constructs a base+disp memory reference.
+func Mem(base Reg, disp int32) MemRef {
+	return MemRef{Base: base, Index: NoReg, Scale: 1, Disp: disp}
+}
+
+// MemIdx constructs a base+index*scale+disp memory reference.
+func MemIdx(base, index Reg, scale uint8, disp int32) MemRef {
+	return MemRef{Base: base, Index: index, Scale: scale, Disp: disp}
+}
+
+// MemRIP constructs a %rip-relative reference to sym+disp.
+func MemRIP(sym string, disp int32) MemRef {
+	return MemRef{Base: NoReg, Index: NoReg, Scale: 1, RIPRel: true, Sym: sym, Disp: disp}
+}
+
+// MemAbs constructs an absolute reference to sym+disp.
+func MemAbs(sym string, disp int32) MemRef {
+	return MemRef{Base: NoReg, Index: NoReg, Scale: 1, Sym: sym, Disp: disp}
+}
+
+// StrFlags carries the modifiers of a string instruction.
+type StrFlags uint8
+
+// String-instruction flag bits.
+const (
+	StrRep StrFlags = 1 << 0 // REP/REPE prefix: repeat %rcx times
+	// Width is stored in bits 2-3 as log2(bytes): 0=1, 1=2, 2=4, 3=8.
+)
+
+// StrWidth returns the element width in bytes (1, 2, 4, or 8).
+func (f StrFlags) Width() uint8 { return 1 << ((f >> 2) & 3) }
+
+// Rep reports whether the REP prefix is present.
+func (f StrFlags) Rep() bool { return f&StrRep != 0 }
+
+// MakeStrFlags builds string-instruction flags from a width in bytes and a
+// REP prefix indicator.
+func MakeStrFlags(width uint8, rep bool) StrFlags {
+	var l2 uint8
+	switch width {
+	case 1:
+		l2 = 0
+	case 2:
+		l2 = 1
+	case 4:
+		l2 = 2
+	default:
+		l2 = 3
+	}
+	f := StrFlags(l2 << 2)
+	if rep {
+		f |= StrRep
+	}
+	return f
+}
+
+// Instr is one KX64 instruction. Depending on the opcode format, a subset
+// of the fields is meaningful. Before assembly, control-transfer targets may
+// be symbolic (Label for intra-function branches, Sym for inter-function
+// calls/jumps); the assembler resolves them to rel32 displacements.
+type Instr struct {
+	Op   Opcode
+	Dst  Reg    // destination register (fmtReg*, fmtMemReg source reg)
+	Src  Reg    // source register (fmtRegReg)
+	Imm  int64  // immediate value
+	M    MemRef // memory operand
+	CC   Cond   // condition (JCC)
+	SF   StrFlags
+	Bnd  BndReg // bound register (MPX formats)
+	Size uint8  // memory access width in bytes (1,2,4,8); 0 means 8
+
+	// Label is a symbolic intra-function branch target (JMP/JCC); resolved
+	// by the assembler.
+	Label string
+	// Sym is a symbolic call/jump target or immediate symbol reference.
+	// For MOVri it requests imm = address of Sym (+Imm as addend). For
+	// CMPri with SymNeg, imm = address of Sym - Imm (the O2-eliminated
+	// range-check form "cmp $(_krx_edata-disp), %reg").
+	Sym string
+	// SymNeg, with Sym set on an immediate-format instruction, requests
+	// imm = Sym - Imm instead of Sym + Imm.
+	SymNeg bool
+
+	// TripSym/TripOff request imm = address of label TripSym + TripOff
+	// bytes for MOVri: used by the return-address decoy scheme to point a
+	// register into the middle of a phantom instruction (the tripwire).
+	TripSym string
+	TripOff int32
+}
+
+// AccessSize returns the memory access width in bytes.
+func (in Instr) AccessSize() uint8 {
+	if in.Size == 0 {
+		return 8
+	}
+	return in.Size
+}
+
+// ReadsMemory reports whether executing the instruction loads from a
+// data memory address (stack pushes/pops excluded; those are classified
+// separately because kR^X handles %rsp-relative accesses via the guard
+// section).
+func (in Instr) ReadsMemory() bool {
+	switch in.Op {
+	case MOVrm, ADDrm, SUBrm, XORrm, CMPrm, CMPmi, XORmr, CALLM, JMPM:
+		return true
+	case MOVS, LODS, CMPS, SCAS:
+		return true
+	}
+	return false
+}
+
+// WritesMemory reports whether the instruction stores to a data memory
+// address (again excluding push/call return-address pushes).
+func (in Instr) WritesMemory() bool {
+	switch in.Op {
+	case MOVmr, MOVmi, XORmr, MOVS, STOS:
+		return true
+	}
+	return false
+}
+
+// MemOperand returns a pointer to the instruction's explicit memory operand,
+// or nil if the format has none. String operations access memory implicitly
+// through %rsi/%rdi and return nil here.
+func (in *Instr) MemOperand() *MemRef {
+	switch in.Op.Format() {
+	case fmtRegMem, fmtMemReg, fmtMemImm32, fmtMem, fmtBndMem:
+		return &in.M
+	}
+	return nil
+}
+
+// WritesFlags reports whether the instruction overwrites %rflags status
+// bits. %rflags is tracked as a single unit (matching the paper's
+// over-preserving O1 analysis).
+func (in Instr) WritesFlags() bool {
+	switch in.Op {
+	case ADDri, ADDrr, ADDrm, SUBri, SUBrr, SUBrm, ANDri, ANDrr,
+		ORri, ORrr, XORri, XORrr, XORrm, XORmr, SHLri, SHRri, SARri,
+		NEGr, IMULrr, IMULri, CMPri, CMPrr, CMPrm, CMPmi,
+		TESTrr, TESTri, INCr, DECr, CMPS, SCAS, POPFQ, CLD, STD, IRET:
+		return true
+	}
+	return false
+}
+
+// ReadsFlags reports whether the instruction reads the arithmetic status
+// flags — the bits a range-check cmp clobbers. String operations read only
+// the direction flag, which cmp never modifies, so they do not extend the
+// liveness region for the O1 analysis.
+func (in Instr) ReadsFlags() bool {
+	switch in.Op {
+	case JCC, PUSHFQ:
+		return true
+	}
+	return false
+}
+
+// RegsRead appends to dst the general-purpose registers whose values the
+// instruction reads, and returns the extended slice.
+func (in Instr) RegsRead(dst []Reg) []Reg {
+	addMem := func() {
+		if m := in.MemOperand(); m != nil {
+			if m.HasBase() {
+				dst = append(dst, m.Base)
+			}
+			if m.HasIndex() {
+				dst = append(dst, m.Index)
+			}
+		}
+	}
+	switch in.Op.Format() {
+	case fmtReg:
+		switch in.Op {
+		case PUSH, CALLR, JMPR, NOTr, NEGr, INCr, DECr:
+			dst = append(dst, in.Dst)
+		}
+		if in.Op == PUSH || in.Op == POP {
+			dst = append(dst, RSP)
+		}
+	case fmtRegImm64:
+		// pure write
+	case fmtRegImm32, fmtRegImm8:
+		if in.Op != MOVri {
+			dst = append(dst, in.Dst)
+		}
+	case fmtRegReg:
+		dst = append(dst, in.Src)
+		if in.Op != MOVrr {
+			dst = append(dst, in.Dst)
+		}
+	case fmtRegMem:
+		addMem()
+		if in.Op != MOVrm && in.Op != LEA {
+			dst = append(dst, in.Dst)
+		}
+	case fmtMemReg:
+		addMem()
+		dst = append(dst, in.Dst)
+	case fmtMemImm32, fmtMem:
+		addMem()
+	case fmtBndMem:
+		addMem()
+	case fmtString:
+		switch in.Op {
+		case MOVS, CMPS:
+			dst = append(dst, RSI, RDI)
+		case STOS, SCAS:
+			dst = append(dst, RDI, RAX)
+		case LODS:
+			dst = append(dst, RSI)
+		}
+		if in.SF.Rep() {
+			dst = append(dst, RCX)
+		}
+	}
+	switch in.Op {
+	case PUSHFQ, POPFQ, RET, RETI:
+		dst = append(dst, RSP)
+	}
+	return dst
+}
+
+// RegsWritten appends to dst the general-purpose registers the instruction
+// overwrites, and returns the extended slice.
+func (in Instr) RegsWritten(dst []Reg) []Reg {
+	switch in.Op.Format() {
+	case fmtReg:
+		switch in.Op {
+		case POP, NOTr, NEGr, INCr, DECr:
+			dst = append(dst, in.Dst)
+		}
+		if in.Op == PUSH || in.Op == POP {
+			dst = append(dst, RSP)
+		}
+	case fmtRegImm64, fmtRegImm32, fmtRegImm8:
+		if in.Op != TESTri && in.Op != CMPri {
+			dst = append(dst, in.Dst)
+		}
+	case fmtRegReg:
+		if in.Op != TESTrr && in.Op != CMPrr {
+			dst = append(dst, in.Dst)
+		}
+	case fmtRegMem:
+		if in.Op != CMPrm && in.Op != BNDCU && in.Op != BNDCL {
+			dst = append(dst, in.Dst)
+		}
+	case fmtString:
+		switch in.Op {
+		case MOVS, CMPS:
+			dst = append(dst, RSI, RDI)
+		case STOS, SCAS:
+			dst = append(dst, RDI)
+		case LODS:
+			dst = append(dst, RSI, RAX)
+		}
+		if in.SF.Rep() {
+			dst = append(dst, RCX)
+		}
+	}
+	switch in.Op {
+	case PUSHFQ, POPFQ, RET, RETI, CALL, CALLR, CALLM:
+		dst = append(dst, RSP)
+	case SYSCALL:
+		dst = append(dst, RCX, R11)
+	case RDMSR:
+		dst = append(dst, RAX, RDX)
+	}
+	return dst
+}
+
+// IsTerminator reports whether the instruction ends a basic block.
+func (in Instr) IsTerminator() bool {
+	switch in.Op {
+	case JMP, JMPR, JMPM, JCC, RET, RETI, IRET, SYSRET, HLT, UD2:
+		return true
+	}
+	return false
+}
+
+// IsCall reports whether the instruction is any flavour of call.
+func (in Instr) IsCall() bool {
+	return in.Op == CALL || in.Op == CALLR || in.Op == CALLM
+}
+
+// String renders the instruction in AT&T-flavoured assembly.
+func (in Instr) String() string {
+	name := in.Op.Name()
+	switch in.Op.Format() {
+	case fmtNone:
+		return name
+	case fmtReg:
+		switch in.Op {
+		case CALLR:
+			return fmt.Sprintf("callq *%%%s", in.Dst)
+		case JMPR:
+			return fmt.Sprintf("jmp *%%%s", in.Dst)
+		}
+		return fmt.Sprintf("%s %%%s", name, in.Dst)
+	case fmtRegImm64:
+		if in.TripSym != "" {
+			return fmt.Sprintf("%s $%s+%d, %%%s", name, in.TripSym, in.TripOff, in.Dst)
+		}
+		if in.Sym != "" {
+			return fmt.Sprintf("%s $%s, %%%s", name, in.Sym, in.Dst)
+		}
+		return fmt.Sprintf("%s $0x%x, %%%s", name, uint64(in.Imm), in.Dst)
+	case fmtRegImm32, fmtRegImm8:
+		if in.Sym != "" {
+			switch {
+			case in.SymNeg:
+				return fmt.Sprintf("%s $(%s-0x%x), %%%s", name, in.Sym, in.Imm, in.Dst)
+			case in.Imm == 0:
+				return fmt.Sprintf("%s $%s, %%%s", name, in.Sym, in.Dst)
+			default:
+				return fmt.Sprintf("%s $%s+0x%x, %%%s", name, in.Sym, in.Imm, in.Dst)
+			}
+		}
+		return fmt.Sprintf("%s $0x%x, %%%s", name, uint64(in.Imm), in.Dst)
+	case fmtRegReg:
+		return fmt.Sprintf("%s %%%s, %%%s", name, in.Src, in.Dst)
+	case fmtRegMem:
+		return fmt.Sprintf("%s %s, %%%s", name, in.M, in.Dst)
+	case fmtMemReg:
+		return fmt.Sprintf("%s %%%s, %s", name, in.Dst, in.M)
+	case fmtMemImm32:
+		return fmt.Sprintf("%s $0x%x, %s", name, uint64(in.Imm), in.M)
+	case fmtMem:
+		if in.Op == CALLM {
+			return fmt.Sprintf("callq *%s", in.M)
+		}
+		if in.Op == JMPM {
+			return fmt.Sprintf("jmp *%s", in.M)
+		}
+		return fmt.Sprintf("%s %s", name, in.M)
+	case fmtRel32:
+		target := in.Label
+		if target == "" {
+			target = in.Sym
+		}
+		if target == "" {
+			target = fmt.Sprintf(".%+d", in.Imm)
+		}
+		return fmt.Sprintf("%s %s", name, target)
+	case fmtCondRel32:
+		target := in.Label
+		if target == "" {
+			target = in.Sym
+		}
+		if target == "" {
+			target = fmt.Sprintf(".%+d", in.Imm)
+		}
+		return fmt.Sprintf("j%s %s", in.CC, target)
+	case fmtImm16:
+		return fmt.Sprintf("retq $0x%x", uint64(in.Imm))
+	case fmtString:
+		prefix := ""
+		if in.SF.Rep() {
+			prefix = "rep "
+		}
+		suffix := map[uint8]string{1: "b", 2: "w", 4: "l", 8: "q"}[in.SF.Width()]
+		return prefix + name + suffix
+	case fmtBndMem:
+		return fmt.Sprintf("%s %s, %%%s", name, in.M, in.Bnd)
+	}
+	return name
+}

@@ -1,0 +1,491 @@
+package isa
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegNames(t *testing.T) {
+	if RAX.String() != "rax" || R11.String() != "r11" || RSP.String() != "rsp" {
+		t.Fatalf("unexpected register names: %s %s %s", RAX, R11, RSP)
+	}
+	if NoReg.Valid() {
+		t.Fatal("NoReg must not be valid")
+	}
+	for r := Reg(0); r < NumGPR; r++ {
+		if !r.Valid() {
+			t.Fatalf("register %d should be valid", r)
+		}
+	}
+}
+
+func TestCondNegate(t *testing.T) {
+	pairs := [][2]Cond{{CondE, CondNE}, {CondA, CondBE}, {CondG, CondLE}, {CondB, CondAE}}
+	for _, p := range pairs {
+		if p[0].Negate() != p[1] || p[1].Negate() != p[0] {
+			t.Errorf("negate %s <-> %s failed", p[0], p[1])
+		}
+	}
+}
+
+func TestCondEval(t *testing.T) {
+	cases := []struct {
+		cc    Cond
+		flags uint64
+		want  bool
+	}{
+		{CondE, FlagZF, true},
+		{CondE, 0, false},
+		{CondNE, FlagZF, false},
+		{CondA, 0, true},
+		{CondA, FlagCF, false},
+		{CondA, FlagZF, false},
+		{CondB, FlagCF, true},
+		{CondG, 0, true},
+		{CondG, FlagZF, false},
+		{CondG, FlagSF, false},
+		{CondG, FlagSF | FlagOF, true},
+		{CondL, FlagSF, true},
+		{CondL, FlagSF | FlagOF, false},
+		{CondLE, FlagZF, true},
+		{CondS, FlagSF, true},
+		{CondO, FlagOF, true},
+	}
+	for _, c := range cases {
+		if got := c.cc.Eval(c.flags); got != c.want {
+			t.Errorf("Eval(%s, %#x) = %v, want %v", c.cc, c.flags, got, c.want)
+		}
+	}
+}
+
+func TestPinnedOpcodeBytes(t *testing.T) {
+	// These byte values are load-bearing: gadget scanning keys off 0xC3,
+	// tripwires off 0xCC.
+	pins := map[Opcode]byte{RET: 0xC3, INT3: 0xCC, CALL: 0xE8, JMP: 0xE9, NOP: 0x90}
+	for op, b := range pins {
+		if byte(op) != b {
+			t.Errorf("opcode %s = 0x%02x, want 0x%02x", op, byte(op), b)
+		}
+	}
+}
+
+// sampleInstrs is a representative instruction set used by round-trip tests.
+func sampleInstrs() []Instr {
+	return []Instr{
+		MovRI(R11, 0xCC),
+		MovRI(RAX, -1),
+		MovRR(RDI, RSI),
+		Load(RCX, Mem(RSI, 0x140)),
+		LoadSz(RDX, MemIdx(RDI, RCX, 8, -16), 4),
+		Store(Mem(RDI, 8), RAX),
+		StoreSz(Mem(RSP, 0), RBX, 1),
+		StoreImm(Mem(RBP, -8), 42),
+		Lea(R11, Mem(RSI, 0x154)),
+		Push(RBP),
+		Pop(RBP),
+		Pushfq(),
+		Popfq(),
+		AddRI(RSP, 32),
+		AddRR(RAX, RBX),
+		SubRI(RSP, 32),
+		XorRR(RDX, RDX),
+		XorMR(Mem(RSP, 0), R11),
+		ShlRI(RAX, 3),
+		ShrRI(RDX, 0x20),
+		CmpRI(RAX, 7),
+		CmpRR(RAX, RBX),
+		CmpRM(RDI, Mem(RSI, 0x130)),
+		CmpMI(Mem(RSI, 0x154), 7),
+		TestRR(RAX, RAX),
+		Inc(RCX),
+		Dec(RCX),
+		{Op: JMP, Imm: 0x10},
+		{Op: JCC, CC: CondA, Imm: -0x20},
+		{Op: CALL, Imm: 0x1234},
+		CallReg(RAX),
+		CallMem(MemIdx(RAX, RBX, 8, 0)),
+		Ret(),
+		RetImm(8),
+		Movs(8, true),
+		Stos(1, true),
+		Lods(8, false),
+		Cmps(1, true),
+		Scas(8, false),
+		Bndcu(BND0, Mem(RSI, 0x154)),
+		Bndmk(BND0, Mem(RAX, 0)),
+		{Op: BNDSTX, Bnd: BND0, M: Mem(RSP, 0)},
+		{Op: BNDLDX, Bnd: BND0, M: Mem(RSP, 0)},
+		Int3(),
+		Nop(),
+		Hlt(),
+		Syscall(),
+		Sysret(),
+		Iret(),
+		Wrmsr(),
+		{Op: LEA, Dst: RAX, M: MemRef{Base: NoReg, Index: NoReg, Scale: 1, RIPRel: true, Disp: 0x99}},
+		{Op: MOVrm, Dst: RAX, M: MemRef{Base: NoReg, Index: NoReg, Scale: 1, Disp: -0x1000}},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, in := range sampleInstrs() {
+		b, err := in.Encode(nil)
+		if err != nil {
+			t.Fatalf("encode %q: %v", in.String(), err)
+		}
+		if len(b) != in.Length() {
+			t.Fatalf("%q: encoded %d bytes, Length() says %d", in.String(), len(b), in.Length())
+		}
+		got, n, err := Decode(b)
+		if err != nil {
+			t.Fatalf("decode %q: %v", in.String(), err)
+		}
+		if n != len(b) {
+			t.Fatalf("%q: decoded length %d != %d", in.String(), n, len(b))
+		}
+		// Normalize fields that legitimately differ after a round trip.
+		want := in
+		if want.Scale0() {
+			want.M.Scale = 1
+		}
+		if want.M == (MemRef{}) && got.M == (MemRef{Base: NoReg, Index: NoReg, Scale: 1}) {
+			// Instructions without memory operands decode with a zero M.
+			got.M = MemRef{}
+		}
+		if want.Size == 0 && got.Size == 8 {
+			got.Size = 0
+		}
+		if got.String() != want.String() {
+			t.Errorf("round trip: got %q, want %q", got.String(), want.String())
+		}
+	}
+}
+
+// Scale0 reports whether the instruction has a memory operand with an
+// unnormalized zero scale.
+func (in Instr) Scale0() bool {
+	m := in.MemOperand()
+	return m != nil && m.Scale == 0
+}
+
+func TestEncodeRejectsUnresolved(t *testing.T) {
+	cases := []Instr{
+		Jmp("L1"),
+		Call("krx_handler"),
+		MovSym(RAX, "_text"),
+		CmpSymNeg(RSI, "_krx_edata", 0x154),
+		Load(RAX, MemRIP("xkey_foo", 0)),
+	}
+	for _, in := range cases {
+		if _, err := in.Encode(nil); err == nil {
+			t.Errorf("encode %q: expected error for unresolved reference", in.String())
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode(nil); err == nil {
+		t.Error("decode of empty buffer should fail")
+	}
+	if _, _, err := Decode([]byte{0x00}); err == nil {
+		t.Error("decode of undefined opcode should fail")
+	}
+	// Truncated MOVri.
+	if _, _, err := Decode([]byte{byte(MOVri), 0x00, 0x01}); err == nil {
+		t.Error("decode of truncated instruction should fail")
+	}
+	// Bad register.
+	if _, _, err := Decode([]byte{byte(PUSH), 0x20}); err == nil {
+		t.Error("decode of bad register should fail")
+	}
+	// Bad mem mode byte.
+	ld := Load(RAX, Mem(RSI, 0))
+	b, err := ld.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[2] |= 0x80
+	if _, _, err := Decode(b); err == nil {
+		t.Error("decode of corrupt mem mode should fail")
+	}
+}
+
+func TestTripwireEmbedding(t *testing.T) {
+	// The canonical phantom instruction: mov $0xCC, %r11. Its immediate
+	// bytes contain 0xCC; decoding at that offset must yield int3.
+	ph := MovRI(R11, 0xCC)
+	b, err := ph.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Layout: [opcode][reg][imm64 LE] -> 0xCC is at offset 2.
+	if b[2] != 0xCC {
+		t.Fatalf("tripwire byte not at offset 2: % x", b)
+	}
+	in, n, err := Decode(b[2:])
+	if err != nil || in.Op != INT3 || n != 1 {
+		t.Fatalf("overlapping decode: got %v op=%v n=%d, want int3", err, in.Op, n)
+	}
+}
+
+// TripwireOffset is validated here so the diversify package can rely on it.
+func TestTripwireOffsetStable(t *testing.T) {
+	ph := MovRI(R11, 0xCC)
+	b, _ := ph.Encode(nil)
+	for i, v := range b {
+		if v == 0xCC {
+			if i != 2 {
+				t.Fatalf("tripwire offset %d, expected 2", i)
+			}
+			return
+		}
+	}
+	t.Fatal("no tripwire byte found")
+}
+
+func TestDisassembleLinear(t *testing.T) {
+	var code []byte
+	ins := []Instr{MovRI(RAX, 1), AddRI(RAX, 2), Ret()}
+	for _, in := range ins {
+		var err error
+		code, err = in.Encode(code)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	lines := Disassemble(code, 0x1000)
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	if lines[0].Addr != 0x1000 || lines[2].Instr.Op != RET {
+		t.Fatalf("unexpected disassembly: %+v", lines)
+	}
+}
+
+func TestReadsWritesMemoryClassification(t *testing.T) {
+	reads := []Instr{
+		Load(RAX, Mem(RSI, 0)),
+		CmpRM(RAX, Mem(RSI, 0)),
+		CmpMI(Mem(RSI, 0), 1),
+		XorMR(Mem(RSP, 0), R11),
+		{Op: ADDrm, Dst: RAX, M: Mem(RBX, 0)},
+		CallMem(Mem(RAX, 0)),
+		Movs(8, true),
+		Lods(8, false),
+	}
+	for _, in := range reads {
+		if !in.ReadsMemory() {
+			t.Errorf("%q should read memory", in.String())
+		}
+	}
+	nonReads := []Instr{
+		Store(Mem(RDI, 0), RAX),
+		StoreImm(Mem(RDI, 0), 1),
+		Lea(RAX, Mem(RSI, 0x100)),
+		Push(RAX),
+		MovRI(RAX, 5),
+		Stos(8, true),
+	}
+	for _, in := range nonReads {
+		if in.ReadsMemory() {
+			t.Errorf("%q should not count as a data memory read", in.String())
+		}
+	}
+	if w := (&Instr{Op: XORmr, Dst: R11, M: Mem(RSP, 0)}); !w.WritesMemory() {
+		t.Error("xor mem should write memory")
+	}
+}
+
+func TestFlagsClassification(t *testing.T) {
+	if !CmpRI(RAX, 1).WritesFlags() {
+		t.Error("cmp writes flags")
+	}
+	if MovRR(RAX, RBX).WritesFlags() {
+		t.Error("mov does not write flags")
+	}
+	if !(&Instr{Op: JCC, CC: CondA}).ReadsFlags() {
+		t.Error("jcc reads flags")
+	}
+	if !Pushfq().ReadsFlags() {
+		t.Error("pushfq reads flags")
+	}
+	if Movs(8, true).ReadsFlags() {
+		t.Error("movs reads only DF, which cmp never clobbers")
+	}
+	if !Popfq().WritesFlags() {
+		t.Error("popfq writes flags")
+	}
+	if Lea(RAX, Mem(RSI, 8)).WritesFlags() {
+		t.Error("lea does not write flags")
+	}
+}
+
+func TestRegsReadWritten(t *testing.T) {
+	in := Load(RCX, MemIdx(RSI, RDI, 8, 0x10))
+	reads := in.RegsRead(nil)
+	if !containsReg(reads, RSI) || !containsReg(reads, RDI) {
+		t.Errorf("load reads base+index, got %v", reads)
+	}
+	writes := in.RegsWritten(nil)
+	if !containsReg(writes, RCX) || len(writes) != 1 {
+		t.Errorf("load writes dst only, got %v", writes)
+	}
+
+	cmp := CmpRR(RAX, RBX)
+	if w := cmp.RegsWritten(nil); len(w) != 0 {
+		t.Errorf("cmp writes no registers, got %v", w)
+	}
+	if r := cmp.RegsRead(nil); !containsReg(r, RAX) || !containsReg(r, RBX) {
+		t.Errorf("cmp reads both operands, got %v", r)
+	}
+
+	movs := Movs(8, true)
+	r := movs.RegsRead(nil)
+	if !containsReg(r, RSI) || !containsReg(r, RDI) || !containsReg(r, RCX) {
+		t.Errorf("rep movs reads rsi/rdi/rcx, got %v", r)
+	}
+}
+
+func containsReg(s []Reg, r Reg) bool {
+	for _, v := range s {
+		if v == r {
+			return true
+		}
+	}
+	return false
+}
+
+func TestTerminatorsAndCalls(t *testing.T) {
+	terms := []Instr{Ret(), RetImm(8), Jmp("x"), Jcc(CondE, "x"), {Op: JMPR, Dst: RAX}, Iret(), Sysret(), Hlt()}
+	for _, in := range terms {
+		if !in.IsTerminator() {
+			t.Errorf("%q should be a terminator", in.String())
+		}
+	}
+	calls := []Instr{Call("f"), CallReg(RAX), CallMem(Mem(RAX, 0))}
+	for _, in := range calls {
+		if !in.IsCall() || in.IsTerminator() {
+			t.Errorf("%q should be a non-terminator call", in.String())
+		}
+	}
+}
+
+func TestMemRefString(t *testing.T) {
+	cases := []struct {
+		m    MemRef
+		want string
+	}{
+		{Mem(RSI, 0x154), "0x154(%rsi)"},
+		{Mem(RSI, 0), "(%rsi)"},
+		{Mem(RBP, -8), "-0x8(%rbp)"},
+		{MemIdx(RAX, RBX, 8, 0), "(%rax,%rbx,8)"},
+		{MemRIP("xkey", 0), "xkey(%rip)"},
+		{MemAbs("table", 16), "table+0x10"},
+	}
+	for _, c := range cases {
+		if got := c.m.String(); got != c.want {
+			t.Errorf("MemRef.String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestStrFlags(t *testing.T) {
+	for _, w := range []uint8{1, 2, 4, 8} {
+		f := MakeStrFlags(w, true)
+		if f.Width() != w || !f.Rep() {
+			t.Errorf("MakeStrFlags(%d, true): width=%d rep=%v", w, f.Width(), f.Rep())
+		}
+		f = MakeStrFlags(w, false)
+		if f.Width() != w || f.Rep() {
+			t.Errorf("MakeStrFlags(%d, false): width=%d rep=%v", w, f.Width(), f.Rep())
+		}
+	}
+}
+
+func TestCostsOrdering(t *testing.T) {
+	// The relationships the evaluation depends on.
+	pushfq := Pushfq().Cost()
+	cmp := CmpRI(RAX, 0).Cost()
+	ja := Jcc(CondA, "x").Cost()
+	lea := Lea(R11, Mem(RSI, 0)).Cost()
+	bndcu := Bndcu(BND0, Mem(RSI, 0)).Cost()
+	sysc := Syscall().Cost()
+	if pushfq < 5*(cmp+ja) {
+		t.Errorf("pushfq (%d) must dwarf a cmp+ja pair (%d)", pushfq, cmp+ja)
+	}
+	if bndcu > cmp+ja+lea {
+		t.Errorf("bndcu (%d) must be cheaper than the SFI triplet", bndcu)
+	}
+	if sysc < 50 {
+		t.Errorf("mode switch (%d) must dominate a null syscall", sysc)
+	}
+}
+
+// Property: every encodable instruction decodes to an instruction that
+// re-encodes to identical bytes (byte-level fixpoint).
+func TestQuickEncodeDecodeFixpoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	samples := sampleInstrs()
+	f := func(pick uint16, immSeed int64) bool {
+		in := samples[int(pick)%len(samples)]
+		// Perturb immediates where legal to widen coverage.
+		switch in.Op.Format() {
+		case fmtRegImm64:
+			in.Imm = immSeed
+		case fmtRegImm32, fmtMemImm32, fmtRel32:
+			in.Imm = int64(int32(immSeed))
+		case fmtRegImm8:
+			in.Imm = int64(uint8(immSeed))
+		case fmtImm16:
+			in.Imm = int64(uint16(immSeed))
+		}
+		if m := in.MemOperand(); m != nil {
+			m.Disp = int32(rng.Uint32())
+		}
+		b1, err := in.Encode(nil)
+		if err != nil {
+			return false
+		}
+		dec, n, err := Decode(b1)
+		if err != nil || n != len(b1) {
+			return false
+		}
+		b2, err := dec.Encode(nil)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(b1, b2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the decoder never panics and never reports a length that
+// overruns the buffer, for arbitrary byte soup.
+func TestQuickDecodeRobust(t *testing.T) {
+	f := func(b []byte) bool {
+		_, n, err := Decode(b)
+		if err != nil {
+			return true
+		}
+		return n > 0 && n <= len(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstrStringSmoke(t *testing.T) {
+	for _, in := range sampleInstrs() {
+		if in.String() == "" {
+			t.Errorf("empty String() for opcode %v", in.Op)
+		}
+	}
+	want := "cmp $(_krx_edata-0x154), %rsi"
+	if got := CmpSymNeg(RSI, "_krx_edata", 0x154).String(); got != want {
+		t.Errorf("O2 range check renders as %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,220 @@
+package isa
+
+import "fmt"
+
+// Opcode identifies a KX64 instruction. The numeric value of each opcode is
+// also its encoding byte; a handful of values are pinned to their x86-64
+// equivalents (RET=0xC3, INT3=0xCC, CALL=0xE8, JMP=0xE9, NOP=0x90) so that
+// byte-level gadget scanning and overlapping-instruction tripwires behave
+// like they do on real x86.
+type Opcode uint8
+
+// Instruction opcodes.
+const (
+	// Control transfer.
+	CALL  Opcode = 0xE8 // call rel32
+	CALLR Opcode = 0x10 // call *%reg
+	CALLM Opcode = 0x11 // call *mem
+	JMP   Opcode = 0xE9 // jmp rel32
+	JMPR  Opcode = 0x12 // jmp *%reg
+	JMPM  Opcode = 0x13 // jmp *mem
+	JCC   Opcode = 0x70 // jcc rel32 (condition byte follows opcode)
+	RET   Opcode = 0xC3 // ret
+	RETI  Opcode = 0xC2 // ret $imm16 (pop return address, then rsp += imm)
+
+	// Data movement.
+	MOVri Opcode = 0x20 // mov $imm64, %reg
+	MOVrr Opcode = 0x21 // mov %src, %dst
+	MOVrm Opcode = 0x22 // mov mem, %reg (load)
+	MOVmr Opcode = 0x23 // mov %reg, mem (store)
+	MOVmi Opcode = 0x24 // mov $imm32, mem (store, sign-extended)
+	LEA   Opcode = 0x25 // lea mem, %reg
+
+	// Stack.
+	PUSH   Opcode = 0x26 // push %reg
+	POP    Opcode = 0x27 // pop %reg
+	PUSHFQ Opcode = 0x28 // push %rflags
+	POPFQ  Opcode = 0x29 // pop %rflags
+
+	// Arithmetic / logic.
+	ADDri  Opcode = 0x30
+	ADDrr  Opcode = 0x31
+	ADDrm  Opcode = 0x32 // add mem, %reg (load + add)
+	SUBri  Opcode = 0x33
+	SUBrr  Opcode = 0x34
+	SUBrm  Opcode = 0x35
+	ANDri  Opcode = 0x36
+	ANDrr  Opcode = 0x37
+	ORri   Opcode = 0x38
+	ORrr   Opcode = 0x39
+	XORri  Opcode = 0x3A
+	XORrr  Opcode = 0x3B
+	XORrm  Opcode = 0x3C // xor mem, %reg (load + xor)
+	XORmr  Opcode = 0x3D // xor %reg, mem (read-modify-write)
+	SHLri  Opcode = 0x3E
+	SHRri  Opcode = 0x3F
+	SARri  Opcode = 0x40
+	NOTr   Opcode = 0x41
+	NEGr   Opcode = 0x42
+	IMULrr        = Opcode(0x43)
+	IMULri        = Opcode(0x44)
+
+	// Comparison / test.
+	CMPri  Opcode = 0x45
+	CMPrr  Opcode = 0x46
+	CMPrm  Opcode = 0x47 // cmp mem, %reg (load + compare)
+	CMPmi  Opcode = 0x48 // cmp $imm32, mem (load + compare)
+	TESTrr        = Opcode(0x49)
+	TESTri        = Opcode(0x4A)
+	INCr          = Opcode(0x4B)
+	DECr          = Opcode(0x4C)
+
+	// String operations (flags byte selects REP prefix and element width).
+	MOVS Opcode = 0x50 // (%rsi) -> (%rdi)
+	STOS Opcode = 0x51 // %rax -> (%rdi)
+	LODS Opcode = 0x52 // (%rsi) -> %rax
+	CMPS Opcode = 0x53 // compare (%rsi), (%rdi)
+	SCAS Opcode = 0x54 // compare %rax, (%rdi)
+	CLD  Opcode = 0x55 // clear direction flag
+	STD  Opcode = 0x56 // set direction flag
+
+	// System.
+	SYSCALL Opcode = 0x05 // user -> kernel mode switch
+	SYSRET  Opcode = 0x07 // kernel -> user mode switch
+	IRET    Opcode = 0xCF // return from exception
+	WRMSR   Opcode = 0x60
+	RDMSR   Opcode = 0x61
+	SWAPGS  Opcode = 0x62
+
+	// MPX (Memory Protection Extensions).
+	BNDCU  Opcode = 0x64 // check effective address against %bndN upper bound
+	BNDCL  Opcode = 0x65 // check effective address against %bndN lower bound
+	BNDMK  Opcode = 0x66 // make bounds: lb = 0, ub = effective address
+	BNDSTX Opcode = 0x67 // spill %bndN to memory (16 bytes)
+	BNDLDX Opcode = 0x68 // fill %bndN from memory (16 bytes)
+
+	// Misc.
+	NOP  Opcode = 0x90
+	INT3 Opcode = 0xCC // breakpoint / tripwire
+	HLT  Opcode = 0xF4
+	UD2  Opcode = 0x0B // undefined instruction (guaranteed fault)
+)
+
+// opFormat describes how an opcode's operands are laid out in the byte
+// stream following the opcode byte.
+type opFormat uint8
+
+const (
+	fmtNone      opFormat = iota // [op]
+	fmtReg                       // [op][reg]
+	fmtRegImm64                  // [op][reg][imm64]
+	fmtRegImm32                  // [op][reg][imm32]
+	fmtRegImm8                   // [op][reg][imm8]
+	fmtRegReg                    // [op][dst][src]
+	fmtRegMem                    // [op][reg][mem]
+	fmtMemReg                    // [op][mem][reg]
+	fmtMemImm32                  // [op][mem][imm32]
+	fmtMem                       // [op][mem]
+	fmtRel32                     // [op][rel32]
+	fmtCondRel32                 // [op][cc][rel32]
+	fmtImm16                     // [op][imm16]
+	fmtString                    // [op][flags]
+	fmtBndMem                    // [op][bnd][mem]
+)
+
+// opInfo is static metadata about one opcode.
+type opInfo struct {
+	name   string
+	format opFormat
+	valid  bool
+}
+
+var opTable = [256]opInfo{
+	CALL:    {"callq", fmtRel32, true},
+	CALLR:   {"callq*r", fmtReg, true},
+	CALLM:   {"callq*m", fmtMem, true},
+	JMP:     {"jmp", fmtRel32, true},
+	JMPR:    {"jmp*r", fmtReg, true},
+	JMPM:    {"jmp*m", fmtMem, true},
+	JCC:     {"j", fmtCondRel32, true},
+	RET:     {"retq", fmtNone, true},
+	RETI:    {"retq$", fmtImm16, true},
+	MOVri:   {"mov", fmtRegImm64, true},
+	MOVrr:   {"mov", fmtRegReg, true},
+	MOVrm:   {"mov", fmtRegMem, true},
+	MOVmr:   {"mov", fmtMemReg, true},
+	MOVmi:   {"movq", fmtMemImm32, true},
+	LEA:     {"lea", fmtRegMem, true},
+	PUSH:    {"push", fmtReg, true},
+	POP:     {"pop", fmtReg, true},
+	PUSHFQ:  {"pushfq", fmtNone, true},
+	POPFQ:   {"popfq", fmtNone, true},
+	ADDri:   {"add", fmtRegImm32, true},
+	ADDrr:   {"add", fmtRegReg, true},
+	ADDrm:   {"add", fmtRegMem, true},
+	SUBri:   {"sub", fmtRegImm32, true},
+	SUBrr:   {"sub", fmtRegReg, true},
+	SUBrm:   {"sub", fmtRegMem, true},
+	ANDri:   {"and", fmtRegImm32, true},
+	ANDrr:   {"and", fmtRegReg, true},
+	ORri:    {"or", fmtRegImm32, true},
+	ORrr:    {"or", fmtRegReg, true},
+	XORri:   {"xor", fmtRegImm32, true},
+	XORrr:   {"xor", fmtRegReg, true},
+	XORrm:   {"xor", fmtRegMem, true},
+	XORmr:   {"xor", fmtMemReg, true},
+	SHLri:   {"shl", fmtRegImm8, true},
+	SHRri:   {"shr", fmtRegImm8, true},
+	SARri:   {"sar", fmtRegImm8, true},
+	NOTr:    {"not", fmtReg, true},
+	NEGr:    {"neg", fmtReg, true},
+	IMULrr:  {"imul", fmtRegReg, true},
+	IMULri:  {"imul", fmtRegImm32, true},
+	CMPri:   {"cmp", fmtRegImm32, true},
+	CMPrr:   {"cmp", fmtRegReg, true},
+	CMPrm:   {"cmp", fmtRegMem, true},
+	CMPmi:   {"cmpq", fmtMemImm32, true},
+	TESTrr:  {"test", fmtRegReg, true},
+	TESTri:  {"test", fmtRegImm32, true},
+	INCr:    {"inc", fmtReg, true},
+	DECr:    {"dec", fmtReg, true},
+	MOVS:    {"movs", fmtString, true},
+	STOS:    {"stos", fmtString, true},
+	LODS:    {"lods", fmtString, true},
+	CMPS:    {"cmps", fmtString, true},
+	SCAS:    {"scas", fmtString, true},
+	CLD:     {"cld", fmtNone, true},
+	STD:     {"std", fmtNone, true},
+	SYSCALL: {"syscall", fmtNone, true},
+	SYSRET:  {"sysret", fmtNone, true},
+	IRET:    {"iretq", fmtNone, true},
+	WRMSR:   {"wrmsr", fmtNone, true},
+	RDMSR:   {"rdmsr", fmtNone, true},
+	SWAPGS:  {"swapgs", fmtNone, true},
+	BNDCU:   {"bndcu", fmtBndMem, true},
+	BNDCL:   {"bndcl", fmtBndMem, true},
+	BNDMK:   {"bndmk", fmtBndMem, true},
+	BNDSTX:  {"bndstx", fmtBndMem, true},
+	BNDLDX:  {"bndldx", fmtBndMem, true},
+	NOP:     {"nop", fmtNone, true},
+	INT3:    {"int3", fmtNone, true},
+	HLT:     {"hlt", fmtNone, true},
+	UD2:     {"ud2", fmtNone, true},
+}
+
+// Valid reports whether op is a defined KX64 opcode.
+func (op Opcode) Valid() bool { return opTable[op].valid }
+
+// Name returns the assembler mnemonic for op.
+func (op Opcode) Name() string {
+	if !op.Valid() {
+		return fmt.Sprintf(".byte 0x%02x", uint8(op))
+	}
+	return opTable[op].name
+}
+
+// Format returns the operand layout class of the opcode.
+func (op Opcode) Format() opFormat { return opTable[op].format }
+
+// String implements fmt.Stringer.
+func (op Opcode) String() string { return op.Name() }

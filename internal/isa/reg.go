@@ -1,0 +1,194 @@
+// Package isa defines the KX64 instruction set architecture: an
+// x86-64-flavoured, variable-length, byte-encoded instruction set used by the
+// kR^X simulation stack. KX64 deliberately mirrors the properties of x86-64
+// that the kR^X paper depends on: a one-byte RET (0xC3) and INT3 (0xCC) so
+// that unaligned decoding yields gadgets and tripwires, a single %rflags
+// register clobbered by comparisons (motivating the O1 pushfq/popfq
+// elimination), %rip-relative and absolute addressing (safe reads), string
+// operations with REP prefixes, and MPX-style bound registers with a BNDCU
+// upper-bound check.
+package isa
+
+import "fmt"
+
+// Reg identifies a KX64 register. The first sixteen values are the
+// general-purpose registers in x86-64 encoding order.
+type Reg uint8
+
+// General-purpose registers.
+const (
+	RAX Reg = iota
+	RCX
+	RDX
+	RBX
+	RSP
+	RBP
+	RSI
+	RDI
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+
+	// NumGPR is the number of general-purpose registers.
+	NumGPR = 16
+)
+
+// NoReg marks an absent base or index register in a memory reference.
+const NoReg Reg = 0xFF
+
+var regNames = [NumGPR]string{
+	"rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+	"r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+}
+
+// String returns the AT&T-style name of the register (without the % sigil).
+func (r Reg) String() string {
+	if r < NumGPR {
+		return regNames[r]
+	}
+	if r == NoReg {
+		return "noreg"
+	}
+	return fmt.Sprintf("reg%d", uint8(r))
+}
+
+// Valid reports whether r names a general-purpose register.
+func (r Reg) Valid() bool { return r < NumGPR }
+
+// BndReg identifies an MPX bound register (%bnd0–%bnd3). Each holds a lower
+// and an upper bound; kR^X-MPX uses %bnd0 with ub = _krx_edata.
+type BndReg uint8
+
+// MPX bound registers.
+const (
+	BND0 BndReg = iota
+	BND1
+	BND2
+	BND3
+
+	// NumBnd is the number of MPX bound registers.
+	NumBnd = 4
+)
+
+// String returns the name of the bound register.
+func (b BndReg) String() string {
+	if b < NumBnd {
+		return fmt.Sprintf("bnd%d", uint8(b))
+	}
+	return fmt.Sprintf("bnd?%d", uint8(b))
+}
+
+// Valid reports whether b names a bound register.
+func (b BndReg) Valid() bool { return b < NumBnd }
+
+// Flag bits within the %rflags register. Only the bits the simulation needs
+// are modelled; they use the genuine x86 bit positions for familiarity.
+const (
+	FlagCF uint64 = 1 << 0  // carry
+	FlagPF uint64 = 1 << 2  // parity
+	FlagZF uint64 = 1 << 6  // zero
+	FlagSF uint64 = 1 << 7  // sign
+	FlagDF uint64 = 1 << 10 // direction (string ops)
+	FlagOF uint64 = 1 << 11 // overflow
+
+	// FlagsArith is the set of status flags written by arithmetic and
+	// comparison instructions. The kR^X O1 optimization tracks %rflags as
+	// a single unit (the paper over-preserves, see its footnote 6), and so
+	// do we.
+	FlagsArith = FlagCF | FlagPF | FlagZF | FlagSF | FlagOF
+)
+
+// Cond is a branch condition code, in x86 encoding order.
+type Cond uint8
+
+// Branch condition codes.
+const (
+	CondO  Cond = iota // overflow
+	CondNO             // not overflow
+	CondB              // below (unsigned <)
+	CondAE             // above or equal (unsigned >=)
+	CondE              // equal
+	CondNE             // not equal
+	CondBE             // below or equal (unsigned <=)
+	CondA              // above (unsigned >)
+	CondS              // sign
+	CondNS             // not sign
+	CondP              // parity
+	CondNP             // not parity
+	CondL              // less (signed <)
+	CondGE             // greater or equal (signed >=)
+	CondLE             // less or equal (signed <=)
+	CondG              // greater (signed >)
+
+	// NumCond is the number of condition codes.
+	NumCond = 16
+)
+
+var condNames = [NumCond]string{
+	"o", "no", "b", "ae", "e", "ne", "be", "a",
+	"s", "ns", "p", "np", "l", "ge", "le", "g",
+}
+
+// String returns the x86 mnemonic suffix for the condition.
+func (c Cond) String() string {
+	if c < NumCond {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cc%d", uint8(c))
+}
+
+// Valid reports whether c is a defined condition code.
+func (c Cond) Valid() bool { return c < NumCond }
+
+// Negate returns the logical complement of the condition (e.g. E <-> NE).
+// x86 condition codes pair even/odd, so flipping the low bit negates.
+func (c Cond) Negate() Cond { return c ^ 1 }
+
+// Eval evaluates the condition against a %rflags value.
+func (c Cond) Eval(flags uint64) bool {
+	cf := flags&FlagCF != 0
+	zf := flags&FlagZF != 0
+	sf := flags&FlagSF != 0
+	of := flags&FlagOF != 0
+	pf := flags&FlagPF != 0
+	switch c {
+	case CondO:
+		return of
+	case CondNO:
+		return !of
+	case CondB:
+		return cf
+	case CondAE:
+		return !cf
+	case CondE:
+		return zf
+	case CondNE:
+		return !zf
+	case CondBE:
+		return cf || zf
+	case CondA:
+		return !cf && !zf
+	case CondS:
+		return sf
+	case CondNS:
+		return !sf
+	case CondP:
+		return pf
+	case CondNP:
+		return !pf
+	case CondL:
+		return sf != of
+	case CondGE:
+		return sf == of
+	case CondLE:
+		return zf || sf != of
+	case CondG:
+		return !zf && sf == of
+	}
+	return false
+}

@@ -1,0 +1,298 @@
+// Package kas models the x86-64 Linux kernel address space and the kR^X-KAS
+// layout of Figure 1. The vanilla layout interleaves code and data (kernel
+// image .text first, then data sections; per-module .text next to its
+// .data). kR^X-KAS rearranges sections so that all code lives in a single
+// contiguous region at the top of the address space and everything below
+// _krx_edata is data:
+//
+//	vanilla x86-64                     kR^X x86-64
+//	------------------                 ------------------
+//	fixmap area                        fixmap area
+//	modules (text+data mixed)          modules_data
+//	                                   modules_text        \
+//	kernel .text                       kernel .text          | code (X)
+//	kernel .rodata                     .krx_phantom (guard) /
+//	kernel .data/.bss/.brk             kernel .rodata/.data/.bss/.brk
+//	vmemmap space                      vmemmap space
+//	vmalloc arena                      vmalloc arena
+//	physmap                            physmap (code synonyms unmapped)
+//
+// (In the scaled simulation the code region sits immediately above the
+// kernel image's data sections, separated by the .krx_phantom guard; module
+// text is placed in modules_text inside the code region.)
+package kas
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mem"
+)
+
+// Virtual-address constants (x86-64 Linux, upper canonical half).
+const (
+	// PhysmapBase is the base of the direct physical mapping (physmap).
+	PhysmapBase uint64 = 0xffff880000000000
+	// VmallocBase is the base of the vmalloc arena.
+	VmallocBase uint64 = 0xffffc90000000000
+	// VmemmapBase is the base of the vmemmap space.
+	VmemmapBase uint64 = 0xffffea0000000000
+	// KernelBase is __START_KERNEL_map, where the kernel image is mapped.
+	KernelBase uint64 = 0xffffffff80000000
+	// ModulesBase is the start of the modules area.
+	ModulesBase uint64 = 0xffffffffa0000000
+	// FixmapBase is the base of the fixmap area (top of the usable space).
+	FixmapBase uint64 = 0xffffffffff578000
+
+	// ModulesTextSize and ModulesDataSize are the defaults for the two
+	// kR^X module regions: the original modules area divided in two
+	// equally-sized parts (sizeof(modules)/2 each; the paper's default is
+	// 512MB — the simulation reserves the virtual span but maps on
+	// demand).
+	ModulesTextSize uint64 = 512 << 20
+	ModulesDataSize uint64 = 512 << 20
+
+	// DefaultGuardSize is the size of the .krx_phantom guard section
+	// placed between _krx_edata and _text. It must exceed the maximum
+	// static offset of any uninstrumented %rsp-based memory read
+	// (see sfi.MaxStackDisp).
+	DefaultGuardSize uint64 = 64 << 10
+)
+
+// kR^X-KAS pushes fixmap towards lower addresses (§5.1.1) — below the
+// kernel image — so that everything above _krx_edata is code: the single
+// upper-bound range check must never reject a legitimate data read.
+// modules_data sits right below the relocated fixmap.
+const (
+	KRXFixmapBase      = KernelBase - (16 << 20)
+	KRXModulesDataBase = KRXFixmapBase - ModulesDataSize
+)
+
+// SectionSizes describes the section byte sizes of a linked kernel image.
+type SectionSizes struct {
+	Text    uint64 // .text (+ code-region sections such as .krxkeys)
+	KrxKeys uint64 // .krxkeys (inside the code region, NX)
+	Rodata  uint64
+	Data    uint64
+	Bss     uint64
+	Brk     uint64
+}
+
+// Kind distinguishes the two supported layouts.
+type Kind int
+
+// Layout kinds.
+const (
+	Vanilla Kind = iota
+	KRX
+)
+
+func (k Kind) String() string {
+	if k == KRX {
+		return "kR^X-KAS"
+	}
+	return "vanilla"
+}
+
+// Region is one placed section or area.
+type Region struct {
+	Name  string
+	Start uint64
+	Size  uint64 // mapped size, page-rounded
+	Perm  mem.Perm
+	Code  bool // lives in the code (execute) region of kR^X-KAS
+}
+
+// End returns the exclusive end address.
+func (r Region) End() uint64 { return r.Start + r.Size }
+
+// Layout is a planned kernel address-space layout: the placed kernel-image
+// regions plus the derived symbols.
+type Layout struct {
+	Kind    Kind
+	Regions []Region
+	// Symbols holds layout-derived link symbols: _text, _etext,
+	// _krx_edata, _sdata, and the module region bounds.
+	Symbols map[string]uint64
+
+	// GuardSize is the .krx_phantom guard size used (KRX only).
+	GuardSize uint64
+}
+
+func pageRound(v uint64) uint64 {
+	return (v + mem.PageMask) &^ uint64(mem.PageMask)
+}
+
+// MaxSlide bounds the coarse-KASLR image slide (the kernel image must stay
+// below the modules area).
+const MaxSlide uint64 = 256 << 20
+
+// PlanVanilla computes the traditional layout: .text at the start of the
+// kernel image, data sections following, modules region shared by module
+// text and data.
+func PlanVanilla(s SectionSizes) *Layout { return PlanVanillaAt(s, KernelBase) }
+
+// PlanVanillaAt is PlanVanilla with an explicit image base (coarse KASLR
+// slides the base by a boot-time random, page-aligned delta).
+func PlanVanillaAt(s SectionSizes, base uint64) *Layout {
+	l := &Layout{Kind: Vanilla, Symbols: make(map[string]uint64)}
+	at := base
+	place := func(name string, size uint64, perm mem.Perm, code bool) Region {
+		r := Region{Name: name, Start: at, Size: pageRound(size), Perm: perm, Code: code}
+		if r.Size > 0 {
+			l.Regions = append(l.Regions, r)
+		}
+		at += r.Size
+		return r
+	}
+	text := place(".text", s.Text+s.KrxKeys, mem.PermRX, true)
+	rodata := place(".rodata", s.Rodata, mem.PermR, false)
+	place(".data", s.Data, mem.PermRW, false)
+	place(".bss", s.Bss, mem.PermRW, false)
+	place(".brk", s.Brk, mem.PermRW, false)
+	l.Symbols["_text"] = text.Start
+	l.Symbols["_etext"] = text.End()
+	l.Symbols["_sdata"] = rodata.Start
+	// Vanilla has no R^X boundary; _krx_edata is defined for uniformity as
+	// the top of the address space so that range checks (if any were
+	// emitted) always pass.
+	l.Symbols["_krx_edata"] = ^uint64(0)
+	l.Symbols["__start_modules"] = ModulesBase
+	l.Symbols["__end_modules"] = ModulesBase + ModulesTextSize + ModulesDataSize
+	return l
+}
+
+// PlanKRX computes the kR^X-KAS layout: the image is "flipped" — data
+// sections land at KernelBase, then the .krx_phantom guard, then the code
+// region (.text and .krxkeys). modules_text extends the code region;
+// modules_data is placed just below fixmap. _krx_edata marks the end of all
+// readable data; everything at or above the guard is the code region.
+func PlanKRX(s SectionSizes, guardSize uint64) *Layout {
+	return PlanKRXAt(s, KernelBase, guardSize)
+}
+
+// PlanKRXAt is PlanKRX with an explicit image base (coarse KASLR).
+func PlanKRXAt(s SectionSizes, base uint64, guardSize uint64) *Layout {
+	if guardSize == 0 {
+		guardSize = DefaultGuardSize
+	}
+	l := &Layout{Kind: KRX, Symbols: make(map[string]uint64), GuardSize: guardSize}
+	at := base
+	place := func(name string, size uint64, perm mem.Perm, code bool) Region {
+		r := Region{Name: name, Start: at, Size: pageRound(size), Perm: perm, Code: code}
+		if r.Size > 0 {
+			l.Regions = append(l.Regions, r)
+		}
+		at += r.Size
+		return r
+	}
+	rodata := place(".rodata", s.Rodata, mem.PermR, false)
+	place(".data", s.Data, mem.PermRW, false)
+	place(".bss", s.Bss, mem.PermRW, false)
+	brk := place(".brk", s.Brk, mem.PermRW, false)
+	l.Symbols["_sdata"] = rodata.Start
+	l.Symbols["_krx_edata"] = brk.End()
+	guard := place(".krx_phantom", guardSize, 0, true) // mapped with no permissions: pure tripwire
+	text := place(".text", s.Text, mem.PermX, true)
+	// .krxkeys holds the per-function XOR keys: inside the code region
+	// (above _krx_edata, hence unreadable by instrumented code) but marked
+	// non-executable, like __ex_table and friends (§5.1.1 footnote).
+	keys := place(".krxkeys", s.KrxKeys, mem.PermR, true)
+	l.Symbols["_text"] = text.Start
+	l.Symbols["_etext"] = text.End()
+	l.Symbols["_guard"] = guard.Start
+	if s.KrxKeys > 0 {
+		l.Symbols["_krxkeys"] = keys.Start
+	}
+	l.Symbols["__start_modules_text"] = ModulesBase
+	l.Symbols["__end_modules_text"] = ModulesBase + ModulesTextSize
+	l.Symbols["__start_modules_data"] = KRXModulesDataBase
+	l.Symbols["__end_modules_data"] = KRXModulesDataBase + ModulesDataSize
+	l.Symbols["_fixmap"] = KRXFixmapBase
+	return l
+}
+
+// CodeRegionStart returns the lowest address of the code region (the
+// boundary that range checks enforce: reads must stay strictly below it —
+// kR^X compares against _krx_edata).
+func (l *Layout) CodeRegionStart() uint64 {
+	if l.Kind != KRX {
+		return ^uint64(0)
+	}
+	return l.Symbols["_guard"]
+}
+
+// Validate checks layout invariants: regions are sorted, non-overlapping,
+// page-aligned; under KRX every code region lies entirely above
+// _krx_edata and every data region below it.
+func (l *Layout) Validate() error {
+	rs := append([]Region(nil), l.Regions...)
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Start < rs[j].Start })
+	for i, r := range rs {
+		if !mem.PageAligned(r.Start) || !mem.PageAligned(r.Size) {
+			return fmt.Errorf("kas: region %s not page aligned", r.Name)
+		}
+		if i > 0 && rs[i-1].End() > r.Start {
+			return fmt.Errorf("kas: regions %s and %s overlap", rs[i-1].Name, r.Name)
+		}
+	}
+	if l.Kind == KRX {
+		edata := l.Symbols["_krx_edata"]
+		for _, r := range l.Regions {
+			if r.Code && r.Start < edata {
+				return fmt.Errorf("kas: code region %s below _krx_edata", r.Name)
+			}
+			if !r.Code && r.End() > edata {
+				return fmt.Errorf("kas: data region %s above _krx_edata", r.Name)
+			}
+			if !r.Code && r.Perm&mem.PermX != 0 {
+				return fmt.Errorf("kas: data region %s is executable", r.Name)
+			}
+		}
+		if l.Symbols["_text"] < edata {
+			return fmt.Errorf("kas: _text below _krx_edata")
+		}
+	}
+	return nil
+}
+
+// Region returns the named region, or nil.
+func (l *Layout) Region(name string) *Region {
+	for i := range l.Regions {
+		if l.Regions[i].Name == name {
+			return &l.Regions[i]
+		}
+	}
+	return nil
+}
+
+// Describe renders the layout in the style of Figure 1, top of the address
+// space first.
+func (l *Layout) Describe() []string {
+	rs := append([]Region(nil), l.Regions...)
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Start > rs[j].Start })
+	out := []string{fmt.Sprintf("%s layout", l.Kind)}
+	if l.Kind == KRX {
+		out = append(out, fmt.Sprintf("  %-22s @ %#018x  [code]", "modules_text", ModulesBase))
+	} else {
+		out = append(out, fmt.Sprintf("  %-22s @ %#018x", "fixmap area", FixmapBase))
+		out = append(out, fmt.Sprintf("  %-22s @ %#018x", "modules", ModulesBase))
+	}
+	for _, r := range rs {
+		tag := "data"
+		if r.Code {
+			tag = "code"
+		}
+		out = append(out, fmt.Sprintf("  %-22s @ %#018x +%#x %s [%s]", "kernel "+r.Name, r.Start, r.Size, r.Perm, tag))
+	}
+	if l.Kind == KRX {
+		// Pushed towards lower addresses so that the code region is the
+		// only occupant above _krx_edata.
+		out = append(out, fmt.Sprintf("  %-22s @ %#018x", "fixmap area", KRXFixmapBase))
+		out = append(out, fmt.Sprintf("  %-22s @ %#018x", "modules_data", KRXModulesDataBase))
+	}
+	out = append(out, fmt.Sprintf("  %-22s @ %#018x", "vmemmap space", VmemmapBase))
+	out = append(out, fmt.Sprintf("  %-22s @ %#018x", "vmalloc arena", VmallocBase))
+	out = append(out, fmt.Sprintf("  %-22s @ %#018x", "physmap", PhysmapBase))
+	return out
+}

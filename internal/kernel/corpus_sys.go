@@ -1,0 +1,723 @@
+package kernel
+
+import (
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// emitFDEntry emits: %r8 = &fd_table[reg], clobbering %r10. Branches to
+// failLabel if reg >= numFDs.
+func emitFDEntry(b *ir.Builder, reg isa.Reg, failLabel string) {
+	b.I(
+		isa.CmpRI(reg, numFDs),
+		isa.Jcc(isa.CondAE, failLabel),
+		isa.MovSym(isa.R8, "fd_table"),
+		isa.MovRR(isa.R10, reg),
+		isa.ShlRI(isa.R10, 5),
+		isa.AddRR(isa.R8, isa.R10),
+	)
+}
+
+// sys_null(): the null syscall — touches the current task (two reads off
+// one base: coalescible) and returns 0.
+func fnSysNull() (*ir.Function, error) {
+	return ir.NewBuilder("sys_null").
+		I(
+			isa.MovSym(isa.R8, "task_cur"),
+			isa.Load(isa.R9, isa.Mem(isa.R8, 0)),
+			isa.Load(isa.R9, isa.Mem(isa.R8, 8)),
+			isa.XorRR(isa.RAX, isa.RAX),
+			isa.Ret(),
+		).
+		Func()
+}
+
+func fnSysGetpid() (*ir.Function, error) {
+	return ir.NewBuilder("sys_getpid").
+		I(
+			isa.MovSym(isa.R8, "task_cur"),
+			isa.Load(isa.RAX, isa.Mem(isa.R8, 8)),
+			isa.Ret(),
+		).
+		Func()
+}
+
+// sys_open(%rdi=user path) -> fd or -1. Zeroes the name buffer, copies the
+// path from user space, walks the dentry table, claims a free fd slot.
+func fnSysOpen() (*ir.Function, error) {
+	b := ir.NewBuilder("sys_open").
+		I(
+			// Zero name_buf (8 quads).
+			isa.MovRR(isa.R9, isa.RDI), // stash user pointer
+			isa.MovSym(isa.RDI, "name_buf"),
+			isa.XorRR(isa.RAX, isa.RAX),
+			isa.MovRI(isa.RCX, 8),
+			isa.Stos(8, true),
+			// strncpy_from_user(name_buf, upath, 63).
+			isa.MovRR(isa.RSI, isa.R9),
+			isa.MovSym(isa.RDI, "name_buf"),
+			isa.MovRI(isa.RDX, 63),
+			isa.Call("strncpy_from_user"),
+			// inode = path_lookup(name_buf).
+			isa.MovSym(isa.RDI, "name_buf"),
+			isa.Call("path_lookup"),
+			isa.CmpRI(isa.RAX, -1),
+			isa.Jcc(isa.CondE, "fail"),
+			isa.MovRR(isa.R9, isa.RAX), // inode index
+			isa.XorRR(isa.RCX, isa.RCX),
+		).
+		Label("findfd").
+		I(
+			isa.CmpRI(isa.RCX, numFDs),
+			isa.Jcc(isa.CondAE, "fail"),
+			isa.MovSym(isa.R8, "fd_table"),
+			isa.MovRR(isa.R10, isa.RCX),
+			isa.ShlRI(isa.R10, 5),
+			isa.AddRR(isa.R8, isa.R10),
+			isa.Load(isa.RDX, isa.Mem(isa.R8, 0)),
+			isa.CmpRI(isa.RDX, 0),
+			isa.Jcc(isa.CondE, "claim"),
+			isa.Inc(isa.RCX),
+			isa.Jmp("findfd"),
+		).
+		Label("claim").
+		I(
+			isa.StoreImm(isa.Mem(isa.R8, 0), 1),
+			isa.Store(isa.Mem(isa.R8, 8), isa.R9),
+			isa.StoreImm(isa.Mem(isa.R8, 16), 0),
+			isa.StoreImm(isa.Mem(isa.R8, 24), 1), // ready flag
+			// Mark the fd ready in the poll bitmap.
+			isa.MovSym(isa.R10, "bit_masks"),
+			isa.Load(isa.R9, isa.MemIdx(isa.R10, isa.RCX, 8, 0)),
+			isa.MovSym(isa.R10, "poll_bitmap"),
+			isa.Load(isa.RDX, isa.Mem(isa.R10, 0)),
+			isa.OrRR(isa.RDX, isa.R9),
+			isa.Store(isa.Mem(isa.R10, 0), isa.RDX),
+			isa.MovRR(isa.RAX, isa.RCX),
+			isa.Ret(),
+		).
+		Label("fail").
+		I(isa.MovRI(isa.RAX, -1), isa.Ret())
+	return b.Func()
+}
+
+func fnSysClose() (*ir.Function, error) {
+	b := ir.NewBuilder("sys_close")
+	emitFDEntry(b, isa.RDI, "fail")
+	return b.
+		I(
+			isa.Load(isa.RDX, isa.Mem(isa.R8, 0)),
+			isa.CmpRI(isa.RDX, 0),
+			isa.Jcc(isa.CondE, "fail"),
+			isa.StoreImm(isa.Mem(isa.R8, 0), 0),
+			isa.StoreImm(isa.Mem(isa.R8, 8), 0),
+			// Clear the fd's poll-bitmap bit.
+			isa.MovSym(isa.R10, "bit_masks"),
+			isa.Load(isa.R9, isa.MemIdx(isa.R10, isa.RDI, 8, 0)),
+			isa.NotR(isa.R9),
+			isa.MovSym(isa.R10, "poll_bitmap"),
+			isa.Load(isa.RDX, isa.Mem(isa.R10, 0)),
+			isa.AndRR(isa.RDX, isa.R9),
+			isa.Store(isa.Mem(isa.R10, 0), isa.RDX),
+			isa.XorRR(isa.RAX, isa.RAX),
+			isa.Ret(),
+		).
+		Label("fail").
+		I(isa.MovRI(isa.RAX, -1), isa.Ret()).
+		Func()
+}
+
+// emitInodePtr emits: %rcx = &inode_table[%r9], clobbering %r9.
+func emitInodePtr(b *ir.Builder) {
+	b.I(
+		isa.MovSym(isa.RCX, "inode_table"),
+		isa.ImulRI(isa.R9, inodeSize),
+		isa.AddRR(isa.RCX, isa.R9),
+	)
+}
+
+// sys_read(%rdi=fd, %rsi=user buf, %rdx=count) -> count or -1.
+func fnSysRead() (*ir.Function, error) {
+	b := ir.NewBuilder("sys_read")
+	emitFDEntry(b, isa.RDI, "fail")
+	b.I(
+		// fd entry: three same-base loads (coalesce at O3).
+		isa.Load(isa.R9, isa.Mem(isa.R8, 0)),
+		isa.CmpRI(isa.R9, 0),
+		isa.Jcc(isa.CondE, "fail"),
+		isa.Load(isa.R9, isa.Mem(isa.R8, 8)),   // inode
+		isa.Load(isa.R10, isa.Mem(isa.R8, 16)), // pos
+	)
+	emitInodePtr(b)
+	b.I(
+		isa.Load(isa.R9, isa.Mem(isa.RCX, 40)), // cache offset
+		// src = page_cache + offset + pos.
+		isa.MovSym(isa.RAX, "page_cache"),
+		isa.AddRR(isa.RAX, isa.R9),
+		isa.AddRR(isa.RAX, isa.R10),
+		// dst = user buf; copy count>>3 quads.
+		isa.MovRR(isa.RDI, isa.RSI),
+		isa.MovRR(isa.RSI, isa.RAX),
+		isa.MovRR(isa.RCX, isa.RDX),
+		isa.ShrRI(isa.RCX, 3),
+		isa.Movs(8, true),
+		// pos += count.
+		isa.Load(isa.R9, isa.Mem(isa.R8, 16)),
+		isa.AddRR(isa.R9, isa.RDX),
+		isa.Store(isa.Mem(isa.R8, 16), isa.R9),
+		isa.MovRR(isa.RAX, isa.RDX),
+		isa.Ret(),
+	)
+	return b.
+		Label("fail").
+		I(isa.MovRI(isa.RAX, -1), isa.Ret()).
+		Func()
+}
+
+// sys_write(%rdi=fd, %rsi=user buf, %rdx=count) -> count or -1.
+func fnSysWrite() (*ir.Function, error) {
+	b := ir.NewBuilder("sys_write")
+	emitFDEntry(b, isa.RDI, "fail")
+	b.I(
+		isa.Load(isa.R9, isa.Mem(isa.R8, 0)),
+		isa.CmpRI(isa.R9, 0),
+		isa.Jcc(isa.CondE, "fail"),
+		isa.Load(isa.R9, isa.Mem(isa.R8, 8)),
+		isa.Load(isa.R10, isa.Mem(isa.R8, 16)),
+	)
+	emitInodePtr(b)
+	b.I(
+		isa.Load(isa.R9, isa.Mem(isa.RCX, 40)),
+		// dst = page_cache + offset + pos; src = user buf (already %rsi).
+		isa.MovSym(isa.RDI, "page_cache"),
+		isa.AddRR(isa.RDI, isa.R9),
+		isa.AddRR(isa.RDI, isa.R10),
+		isa.MovRR(isa.RCX, isa.RDX),
+		isa.ShrRI(isa.RCX, 3),
+		isa.Movs(8, true),
+		isa.Load(isa.R9, isa.Mem(isa.R8, 16)),
+		isa.AddRR(isa.R9, isa.RDX),
+		isa.Store(isa.Mem(isa.R8, 16), isa.R9),
+		isa.MovRR(isa.RAX, isa.RDX),
+		isa.Ret(),
+	)
+	return b.
+		Label("fail").
+		I(isa.MovRI(isa.RAX, -1), isa.Ret()).
+		Func()
+}
+
+// sys_select(%rdi=nfds) -> number of ready descriptors. Like the real
+// select, the readiness state is an fd_set bitmap: one memory read covers
+// 64 descriptors, and the per-fd work is pure register arithmetic — so the
+// range-check overhead all but vanishes for large fd counts (the paper's
+// select(100 TCP fds) column under O3).
+func fnSysSelect() (*ir.Function, error) {
+	return ir.NewBuilder("sys_select").
+		I(
+			isa.MovSym(isa.R8, "poll_bitmap"),
+			isa.Load(isa.R9, isa.Mem(isa.R8, 0)),
+			isa.XorRR(isa.RAX, isa.RAX),
+			isa.XorRR(isa.RCX, isa.RCX),
+		).
+		Label("loop").
+		I(
+			isa.CmpRR(isa.RCX, isa.RDI),
+			isa.Jcc(isa.CondAE, "done"),
+			isa.MovRR(isa.R10, isa.R9),
+			isa.AndRI(isa.R10, 1),
+			isa.AddRR(isa.RAX, isa.R10),
+			isa.ShrRI(isa.R9, 1),
+			isa.Inc(isa.RCX),
+			isa.Jmp("loop"),
+		).
+		Label("done").
+		I(isa.Ret()).
+		Func()
+}
+
+// sys_fstat(%rdi=fd, %rsi=user stat buf) -> 0 or -1.
+func fnSysFstat() (*ir.Function, error) {
+	b := ir.NewBuilder("sys_fstat")
+	emitFDEntry(b, isa.RDI, "fail")
+	b.I(
+		isa.Load(isa.R9, isa.Mem(isa.R8, 0)),
+		isa.CmpRI(isa.R9, 0),
+		isa.Jcc(isa.CondE, "fail"),
+		isa.Load(isa.R9, isa.Mem(isa.R8, 8)),
+	)
+	emitInodePtr(b)
+	b.I(
+		isa.Load(isa.R9, isa.Mem(isa.RCX, 32)), // size
+		isa.Store(isa.Mem(isa.RSI, 0), isa.R9),
+		isa.Load(isa.R9, isa.Mem(isa.RCX, 40)),
+		isa.Store(isa.Mem(isa.RSI, 8), isa.R9),
+		isa.Load(isa.R9, isa.Mem(isa.RCX, 48)), // mode
+		isa.Store(isa.Mem(isa.RSI, 16), isa.R9),
+		isa.Load(isa.R9, isa.Mem(isa.R8, 16)), // pos
+		isa.Store(isa.Mem(isa.RSI, 24), isa.R9),
+		isa.XorRR(isa.RAX, isa.RAX),
+		isa.Ret(),
+	)
+	return b.
+		Label("fail").
+		I(isa.MovRI(isa.RAX, -1), isa.Ret()).
+		Func()
+}
+
+// sys_mmap(%rdi=npages) -> first pte index or -1. Scans for a free run
+// start (reads), then populates page-table entries (writes).
+func fnSysMmap() (*ir.Function, error) {
+	return ir.NewBuilder("sys_mmap").
+		I(
+			isa.MovSym(isa.R8, "pgtable_arr"),
+			isa.XorRR(isa.RCX, isa.RCX),
+		).
+		Label("scan").
+		I(
+			isa.CmpRI(isa.RCX, numPTEs),
+			isa.Jcc(isa.CondAE, "fail"),
+			isa.Load(isa.R9, isa.MemIdx(isa.R8, isa.RCX, 8, 0)),
+			isa.CmpRI(isa.R9, 0),
+			isa.Jcc(isa.CondE, "found"),
+			isa.Inc(isa.RCX),
+			isa.Jmp("scan"),
+		).
+		Label("found").
+		I(isa.XorRR(isa.R10, isa.R10)).
+		Label("fill").
+		I(
+			isa.CmpRR(isa.R10, isa.RDI),
+			isa.Jcc(isa.CondAE, "done"),
+			isa.MovRR(isa.R9, isa.RCX),
+			isa.AddRR(isa.R9, isa.R10),
+			isa.StoreImm(isa.MemIdx(isa.R8, isa.R9, 8, 0), 0x87),
+			isa.Inc(isa.R10),
+			isa.Jmp("fill"),
+		).
+		Label("done").
+		I(isa.MovRR(isa.RAX, isa.RCX), isa.Ret()).
+		Label("fail").
+		I(isa.MovRI(isa.RAX, -1), isa.Ret()).
+		Func()
+}
+
+// sys_munmap(%rdi=first pte, %rsi=npages) -> 0.
+func fnSysMunmap() (*ir.Function, error) {
+	return ir.NewBuilder("sys_munmap").
+		I(
+			isa.MovSym(isa.R8, "pgtable_arr"),
+			isa.XorRR(isa.R10, isa.R10),
+		).
+		Label("loop").
+		I(
+			isa.CmpRR(isa.R10, isa.RSI),
+			isa.Jcc(isa.CondAE, "done"),
+			isa.MovRR(isa.R9, isa.RDI),
+			isa.AddRR(isa.R9, isa.R10),
+			isa.Load(isa.RCX, isa.MemIdx(isa.R8, isa.R9, 8, 0)), // validate
+			isa.StoreImm(isa.MemIdx(isa.R8, isa.R9, 8, 0), 0),
+			isa.Inc(isa.R10),
+			isa.Jmp("loop"),
+		).
+		Label("done").
+		I(isa.XorRR(isa.RAX, isa.RAX), isa.Ret()).
+		Func()
+}
+
+// sys_fork() -> child pid. Copies the task struct with an unrolled
+// quad-copy loop (32 same-base reads: a coalescing showcase) and the page
+// table with rep movsq.
+func fnSysFork() (*ir.Function, error) {
+	b := ir.NewBuilder("sys_fork").
+		I(
+			isa.MovSym(isa.R8, "pid_counter"),
+			isa.Load(isa.R9, isa.Mem(isa.R8, 0)),
+			isa.Inc(isa.R9),
+			isa.Store(isa.Mem(isa.R8, 0), isa.R9),
+			isa.MovRR(isa.R10, isa.R9),
+			isa.AndRI(isa.R10, 3),
+			isa.ImulRI(isa.R10, taskSize),
+			isa.MovSym(isa.RDI, "task_pool"),
+			isa.AddRR(isa.RDI, isa.R10),
+			isa.MovSym(isa.RSI, "task_cur"),
+		)
+	for q := int32(0); q < taskSize/8; q++ {
+		b.I(
+			isa.Load(isa.RCX, isa.Mem(isa.RSI, q*8)),
+			isa.Store(isa.Mem(isa.RDI, q*8), isa.RCX),
+		)
+	}
+	return b.I(
+		isa.MovRR(isa.RAX, isa.R9), // child pid
+		isa.MovSym(isa.RSI, "pgtable_arr"),
+		isa.MovSym(isa.RDI, "pgtable_child"),
+		isa.MovRI(isa.RCX, numPTEs),
+		isa.Movs(8, true),
+		isa.Ret(),
+	).Func()
+}
+
+// sys_execve(%rdi=user path) -> 0 or -1. Resolves the path, "loads" the
+// text segment from the page cache, zeroes the bss image, resets the task.
+func fnSysExecve() (*ir.Function, error) {
+	return ir.NewBuilder("sys_execve").
+		I(
+			isa.MovRR(isa.R9, isa.RDI),
+			isa.MovSym(isa.RDI, "name_buf"),
+			isa.XorRR(isa.RAX, isa.RAX),
+			isa.MovRI(isa.RCX, 8),
+			isa.Stos(8, true),
+			isa.MovRR(isa.RSI, isa.R9),
+			isa.MovSym(isa.RDI, "name_buf"),
+			isa.MovRI(isa.RDX, 63),
+			isa.Call("strncpy_from_user"),
+			isa.MovSym(isa.RDI, "name_buf"),
+			isa.Call("path_lookup"),
+			isa.CmpRI(isa.RAX, -1),
+			isa.Jcc(isa.CondE, "fail"),
+			// Load segments: copy 512 quads of "text" from the cache.
+			isa.MovSym(isa.RSI, "page_cache"),
+			isa.MovSym(isa.RDI, "exec_image"),
+			isa.MovRI(isa.RCX, 512),
+			isa.Movs(8, true),
+			// Zero the bss image.
+			isa.MovSym(isa.RDI, "pgtable_child"),
+			isa.XorRR(isa.RAX, isa.RAX),
+			isa.MovRI(isa.RCX, numPTEs),
+			isa.Stos(8, true),
+			// Reset task state.
+			isa.MovSym(isa.R8, "task_cur"),
+			isa.StoreImm(isa.Mem(isa.R8, 0), 1),
+			isa.StoreImm(isa.Mem(isa.R8, 24), 0),
+			isa.XorRR(isa.RAX, isa.RAX),
+			isa.Ret(),
+		).
+		Label("fail").
+		I(isa.MovRI(isa.RAX, -1), isa.Ret()).
+		Func()
+}
+
+func fnSysExit() (*ir.Function, error) {
+	return ir.NewBuilder("sys_exit").
+		I(
+			isa.MovSym(isa.R8, "task_cur"),
+			isa.StoreImm(isa.Mem(isa.R8, 0), 0), // state = dead
+			isa.StoreImm(isa.Mem(isa.R8, 24), 0),
+			isa.XorRR(isa.RAX, isa.RAX),
+			isa.Ret(),
+		).
+		Func()
+}
+
+// sys_sigaction(%rdi=sig, %rsi=handler) -> old handler or -1.
+func fnSysSigaction() (*ir.Function, error) {
+	return ir.NewBuilder("sys_sigaction").
+		I(
+			isa.CmpRI(isa.RDI, numSigs),
+			isa.Jcc(isa.CondAE, "fail"),
+			isa.MovSym(isa.R8, "sigactions"),
+			isa.MovRR(isa.R10, isa.RDI),
+			isa.ShlRI(isa.R10, 4),
+			isa.AddRR(isa.R8, isa.R10),
+			isa.Load(isa.RAX, isa.Mem(isa.R8, 0)), // old handler
+			isa.Store(isa.Mem(isa.R8, 0), isa.RSI),
+			isa.StoreImm(isa.Mem(isa.R8, 8), 0),
+			isa.Ret(),
+		).
+		Label("fail").
+		I(isa.MovRI(isa.RAX, -1), isa.Ret()).
+		Func()
+}
+
+// sys_kill(%rdi=sig) -> 0 or -1: signal delivery — reads the sigaction,
+// reads the task context (coalescible), writes a signal frame to the user
+// stack.
+func fnSysKill() (*ir.Function, error) {
+	return ir.NewBuilder("sys_kill").
+		I(
+			isa.CmpRI(isa.RDI, numSigs),
+			isa.Jcc(isa.CondAE, "fail"),
+			isa.MovSym(isa.R8, "sigactions"),
+			isa.MovRR(isa.R10, isa.RDI),
+			isa.ShlRI(isa.R10, 4),
+			isa.AddRR(isa.R8, isa.R10),
+			isa.Load(isa.R9, isa.Mem(isa.R8, 0)),
+			isa.CmpRI(isa.R9, 0),
+			isa.Jcc(isa.CondE, "out"),
+			// Build the signal frame: context from the task struct...
+			isa.MovSym(isa.R8, "task_cur"),
+			isa.Load(isa.RCX, isa.Mem(isa.R8, 32)),
+			isa.Load(isa.RDX, isa.Mem(isa.R8, 40)),
+			isa.Load(isa.RSI, isa.Mem(isa.R8, 48)),
+			isa.Load(isa.R10, isa.Mem(isa.R8, 56)),
+			// ...pushed to a fixed user-stack frame area.
+			isa.MovRI(isa.RAX, int64(UserStack+14*4096)),
+			isa.Store(isa.Mem(isa.RAX, 0), isa.RCX),
+			isa.Store(isa.Mem(isa.RAX, 8), isa.RDX),
+			isa.Store(isa.Mem(isa.RAX, 16), isa.RSI),
+			isa.Store(isa.Mem(isa.RAX, 24), isa.R10),
+			isa.Store(isa.Mem(isa.RAX, 32), isa.R9), // handler address
+		).
+		Label("out").
+		I(isa.XorRR(isa.RAX, isa.RAX), isa.Ret()).
+		Label("fail").
+		I(isa.MovRI(isa.RAX, -1), isa.Ret()).
+		Func()
+}
+
+// fnRingWrite builds sys_<ch>_write(%rdi=user buf, %rsi=count): checksum
+// for INET channels, copy into the ring, advance the head.
+func fnRingWrite(ch string, csum, acks bool) (*ir.Function, error) {
+	name := "sys_" + ch + "_write"
+	b := ir.NewBuilder(name)
+	if csum {
+		// csum_partial(buf, count>>3); stash the sum in state+16.
+		b.I(
+			isa.MovRR(isa.R9, isa.RDI),
+			isa.MovRR(isa.R10, isa.RSI),
+			isa.MovRR(isa.RSI, isa.R10),
+			isa.ShrRI(isa.RSI, 3),
+			// Save args across the call in callee-untouched user regs is
+			// not possible (all scratch); re-derive instead: keep count
+			// in %rdx and buf in %rdi around csum via stack.
+			isa.Push(isa.RDI),
+			isa.Push(isa.R10),
+			isa.Call("csum_partial"),
+			isa.Pop(isa.R10),
+			isa.Pop(isa.RDI),
+			isa.MovSym(isa.R9, "state_"+ch),
+			isa.Store(isa.Mem(isa.R9, 16), isa.RAX),
+			isa.MovRR(isa.RSI, isa.R10),
+		)
+	}
+	if acks {
+		b.I(
+			isa.MovSym(isa.R9, "state_"+ch),
+			isa.Load(isa.RCX, isa.Mem(isa.R9, 24)), // ack state
+			isa.Inc(isa.RCX),
+			isa.Store(isa.Mem(isa.R9, 24), isa.RCX),
+		)
+	}
+	b.I(
+		isa.MovSym(isa.R9, "state_"+ch),
+		isa.Load(isa.R10, isa.Mem(isa.R9, 0)), // head
+		isa.MovRR(isa.RDX, isa.RSI),           // count
+		isa.MovRR(isa.RSI, isa.RDI),           // src = user buf
+		isa.MovRR(isa.RDI, isa.R10),
+		isa.AndRI(isa.RDI, ringMask),
+		isa.MovSym(isa.RCX, "ring_"+ch),
+		isa.AddRR(isa.RDI, isa.RCX), // dst = ring + (head & mask)
+		isa.MovRR(isa.RCX, isa.RDX),
+		isa.ShrRI(isa.RCX, 3),
+		isa.Movs(8, true),
+		isa.AddRR(isa.R10, isa.RDX),
+		isa.Store(isa.Mem(isa.R9, 0), isa.R10), // head += count
+		isa.MovRR(isa.RAX, isa.RDX),
+		isa.Ret(),
+	)
+	return b.Func()
+}
+
+// fnRingRead builds sys_<ch>_read(%rdi=user buf, %rsi=count): copy from
+// the ring to user space, advance the tail.
+func fnRingRead(ch string, acks bool) (*ir.Function, error) {
+	name := "sys_" + ch + "_read"
+	b := ir.NewBuilder(name)
+	if acks {
+		b.I(
+			isa.MovSym(isa.R9, "state_"+ch),
+			isa.Load(isa.RCX, isa.Mem(isa.R9, 24)),
+			isa.Load(isa.RCX, isa.Mem(isa.R9, 16)),
+		)
+	}
+	b.I(
+		isa.MovSym(isa.R9, "state_"+ch),
+		isa.Load(isa.R10, isa.Mem(isa.R9, 8)), // tail
+		isa.MovRR(isa.RDX, isa.RSI),           // count
+		// dst = user buf (%rdi already), src = ring + (tail & mask).
+		isa.MovRR(isa.RSI, isa.R10),
+		isa.AndRI(isa.RSI, ringMask),
+		isa.MovSym(isa.RCX, "ring_"+ch),
+		isa.AddRR(isa.RSI, isa.RCX),
+		isa.MovRR(isa.RCX, isa.RDX),
+		isa.ShrRI(isa.RCX, 3),
+		isa.Movs(8, true),
+		isa.AddRR(isa.R10, isa.RDX),
+		isa.Store(isa.Mem(isa.R9, 8), isa.R10),
+		isa.MovRR(isa.RAX, isa.RDX),
+		isa.Ret(),
+	)
+	return b.Func()
+}
+
+// sys_ftrace_peek(%rdi=address) -> the quad at address, read through the
+// uninstrumented memcpy clone: the legitimate code-read path of §6.
+func fnSysFtracePeek() (*ir.Function, error) {
+	return ir.NewBuilder("sys_ftrace_peek").
+		I(
+			isa.MovRR(isa.RSI, isa.RDI),
+			isa.MovSym(isa.RDI, "kbuf"),
+			isa.MovRI(isa.RDX, 8),
+			isa.Call("memcpy_krx"),
+			isa.MovSym(isa.R8, "kbuf"),
+			isa.Load(isa.RAX, isa.Mem(isa.R8, 0)),
+			isa.Ret(),
+		).
+		Func()
+}
+
+// sys_leak(%rdi=address) -> the quad at address. The retrofitted
+// debugfs-style arbitrary-read vulnerability of §7.3: "allows an attacker
+// to set a pointer to an arbitrary kernel address and read 8 bytes by
+// dereferencing it". The dereference is a normal instrumented read, so
+// under kR^X it can only leak the data region.
+func fnSysLeak() (*ir.Function, error) {
+	return ir.NewBuilder("sys_leak").
+		I(
+			isa.Load(isa.RAX, isa.Mem(isa.RDI, 0)),
+			isa.Ret(),
+		).
+		Func()
+}
+
+// sys_plant(%rdi=index, %rsi=value): the retrofitted pointer-corruption
+// vulnerability — an unchecked write into the dev_ops dispatch table
+// (modeling a memory-corruption primitive that overwrites a kernel
+// function pointer).
+func fnSysPlant() (*ir.Function, error) {
+	return ir.NewBuilder("sys_plant").
+		I(
+			isa.MovSym(isa.R8, "dev_ops"),
+			isa.Store(isa.MemIdx(isa.R8, isa.RDI, 8, 0), isa.RSI),
+			isa.XorRR(isa.RAX, isa.RAX),
+			isa.Ret(),
+		).
+		Func()
+}
+
+// sys_trigger(%rdi=argument passed through to the op): dereferences the
+// dev_ops[0] function pointer — the hijackable indirect call.
+func fnSysTrigger() (*ir.Function, error) {
+	return ir.NewBuilder("sys_trigger").
+		I(
+			isa.MovSym(isa.R8, "dev_ops"),
+			isa.CallMem(isa.Mem(isa.R8, 0)),
+			isa.Ret(),
+		).
+		Func()
+}
+
+// sys_stack_smash(%rdi=user buf, %rsi=len): the retrofitted stack buffer
+// overflow — copies len bytes into a 64-byte stack buffer without any
+// bounds check, so a long payload overwrites the saved return address
+// (and whatever return-address protection has placed next to it).
+func fnSysStackSmash() (*ir.Function, error) {
+	return ir.NewBuilder("sys_stack_smash").
+		I(
+			isa.SubRI(isa.RSP, 64),
+			isa.MovRR(isa.RCX, isa.RSI), // length (bytes)
+			isa.MovRR(isa.RSI, isa.RDI), // src = user buf
+			isa.MovRR(isa.RDI, isa.RSP), // dst = stack buffer
+			isa.Movs(1, true),
+			isa.AddRI(isa.RSP, 64),
+			isa.XorRR(isa.RAX, isa.RAX),
+			isa.Ret(),
+		).
+		Func()
+}
+
+// sys_getdents(%rdi=user buf, %rsi=max entries) -> entries copied. Walks
+// the dentry table copying 32-byte names plus the inode index to user
+// space: a read-heavy loop whose four same-base loads per entry coalesce
+// under O3.
+func fnSysGetdents() (*ir.Function, error) {
+	b := ir.NewBuilder("sys_getdents").
+		I(isa.XorRR(isa.RAX, isa.RAX)). // entry count
+		Label("loop").
+		I(
+			isa.CmpRR(isa.RAX, isa.RSI),
+			isa.Jcc(isa.CondAE, "done"),
+			isa.CmpRI(isa.RAX, numDentries),
+			isa.Jcc(isa.CondAE, "done"),
+			isa.MovSym(isa.R8, "dentry_table"),
+			isa.MovRR(isa.R10, isa.RAX),
+			isa.ImulRI(isa.R10, dentrySize),
+			isa.AddRR(isa.R8, isa.R10),
+			// Skip empty slots (first name byte zero).
+			isa.LoadSz(isa.R9, isa.Mem(isa.R8, 0), 1),
+			isa.CmpRI(isa.R9, 0),
+			isa.Jcc(isa.CondE, "done"),
+		)
+	for q := int32(0); q < 4; q++ {
+		b.I(
+			isa.Load(isa.R9, isa.Mem(isa.R8, q*8)),
+			isa.Store(isa.Mem(isa.RDI, q*8), isa.R9),
+		)
+	}
+	return b.I(
+		isa.Load(isa.R9, isa.Mem(isa.R8, 32)), // inode index
+		isa.Store(isa.Mem(isa.RDI, 32), isa.R9),
+		isa.AddRI(isa.RDI, 40),
+		isa.Inc(isa.RAX),
+		isa.Jmp("loop"),
+	).
+		Label("done").
+		I(isa.Ret()).
+		Func()
+}
+
+// sys_uname(%rdi=user buf) -> 0: copies the utsname string (rodata) out.
+func fnSysUname() (*ir.Function, error) {
+	return ir.NewBuilder("sys_uname").
+		I(
+			isa.MovSym(isa.RSI, "uname_str"),
+			isa.MovRI(isa.RCX, 8), // 64 bytes
+			isa.Movs(8, true),
+			isa.XorRR(isa.RAX, isa.RAX),
+			isa.Ret(),
+		).
+		Func()
+}
+
+// sys_yield() -> 0: the scheduler touch — reads the task state and flags
+// (coalescible) and round-robins the state field.
+func fnSysYield() (*ir.Function, error) {
+	return ir.NewBuilder("sys_yield").
+		I(
+			isa.MovSym(isa.R8, "task_cur"),
+			isa.Load(isa.R9, isa.Mem(isa.R8, 0)),
+			isa.Load(isa.R10, isa.Mem(isa.R8, 24)),
+			isa.Store(isa.Mem(isa.R8, 0), isa.R9),
+			isa.XorRR(isa.RAX, isa.RAX),
+			isa.Ret(),
+		).
+		Func()
+}
+
+// sys_brk(%rdi=increment) -> new break.
+func fnSysBrk() (*ir.Function, error) {
+	return ir.NewBuilder("sys_brk").
+		I(
+			isa.MovSym(isa.R8, "brk_ptr"),
+			isa.Load(isa.RAX, isa.Mem(isa.R8, 0)),
+			isa.AddRR(isa.RAX, isa.RDI),
+			isa.Store(isa.Mem(isa.R8, 0), isa.RAX),
+			isa.Ret(),
+		).
+		Func()
+}
+
+// sys_trigger_jmp(%rdi=argument): the JOP-style dispatcher — transfers
+// control to dev_ops[1] with an indirect jmp (not a call). The handler's
+// ret then returns to this syscall's own caller, so the legitimate path is
+// a clean tail call; a corrupted slot is a jump-oriented hijack (the JOP
+// variant the paper groups with ROP throughout).
+func fnSysTriggerJmp() (*ir.Function, error) {
+	return ir.NewBuilder("sys_trigger_jmp").
+		I(
+			isa.MovSym(isa.R8, "dev_ops"),
+			isa.Instr{Op: isa.JMPM, M: isa.Mem(isa.R8, 8)},
+		).
+		Func()
+}

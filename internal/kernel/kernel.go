@@ -1,0 +1,371 @@
+// Package kernel implements the simulated mini-kernel: a syscall layer,
+// fault handling, file/pipe/socket/process subsystems, tracing clones, and
+// deliberately retrofitted vulnerabilities — all written in KX64 IR,
+// compiled through the kR^X pipeline, and executed on the emulator. It is
+// the substrate the paper's evaluation (Tables 1–2) and security analysis
+// (§7.3) run against.
+package kernel
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/ir"
+	"repro/internal/isa"
+	"repro/internal/kas"
+	"repro/internal/link"
+	"repro/internal/mem"
+)
+
+// Syscall numbers.
+const (
+	SysNull = iota
+	SysGetpid
+	SysOpen
+	SysClose
+	SysRead
+	SysWrite
+	SysSelect
+	SysFstat
+	SysMmap
+	SysMunmap
+	SysFork
+	SysExecve
+	SysExit
+	SysSigaction
+	SysKill
+	SysPipeRead
+	SysPipeWrite
+	SysUnixRead
+	SysUnixWrite
+	SysTCPRead
+	SysTCPWrite
+	SysUDPRead
+	SysUDPWrite
+	SysFtracePeek // legitimate code read via the uninstrumented clone (§6)
+	SysLeak       // retrofitted arbitrary-read vulnerability (§7.3)
+	SysPlant      // retrofitted pointer-corruption vulnerability
+	SysTrigger    // dereference the (possibly corrupted) dev_ops pointer
+	SysStackSmash // retrofitted kernel stack overflow
+	SysGetdents   // directory listing (read-heavy copy loop)
+	SysUname      // copy the utsname string to user space
+	SysYield      // scheduler touch (task-state reads)
+	SysBrk        // program-break bump
+	SysTriggerJmp // JOP-style dispatch through dev_ops[1] (jmp *mem)
+	NumSyscalls
+)
+
+// User-space fixed addresses (the simulated process image).
+const (
+	UserCode     uint64 = 0x0000000000401000
+	UserBuf      uint64 = 0x0000000000600000 // 64 pages of user data
+	UserBufPages        = 64
+	UserStack    uint64 = 0x00007f0000000000 // 16 pages
+	UserStackPgs        = 16
+
+	// userSyscallOff is the offset of the syscall stub in the user page;
+	// userFaultOff is the offset of the faulting-load stub; userCopyOff is
+	// the offset of the user-mode rep-movs copy stub (uninstrumented user
+	// code — used by the mmap-I/O bandwidth benchmark, whose work happens
+	// entirely in user space).
+	userSyscallOff = 0
+	userFaultOff   = 64
+	userCopyOff    = 128
+
+	// FaultSkip is the byte length of the user faulting instruction that
+	// the fault handler skips over on resume.
+	FaultSkip = 10
+)
+
+// KernelStackPages is the size of the (single) kernel stack.
+const KernelStackPages = 8
+
+// PhysMemBytes is the simulated machine's physical memory.
+const PhysMemBytes = 64 << 20
+
+// Kernel is a booted simulated kernel.
+type Kernel struct {
+	Cfg   core.Config
+	Build *core.BuildResult
+	Img   *link.Image
+	Space *kas.Space
+	CPU   *cpu.CPU
+
+	// KernelStackBase is the physmap address of the kernel stack's lowest
+	// page (its contents are attacker-readable data — §5.2.2).
+	KernelStackBase uint64
+	// Keys holds the boot-time xkey values (host-side ground truth for
+	// tests; emulated code can only reach them via the %rip-relative
+	// loads in prologues/epilogues).
+	Keys map[string]uint64
+}
+
+// Boot compiles the kernel corpus under cfg, installs it into a fresh
+// machine, performs the kR^X boot-time steps (xkey replenishment, physmap
+// synonym unmapping), and sets up a user process ready to issue syscalls.
+func Boot(cfg core.Config) (*Kernel, error) {
+	prog, err := BuildCorpus()
+	if err != nil {
+		return nil, fmt.Errorf("kernel: corpus: %w", err)
+	}
+	return BootProgram(prog, cfg)
+}
+
+// BootProgram is Boot with a caller-supplied corpus.
+func BootProgram(prog *ir.Program, cfg core.Config) (*Kernel, error) {
+	res, err := core.Build(prog, cfg)
+	if err != nil {
+		return nil, err
+	}
+	pool := kas.NewPhysPool(PhysMemBytes)
+	sp, err := kas.Install(res.Image.Layout, pool)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.XOM == core.XOMEPT {
+		// Hypervisor baseline: nested paging gives true execute-only
+		// semantics to the X-only text mapping.
+		sp.AS.EPT = true
+	}
+	if err := res.Image.Install(sp); err != nil {
+		return nil, err
+	}
+	k := &Kernel{Cfg: cfg, Build: res, Img: res.Image, Space: sp, Keys: make(map[string]uint64)}
+
+	// Replenish xkeys with random values (boot-time step (d) of §6). The
+	// keys live in the code region; boot writes them through the
+	// privileged installer before synonyms are closed.
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x6b52585f)) // "kRX_"
+	for sym, addr := range res.Image.KeyAddrs {
+		v := rng.Uint64() | 1
+		k.Keys[sym] = v
+		var b [8]byte
+		for i := range b {
+			b[i] = byte(v >> (8 * i))
+		}
+		if err := sp.AS.Poke(addr, b[:]); err != nil {
+			return nil, err
+		}
+	}
+
+	// kR^X boot step: unmap physmap synonyms of the code region.
+	if _, err := sp.UnmapCodeSynonyms(); err != nil {
+		return nil, err
+	}
+
+	if cfg.XOM == core.XOMHideM {
+		// HideM baseline (§2): desynchronize the split TLBs so data reads
+		// of executable pages observe zero-filled shadow frames while
+		// fetches keep executing the real code. Non-executable code-region
+		// sections (.krxkeys) keep their data view — HideM shadows code
+		// pages only.
+		for _, rg := range res.Image.Layout.Regions {
+			if !rg.Code || rg.Perm&mem.PermX == 0 || rg.Size == 0 {
+				continue
+			}
+			if err := sp.AS.ShadowData(rg.Start, mem.PagesFor(rg.Size), nil); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Kernel stack.
+	stackPFN, _, err := pool.Alloc(KernelStackPages)
+	if err != nil {
+		return nil, err
+	}
+	k.KernelStackBase = kas.PhysmapAddr(stackPFN)
+
+	// User process: code page, data buffer, stack.
+	if _, err := sp.AS.Map(UserCode&^uint64(mem.PageMask), 1, mem.PermRX); err != nil {
+		return nil, err
+	}
+	if _, err := sp.AS.Map(UserBuf, UserBufPages, mem.PermRW); err != nil {
+		return nil, err
+	}
+	if _, err := sp.AS.Map(UserStack, UserStackPgs, mem.PermRW); err != nil {
+		return nil, err
+	}
+	if err := installUserStubs(sp); err != nil {
+		return nil, err
+	}
+
+	// CPU wiring (the MSR/boot-parameter setup).
+	c := cpu.New(sp.AS)
+	c.SyscallEntry = res.Image.Symbols["syscall_entry"]
+	c.FaultEntry = res.Image.Symbols["fault_entry"]
+	c.KernelStackTop = k.KernelStackBase + KernelStackPages*mem.PageSize - 64
+	c.SMEP = true
+	if cfg.XOM == core.XOMMPX {
+		c.MPXKernel = true
+		c.KernelBnd0 = cpu.Bound{LB: 0, UB: res.Image.Symbols["_krx_edata"]}
+	}
+	k.CPU = c
+	return k, nil
+}
+
+// installUserStubs writes the two user-mode stubs:
+//
+//	+0:  syscall ; jmp .       (the syscall trampoline)
+//	+64: mov (%rbx), %rax ; jmp .   (the faulting load for #PF benches)
+func installUserStubs(sp *kas.Space) error {
+	var stub []byte
+	var err error
+	emit := func(ins ...isa.Instr) {
+		for _, in := range ins {
+			if err != nil {
+				return
+			}
+			stub, err = in.Encode(stub)
+		}
+	}
+	emit(isa.Syscall())
+	emit(isa.Instr{Op: isa.JMP, Imm: -5}) // jmp self
+	if err != nil {
+		return err
+	}
+	if f := len(stub); f > userFaultOff {
+		return fmt.Errorf("kernel: user stub overflow (%d)", f)
+	}
+	pad := make([]byte, userFaultOff-len(stub))
+	for i := range pad {
+		pad[i] = 0xCC
+	}
+	stub = append(stub, pad...)
+	ld := isa.Load(isa.RAX, isa.Mem(isa.RBX, 0))
+	if n := ld.Length(); n != FaultSkip {
+		return fmt.Errorf("kernel: FaultSkip (%d) != load length (%d)", FaultSkip, n)
+	}
+	emit(ld)
+	emit(isa.Instr{Op: isa.JMP, Imm: -5})
+	if err != nil {
+		return err
+	}
+	if len(stub) > userCopyOff {
+		return fmt.Errorf("kernel: user stub overflow (%d)", len(stub))
+	}
+	pad = make([]byte, userCopyOff-len(stub))
+	for i := range pad {
+		pad[i] = 0xCC
+	}
+	stub = append(stub, pad...)
+	// User copy stub: rep movsq, then a null syscall to hand control back.
+	emit(isa.Movs(8, true))
+	emit(isa.Syscall())
+	emit(isa.Instr{Op: isa.JMP, Imm: -5})
+	if err != nil {
+		return err
+	}
+	return sp.AS.Poke(UserCode, stub)
+}
+
+// UserCopy runs the user-mode copy stub: rep movsq of quads quadwords from
+// src to dst (both user addresses), followed by a null syscall. It models
+// workloads whose data movement happens in (uninstrumented) user code.
+func (k *Kernel) UserCopy(dst, src uint64, quads uint64) *SyscallResult {
+	c := k.CPU
+	c.Mode = cpu.User
+	c.RIP = UserCode + userCopyOff
+	c.SetReg(isa.RSP, UserStack+UserStackPgs*mem.PageSize-128)
+	c.SetReg(isa.RDI, dst)
+	c.SetReg(isa.RSI, src)
+	c.SetReg(isa.RCX, quads)
+	c.SetReg(isa.RAX, SysNull)
+	c.StopOnSysret = true
+	defer func() { c.StopOnSysret = false }()
+	res := c.Run(4 << 20)
+	return &SyscallResult{Ret: c.Reg(isa.RAX), Run: res, Failed: res.Reason != cpu.StopSysret}
+}
+
+// SyscallResult reports one syscall round trip.
+type SyscallResult struct {
+	Ret    uint64
+	Run    *cpu.RunResult
+	Failed bool // the kernel trapped or halted instead of returning
+}
+
+// Syscall executes one complete user->kernel->user round trip: the user
+// stub issues the syscall instruction, the kernel entry dispatches through
+// the syscall table, and the run stops right after sysret. Up to three
+// arguments travel in %rdi/%rsi/%rdx, the syscall number in %rax.
+func (k *Kernel) Syscall(nr uint64, args ...uint64) *SyscallResult {
+	c := k.CPU
+	c.Mode = cpu.User
+	c.RIP = UserCode + userSyscallOff
+	c.SetReg(isa.RSP, UserStack+UserStackPgs*mem.PageSize-128)
+	c.SetReg(isa.RAX, nr)
+	regs := []isa.Reg{isa.RDI, isa.RSI, isa.RDX}
+	for i := range regs {
+		var v uint64
+		if i < len(args) {
+			v = args[i]
+		}
+		c.SetReg(regs[i], v)
+	}
+	c.StopOnSysret = true
+	defer func() { c.StopOnSysret = false }()
+	res := c.Run(4 << 20)
+	return &SyscallResult{
+		Ret:    c.Reg(isa.RAX),
+		Run:    res,
+		Failed: res.Reason != cpu.StopSysret,
+	}
+}
+
+// TriggerFault executes the user faulting-load stub against addr, stopping
+// after the kernel fault handler irets (the protection/page-fault
+// benchmark round trip).
+func (k *Kernel) TriggerFault(addr uint64) *cpu.RunResult {
+	c := k.CPU
+	c.Mode = cpu.User
+	c.RIP = UserCode + userFaultOff
+	c.SetReg(isa.RSP, UserStack+UserStackPgs*mem.PageSize-128)
+	c.SetReg(isa.RBX, addr)
+	c.StopOnIret = true
+	defer func() { c.StopOnIret = false }()
+	return c.Run(1 << 20)
+}
+
+// WriteUser copies bytes into the user buffer region (what a user program
+// would have placed there before a syscall).
+func (k *Kernel) WriteUser(off uint64, b []byte) error {
+	if f := k.Space.AS.StoreBytes(UserBuf+off, b); f != nil {
+		return f
+	}
+	return nil
+}
+
+// ReadUser reads back from the user buffer region.
+func (k *Kernel) ReadUser(off uint64, n int) ([]byte, error) {
+	b, f := k.Space.AS.LoadBytes(UserBuf+off, n)
+	if f != nil {
+		return nil, f
+	}
+	return b, nil
+}
+
+// Sym returns the address of a linked symbol.
+func (k *Kernel) Sym(name string) uint64 { return k.Img.Symbols[name] }
+
+// Violated reports whether a syscall result represents a stopped system due
+// to a kR^X violation: the SFI path halts inside krx_handler, the MPX path
+// dies on #BR, and the EPT path on a read #PF.
+func (k *Kernel) Violated(r *SyscallResult) bool {
+	if !r.Failed {
+		return false
+	}
+	res := r.Run
+	if res.Reason == cpu.StopHalt {
+		h := k.Sym("krx_handler")
+		// The halt must come from the handler body.
+		return res.HaltRIP >= h && res.HaltRIP < h+64
+	}
+	if res.Reason == cpu.StopTrap && res.Trap != nil {
+		return res.Trap.Kind == cpu.TrapBoundRange ||
+			(res.Trap.Kind == cpu.TrapPageFault && res.Trap.Fault != nil &&
+				res.Trap.Fault.Kind == mem.FaultNoRead)
+	}
+	return false
+}

@@ -1,0 +1,226 @@
+package kernel
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// SynthCorpus generates n deterministic synthetic kernel functions. They
+// pad the image into a realistically shaped .text: the diversification and
+// instrumentation statistics (single-basic-block fraction, safe-read
+// fraction, coalescing rate) and the gadget-scanning surface of §7.3 are
+// measured over kernel-sized corpora, not five hand-written syscalls.
+// About one in eight functions is a single basic block (the paper reports
+// ~12% for Linux v3.19), and a few are gadget donors whose epilogues
+// contain classic pop-reg/ret material.
+func SynthCorpus(n int, seed int64) ([]*ir.Function, error) {
+	rng := rand.New(rand.NewSource(seed))
+	dataSyms := []string{"page_cache", "kbuf", "stat_scratch", "task_pool", "pgtable_arr", "exec_image"}
+	var fns []*ir.Function
+
+	// Gadget donors: hand-written-assembly-style register save/restore
+	// routines whose tails encode pop-reg; ret sequences.
+	donors := []struct {
+		name string
+		regs []isa.Reg
+	}{
+		{"irq_save_args", []isa.Reg{isa.RDI, isa.RSI}},
+		{"ctx_save_ret", []isa.Reg{isa.RAX, isa.RDI}},
+		{"trace_save_regs", []isa.Reg{isa.RSI, isa.RDX, isa.RDI}},
+	}
+	for _, d := range donors {
+		b := ir.NewBuilder(d.name)
+		for _, r := range d.regs {
+			b.I(isa.Push(r))
+		}
+		b.I(isa.Nop())
+		for i := len(d.regs) - 1; i >= 0; i-- {
+			b.I(isa.Pop(d.regs[i]))
+		}
+		b.I(isa.Ret())
+		f, err := b.Func()
+		if err != nil {
+			return nil, err
+		}
+		fns = append(fns, f)
+	}
+
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("synth_%03d", i)
+		var f *ir.Function
+		var err error
+		switch {
+		case i%8 == 0 || i%16 == 9:
+			f, err = synthLeaf(name, rng, dataSyms)
+		case i%8 == 1:
+			f, err = synthLoop(name, rng, dataSyms)
+		case i%8 == 2:
+			f, err = synthFlagsy(name, rng, dataSyms)
+		case i%8 == 3:
+			f, err = synthFramey(name, rng, dataSyms)
+		default:
+			f, err = synthBranchy(name, rng, dataSyms, fns)
+		}
+		if err != nil {
+			return nil, err
+		}
+		fns = append(fns, f)
+	}
+	return fns, nil
+}
+
+// synthLeaf is a single-basic-block function (zero permutation entropy
+// before phantom padding — the case §5.2.1 calls out).
+func synthLeaf(name string, rng *rand.Rand, syms []string) (*ir.Function, error) {
+	b := ir.NewBuilder(name)
+	sym := syms[rng.Intn(len(syms))]
+	if rng.Intn(2) == 0 {
+		// Absolute global read: a "safe read" (address encoded in the
+		// instruction) — kernels read statically-addressed globals this
+		// way, giving the paper's ~4% safe-read fraction.
+		b.I(
+			isa.Load(isa.RAX, isa.MemAbs(sym, int32(rng.Intn(8))*8)),
+			isa.MovSym(isa.R8, sym),
+		)
+	} else {
+		b.I(
+			isa.MovSym(isa.R8, sym),
+			isa.Load(isa.RAX, isa.Mem(isa.R8, int32(rng.Intn(32))*8)),
+		)
+	}
+	for j := 0; j < 1+rng.Intn(4); j++ {
+		switch rng.Intn(3) {
+		case 0:
+			b.I(isa.AddRI(isa.RAX, int32(rng.Intn(128))))
+		case 1:
+			b.I(isa.ShlRI(isa.RAX, uint8(1+rng.Intn(4))))
+		case 2:
+			b.I(isa.Load(isa.RCX, isa.Mem(isa.R8, int32(rng.Intn(32))*8)))
+		}
+	}
+	b.I(isa.Ret())
+	return b.Func()
+}
+
+// synthLoop scans a table with an indexed loop (non-coalescible checks).
+func synthLoop(name string, rng *rand.Rand, syms []string) (*ir.Function, error) {
+	sym := syms[rng.Intn(len(syms))]
+	bound := int32(4 + rng.Intn(28))
+	return ir.NewBuilder(name).
+		I(
+			isa.MovSym(isa.R8, sym),
+			isa.XorRR(isa.RCX, isa.RCX),
+			isa.XorRR(isa.RAX, isa.RAX),
+		).
+		Label("loop").
+		I(
+			isa.CmpRI(isa.RCX, bound),
+			isa.Jcc(isa.CondAE, "done"),
+			isa.Instr{Op: isa.ADDrm, Dst: isa.RAX, M: isa.MemIdx(isa.R8, isa.RCX, 8, 0)},
+			isa.Inc(isa.RCX),
+			isa.Jmp("loop"),
+		).
+		Label("done").
+		I(isa.Ret()).
+		Func()
+}
+
+// synthBranchy is a multi-block function with same-base field reads
+// (coalescible), stores, a diamond, and possibly a call to an
+// earlier-defined function.
+func synthBranchy(name string, rng *rand.Rand, syms []string, prev []*ir.Function) (*ir.Function, error) {
+	sym := syms[rng.Intn(len(syms))]
+	b := ir.NewBuilder(name)
+	if rng.Intn(3) == 0 {
+		// A statically-addressed global read (safe read).
+		b.I(isa.Load(isa.RDX, isa.MemAbs(sym, int32(rng.Intn(4))*8)))
+	}
+	b.I(
+		isa.MovSym(isa.R8, sym),
+		isa.Load(isa.R9, isa.Mem(isa.R8, 0)),
+		isa.Load(isa.R10, isa.Mem(isa.R8, 8)),
+		isa.CmpRR(isa.R9, isa.R10),
+		isa.Jcc(isa.CondA, "hi"),
+	).
+		Label("lo").
+		I(
+			isa.Load(isa.RAX, isa.Mem(isa.R8, 16)),
+			isa.AddRI(isa.RAX, int32(rng.Intn(64))),
+		)
+	if len(prev) > 0 && rng.Intn(2) == 0 {
+		callee := prev[rng.Intn(len(prev))]
+		b.I(isa.Call(callee.Name))
+	}
+	b.I(isa.Jmp("out")).
+		Label("hi").
+		I(
+			isa.Load(isa.RAX, isa.Mem(isa.R8, 24)),
+			isa.Store(isa.Mem(isa.R8, 32), isa.RAX),
+		)
+	extra := rng.Intn(3)
+	for j := 0; j < extra; j++ {
+		lbl := fmt.Sprintf("b%d", j)
+		b.Label(lbl).I(
+			isa.Load(isa.RCX, isa.Mem(isa.R8, int32(40+8*j))),
+			isa.AddRR(isa.RAX, isa.RCX),
+		)
+	}
+	return b.
+		Label("out").
+		I(isa.Ret()).
+		Func()
+}
+
+// synthFlagsy interleaves comparisons with loads whose range checks land
+// inside live %rflags regions, so the O1 optimization has pairs it cannot
+// eliminate (the paper reports "up to 94%" elimination, not 100%).
+func synthFlagsy(name string, rng *rand.Rand, syms []string) (*ir.Function, error) {
+	sym := syms[rng.Intn(len(syms))]
+	b := ir.NewBuilder(name).
+		I(
+			isa.MovSym(isa.R8, sym),
+			isa.Load(isa.R9, isa.Mem(isa.R8, 0)),
+			isa.CmpRI(isa.R9, int32(rng.Intn(64))),
+			// This load's RC sits between the cmp and the jcc: %rflags
+			// are live, pushfq/popfq must be preserved.
+			isa.Load(isa.R10, isa.Mem(isa.R8, 8)),
+			isa.Jcc(isa.CondG, "big"),
+		).
+		Label("small").
+		I(isa.MovRR(isa.RAX, isa.R10), isa.Ret()).
+		Label("big").
+		I(
+			isa.CmpRI(isa.R10, 7),
+			isa.Load(isa.RCX, isa.Mem(isa.R8, 16)),
+			isa.Jcc(isa.CondE, "small"),
+		).
+		Label("tail").
+		I(isa.AddRR(isa.RAX, isa.RCX), isa.Ret())
+	return b.Func()
+}
+
+// synthFramey uses a stack frame with %rsp-relative loads — the read class
+// kR^X leaves uninstrumented and covers with the .krx_phantom guard
+// (MaxStackDisp feeds the guard-sizing check).
+func synthFramey(name string, rng *rand.Rand, syms []string) (*ir.Function, error) {
+	sym := syms[rng.Intn(len(syms))]
+	frame := int32(32 + 16*rng.Intn(4))
+	return ir.NewBuilder(name).
+		I(
+			isa.SubRI(isa.RSP, frame),
+			isa.MovSym(isa.R8, sym),
+			isa.Load(isa.R9, isa.Mem(isa.R8, 0)),
+			isa.Store(isa.Mem(isa.RSP, 0), isa.R9),
+			isa.Store(isa.Mem(isa.RSP, 8), isa.R8),
+			// %rsp-relative reads: no range checks, guard-covered.
+			isa.Load(isa.RAX, isa.Mem(isa.RSP, 0)),
+			isa.Load(isa.RCX, isa.Mem(isa.RSP, frame-8)),
+			isa.AddRR(isa.RAX, isa.RCX),
+			isa.AddRI(isa.RSP, frame),
+			isa.Ret(),
+		).
+		Func()
+}

@@ -1,0 +1,19 @@
+package link
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadImage: untrusted image files must never panic or over-allocate.
+func FuzzReadImage(f *testing.F) {
+	f.Add([]byte("KRXIMG01"))
+	f.Add(append(append([]byte{}, imageMagic[:]...), make([]byte, 64)...))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		img, err := ReadImage(bytes.NewReader(b))
+		if err != nil {
+			return
+		}
+		_ = len(img.Text) + len(img.Data)
+	})
+}

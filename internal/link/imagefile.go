@@ -1,0 +1,364 @@
+package link
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/kas"
+	"repro/internal/mem"
+	"strings"
+)
+
+// The on-disk image format ("vmlinux.krx"): a compact little-endian
+// container for a linked kernel image — enough to reinstall it into an
+// address space, inspect its symbols, or hand it to an offline attacker
+// (the direct-ROP workflow starts from the adversary's own copy of the
+// distribution image).
+//
+//	magic "KRXIMG01"
+//	u8    layout kind (0 vanilla, 1 krx)
+//	u64   guard size
+//	u64   bss size
+//	u32   region count { str name, u64 start, u64 size, u8 perm, u8 code }
+//	u32   symbol count { str name, u64 addr }
+//	u32   func count   { str name, u64 addr, u64 size }
+//	u32   key count    { str name, u64 addr }
+//	blob  text, rodata, data
+//
+// Strings are u32-length-prefixed; blobs are u64-length-prefixed.
+
+var imageMagic = [8]byte{'K', 'R', 'X', 'I', 'M', 'G', '0', '1'}
+
+type imgWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (w *imgWriter) u8(v uint8) {
+	if w.err == nil {
+		w.err = w.w.WriteByte(v)
+	}
+}
+func (w *imgWriter) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	if w.err == nil {
+		_, w.err = w.w.Write(b[:])
+	}
+}
+func (w *imgWriter) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	if w.err == nil {
+		_, w.err = w.w.Write(b[:])
+	}
+}
+func (w *imgWriter) str(s string) {
+	w.u32(uint32(len(s)))
+	if w.err == nil {
+		_, w.err = w.w.WriteString(s)
+	}
+}
+func (w *imgWriter) blob(b []byte) {
+	w.u64(uint64(len(b)))
+	if w.err == nil {
+		_, w.err = w.w.Write(b)
+	}
+}
+
+// WriteImage serializes the image.
+func (img *Image) WriteImage(out io.Writer) error {
+	w := &imgWriter{w: bufio.NewWriter(out)}
+	if _, err := w.w.Write(imageMagic[:]); err != nil {
+		return err
+	}
+	w.u8(uint8(img.Layout.Kind))
+	w.u64(img.Layout.GuardSize)
+	w.u64(img.BssSize)
+
+	w.u32(uint32(len(img.Layout.Regions)))
+	for _, r := range img.Layout.Regions {
+		w.str(r.Name)
+		w.u64(r.Start)
+		w.u64(r.Size)
+		w.u8(uint8(r.Perm))
+		if r.Code {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+	}
+
+	// Deterministic symbol order.
+	names := make([]string, 0, len(img.Symbols))
+	for n := range img.Symbols {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	w.u32(uint32(len(names)))
+	for _, n := range names {
+		w.str(n)
+		w.u64(img.Symbols[n])
+	}
+
+	w.u32(uint32(len(img.Funcs)))
+	for _, f := range img.Funcs {
+		w.str(f.Name)
+		w.u64(f.Addr)
+		w.u64(f.Size)
+	}
+
+	keys := make([]string, 0, len(img.KeyAddrs))
+	for n := range img.KeyAddrs {
+		keys = append(keys, n)
+	}
+	sort.Strings(keys)
+	w.u32(uint32(len(keys)))
+	for _, n := range keys {
+		w.str(n)
+		w.u64(img.KeyAddrs[n])
+	}
+
+	w.blob(img.Text)
+	w.blob(img.Rodata)
+	w.blob(img.Data)
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+type imgReader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (r *imgReader) u8() uint8 {
+	if r.err != nil {
+		return 0
+	}
+	b, err := r.r.ReadByte()
+	r.err = err
+	return b
+}
+func (r *imgReader) u32() uint32 {
+	var b [4]byte
+	if r.err == nil {
+		_, r.err = io.ReadFull(r.r, b[:])
+	}
+	return binary.LittleEndian.Uint32(b[:])
+}
+func (r *imgReader) u64() uint64 {
+	var b [8]byte
+	if r.err == nil {
+		_, r.err = io.ReadFull(r.r, b[:])
+	}
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// maxImageStr and maxImageBlob bound allocations when reading untrusted
+// image files.
+const (
+	maxImageStr  = 1 << 16
+	maxImageBlob = 1 << 30
+)
+
+func (r *imgReader) str() string {
+	n := r.u32()
+	if r.err != nil {
+		return ""
+	}
+	if n > maxImageStr {
+		r.err = fmt.Errorf("link: image string too long (%d)", n)
+		return ""
+	}
+	b := make([]byte, n)
+	_, r.err = io.ReadFull(r.r, b)
+	return string(b)
+}
+
+func (r *imgReader) blob() []byte {
+	n := r.u64()
+	if r.err != nil {
+		return nil
+	}
+	if n > maxImageBlob {
+		r.err = fmt.Errorf("link: image blob too long (%d)", n)
+		return nil
+	}
+	// Read in bounded chunks rather than allocating the claimed size up
+	// front: a hostile header lying about the length costs at most one
+	// chunk before the stream runs dry.
+	const chunk = 1 << 20
+	b := make([]byte, 0, min(n, chunk))
+	for uint64(len(b)) < n {
+		step := n - uint64(len(b))
+		if step > chunk {
+			step = chunk
+		}
+		old := len(b)
+		b = append(b, make([]byte, step)...)
+		if _, err := io.ReadFull(r.r, b[old:]); err != nil {
+			r.err = err
+			return nil
+		}
+	}
+	return b
+}
+
+// ReadImage deserializes an image written by WriteImage.
+func ReadImage(in io.Reader) (*Image, error) {
+	r := &imgReader{r: bufio.NewReader(in)}
+	var magic [8]byte
+	if _, err := io.ReadFull(r.r, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != imageMagic {
+		return nil, fmt.Errorf("link: not a kR^X image (magic % x)", magic)
+	}
+	img := &Image{
+		Layout:   &kas.Layout{Symbols: make(map[string]uint64)},
+		Symbols:  make(map[string]uint64),
+		KeyAddrs: make(map[string]uint64),
+	}
+	img.Layout.Kind = kas.Kind(r.u8())
+	img.Layout.GuardSize = r.u64()
+	img.BssSize = r.u64()
+
+	nregions := r.u32()
+	if r.err != nil {
+		return nil, r.err
+	}
+	for i := uint32(0); i < nregions && r.err == nil; i++ {
+		reg := kas.Region{Name: r.str(), Start: r.u64(), Size: r.u64()}
+		reg.Perm = mem.Perm(r.u8())
+		reg.Code = r.u8() != 0
+		img.Layout.Regions = append(img.Layout.Regions, reg)
+	}
+	nsyms := r.u32()
+	for i := uint32(0); i < nsyms && r.err == nil; i++ {
+		n := r.str()
+		img.Symbols[n] = r.u64()
+	}
+	nfuncs := r.u32()
+	for i := uint32(0); i < nfuncs && r.err == nil; i++ {
+		img.Funcs = append(img.Funcs, FuncSym{Name: r.str(), Addr: r.u64(), Size: r.u64()})
+	}
+	nkeys := r.u32()
+	for i := uint32(0); i < nkeys && r.err == nil; i++ {
+		n := r.str()
+		img.KeyAddrs[n] = r.u64()
+	}
+	img.NumKeys = len(img.KeyAddrs)
+	img.Text = r.blob()
+	img.Rodata = r.blob()
+	img.Data = r.blob()
+	if r.err != nil {
+		return nil, r.err
+	}
+	// Rebuild the layout's derived symbol map from the full symbol table
+	// (the layout symbols are a subset).
+	for _, name := range []string{"_text", "_etext", "_sdata", "_krx_edata", "_guard", "_krxkeys",
+		"__start_modules_text", "__end_modules_text", "__start_modules_data", "__end_modules_data", "_fixmap"} {
+		if v, ok := img.Symbols[name]; ok {
+			img.Layout.Symbols[name] = v
+		}
+	}
+	return img, nil
+}
+
+// Compressed image support: the on-disk artifact kernels actually ship is
+// a compressed vmlinuz that a boot stub decompresses into place; the
+// "KRXZ" container wraps the KRXIMG format in gzip.
+
+var compressedMagic = [4]byte{'K', 'R', 'X', 'Z'}
+
+// WriteCompressedImage writes the gzip-wrapped (vmlinuz-style) form.
+func (img *Image) WriteCompressedImage(out io.Writer) error {
+	if _, err := out.Write(compressedMagic[:]); err != nil {
+		return err
+	}
+	zw := gzip.NewWriter(out)
+	if err := img.WriteImage(zw); err != nil {
+		return err
+	}
+	return zw.Close()
+}
+
+// ReadCompressedImage reads either container: KRXZ (decompressing first,
+// the boot stub's job) or a plain KRXIMG file.
+func ReadCompressedImage(in io.Reader) (*Image, error) {
+	br := bufio.NewReader(in)
+	head, err := br.Peek(4)
+	if err != nil {
+		return nil, err
+	}
+	if [4]byte(head) != compressedMagic {
+		return ReadImage(br)
+	}
+	if _, err := br.Discard(4); err != nil {
+		return nil, err
+	}
+	zr, err := gzip.NewReader(br)
+	if err != nil {
+		return nil, err
+	}
+	defer zr.Close()
+	return ReadImage(zr)
+}
+
+// DisassembleFunc renders a function from the image with symbolized
+// control-transfer targets (the objdump view of a placed routine).
+func (img *Image) DisassembleFunc(name string) (string, error) {
+	var fs *FuncSym
+	for i := range img.Funcs {
+		if img.Funcs[i].Name == name {
+			fs = &img.Funcs[i]
+			break
+		}
+	}
+	if fs == nil {
+		return "", fmt.Errorf("link: no function %q in image", name)
+	}
+	textStart := img.Symbols["_text"]
+	code := img.Text[fs.Addr-textStart : fs.Addr-textStart+fs.Size]
+
+	// Reverse symbol lookup for branch targets.
+	symAt := make(map[uint64]string, len(img.Funcs))
+	for _, f := range img.Funcs {
+		symAt[f.Addr] = f.Name
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%016x <%s>:\n", fs.Addr, name)
+	for _, line := range isa.Disassemble(code, fs.Addr) {
+		if line.Err != nil {
+			fmt.Fprintf(&sb, "  %016x:  .byte 0x%02x\n", line.Addr, line.Bytes[0])
+			continue
+		}
+		text := line.Instr.String()
+		switch line.Instr.Op {
+		case isa.JMP, isa.JCC, isa.CALL:
+			target := line.Addr + uint64(len(line.Bytes)) + uint64(int64(line.Instr.Imm))
+			label := fmt.Sprintf("%#x", target)
+			if s, ok := symAt[target]; ok {
+				label = fmt.Sprintf("%#x <%s>", target, s)
+			} else if target >= fs.Addr && target < fs.Addr+fs.Size {
+				label = fmt.Sprintf("%#x <%s+%#x>", target, name, target-fs.Addr)
+			}
+			mn := "jmp"
+			if line.Instr.Op == isa.CALL {
+				mn = "callq"
+			} else if line.Instr.Op == isa.JCC {
+				mn = "j" + line.Instr.CC.String()
+			}
+			text = mn + " " + label
+		}
+		fmt.Fprintf(&sb, "  %016x:  %s\n", line.Addr, text)
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,441 @@
+// Package link assembles IR programs into linked kernel images: it lays out
+// functions into a .text section, merges per-function XOR keys into the
+// contiguous .krxkeys region, places data sections, plans the address-space
+// layout (vanilla or kR^X-KAS, via the kas package), resolves symbols and
+// intra-function labels to rel32/imm displacements, and encodes the final
+// bytes. It is also reused by the module loader-linker for .ko objects.
+package link
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+	"repro/internal/kas"
+	"repro/internal/mem"
+)
+
+// KeyPrefix is the symbol-name prefix of per-function return-address
+// encryption keys. References to "xkey.<fn>" are collected at link time and
+// materialized as 8-byte slots in the .krxkeys section (replenished with
+// random values at boot/load time, never statically initialized).
+const KeyPrefix = "xkey."
+
+// FuncAlign is the alignment of function entry points. Padding bytes are
+// 0xCC (int3), so falling into padding trips immediately.
+const FuncAlign = 16
+
+// FuncSym describes one placed function.
+type FuncSym struct {
+	Name string
+	Addr uint64
+	Size uint64
+}
+
+// Image is a fully linked kernel image ready to be installed into an
+// address space.
+type Image struct {
+	Layout *kas.Layout
+
+	Text    []byte
+	Rodata  []byte
+	Data    []byte
+	BssSize uint64
+
+	// Symbols maps every defined symbol (functions, data, layout symbols,
+	// xkeys) to its virtual address.
+	Symbols map[string]uint64
+	// Funcs lists the placed functions in final (possibly permuted) order.
+	Funcs []FuncSym
+	// KeyAddrs maps xkey symbols to their .krxkeys slot addresses.
+	KeyAddrs map[string]uint64
+	// NumKeys is the number of 8-byte xkey slots in .krxkeys.
+	NumKeys int
+}
+
+// FuncAddr returns the address of a function symbol.
+func (img *Image) FuncAddr(name string) (uint64, bool) {
+	a, ok := img.Symbols[name]
+	return a, ok
+}
+
+// Options controls linking.
+type Options struct {
+	// Layout selects the address-space layout (kas.Vanilla or kas.KRX).
+	Layout kas.Kind
+	// GuardSize overrides the .krx_phantom guard size (0 = default).
+	GuardSize uint64
+	// Slide shifts the kernel image base upward by a page-aligned delta
+	// (coarse KASLR — the standard kernel base randomization the paper
+	// assumes as a baseline in §3). Must be < kas.MaxSlide.
+	Slide uint64
+}
+
+// textPlan is the result of the first assembly pass: section-relative
+// offsets for every function and label.
+type textPlan struct {
+	size    uint64
+	funcOff map[string]uint64
+	funcSz  map[string]uint64
+	// labelOff is keyed by function name + "\x00" + label.
+	labelOff map[string]uint64
+	// keys lists the referenced xkey symbols in first-use order.
+	keys []string
+}
+
+func labelKey(fn, label string) string { return fn + "\x00" + label }
+
+// planText computes the layout of functions within .text.
+func planText(funcs []*ir.Function) (*textPlan, error) {
+	tp := &textPlan{
+		funcOff:  make(map[string]uint64, len(funcs)),
+		funcSz:   make(map[string]uint64, len(funcs)),
+		labelOff: make(map[string]uint64),
+	}
+	seenKeys := make(map[string]bool)
+	var off uint64
+	for _, f := range funcs {
+		// Align the entry point; the gap is int3 padding.
+		off = (off + FuncAlign - 1) &^ uint64(FuncAlign-1)
+		tp.funcOff[f.Name] = off
+		start := off
+		for _, b := range f.Blocks {
+			tp.labelOff[labelKey(f.Name, b.Label)] = off
+			for _, in := range b.Ins {
+				off += uint64(in.Length())
+				// Collect xkey references.
+				if m := memRefOf(in); m != nil && m.Sym != "" && len(m.Sym) > len(KeyPrefix) && m.Sym[:len(KeyPrefix)] == KeyPrefix {
+					if !seenKeys[m.Sym] {
+						seenKeys[m.Sym] = true
+						tp.keys = append(tp.keys, m.Sym)
+					}
+				}
+			}
+		}
+		tp.funcSz[f.Name] = off - start
+	}
+	tp.size = off
+	return tp, nil
+}
+
+func memRefOf(in isa.Instr) *isa.MemRef {
+	switch in.Op {
+	case isa.MOVrm, isa.MOVmr, isa.MOVmi, isa.LEA, isa.ADDrm, isa.SUBrm,
+		isa.XORrm, isa.XORmr, isa.CMPrm, isa.CMPmi, isa.CALLM, isa.JMPM,
+		isa.BNDCU, isa.BNDCL, isa.BNDMK, isa.BNDSTX, isa.BNDLDX:
+		m := in.M
+		return &m
+	}
+	return nil
+}
+
+// dataPlan lays out data symbols in a section and returns
+// (offsets, total size).
+func dataPlan(syms []ir.DataSym) (map[string]uint64, uint64) {
+	offs := make(map[string]uint64, len(syms))
+	var off uint64
+	for _, d := range syms {
+		align := d.Align
+		if align == 0 {
+			align = 8
+		}
+		off = (off + align - 1) &^ (align - 1)
+		offs[d.Name] = off
+		off += uint64(len(d.Bytes))
+	}
+	return offs, off
+}
+
+func bssPlan(syms []ir.BSSSym) (map[string]uint64, uint64) {
+	offs := make(map[string]uint64, len(syms))
+	var off uint64
+	for _, d := range syms {
+		align := d.Align
+		if align == 0 {
+			align = 8
+		}
+		off = (off + align - 1) &^ (align - 1)
+		offs[d.Name] = off
+		off += d.Size
+	}
+	return offs, off
+}
+
+// Link assembles and links prog into an image under the requested layout.
+// The order of prog.Funcs is preserved (function permutation is performed
+// upstream by the diversification pass).
+func Link(prog *ir.Program, opt Options) (*Image, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	tp, err := planText(prog.Funcs)
+	if err != nil {
+		return nil, err
+	}
+	rodataOff, rodataSize := dataPlan(prog.Rodata)
+	dataOff, dataSize := dataPlan(prog.Data)
+	bssOff, bssSize := bssPlan(prog.BSS)
+
+	sizes := kas.SectionSizes{
+		Text:    tp.size,
+		KrxKeys: uint64(len(tp.keys)) * 8,
+		Rodata:  rodataSize,
+		Data:    dataSize,
+		Bss:     bssSize,
+		Brk:     mem.PageSize,
+	}
+	if opt.Slide >= kas.MaxSlide || opt.Slide&uint64(mem.PageMask) != 0 {
+		if opt.Slide != 0 {
+			return nil, fmt.Errorf("link: invalid KASLR slide %#x", opt.Slide)
+		}
+	}
+	var layout *kas.Layout
+	switch opt.Layout {
+	case kas.KRX:
+		layout = kas.PlanKRXAt(sizes, kas.KernelBase+opt.Slide, opt.GuardSize)
+	default:
+		layout = kas.PlanVanillaAt(sizes, kas.KernelBase+opt.Slide)
+	}
+	if err := layout.Validate(); err != nil {
+		return nil, err
+	}
+
+	img := &Image{
+		Layout:   layout,
+		Symbols:  make(map[string]uint64),
+		KeyAddrs: make(map[string]uint64),
+		NumKeys:  len(tp.keys),
+		BssSize:  bssSize,
+	}
+	// Layout-derived symbols first.
+	for name, addr := range layout.Symbols {
+		img.Symbols[name] = addr
+	}
+
+	textBase := img.Symbols["_text"]
+	for _, f := range prog.Funcs {
+		addr := textBase + tp.funcOff[f.Name]
+		img.Symbols[f.Name] = addr
+		img.Funcs = append(img.Funcs, FuncSym{Name: f.Name, Addr: addr, Size: tp.funcSz[f.Name]})
+	}
+
+	// xkeys: merged into a contiguous region (.krxkeys) at link time.
+	if len(tp.keys) > 0 {
+		keysBase, ok := layout.Symbols["_krxkeys"]
+		if !ok {
+			// Vanilla layout: keys live at the end of .text.
+			keysBase = textBase + ((tp.size + 7) &^ 7)
+		}
+		for i, k := range tp.keys {
+			a := keysBase + uint64(i)*8
+			img.Symbols[k] = a
+			img.KeyAddrs[k] = a
+		}
+	}
+
+	var rodataBase, dataBase, bssBase uint64
+	if r := layout.Region(".rodata"); r != nil {
+		rodataBase = r.Start
+	}
+	if r := layout.Region(".data"); r != nil {
+		dataBase = r.Start
+	}
+	if r := layout.Region(".bss"); r != nil {
+		bssBase = r.Start
+	}
+	for _, d := range prog.Rodata {
+		img.Symbols[d.Name] = rodataBase + rodataOff[d.Name]
+	}
+	for _, d := range prog.Data {
+		img.Symbols[d.Name] = dataBase + dataOff[d.Name]
+	}
+	for _, d := range prog.BSS {
+		img.Symbols[d.Name] = bssBase + bssOff[d.Name]
+	}
+
+	// Second pass: resolve and encode.
+	text := make([]byte, 0, tp.size)
+	for _, f := range prog.Funcs {
+		// int3 padding up to the function's aligned offset.
+		for uint64(len(text)) < tp.funcOff[f.Name] {
+			text = append(text, 0xCC)
+		}
+		enc, err := encodeFunc(f, textBase, tp, img.Symbols)
+		if err != nil {
+			return nil, err
+		}
+		text = append(text, enc...)
+	}
+	img.Text = text
+
+	img.Rodata = make([]byte, rodataSize)
+	for _, d := range prog.Rodata {
+		copy(img.Rodata[rodataOff[d.Name]:], d.Bytes)
+	}
+	img.Data = make([]byte, dataSize)
+	for _, d := range prog.Data {
+		copy(img.Data[dataOff[d.Name]:], d.Bytes)
+	}
+	// Data sections may contain absolute pointers to symbols: apply data
+	// relocations.
+	for _, rel := range prog.DataRelocs() {
+		target, ok := img.Symbols[rel.Sym]
+		if !ok {
+			return nil, fmt.Errorf("link: data relocation against undefined symbol %q", rel.Sym)
+		}
+		base, section := dataOff, img.Data
+		if rel.Rodata {
+			base, section = rodataOff, img.Rodata
+		}
+		off := base[rel.In] + rel.Off
+		v := target + rel.Addend
+		for i := 0; i < 8; i++ {
+			section[off+uint64(i)] = byte(v >> (8 * i))
+		}
+	}
+	return img, nil
+}
+
+// signExt32OK reports whether v is representable as a sign-extended 32-bit
+// immediate (the -mcmodel=kernel constraint: the kernel lives in the
+// negative 2GB so _krx_edata-style immediates fit).
+func signExt32OK(v uint64) bool {
+	return uint64(int64(int32(uint32(v)))) == v
+}
+
+func encodeFunc(f *ir.Function, textBase uint64, tp *textPlan, syms map[string]uint64) ([]byte, error) {
+	resolveTarget := func(in isa.Instr) (uint64, error) {
+		if in.Label != "" {
+			off, ok := tp.labelOff[labelKey(f.Name, in.Label)]
+			if !ok {
+				return 0, fmt.Errorf("link: %s: undefined label %q", f.Name, in.Label)
+			}
+			return textBase + off, nil
+		}
+		addr, ok := syms[in.Sym]
+		if !ok {
+			return 0, fmt.Errorf("link: %s: undefined symbol %q", f.Name, in.Sym)
+		}
+		return addr, nil
+	}
+
+	var out []byte
+	pc := textBase + tp.funcOff[f.Name]
+	for _, b := range f.Blocks {
+		for _, in := range b.Ins {
+			next := pc + uint64(in.Length())
+			r := in // resolved copy
+			switch {
+			case in.Op == isa.JMP || in.Op == isa.JCC || in.Op == isa.CALL:
+				if in.Label != "" || in.Sym != "" {
+					t, err := resolveTarget(in)
+					if err != nil {
+						return nil, err
+					}
+					rel := int64(t) - int64(next)
+					if rel > 1<<31-1 || rel < -(1<<31) {
+						return nil, fmt.Errorf("link: %s: rel32 overflow to %q", f.Name, in.Label+in.Sym)
+					}
+					r.Imm = rel
+					r.Label, r.Sym = "", ""
+				}
+			case in.TripSym != "":
+				off, ok := tp.labelOff[labelKey(f.Name, in.TripSym)]
+				if !ok {
+					return nil, fmt.Errorf("link: %s: undefined tripwire label %q", f.Name, in.TripSym)
+				}
+				r.Imm = int64(textBase + off + uint64(in.TripOff))
+				r.TripSym = ""
+			case in.Sym != "" && in.Op == isa.MOVri:
+				addr, ok := syms[in.Sym]
+				if !ok {
+					return nil, fmt.Errorf("link: %s: undefined symbol %q", f.Name, in.Sym)
+				}
+				r.Imm = int64(addr) + in.Imm
+				r.Sym = ""
+			case in.Sym != "" && (in.Op == isa.CMPri || in.Op == isa.ADDri || in.Op == isa.SUBri):
+				addr, ok := syms[in.Sym]
+				if !ok {
+					return nil, fmt.Errorf("link: %s: undefined symbol %q", f.Name, in.Sym)
+				}
+				var v uint64
+				if in.SymNeg {
+					v = addr - uint64(in.Imm)
+				} else {
+					v = addr + uint64(in.Imm)
+				}
+				if !signExt32OK(v) {
+					return nil, fmt.Errorf("link: %s: immediate %#x for %q does not fit sign-extended imm32", f.Name, v, in.Sym)
+				}
+				r.Imm = int64(v)
+				r.Sym, r.SymNeg = "", false
+			}
+			if m := r.MemOperand(); m != nil && m.Sym != "" {
+				addr, ok := syms[m.Sym]
+				if !ok {
+					return nil, fmt.Errorf("link: %s: undefined symbol %q in memory operand", f.Name, m.Sym)
+				}
+				target := addr + uint64(int64(m.Disp))
+				if m.RIPRel {
+					rel := int64(target) - int64(next)
+					if rel > 1<<31-1 || rel < -(1<<31) {
+						return nil, fmt.Errorf("link: %s: rip-relative overflow to %q", f.Name, m.Sym)
+					}
+					m.Disp = int32(rel)
+				} else {
+					if !signExt32OK(target) {
+						return nil, fmt.Errorf("link: %s: absolute reference %#x to %q does not fit disp32", f.Name, target, m.Sym)
+					}
+					m.Disp = int32(uint32(target))
+				}
+				m.Sym = ""
+			}
+			var err error
+			out, err = r.Encode(out)
+			if err != nil {
+				return nil, fmt.Errorf("link: %s: %w", f.Name, err)
+			}
+			pc = next
+		}
+	}
+	return out, nil
+}
+
+// Install pokes the image's bytes into an installed address space. The
+// space must have been created from img.Layout.
+func (img *Image) Install(sp *kas.Space) error {
+	put := func(region string, b []byte) error {
+		r := img.Layout.Region(region)
+		if r == nil {
+			if len(b) == 0 {
+				return nil
+			}
+			return fmt.Errorf("link: image has %s bytes but layout lacks the region", region)
+		}
+		if uint64(len(b)) > r.Size {
+			return fmt.Errorf("link: %s overflows its region", region)
+		}
+		return sp.AS.Poke(r.Start, b)
+	}
+	if err := put(".text", img.Text); err != nil {
+		return err
+	}
+	if err := put(".rodata", img.Rodata); err != nil {
+		return err
+	}
+	if err := put(".data", img.Data); err != nil {
+		return err
+	}
+	return nil
+}
+
+// RIPRelativeTo computes the final rel32 displacement to be encoded in a
+// %rip-relative memory operand located in an instruction ending at
+// nextInstrAddr and referring to target.
+func RIPRelativeTo(target, nextInstrAddr uint64) (int32, error) {
+	rel := int64(target) - int64(nextInstrAddr)
+	if rel > 1<<31-1 || rel < -(1<<31) {
+		return 0, fmt.Errorf("link: rip-relative displacement overflow")
+	}
+	return int32(rel), nil
+}

@@ -1,0 +1,247 @@
+package link
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+	"repro/internal/kas"
+)
+
+// testProg builds a tiny two-function program with data, rodata, bss,
+// a dispatch-table relocation, and an xkey reference.
+func testProg(t *testing.T) *ir.Program {
+	t.Helper()
+	main, err := ir.NewBuilder("kmain").
+		I(
+			isa.Load(isa.R11, isa.MemRIP(KeyPrefix+"kmain", 0)),
+			isa.MovSym(isa.RAX, "message"),
+			isa.Call("helper"),
+			isa.CmpSymNeg(isa.RSI, "_krx_edata", 0x154),
+			isa.Jcc(isa.CondA, "out"),
+		).
+		Label("mid").
+		I(isa.AddRI(isa.RAX, 1), isa.Jmp("out")).
+		Label("out").
+		I(isa.Ret()).
+		Func()
+	if err != nil {
+		t.Fatal(err)
+	}
+	helper, err := ir.NewBuilder("helper").
+		I(isa.Load(isa.RCX, isa.MemAbs("counter", 0)), isa.Ret()).
+		Func()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &ir.Program{
+		Funcs:  []*ir.Function{main, helper},
+		Rodata: []ir.DataSym{{Name: "message", Bytes: []byte("hello")}},
+		Data: []ir.DataSym{
+			{Name: "counter", Bytes: make([]byte, 8)},
+			{Name: "dispatch", Bytes: make([]byte, 16)},
+		},
+		BSS:    []ir.BSSSym{{Name: "scratch", Size: 128}},
+		Relocs: []ir.DataReloc{{In: "dispatch", Off: 8, Sym: "helper"}},
+	}
+}
+
+func TestLinkKRX(t *testing.T) {
+	img, err := Link(testProg(t), Options{Layout: kas.KRX})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Layout.Kind != kas.KRX {
+		t.Fatal("wrong layout kind")
+	}
+	// Both functions placed, aligned, inside .text.
+	textStart := img.Symbols["_text"]
+	textEnd := img.Symbols["_etext"]
+	for _, fs := range img.Funcs {
+		if fs.Addr < textStart || fs.Addr+fs.Size > textEnd {
+			t.Errorf("function %s at %#x outside .text [%#x,%#x)", fs.Name, fs.Addr, textStart, textEnd)
+		}
+		if fs.Addr%FuncAlign != 0 {
+			t.Errorf("function %s not %d-aligned", fs.Name, FuncAlign)
+		}
+	}
+	// The xkey slot was merged into .krxkeys above _krx_edata.
+	ka, ok := img.KeyAddrs[KeyPrefix+"kmain"]
+	if !ok {
+		t.Fatal("xkey.kmain not allocated")
+	}
+	if ka <= img.Symbols["_krx_edata"] {
+		t.Error("xkey slot must live above _krx_edata (unreadable by instrumented code)")
+	}
+	if img.NumKeys != 1 {
+		t.Errorf("NumKeys = %d", img.NumKeys)
+	}
+	// Data relocation applied: dispatch+8 holds helper's address.
+	off := img.Symbols["dispatch"] - img.Layout.Region(".data").Start
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(img.Data[off+8+uint64(i)]) << (8 * i)
+	}
+	if v != img.Symbols["helper"] {
+		t.Errorf("dispatch[1] = %#x, want helper %#x", v, img.Symbols["helper"])
+	}
+}
+
+func TestLinkVanilla(t *testing.T) {
+	img, err := Link(testProg(t), Options{Layout: kas.Vanilla})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vanilla: .text at KernelBase; _krx_edata is +inf so every range
+	// check passes trivially.
+	if img.Symbols["_text"] != kas.KernelBase {
+		t.Errorf("_text = %#x", img.Symbols["_text"])
+	}
+	if img.Symbols["_krx_edata"] != ^uint64(0) {
+		t.Errorf("vanilla _krx_edata = %#x", img.Symbols["_krx_edata"])
+	}
+}
+
+func TestLinkedBranchesDecodeAndResolve(t *testing.T) {
+	img, err := Link(testProg(t), Options{Layout: kas.KRX})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Disassemble kmain and follow the call: the rel32 must land exactly
+	// on helper's entry.
+	kmainAddr := img.Symbols["kmain"]
+	textStart := img.Symbols["_text"]
+	code := img.Text[kmainAddr-textStart:]
+	var pc = kmainAddr
+	found := false
+	for off := 0; off < len(code); {
+		in, n, err := isa.Decode(code[off:])
+		if err != nil {
+			t.Fatalf("decode at +%d: %v", off, err)
+		}
+		if in.Op == isa.CALL {
+			target := pc + uint64(n) + uint64(int64(in.Imm))
+			if target != img.Symbols["helper"] {
+				t.Errorf("call target %#x, want helper %#x", target, img.Symbols["helper"])
+			}
+			found = true
+		}
+		if in.Op == isa.RET {
+			break
+		}
+		off += n
+		pc += uint64(n)
+	}
+	if !found {
+		t.Fatal("no call instruction found in kmain")
+	}
+}
+
+func TestLinkUndefinedSymbol(t *testing.T) {
+	f, err := ir.NewBuilder("f").I(isa.Call("missing"), isa.Ret()).Func()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Link(&ir.Program{Funcs: []*ir.Function{f}}, Options{Layout: kas.KRX}); err == nil {
+		t.Fatal("undefined symbol must fail the link")
+	}
+}
+
+func TestLinkUndefinedDataReloc(t *testing.T) {
+	p := testProg(t)
+	p.Relocs = append(p.Relocs, ir.DataReloc{In: "dispatch", Off: 0, Sym: "missing"})
+	if _, err := Link(p, Options{Layout: kas.KRX}); err == nil {
+		t.Fatal("undefined reloc target must fail the link")
+	}
+}
+
+func TestInterFunctionPadding(t *testing.T) {
+	img, err := Link(testProg(t), Options{Layout: kas.KRX})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bytes between function end and next function start are int3.
+	first := img.Funcs[0]
+	second := img.Funcs[1]
+	textStart := img.Symbols["_text"]
+	for a := first.Addr + first.Size; a < second.Addr; a++ {
+		if img.Text[a-textStart] != 0xCC {
+			t.Fatalf("padding byte at %#x is %#x, want 0xCC", a, img.Text[a-textStart])
+		}
+	}
+}
+
+func TestInstallImage(t *testing.T) {
+	img, err := Link(testProg(t), Options{Layout: kas.KRX})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := kas.NewPhysPool(8 << 20)
+	sp, err := kas.Install(img.Layout, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := img.Install(sp); err != nil {
+		t.Fatal(err)
+	}
+	// The first byte of kmain is fetchable at its symbol address.
+	var buf [1]byte
+	if _, f := sp.AS.Fetch(img.Symbols["kmain"], buf[:]); f != nil {
+		t.Fatalf("fetch of installed text: %v", f)
+	}
+	if buf[0] != img.Text[img.Symbols["kmain"]-img.Symbols["_text"]] {
+		t.Error("installed text mismatch")
+	}
+	// rodata visible.
+	b, err2 := sp.AS.Peek(img.Symbols["message"], 5)
+	if err2 != nil || string(b) != "hello" {
+		t.Fatalf("rodata: %v %q", err2, b)
+	}
+}
+
+func TestTripwireResolution(t *testing.T) {
+	// A function with a phantom block; a MOVri with TripSym resolves to
+	// the phantom block's address + offset 2 (the int3 byte).
+	f, err := ir.NewBuilder("f").
+		I(
+			isa.Instr{Op: isa.MOVri, Dst: isa.R11, TripSym: "phantom.0", TripOff: 2},
+			isa.Call("g"),
+			isa.Ret(),
+		).
+		Label("phantom.0").
+		I(isa.MovRI(isa.R11, 0xCC), isa.Jmp("done")).
+		Label("done").
+		I(isa.Ret()).
+		Func()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := ir.NewBuilder("g").I(isa.Ret()).Func()
+	img, err := Link(&ir.Program{Funcs: []*ir.Function{f, g}}, Options{Layout: kas.KRX})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decode the first instruction of f: its imm must point 2 bytes into
+	// the phantom block, and the byte there must be 0xCC.
+	textStart := img.Symbols["_text"]
+	in, _, err := isa.Decode(img.Text[img.Symbols["f"]-textStart:])
+	if err != nil || in.Op != isa.MOVri {
+		t.Fatalf("decode: %v %v", err, in.Op)
+	}
+	trip := uint64(in.Imm)
+	if img.Text[trip-textStart] != 0xCC {
+		t.Errorf("tripwire target byte = %#x, want 0xCC", img.Text[trip-textStart])
+	}
+}
+
+func TestSignExt32Constraint(t *testing.T) {
+	if !signExt32OK(0xFFFFFFFF80000000) {
+		t.Error("kernel base must fit sign-extended imm32")
+	}
+	if !signExt32OK(0x7FFFFFFF) || signExt32OK(0x80000000) {
+		t.Error("boundary cases wrong")
+	}
+	if signExt32OK(0xFFFFFFF000000000) {
+		t.Error("mid-range high address must not fit")
+	}
+}

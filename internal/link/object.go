@@ -1,0 +1,129 @@
+package link
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// ObjectImage is a relocated module object: text and data bytes ready to
+// be copied to their assigned load addresses. It is the in-memory
+// equivalent of a loaded .ko after relocation and eager symbol binding.
+type ObjectImage struct {
+	Text     []byte
+	Data     []byte // .rodata + .data, merged
+	BssSize  uint64
+	Symbols  map[string]uint64 // module-defined symbols, absolute
+	KeyAddrs map[string]uint64 // xkey slots (inside the text allocation)
+	NumKeys  int
+}
+
+// TotalTextSize returns the size of the text allocation including the
+// trailing xkey slots.
+func (o *ObjectImage) TotalTextSize() uint64 {
+	return uint64(len(o.Text)) + uint64(o.NumKeys)*8
+}
+
+// LinkObject links a module program against a kernel symbol table, placing
+// .text at textBase and all data sections at dataBase (the kR^X module
+// loader-linker slices text away from data — §5.1.1 "Kernel Modules").
+// Module xkeys are placed directly after the text (inside the execute-only
+// region), to be replenished by the loader.
+func LinkObject(prog *ir.Program, textBase, dataBase uint64, externs map[string]uint64) (*ObjectImage, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	tp, err := planText(prog.Funcs)
+	if err != nil {
+		return nil, err
+	}
+	rodataOff, rodataSize := dataPlan(prog.Rodata)
+	rodataSize = (rodataSize + 7) &^ 7
+	dataOff, dataSize := dataPlan(prog.Data)
+	dataSize = (dataSize + 7) &^ 7
+	bssOff, bssSize := bssPlan(prog.BSS)
+
+	obj := &ObjectImage{
+		Symbols:  make(map[string]uint64),
+		KeyAddrs: make(map[string]uint64),
+		BssSize:  bssSize,
+		NumKeys:  len(tp.keys),
+	}
+	syms := make(map[string]uint64, len(externs)+len(prog.Funcs))
+	for k, v := range externs {
+		syms[k] = v
+	}
+	define := func(name string, addr uint64) error {
+		if _, dup := syms[name]; dup {
+			return fmt.Errorf("link: module symbol %q collides", name)
+		}
+		syms[name] = addr
+		obj.Symbols[name] = addr
+		return nil
+	}
+	for _, f := range prog.Funcs {
+		if err := define(f.Name, textBase+tp.funcOff[f.Name]); err != nil {
+			return nil, err
+		}
+	}
+	keysBase := textBase + ((tp.size + 7) &^ 7)
+	for i, k := range tp.keys {
+		a := keysBase + uint64(i)*8
+		if err := define(k, a); err != nil {
+			return nil, err
+		}
+		obj.KeyAddrs[k] = a
+	}
+	for _, d := range prog.Rodata {
+		if err := define(d.Name, dataBase+rodataOff[d.Name]); err != nil {
+			return nil, err
+		}
+	}
+	for _, d := range prog.Data {
+		if err := define(d.Name, dataBase+rodataSize+dataOff[d.Name]); err != nil {
+			return nil, err
+		}
+	}
+	for _, d := range prog.BSS {
+		if err := define(d.Name, dataBase+rodataSize+dataSize+bssOff[d.Name]); err != nil {
+			return nil, err
+		}
+	}
+
+	var text []byte
+	for _, f := range prog.Funcs {
+		for uint64(len(text)) < tp.funcOff[f.Name] {
+			text = append(text, 0xCC)
+		}
+		enc, err := encodeFunc(f, textBase, tp, syms)
+		if err != nil {
+			return nil, err
+		}
+		text = append(text, enc...)
+	}
+	obj.Text = text
+
+	data := make([]byte, rodataSize+dataSize)
+	for _, d := range prog.Rodata {
+		copy(data[rodataOff[d.Name]:], d.Bytes)
+	}
+	for _, d := range prog.Data {
+		copy(data[rodataSize+dataOff[d.Name]:], d.Bytes)
+	}
+	for _, rel := range prog.DataRelocs() {
+		target, ok := syms[rel.Sym]
+		if !ok {
+			return nil, fmt.Errorf("link: module data relocation against undefined %q", rel.Sym)
+		}
+		off := dataOff[rel.In] + rodataSize + rel.Off
+		if rel.Rodata {
+			off = rodataOff[rel.In] + rel.Off
+		}
+		v := target + rel.Addend
+		for i := 0; i < 8; i++ {
+			data[off+uint64(i)] = byte(v >> (8 * i))
+		}
+	}
+	obj.Data = data
+	return obj, nil
+}

@@ -1,0 +1,132 @@
+package link
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+func objProg(t *testing.T) *ir.Program {
+	t.Helper()
+	f, err := ir.NewBuilder("mod_fn").
+		I(
+			isa.Load(isa.R11, isa.MemRIP(KeyPrefix+"mod_fn", 0)),
+			isa.MovSym(isa.RAX, "mod_data"),
+			isa.Call("kernel_helper"),
+			isa.Ret(),
+		).Func()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &ir.Program{
+		Funcs:  []*ir.Function{f},
+		Data:   []ir.DataSym{{Name: "mod_data", Bytes: make([]byte, 16)}},
+		Rodata: []ir.DataSym{{Name: "mod_ro", Bytes: []byte("ro!")}},
+		BSS:    []ir.BSSSym{{Name: "mod_bss", Size: 64}},
+		Relocs: []ir.DataReloc{{In: "mod_data", Off: 8, Sym: "mod_fn"}},
+	}
+}
+
+const (
+	objText = 0xffffffffa0000000
+	objData = 0xffffffff5f000000
+)
+
+func externs() map[string]uint64 {
+	return map[string]uint64{
+		"kernel_helper": 0xffffffff80041000,
+		"_krx_edata":    0xffffffff80030000,
+	}
+}
+
+func TestLinkObjectPlacesSections(t *testing.T) {
+	img, err := LinkObject(objProg(t), objText, objData, externs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Symbols["mod_fn"] != objText {
+		t.Errorf("mod_fn at %#x", img.Symbols["mod_fn"])
+	}
+	// rodata first, then data, then bss, all within the data allocation.
+	ro, da, bss := img.Symbols["mod_ro"], img.Symbols["mod_data"], img.Symbols["mod_bss"]
+	if !(objData <= ro && ro < da && da < bss) {
+		t.Errorf("section ordering: ro=%#x data=%#x bss=%#x", ro, da, bss)
+	}
+	if img.BssSize != 64 {
+		t.Errorf("bss size %d", img.BssSize)
+	}
+	// xkey slot appended after text.
+	ka := img.KeyAddrs[KeyPrefix+"mod_fn"]
+	if ka < objText+uint64(len(img.Text)) {
+		t.Errorf("xkey at %#x inside code bytes", ka)
+	}
+	if img.TotalTextSize() != uint64(len(img.Text))+8 {
+		t.Errorf("TotalTextSize %d", img.TotalTextSize())
+	}
+}
+
+func TestLinkObjectResolvesExternsAndRelocs(t *testing.T) {
+	img, err := LinkObject(objProg(t), objText, objData, externs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walk the code: the call must target the extern.
+	pc := uint64(objText)
+	found := false
+	for off := 0; off < len(img.Text); {
+		in, n, err := isa.Decode(img.Text[off:])
+		if err != nil {
+			t.Fatalf("decode at +%d: %v", off, err)
+		}
+		if in.Op == isa.CALL {
+			target := pc + uint64(n) + uint64(int64(in.Imm))
+			if target != externs()["kernel_helper"] {
+				t.Errorf("call target %#x", target)
+			}
+			found = true
+		}
+		if in.Op == isa.RET {
+			break
+		}
+		off += n
+		pc += uint64(n)
+	}
+	if !found {
+		t.Fatal("call not found")
+	}
+	// Data relocation: mod_data+8 holds mod_fn's address.
+	off := img.Symbols["mod_data"] - objData
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(img.Data[off+8+uint64(i)]) << (8 * i)
+	}
+	if v != img.Symbols["mod_fn"] {
+		t.Errorf("reloc: %#x want %#x", v, img.Symbols["mod_fn"])
+	}
+}
+
+func TestLinkObjectUndefinedExtern(t *testing.T) {
+	p := objProg(t)
+	if _, err := LinkObject(p, objText, objData, map[string]uint64{"_krx_edata": 1}); err == nil {
+		t.Fatal("undefined extern must fail")
+	}
+}
+
+func TestLinkObjectSymbolCollision(t *testing.T) {
+	p := objProg(t)
+	ext := externs()
+	ext["mod_fn"] = 0x1234 // collides with the module's own function
+	if _, err := LinkObject(p, objText, objData, ext); err == nil {
+		t.Fatal("symbol collision must fail")
+	}
+}
+
+func TestLinkObjectRel32OutOfRange(t *testing.T) {
+	p := objProg(t)
+	ext := externs()
+	ext["kernel_helper"] = 0x4000000000 // 256GB away from the module text
+	if _, err := LinkObject(p, objText, objData, ext); err == nil {
+		t.Fatal("rel32 overflow must fail the link")
+	}
+}

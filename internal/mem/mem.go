@@ -1,0 +1,464 @@
+// Package mem models physical frames and paged virtual address spaces with
+// x86-64 permission semantics. The crucial property, faithfully reproduced
+// from the paper's problem statement, is that on x86 the execute permission
+// implies read access: a page mapped X can always be read by data loads.
+// Native execute-only memory therefore does not exist, and kR^X must enforce
+// R^X in software (SFI range checks) or with MPX bound checks.
+//
+// An AddressSpace can optionally be switched to "EPT mode", modelling the
+// nested-page-table hardware used by hypervisor-based schemes (Readactor,
+// KHide), where R and X are independent bits. This is the hierarchically-
+// privileged baseline kR^X explicitly avoids; it exists here for ablation
+// benchmarks.
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Page geometry.
+const (
+	PageShift = 12
+	PageSize  = 1 << PageShift
+	PageMask  = PageSize - 1
+)
+
+// Perm is a page permission bit set.
+type Perm uint8
+
+// Permission bits.
+const (
+	PermR Perm = 1 << 0
+	PermW Perm = 1 << 1
+	PermX Perm = 1 << 2
+
+	PermRW  = PermR | PermW
+	PermRX  = PermR | PermX
+	PermRWX = PermR | PermW | PermX
+)
+
+// String renders the permission like "r-x".
+func (p Perm) String() string {
+	b := []byte("---")
+	if p&PermR != 0 {
+		b[0] = 'r'
+	}
+	if p&PermW != 0 {
+		b[1] = 'w'
+	}
+	if p&PermX != 0 {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// Frame is a physical page frame. Frames may be mapped at multiple virtual
+// addresses (synonyms/aliases), which is how the physmap direct mapping is
+// modelled: writes through one mapping are visible through all others.
+type Frame struct {
+	Data [PageSize]byte
+}
+
+// Zap clears the frame's contents (used when modules are unloaded, to
+// prevent code-layout inference attacks per §5.1.1).
+func (f *Frame) Zap() {
+	for i := range f.Data {
+		f.Data[i] = 0
+	}
+}
+
+// FaultKind classifies a memory access fault.
+type FaultKind uint8
+
+// Fault kinds.
+const (
+	FaultNone FaultKind = iota
+	FaultNotMapped
+	FaultNoRead
+	FaultNoWrite
+	FaultNoExec
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultNotMapped:
+		return "not-mapped"
+	case FaultNoRead:
+		return "no-read"
+	case FaultNoWrite:
+		return "no-write"
+	case FaultNoExec:
+		return "no-exec"
+	}
+	return "unknown"
+}
+
+// Fault describes a failed memory access (the simulation's #PF).
+type Fault struct {
+	Addr  uint64
+	Kind  FaultKind
+	Write bool
+	Fetch bool
+}
+
+// Error implements the error interface.
+func (f *Fault) Error() string {
+	mode := "read"
+	if f.Write {
+		mode = "write"
+	}
+	if f.Fetch {
+		mode = "fetch"
+	}
+	return fmt.Sprintf("page fault: %s at 0x%x (%s)", mode, f.Addr, f.Kind)
+}
+
+type page struct {
+	frame *Frame
+	perm  Perm
+}
+
+// AddressSpace is a sparse paged virtual address space.
+type AddressSpace struct {
+	pages map[uint64]*page // keyed by virtual page number
+
+	// EPT selects hypervisor-style nested-paging semantics where the read
+	// and execute bits are independent, enabling native execute-only
+	// memory. When false (the default, plain x86-64), X implies R for data
+	// reads — the paper's core constraint.
+	EPT bool
+
+	// shadow maps virtual page numbers to an alternate frame served to
+	// *data* accesses while instruction fetches keep using the real frame
+	// — the split-TLB desynchronization trick of HideM (Gionta et al.,
+	// §2 of the paper): the ITLB and DTLB of the same virtual address
+	// point at different physical pages.
+	shadow map[uint64]*Frame
+}
+
+// NewAddressSpace returns an empty address space with x86 semantics.
+func NewAddressSpace() *AddressSpace {
+	return &AddressSpace{pages: make(map[uint64]*page)}
+}
+
+func vpn(va uint64) uint64 { return va >> PageShift }
+
+// PageAligned reports whether va is page-aligned.
+func PageAligned(va uint64) bool { return va&PageMask == 0 }
+
+// PagesFor returns the number of pages needed to hold size bytes.
+func PagesFor(size uint64) int { return int((size + PageMask) >> PageShift) }
+
+// Map allocates fresh frames for n pages at va with the given permissions.
+// It returns the frames so callers can alias them elsewhere.
+func (as *AddressSpace) Map(va uint64, n int, perm Perm) ([]*Frame, error) {
+	if !PageAligned(va) {
+		return nil, fmt.Errorf("mem: map at unaligned address 0x%x", va)
+	}
+	frames := make([]*Frame, n)
+	for i := range frames {
+		frames[i] = new(Frame)
+	}
+	if err := as.MapFrames(va, frames, perm); err != nil {
+		return nil, err
+	}
+	return frames, nil
+}
+
+// MapFrames maps existing frames at va (creating synonyms if the frames are
+// already mapped elsewhere).
+func (as *AddressSpace) MapFrames(va uint64, frames []*Frame, perm Perm) error {
+	if !PageAligned(va) {
+		return fmt.Errorf("mem: map at unaligned address 0x%x", va)
+	}
+	base := vpn(va)
+	for i := range frames {
+		if _, exists := as.pages[base+uint64(i)]; exists {
+			return fmt.Errorf("mem: page 0x%x already mapped", (base+uint64(i))<<PageShift)
+		}
+	}
+	for i, f := range frames {
+		as.pages[base+uint64(i)] = &page{frame: f, perm: perm}
+	}
+	return nil
+}
+
+// Unmap removes n pages starting at va. Unmapping a hole is an error.
+func (as *AddressSpace) Unmap(va uint64, n int) error {
+	if !PageAligned(va) {
+		return fmt.Errorf("mem: unmap at unaligned address 0x%x", va)
+	}
+	base := vpn(va)
+	for i := 0; i < n; i++ {
+		if _, ok := as.pages[base+uint64(i)]; !ok {
+			return fmt.Errorf("mem: unmap of unmapped page 0x%x", (base+uint64(i))<<PageShift)
+		}
+	}
+	for i := 0; i < n; i++ {
+		delete(as.pages, base+uint64(i))
+	}
+	return nil
+}
+
+// Protect changes the permissions of n pages starting at va.
+func (as *AddressSpace) Protect(va uint64, n int, perm Perm) error {
+	if !PageAligned(va) {
+		return fmt.Errorf("mem: protect at unaligned address 0x%x", va)
+	}
+	base := vpn(va)
+	for i := 0; i < n; i++ {
+		pg, ok := as.pages[base+uint64(i)]
+		if !ok {
+			return fmt.Errorf("mem: protect of unmapped page 0x%x", (base+uint64(i))<<PageShift)
+		}
+		pg.perm = perm
+	}
+	return nil
+}
+
+// Mapped reports whether va falls on a mapped page.
+func (as *AddressSpace) Mapped(va uint64) bool {
+	_, ok := as.pages[vpn(va)]
+	return ok
+}
+
+// PermAt returns the permissions of the page containing va.
+func (as *AddressSpace) PermAt(va uint64) (Perm, bool) {
+	pg, ok := as.pages[vpn(va)]
+	if !ok {
+		return 0, false
+	}
+	return pg.perm, true
+}
+
+// FramesAt returns the n frames mapped starting at page-aligned va.
+func (as *AddressSpace) FramesAt(va uint64, n int) ([]*Frame, error) {
+	if !PageAligned(va) {
+		return nil, fmt.Errorf("mem: FramesAt unaligned address 0x%x", va)
+	}
+	base := vpn(va)
+	out := make([]*Frame, n)
+	for i := 0; i < n; i++ {
+		pg, ok := as.pages[base+uint64(i)]
+		if !ok {
+			return nil, fmt.Errorf("mem: FramesAt unmapped page 0x%x", (base+uint64(i))<<PageShift)
+		}
+		out[i] = pg.frame
+	}
+	return out, nil
+}
+
+// readable reports whether a data read of the page is permitted under the
+// address space's semantics.
+func (as *AddressSpace) readable(p Perm) bool {
+	if p&PermR != 0 {
+		return true
+	}
+	// x86: execute implies read. Under EPT (nested paging), it does not.
+	return !as.EPT && p&PermX != 0
+}
+
+// LoadByte performs a data load of one byte.
+func (as *AddressSpace) LoadByte(va uint64) (byte, *Fault) {
+	pg, ok := as.pages[vpn(va)]
+	if !ok {
+		return 0, &Fault{Addr: va, Kind: FaultNotMapped}
+	}
+	if !as.readable(pg.perm) {
+		return 0, &Fault{Addr: va, Kind: FaultNoRead}
+	}
+	if sh, ok := as.shadow[vpn(va)]; ok {
+		// HideM split-TLB semantics: the DTLB view differs from the
+		// ITLB view — data reads see the shadow frame.
+		return sh.Data[va&PageMask], nil
+	}
+	return pg.frame.Data[va&PageMask], nil
+}
+
+// ShadowData installs a HideM-style data shadow for n pages at va: fetches
+// keep executing the real frames while data loads observe the shadow
+// (typically zero-filled) frames. Passing nil frames allocates fresh
+// zeroed shadows.
+func (as *AddressSpace) ShadowData(va uint64, n int, frames []*Frame) error {
+	if !PageAligned(va) {
+		return fmt.Errorf("mem: shadow at unaligned address 0x%x", va)
+	}
+	base := vpn(va)
+	for i := 0; i < n; i++ {
+		if _, ok := as.pages[base+uint64(i)]; !ok {
+			return fmt.Errorf("mem: shadow of unmapped page 0x%x", (base+uint64(i))<<PageShift)
+		}
+	}
+	if as.shadow == nil {
+		as.shadow = make(map[uint64]*Frame)
+	}
+	for i := 0; i < n; i++ {
+		var f *Frame
+		if frames != nil {
+			f = frames[i]
+		} else {
+			f = new(Frame)
+		}
+		as.shadow[base+uint64(i)] = f
+	}
+	return nil
+}
+
+// Unshadow removes the data shadows of n pages at va.
+func (as *AddressSpace) Unshadow(va uint64, n int) {
+	base := vpn(va)
+	for i := 0; i < n; i++ {
+		delete(as.shadow, base+uint64(i))
+	}
+}
+
+// StoreByte performs a data store of one byte.
+func (as *AddressSpace) StoreByte(va uint64, v byte) *Fault {
+	pg, ok := as.pages[vpn(va)]
+	if !ok {
+		return &Fault{Addr: va, Kind: FaultNotMapped, Write: true}
+	}
+	if pg.perm&PermW == 0 {
+		return &Fault{Addr: va, Kind: FaultNoWrite, Write: true}
+	}
+	pg.frame.Data[va&PageMask] = v
+	return nil
+}
+
+// Read performs a little-endian data load of size bytes (1, 2, 4, or 8).
+func (as *AddressSpace) Read(va uint64, size uint8) (uint64, *Fault) {
+	var v uint64
+	for i := uint8(0); i < size; i++ {
+		b, f := as.LoadByte(va + uint64(i))
+		if f != nil {
+			return 0, f
+		}
+		v |= uint64(b) << (8 * i)
+	}
+	return v, nil
+}
+
+// Write performs a little-endian data store of size bytes.
+func (as *AddressSpace) Write(va uint64, v uint64, size uint8) *Fault {
+	for i := uint8(0); i < size; i++ {
+		if f := as.StoreByte(va+uint64(i), byte(v>>(8*i))); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// Fetch reads up to len(buf) instruction bytes at va. Fetching requires the
+// execute permission. It returns the number of bytes fetched, stopping early
+// at a non-executable or unmapped page boundary (a fault is returned only if
+// no bytes at all could be fetched).
+func (as *AddressSpace) Fetch(va uint64, buf []byte) (int, *Fault) {
+	n := 0
+	for n < len(buf) {
+		pg, ok := as.pages[vpn(va+uint64(n))]
+		if !ok {
+			if n == 0 {
+				return 0, &Fault{Addr: va, Kind: FaultNotMapped, Fetch: true}
+			}
+			return n, nil
+		}
+		if pg.perm&PermX == 0 {
+			if n == 0 {
+				return 0, &Fault{Addr: va, Kind: FaultNoExec, Fetch: true}
+			}
+			return n, nil
+		}
+		buf[n] = pg.frame.Data[(va+uint64(n))&PageMask]
+		n++
+	}
+	return n, nil
+}
+
+// LoadBytes copies n bytes at va into a fresh slice, honouring read
+// permissions (used by loaders, debuggers, and the attack framework's
+// "arbitrary read" plumbing).
+func (as *AddressSpace) LoadBytes(va uint64, n int) ([]byte, *Fault) {
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		b, f := as.LoadByte(va + uint64(i))
+		if f != nil {
+			return nil, f
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+// StoreBytes stores b at va, honouring write permissions.
+func (as *AddressSpace) StoreBytes(va uint64, b []byte) *Fault {
+	for i, v := range b {
+		if f := as.StoreByte(va+uint64(i), v); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// Poke stores bytes ignoring permissions. It models privileged installation
+// of memory contents (boot-time image loading, the module loader writing
+// text through the still-mapped physmap synonym) and is not reachable from
+// emulated code.
+func (as *AddressSpace) Poke(va uint64, b []byte) error {
+	for i, v := range b {
+		pg, ok := as.pages[vpn(va+uint64(i))]
+		if !ok {
+			return fmt.Errorf("mem: poke of unmapped page 0x%x", va+uint64(i))
+		}
+		pg.frame.Data[(va+uint64(i))&PageMask] = v
+	}
+	return nil
+}
+
+// Peek loads bytes ignoring permissions (host-side inspection, e.g. by the
+// evaluation harness when comparing images).
+func (as *AddressSpace) Peek(va uint64, n int) ([]byte, error) {
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		pg, ok := as.pages[vpn(va+uint64(i))]
+		if !ok {
+			return nil, fmt.Errorf("mem: peek of unmapped page 0x%x", va+uint64(i))
+		}
+		out[i] = pg.frame.Data[(va+uint64(i))&PageMask]
+	}
+	return out, nil
+}
+
+// MappedRange describes a maximal run of contiguously mapped pages with
+// identical permissions.
+type MappedRange struct {
+	Start uint64
+	End   uint64 // exclusive
+	Perm  Perm
+}
+
+// Ranges returns the mapped ranges of the address space in ascending order.
+func (as *AddressSpace) Ranges() []MappedRange {
+	if len(as.pages) == 0 {
+		return nil
+	}
+	vpns := make([]uint64, 0, len(as.pages))
+	for k := range as.pages {
+		vpns = append(vpns, k)
+	}
+	sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })
+	var out []MappedRange
+	cur := MappedRange{Start: vpns[0] << PageShift, End: (vpns[0] + 1) << PageShift, Perm: as.pages[vpns[0]].perm}
+	for _, v := range vpns[1:] {
+		p := as.pages[v].perm
+		if v<<PageShift == cur.End && p == cur.Perm {
+			cur.End += PageSize
+			continue
+		}
+		out = append(out, cur)
+		cur = MappedRange{Start: v << PageShift, End: (v + 1) << PageShift, Perm: p}
+	}
+	return append(out, cur)
+}

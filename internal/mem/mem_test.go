@@ -1,0 +1,289 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestMapReadWrite(t *testing.T) {
+	as := NewAddressSpace()
+	if _, err := as.Map(0x1000, 2, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if f := as.Write(0x1ffc, 0xdeadbeefcafef00d, 8); f != nil {
+		t.Fatalf("cross-page write: %v", f)
+	}
+	v, f := as.Read(0x1ffc, 8)
+	if f != nil || v != 0xdeadbeefcafef00d {
+		t.Fatalf("cross-page read: %v %#x", f, v)
+	}
+	if _, f := as.Read(0x3000, 1); f == nil || f.Kind != FaultNotMapped {
+		t.Fatalf("expected not-mapped fault, got %v", f)
+	}
+}
+
+func TestMapErrors(t *testing.T) {
+	as := NewAddressSpace()
+	if _, err := as.Map(0x1001, 1, PermRW); err == nil {
+		t.Error("unaligned map should fail")
+	}
+	if _, err := as.Map(0x1000, 2, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.Map(0x1000, 1, PermR); err == nil {
+		t.Error("double map should fail")
+	}
+	if err := as.Unmap(0x3000, 1); err == nil {
+		t.Error("unmap of hole should fail")
+	}
+	if err := as.Protect(0x3000, 1, PermR); err == nil {
+		t.Error("protect of hole should fail")
+	}
+}
+
+func TestXImpliesRead(t *testing.T) {
+	as := NewAddressSpace()
+	if _, err := as.Map(0x1000, 1, PermX); err != nil {
+		t.Fatal(err)
+	}
+	// Plain x86 semantics: an execute-only mapping is still readable by
+	// data loads. This is the paper's core problem statement.
+	if _, f := as.Read(0x1000, 8); f != nil {
+		t.Fatalf("x86 semantics: X page must be data-readable, got %v", f)
+	}
+	// But never writable.
+	if f := as.Write(0x1000, 1, 8); f == nil || f.Kind != FaultNoWrite {
+		t.Fatalf("X page must not be writable, got %v", f)
+	}
+}
+
+func TestEPTExecuteOnly(t *testing.T) {
+	as := NewAddressSpace()
+	as.EPT = true
+	if _, err := as.Map(0x1000, 1, PermX); err != nil {
+		t.Fatal(err)
+	}
+	// EPT (hypervisor) semantics: true execute-only memory.
+	if _, f := as.Read(0x1000, 1); f == nil || f.Kind != FaultNoRead {
+		t.Fatalf("EPT semantics: X page must not be readable, got %v", f)
+	}
+	var buf [4]byte
+	if _, f := as.Fetch(0x1000, buf[:]); f != nil {
+		t.Fatalf("EPT semantics: X page must be fetchable, got %v", f)
+	}
+}
+
+func TestFetchSemantics(t *testing.T) {
+	as := NewAddressSpace()
+	if _, err := as.Map(0x1000, 1, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	var buf [2]byte
+	if _, f := as.Fetch(0x1000, buf[:]); f == nil || f.Kind != FaultNoExec {
+		t.Fatalf("fetch from non-X page must fault, got %v", f)
+	}
+	if _, err := as.Map(0x2000, 1, PermX); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Poke(0x2ffe, []byte{0xAA, 0xBB}); err != nil {
+		t.Fatal(err)
+	}
+	// Fetch straddling the end of the mapped X region stops early.
+	var buf4 [4]byte
+	n, f := as.Fetch(0x2ffe, buf4[:])
+	if f != nil || n != 2 || buf4[0] != 0xAA || buf4[1] != 0xBB {
+		t.Fatalf("partial fetch: n=%d f=%v buf=%v", n, f, buf4)
+	}
+	// Fetch from a hole faults immediately.
+	if _, f := as.Fetch(0x5000, buf4[:]); f == nil || f.Kind != FaultNotMapped {
+		t.Fatalf("fetch from hole: %v", f)
+	}
+}
+
+func TestSynonymAliasing(t *testing.T) {
+	as := NewAddressSpace()
+	frames, err := as.Map(0x10000, 2, PermX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Map the same frames at a physmap-style second address, read-write.
+	if err := as.MapFrames(0x80000, frames, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if f := as.Write(0x80004, 0xc3, 1); f != nil {
+		t.Fatal(f)
+	}
+	// The write is visible through the original (executable) mapping.
+	var buf [1]byte
+	if _, f := as.Fetch(0x10004, buf[:]); f != nil || buf[0] != 0xc3 {
+		t.Fatalf("alias write not visible: %v %v", f, buf)
+	}
+	// Unmapping the synonym removes the data window but not the code.
+	if err := as.Unmap(0x80000, 2); err != nil {
+		t.Fatal(err)
+	}
+	if as.Mapped(0x80000) {
+		t.Error("synonym still mapped")
+	}
+	if !as.Mapped(0x10000) {
+		t.Error("original mapping must survive")
+	}
+}
+
+func TestProtectAndPermAt(t *testing.T) {
+	as := NewAddressSpace()
+	if _, err := as.Map(0x1000, 1, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Protect(0x1000, 1, PermR); err != nil {
+		t.Fatal(err)
+	}
+	if f := as.Write(0x1000, 1, 1); f == nil {
+		t.Error("write to read-only page should fault")
+	}
+	p, ok := as.PermAt(0x1234)
+	if !ok || p != PermR {
+		t.Fatalf("PermAt: %v %v", p, ok)
+	}
+}
+
+func TestPokePeekIgnorePerms(t *testing.T) {
+	as := NewAddressSpace()
+	if _, err := as.Map(0x1000, 1, PermX); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{1, 2, 3, 4}
+	if err := as.Poke(0x1000, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := as.Peek(0x1000, 4)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("peek: %v %v", err, got)
+	}
+	if err := as.Poke(0x9000, []byte{1}); err == nil {
+		t.Error("poke of unmapped page should error")
+	}
+}
+
+func TestRanges(t *testing.T) {
+	as := NewAddressSpace()
+	mustMap(t, as, 0x1000, 2, PermRW)
+	mustMap(t, as, 0x3000, 1, PermRX)
+	mustMap(t, as, 0x8000, 1, PermRW)
+	r := as.Ranges()
+	if len(r) != 3 {
+		t.Fatalf("got %d ranges: %+v", len(r), r)
+	}
+	if r[0].Start != 0x1000 || r[0].End != 0x3000 || r[0].Perm != PermRW {
+		t.Errorf("range 0: %+v", r[0])
+	}
+	if r[1].Start != 0x3000 || r[1].End != 0x4000 || r[1].Perm != PermRX {
+		t.Errorf("range 1: %+v", r[1])
+	}
+	if r[2].Start != 0x8000 {
+		t.Errorf("range 2: %+v", r[2])
+	}
+}
+
+func TestHighCanonicalAddresses(t *testing.T) {
+	as := NewAddressSpace()
+	// Kernel-space addresses in the upper canonical half must work.
+	const va = 0xffffffff80000000
+	mustMap(t, as, va, 1, PermRW)
+	if f := as.Write(va+8, 42, 8); f != nil {
+		t.Fatal(f)
+	}
+	v, f := as.Read(va+8, 8)
+	if f != nil || v != 42 {
+		t.Fatalf("high address rw: %v %v", f, v)
+	}
+}
+
+func TestPagesFor(t *testing.T) {
+	cases := map[uint64]int{0: 0, 1: 1, PageSize: 1, PageSize + 1: 2, 3 * PageSize: 3}
+	for in, want := range cases {
+		if got := PagesFor(in); got != want {
+			t.Errorf("PagesFor(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestFaultError(t *testing.T) {
+	f := &Fault{Addr: 0x1234, Kind: FaultNoWrite, Write: true}
+	if f.Error() == "" {
+		t.Error("empty fault message")
+	}
+	for _, k := range []FaultKind{FaultNone, FaultNotMapped, FaultNoRead, FaultNoWrite, FaultNoExec} {
+		if k.String() == "unknown" {
+			t.Errorf("missing name for kind %d", k)
+		}
+	}
+}
+
+// Property: a value written with Write is read back identically by Read for
+// all sizes and in-page offsets.
+func TestQuickReadWriteRoundTrip(t *testing.T) {
+	as := NewAddressSpace()
+	mustMap(t, as, 0x1000, 4, PermRW)
+	f := func(off uint16, val uint64, szSel uint8) bool {
+		size := []uint8{1, 2, 4, 8}[szSel%4]
+		va := 0x1000 + uint64(off)%(4*PageSize-8)
+		if fault := as.Write(va, val, size); fault != nil {
+			return false
+		}
+		got, fault := as.Read(va, size)
+		if fault != nil {
+			return false
+		}
+		mask := ^uint64(0)
+		if size < 8 {
+			mask = (1 << (8 * size)) - 1
+		}
+		return got == val&mask
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustMap(t *testing.T, as *AddressSpace, va uint64, n int, p Perm) {
+	t.Helper()
+	if _, err := as.Map(va, n, p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShadowDataSplitTLB(t *testing.T) {
+	as := NewAddressSpace()
+	mustMap(t, as, 0x1000, 2, PermX)
+	if err := as.Poke(0x1000, []byte{0xC3, 0x90}); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.ShadowData(0x1000, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Data view: the zero shadow.
+	b, f := as.LoadByte(0x1000)
+	if f != nil || b != 0 {
+		t.Fatalf("shadowed read: %v %#x", f, b)
+	}
+	// Instruction view: the real bytes.
+	var buf [2]byte
+	if _, f := as.Fetch(0x1000, buf[:]); f != nil || buf[0] != 0xC3 {
+		t.Fatalf("fetch must see real code: %v % x", f, buf)
+	}
+	// Unshadow restores the unified view.
+	as.Unshadow(0x1000, 2)
+	b, f = as.LoadByte(0x1000)
+	if f != nil || b != 0xC3 {
+		t.Fatalf("unshadowed read: %v %#x", f, b)
+	}
+	// Errors.
+	if err := as.ShadowData(0x1001, 1, nil); err == nil {
+		t.Error("unaligned shadow must fail")
+	}
+	if err := as.ShadowData(0x9000, 1, nil); err == nil {
+		t.Error("shadow of unmapped page must fail")
+	}
+}

@@ -1,0 +1,119 @@
+// Package patch implements kernel text patching under kR^X: the write-side
+// counterpart of the §6 tracing support. ftrace, KProbes, and live
+// patching all need to *modify* kernel code at runtime, but under kR^X-KAS
+// the text is mapped execute-only and its physmap synonym is unmapped at
+// boot — so, like Linux's text_poke(), the patcher creates a *temporary*
+// writable alias of the affected frames in a scratch (fixmap-style) slot,
+// writes through it, and tears it down again. The window is as short as
+// the write itself, and the alias never coexists with an attacker-visible
+// mapping (the scratch slot lives in the kernel's unreadable upper region).
+package patch
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/kas"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+)
+
+// pokeSlot is the scratch virtual address used for the temporary alias
+// (the simulation's text_poke fixmap slot).
+const pokeSlot uint64 = 0xffffffffff400000
+
+// TextPoke writes bytes into kernel text at va through a temporary
+// writable alias, never touching the execute-only mapping's permissions.
+func TextPoke(k *kernel.Kernel, va uint64, b []byte) error {
+	if len(b) == 0 {
+		return nil
+	}
+	first := va &^ uint64(mem.PageMask)
+	n := mem.PagesFor(va + uint64(len(b)) - first)
+	frames, err := k.Space.AS.FramesAt(first, n)
+	if err != nil {
+		return fmt.Errorf("patch: target not mapped: %w", err)
+	}
+	if err := k.Space.AS.MapFrames(pokeSlot, frames, mem.PermRW); err != nil {
+		return fmt.Errorf("patch: scratch slot busy: %w", err)
+	}
+	defer k.Space.AS.Unmap(pokeSlot, n)
+	off := va - first
+	if f := k.Space.AS.StoreBytes(pokeSlot+off, b); f != nil {
+		return fmt.Errorf("patch: write failed: %w", f)
+	}
+	return nil
+}
+
+// ReadText reads n bytes of kernel text (the clone-backed read path the
+// tracing subsystems use — get_next/peek_next/memcpy clones in §6).
+func ReadText(k *kernel.Kernel, va uint64, n int) ([]byte, error) {
+	return k.Space.AS.Peek(va, n)
+}
+
+// Livepatch redirects every future call of the function named old to the
+// code at newAddr (kpatch-style): the function's entry is overwritten with
+// an unconditional jmp. The original entry bytes are returned so the patch
+// can be reverted.
+func Livepatch(k *kernel.Kernel, old string, newAddr uint64) (revert []byte, err error) {
+	oldAddr, ok := k.Img.FuncAddr(old)
+	if !ok {
+		return nil, fmt.Errorf("patch: no function %q", old)
+	}
+	jmp := isa.Instr{Op: isa.JMP}
+	jlen := jmp.Length()
+	orig, err := ReadText(k, oldAddr, jlen)
+	if err != nil {
+		return nil, err
+	}
+	rel := int64(newAddr) - int64(oldAddr+uint64(jlen))
+	if rel > 1<<31-1 || rel < -(1<<31) {
+		return nil, fmt.Errorf("patch: target out of rel32 range")
+	}
+	jmp.Imm = rel
+	enc, err := jmp.Encode(nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := TextPoke(k, oldAddr, enc); err != nil {
+		return nil, err
+	}
+	return orig, nil
+}
+
+// Revert undoes a Livepatch using the bytes it returned.
+func Revert(k *kernel.Kernel, fn string, orig []byte) error {
+	addr, ok := k.Img.FuncAddr(fn)
+	if !ok {
+		return fmt.Errorf("patch: no function %q", fn)
+	}
+	return TextPoke(k, addr, orig)
+}
+
+// InstallProbe plants a KProbe-style int3 at the entry of fn and returns
+// the original byte. Under this simulation a kernel-mode #BP halts the
+// machine (the kR^X tripwire semantics), so probes are used by tests to
+// verify patch plumbing rather than as a live tracing vehicle.
+func InstallProbe(k *kernel.Kernel, fn string) (orig byte, addr uint64, err error) {
+	a, ok := k.Img.FuncAddr(fn)
+	if !ok {
+		return 0, 0, fmt.Errorf("patch: no function %q", fn)
+	}
+	b, err := ReadText(k, a, 1)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := TextPoke(k, a, []byte{0xCC}); err != nil {
+		return 0, 0, err
+	}
+	return b[0], a, nil
+}
+
+// RemoveProbe restores the byte saved by InstallProbe.
+func RemoveProbe(k *kernel.Kernel, addr uint64, orig byte) error {
+	return TextPoke(k, addr, []byte{orig})
+}
+
+// ModulesTextEnd reports the top of the modules_text region (livepatch
+// replacement code must be loaded below it for rel32 reachability).
+func ModulesTextEnd() uint64 { return kas.ModulesBase + kas.ModulesTextSize }

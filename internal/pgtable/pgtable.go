@@ -1,0 +1,149 @@
+// Package pgtable models the x86 PAE page-table entry flag handling that
+// Appendix A of the paper discusses: 64-bit entries whose most significant
+// bit is the eXecute-Disable (XD) bit, the coalescing of 4KB pages into 2MB
+// pages (and splitting back), and the pgprot conversion helpers between the
+// two granularities.
+//
+// The appendix describes a critical Linux bug the kR^X authors found while
+// developing kR^X-KAS: pgprot_large_2_4k() and pgprot_4k_2_large() built
+// the converted flag mask in an `unsigned long` local, which is 32 bits
+// wide on x86 — silently clearing the XD bit (bit 63) and marking pages
+// executable (a W^X violation). This package implements the correct 64-bit
+// conversion and retains a faithful reimplementation of the buggy 32-bit
+// variant for the regression test. It also reproduces the second appendix
+// bug: the module-area sanity check that compared against a complemented
+// MODULES_LEN and therefore never failed.
+package pgtable
+
+// Page-table entry flag bits (PAE format).
+const (
+	FlagPresent  uint64 = 1 << 0
+	FlagWrite    uint64 = 1 << 1
+	FlagUser     uint64 = 1 << 2
+	FlagAccessed uint64 = 1 << 5
+	FlagDirty    uint64 = 1 << 6
+	// FlagPSE marks a 2MB (large) page in a PMD entry.
+	FlagPSE uint64 = 1 << 7
+	// FlagPAT4K is the PAT bit position in a 4KB PTE...
+	FlagPAT4K uint64 = 1 << 7
+	// ...which collides with PSE, so 2MB entries carry PAT at bit 12.
+	FlagPATLarge uint64 = 1 << 12
+	FlagGlobal   uint64 = 1 << 8
+	// FlagXD is eXecute-Disable: the *most significant* bit of the 64-bit
+	// entry — precisely the bit a 32-bit flags mask drops.
+	FlagXD uint64 = 1 << 63
+)
+
+// AddrMask extracts the physical address bits of an entry.
+const AddrMask uint64 = 0x000FFFFFFFFFF000
+
+// FlagsMask extracts the flag bits.
+const FlagsMask = ^AddrMask
+
+// Large2_4k converts 2MB-page protection flags to the equivalent 4KB-page
+// flags: PSE is dropped, and the PAT bit moves from bit 12 to bit 7. The
+// computation is carried out in 64 bits, preserving XD — the fixed version
+// of the routine from Appendix A.
+func Large2_4k(flags uint64) uint64 {
+	val := flags &^ (FlagPSE | FlagPATLarge) // 64-bit local: XD survives
+	if flags&FlagPATLarge != 0 {
+		val |= FlagPAT4K
+	}
+	return val
+}
+
+// Small4k_2Large converts 4KB-page protection flags to 2MB-page flags:
+// PSE is set and PAT moves from bit 7 to bit 12.
+func Small4k_2Large(flags uint64) uint64 {
+	val := flags &^ FlagPAT4K
+	val |= FlagPSE
+	if flags&FlagPAT4K != 0 {
+		val |= FlagPATLarge
+	}
+	return val
+}
+
+// BuggyLarge2_4k reimplements the vulnerable routine: the mask is built in
+// a 32-bit local (`unsigned long` on 32-bit x86), so every flag bit above
+// bit 31 — most critically XD — is silently cleared, leaving the resulting
+// 4KB pages executable. Retained for the Appendix A regression test and
+// the krxstats demonstration; never used by the simulator.
+func BuggyLarge2_4k(flags uint64) uint64 {
+	val := uint32(flags) &^ uint32(FlagPSE|FlagPATLarge) // 32-bit local: XD lost
+	if flags&FlagPATLarge != 0 {
+		val |= uint32(FlagPAT4K)
+	}
+	return uint64(val)
+}
+
+// Entry is one page-table entry.
+type Entry uint64
+
+// Addr returns the physical address bits.
+func (e Entry) Addr() uint64 { return uint64(e) & AddrMask }
+
+// Flags returns the flag bits.
+func (e Entry) Flags() uint64 { return uint64(e) & FlagsMask }
+
+// Present reports the present bit.
+func (e Entry) Present() bool { return uint64(e)&FlagPresent != 0 }
+
+// Large reports whether the entry maps a 2MB page.
+func (e Entry) Large() bool { return uint64(e)&FlagPSE != 0 }
+
+// NX reports whether the entry forbids execution.
+func (e Entry) NX() bool { return uint64(e)&FlagXD != 0 }
+
+// Make builds an entry from a physical address and flags.
+func Make(addr, flags uint64) Entry {
+	return Entry((addr & AddrMask) | (flags & FlagsMask))
+}
+
+// entriesPer2MB is how many 4KB entries one large page covers.
+const entriesPer2MB = 512
+
+// Split expands a 2MB entry into 512 4KB entries with converted flags.
+func Split(large Entry) []Entry {
+	flags := Large2_4k(large.Flags())
+	out := make([]Entry, entriesPer2MB)
+	for i := range out {
+		out[i] = Make(large.Addr()+uint64(i)*4096, flags)
+	}
+	return out
+}
+
+// Coalesce merges 512 physically contiguous 4KB entries with identical
+// flags into one 2MB entry. It returns false when the run is not mergeable
+// (mixed flags, non-contiguous, misaligned).
+func Coalesce(small []Entry) (Entry, bool) {
+	if len(small) != entriesPer2MB {
+		return 0, false
+	}
+	base := small[0]
+	if base.Addr()%(2<<20) != 0 {
+		return 0, false
+	}
+	for i, e := range small {
+		if e.Flags() != base.Flags() || e.Addr() != base.Addr()+uint64(i)*4096 {
+			return 0, false
+		}
+	}
+	return Make(base.Addr(), Small4k_2Large(base.Flags())), true
+}
+
+// ModulesLen is the size of the module area in the simulated layout.
+const ModulesLen uint64 = 1 << 30
+
+// ModuleFits is the fixed module-size sanity check: an image larger than
+// the modules region must be rejected before any allocation is attempted.
+func ModuleFits(imageSize uint64) bool {
+	return imageSize <= ModulesLen
+}
+
+// BuggyModuleFits reimplements the second Appendix A bug: on 32-bit
+// kernels MODULES_LEN was mistakenly assigned its complementary value, so
+// the check compared against an enormous bound and never failed.
+func BuggyModuleFits(imageSize uint64) bool {
+	const buggyModulesLen = ^uint32(1 << 30) // complementary value
+	return imageSize <= uint64(buggyModulesLen)
+}

@@ -1,0 +1,121 @@
+package pgtable
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLarge2_4kPreservesXD(t *testing.T) {
+	flags := FlagPresent | FlagWrite | FlagPSE | FlagXD
+	got := Large2_4k(flags)
+	if got&FlagXD == 0 {
+		t.Fatal("fixed conversion must preserve the XD bit")
+	}
+	if got&FlagPSE != 0 {
+		t.Fatal("4KB flags must not carry PSE")
+	}
+}
+
+func TestAppendixABugReproduced(t *testing.T) {
+	// The W^X violation from Appendix A: a writable, non-executable 2MB
+	// page split through the buggy routine yields WRITABLE+EXECUTABLE
+	// 4KB flags (XD cleared by the 32-bit truncation).
+	flags := FlagPresent | FlagWrite | FlagPSE | FlagXD
+	buggy := BuggyLarge2_4k(flags)
+	if buggy&FlagXD != 0 {
+		t.Fatal("the buggy routine should drop XD — otherwise it is not the bug")
+	}
+	if buggy&FlagWrite == 0 || buggy&FlagPresent == 0 {
+		t.Fatal("lower flag bits must survive the truncation")
+	}
+	// And the fixed routine differs exactly in the high bits.
+	if Large2_4k(flags)&^FlagXD != buggy&^FlagXD {
+		t.Fatal("fixed and buggy routines must agree below bit 32")
+	}
+}
+
+func TestPATBitMigration(t *testing.T) {
+	// 2MB PAT (bit 12) becomes 4KB PAT (bit 7) and back.
+	large := FlagPresent | FlagPSE | FlagPATLarge
+	small := Large2_4k(large)
+	if small&FlagPAT4K == 0 {
+		t.Fatal("PAT bit must move to bit 7")
+	}
+	back := Small4k_2Large(small)
+	if back&FlagPATLarge == 0 || back&FlagPSE == 0 {
+		t.Fatal("PAT bit must move back to bit 12 with PSE set")
+	}
+}
+
+func TestQuickConversionRoundTrip(t *testing.T) {
+	// Property: converting 2MB->4KB->2MB preserves all flags.
+	f := func(raw uint64) bool {
+		// In large entries bit 7 is PSE (there is no 4K PAT bit), and the
+		// large PAT bit (12) lives outside the flag mask.
+		flags := (raw & FlagsMask) | FlagPSE
+		return Small4k_2Large(Large2_4k(flags)) == flags
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitAndCoalesce(t *testing.T) {
+	large := Make(0x40000000, FlagPresent|FlagWrite|FlagPSE|FlagXD)
+	small := Split(large)
+	if len(small) != 512 {
+		t.Fatalf("split produced %d entries", len(small))
+	}
+	for i, e := range small {
+		if !e.NX() {
+			t.Fatalf("entry %d lost XD after split", i)
+		}
+		if e.Large() {
+			t.Fatalf("entry %d still marked PSE", i)
+		}
+		if e.Addr() != 0x40000000+uint64(i)*4096 {
+			t.Fatalf("entry %d wrong address %#x", i, e.Addr())
+		}
+	}
+	merged, ok := Coalesce(small)
+	if !ok {
+		t.Fatal("contiguous identical entries must coalesce")
+	}
+	if merged != large {
+		t.Fatalf("coalesce round trip: %#x != %#x", merged, large)
+	}
+}
+
+func TestCoalesceRejectsMixedFlags(t *testing.T) {
+	large := Make(0x40000000, FlagPresent|FlagPSE)
+	small := Split(large)
+	small[7] = Entry(uint64(small[7]) | FlagXD)
+	if _, ok := Coalesce(small); ok {
+		t.Fatal("mixed flags must not coalesce")
+	}
+	// Misaligned base.
+	s2 := Split(Make(0x40000000, FlagPresent|FlagPSE))
+	for i := range s2 {
+		s2[i] = Make(s2[i].Addr()+4096, s2[i].Flags())
+	}
+	if _, ok := Coalesce(s2); ok {
+		t.Fatal("misaligned run must not coalesce")
+	}
+	if _, ok := Coalesce(s2[:100]); ok {
+		t.Fatal("short run must not coalesce")
+	}
+}
+
+func TestModuleFitsSanityCheck(t *testing.T) {
+	if !ModuleFits(4096) || ModuleFits(ModulesLen+1) {
+		t.Fatal("fixed check misbehaves")
+	}
+	// The Appendix A bug: the complemented bound never rejects anything
+	// realistic.
+	if !BuggyModuleFits(ModulesLen + 1) {
+		t.Fatal("the buggy check should (wrongly) accept oversized modules")
+	}
+	if !BuggyModuleFits(2 << 30) {
+		t.Fatal("the buggy check accepts wildly oversized modules — that is the bug")
+	}
+}

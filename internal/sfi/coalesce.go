@@ -1,0 +1,105 @@
+package sfi
+
+import (
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// coalesce implements the O3 cmp/ja coalescing: given two RCs confining
+// reads off the same base register with different displacements, the
+// dominated check is deleted and the dominating one raised to the maximum
+// displacement — provided that on all paths between them the base register
+// is never (a) redefined or (b) spilled to memory (the temporal-attack
+// precaution of §5.1.2), and no call intervenes (the callee could do
+// either). Applied recursively this leaves the minimum set of checks.
+func coalesce(fn *ir.Function, sites []site, s *Stats) {
+	dom := ir.Dominators(fn)
+	for j := range sites {
+		sj := &sites[j]
+		if sj.dead || sj.lea || sj.after {
+			continue
+		}
+		for i := range sites[:j] {
+			si := &sites[i]
+			if si.dead || si.lea || si.after || si.base != sj.base {
+				continue
+			}
+			if !dominates(dom, si, sj) {
+				continue
+			}
+			if !regStableBetween(fn, si, sj, sj.base) {
+				continue
+			}
+			if sj.disp > si.maxDisp {
+				si.maxDisp = sj.disp
+			}
+			sj.dead = true
+			s.RCCoalesced++
+			break
+		}
+	}
+}
+
+// dominates reports whether check a is executed before check b on every
+// path reaching b.
+func dominates(dom [][]bool, a, b *site) bool {
+	if a.bi == b.bi {
+		return a.ii < b.ii
+	}
+	return dom[b.bi][a.bi]
+}
+
+// regStableBetween reports whether reg provably keeps its value from check a
+// to check b: no write to reg, no spill of reg, and no call on any path.
+func regStableBetween(fn *ir.Function, a, b *site, reg isa.Reg) bool {
+	unstable := func(in isa.Instr) bool {
+		if in.IsCall() {
+			return true
+		}
+		// Spill: storing reg to memory (it could later be reloaded from
+		// attacker-reachable memory — the Conti et al. temporal attack).
+		if in.Op == isa.MOVmr && in.Dst == reg {
+			return true
+		}
+		for _, w := range in.RegsWritten(nil) {
+			if w == reg {
+				return true
+			}
+		}
+		return false
+	}
+	scan := func(bi, from, to int) bool { // [from, to)
+		ins := fn.Blocks[bi].Ins
+		if to > len(ins) {
+			to = len(ins)
+		}
+		for k := from; k < to; k++ {
+			if unstable(ins[k]) {
+				return false
+			}
+		}
+		return true
+	}
+	if a.bi == b.bi {
+		return scan(a.bi, a.ii, b.ii)
+	}
+	// a's block from the check to the end; b's block up to the check; and
+	// every block on some a->b path, in full.
+	if !scan(a.bi, a.ii, len(fn.Blocks[a.bi].Ins)) {
+		return false
+	}
+	if !scan(b.bi, 0, b.ii) {
+		return false
+	}
+	for x := range fn.Blocks {
+		if x == a.bi || x == b.bi {
+			continue
+		}
+		if ir.ReachableBetween(fn, a.bi, x) && ir.ReachableBetween(fn, x, b.bi) {
+			if !scan(x, 0, len(fn.Blocks[x].Ins)) {
+				return false
+			}
+		}
+	}
+	return true
+}

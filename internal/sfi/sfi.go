@@ -1,0 +1,333 @@
+// Package sfi implements the "krx" compiler plugin: R^X enforcement by
+// range-check (RC) instrumentation of memory reads (§5.1.2) with the O0–O3
+// optimization ladder, and the MPX-based variant (§5.1.3).
+//
+//	O0  basic scheme: every unsafe read is preceded by
+//	    pushfq; lea EA, %r11; cmp $_krx_edata, %r11; ja viol; popfq
+//	O1  pushfq/popfq elimination via %rflags liveness analysis
+//	O2  lea elimination: base+disp reads become
+//	    cmp $(_krx_edata-disp), %base; ja viol
+//	O3  cmp/ja coalescing: RCs with the same base register merge into the
+//	    dominating check against the maximum displacement, provided the
+//	    base is never redefined or spilled on any path in between
+//
+// MPX mode replaces the triplet with a single bndcu instruction checking the
+// effective address against %bnd0.ub (= _krx_edata); O1/O2 are moot (bndcu
+// neither touches %rflags nor needs a scratch register) and O3 applies
+// unchanged.
+package sfi
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// Level is the SFI optimization level.
+type Level int
+
+// Optimization levels.
+const (
+	O0 Level = iota
+	O1
+	O2
+	O3
+)
+
+func (l Level) String() string { return fmt.Sprintf("O%d", int(l)) }
+
+// Mode selects the R^X enforcement mechanism.
+type Mode int
+
+// Enforcement modes.
+const (
+	ModeSFI Mode = iota
+	ModeMPX
+)
+
+func (m Mode) String() string {
+	if m == ModeMPX {
+		return "MPX"
+	}
+	return "SFI"
+}
+
+// DefaultEdataSym is the symbol marking the end of the readable data region.
+const DefaultEdataSym = "_krx_edata"
+
+// DefaultHandlerSym is the R^X violation handler invoked by SFI checks.
+const DefaultHandlerSym = "krx_handler"
+
+// ViolLabel is the label of the per-function violation block.
+const ViolLabel = "krx.viol"
+
+// Config parameterizes the instrumentation.
+type Config struct {
+	Mode    Mode
+	Level   Level      // SFI optimization level (ignored for MPX except O3 coalescing, always on)
+	Edata   string     // boundary symbol (default _krx_edata)
+	Handler string     // violation handler symbol (default krx_handler)
+	Bnd     isa.BndReg // MPX bound register (default %bnd0)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Edata == "" {
+		c.Edata = DefaultEdataSym
+	}
+	if c.Handler == "" {
+		c.Handler = DefaultHandlerSym
+	}
+	return c
+}
+
+// Stats aggregates instrumentation statistics (the §7.2 text claims).
+type Stats struct {
+	Funcs            int   // functions instrumented
+	ReadsTotal       int   // memory-read sites considered
+	SafeReads        int   // absolute/%rip-relative (not instrumented)
+	StackReads       int   // %rsp+disp reads covered by the guard section
+	StringReads      int   // string-op sites (RC on %rsi/%rdi)
+	RCCandidates     int   // sites requiring an RC before coalescing
+	RCEmitted        int   // RCs actually emitted
+	RCCoalesced      int   // RCs removed by O3
+	LeaForm          int   // RCs needing the lea triplet (index present)
+	LeaEliminated    int   // RCs in O2 cmp-only form
+	PushfqPairs      int   // pushfq/popfq pairs emitted
+	PushfqEliminated int   // pairs elided by O1
+	MaxStackDisp     int32 // largest uninstrumented %rsp displacement seen
+}
+
+// Add merges other into s.
+func (s *Stats) Add(o Stats) {
+	s.Funcs += o.Funcs
+	s.ReadsTotal += o.ReadsTotal
+	s.SafeReads += o.SafeReads
+	s.StackReads += o.StackReads
+	s.StringReads += o.StringReads
+	s.RCCandidates += o.RCCandidates
+	s.RCEmitted += o.RCEmitted
+	s.RCCoalesced += o.RCCoalesced
+	s.LeaForm += o.LeaForm
+	s.LeaEliminated += o.LeaEliminated
+	s.PushfqPairs += o.PushfqPairs
+	s.PushfqEliminated += o.PushfqEliminated
+	if o.MaxStackDisp > s.MaxStackDisp {
+		s.MaxStackDisp = o.MaxStackDisp
+	}
+}
+
+// site describes one memory-read site needing a range check.
+type site struct {
+	bi, ii  int        // block and instruction index (original coordinates)
+	base    isa.Reg    // base register being checked
+	disp    int32      // displacement against which to check
+	maxDisp int32      // after coalescing: the displacement to emit
+	lea     bool       // needs the full lea triplet (index register present)
+	mref    isa.MemRef // full reference for lea-form checks
+	after   bool       // RC goes after the instruction (rep-prefixed string op)
+	dead    bool       // removed by coalescing
+}
+
+// classify inspects one instruction and appends the range-check sites it
+// requires. It returns the updated stats fields via s.
+func classify(in isa.Instr, bi, ii int, s *Stats) []site {
+	var out []site
+	if !in.ReadsMemory() {
+		return nil
+	}
+	switch in.Op {
+	case isa.MOVS, isa.LODS, isa.CMPS, isa.SCAS:
+		s.ReadsTotal++
+		s.StringReads++
+		rep := in.SF.Rep()
+		switch in.Op {
+		case isa.MOVS, isa.LODS:
+			out = append(out, site{bi: bi, ii: ii, base: isa.RSI, after: rep})
+		case isa.SCAS:
+			out = append(out, site{bi: bi, ii: ii, base: isa.RDI, after: rep})
+		case isa.CMPS:
+			// cmps reads through both %rsi and %rdi.
+			out = append(out, site{bi: bi, ii: ii, base: isa.RSI, after: rep})
+			out = append(out, site{bi: bi, ii: ii, base: isa.RDI, after: rep})
+		}
+		return out
+	}
+	m := in.MemOperand()
+	if m == nil {
+		return nil
+	}
+	s.ReadsTotal++
+	if m.IsSafe() {
+		// Absolute or %rip-relative: encoded in the (W^X-protected)
+		// instruction itself; cannot be influenced at runtime.
+		s.SafeReads++
+		return nil
+	}
+	if m.Base == isa.RSP && !m.HasIndex() {
+		// Covered by the .krx_phantom guard section spacing.
+		s.StackReads++
+		if m.Disp > s.MaxStackDisp {
+			s.MaxStackDisp = m.Disp
+		}
+		return nil
+	}
+	st := site{bi: bi, ii: ii, base: m.Base, disp: m.Disp, mref: *m}
+	if m.HasIndex() || !m.HasBase() {
+		// Scaled-index (or pathological) forms keep the lea triplet.
+		st.lea = true
+	}
+	return append(out, st)
+}
+
+// Instrument applies R^X instrumentation to fn in place and returns the
+// per-function statistics. Functions marked NoInstrument are skipped (the
+// kR^X clone functions for ftrace/KProbes/module loading).
+func Instrument(fn *ir.Function, cfg Config) (Stats, error) {
+	cfg = cfg.withDefaults()
+	var s Stats
+	if fn.NoInstrument {
+		return s, nil
+	}
+	if fn.BlockIndex(ViolLabel) >= 0 {
+		return s, fmt.Errorf("sfi: %s already instrumented", fn.Name)
+	}
+	s.Funcs = 1
+
+	// Collect sites in original coordinates.
+	var sites []site
+	for bi, b := range fn.Blocks {
+		for ii, in := range b.Ins {
+			sites = append(sites, classify(in, bi, ii, &s)...)
+		}
+	}
+	for i := range sites {
+		sites[i].maxDisp = sites[i].disp
+	}
+	s.RCCandidates = len(sites)
+
+	// O3: coalesce (also used by MPX; the paper applies coalescing to both).
+	if cfg.Level >= O3 || cfg.Mode == ModeMPX {
+		coalesce(fn, sites, &s)
+	}
+
+	// Liveness for O1 (SFI only).
+	var fl *ir.FlagsLiveness
+	if cfg.Mode == ModeSFI && cfg.Level >= O1 {
+		fl = ir.ComputeFlagsLiveness(fn)
+	}
+
+	// Emit: rebuild each block's instruction list, inserting RCs.
+	// Group sites by block for O(1) lookup.
+	byBlock := make(map[int][]site)
+	for _, st := range sites {
+		if st.dead {
+			continue
+		}
+		byBlock[st.bi] = append(byBlock[st.bi], st)
+	}
+	emitted := false
+	for bi, b := range fn.Blocks {
+		blockSites := byBlock[bi]
+		if len(blockSites) == 0 {
+			continue
+		}
+		var out []isa.Instr
+		for ii, in := range b.Ins {
+			// RCs placed before the instruction.
+			for _, st := range blockSites {
+				if st.ii == ii && !st.after {
+					out = appendRC(out, st, cfg, fl, &s)
+					emitted = true
+				}
+			}
+			out = append(out, in)
+			// RCs placed after (rep-prefixed string ops): the check is
+			// postmortem but still catches code-region reads (§5.1.2).
+			for _, st := range blockSites {
+				if st.ii == ii && st.after {
+					// Liveness after the instruction = before ii+1.
+					stAfter := st
+					stAfter.ii = ii + 1
+					out = appendRC(out, stAfter, cfg, fl, &s)
+					emitted = true
+				}
+			}
+		}
+		b.Ins = out
+	}
+
+	// The SFI violation block: ja branches here; the handler logs and
+	// halts the system. (MPX needs no explicit handler: bndcu raises #BR.)
+	if emitted && cfg.Mode == ModeSFI {
+		fn.Blocks = append(fn.Blocks, &ir.Block{
+			Label: ViolLabel,
+			Ins: []isa.Instr{
+				isa.Call(cfg.Handler),
+				isa.Hlt(),
+			},
+		})
+	}
+	return s, nil
+}
+
+// appendRC emits one range check for the site.
+func appendRC(out []isa.Instr, st site, cfg Config, fl *ir.FlagsLiveness, s *Stats) []isa.Instr {
+	s.RCEmitted++
+	if cfg.Mode == ModeMPX {
+		// bndcu EA, %bnd0 — faults via #BR if EA > ub. The effective
+		// address is encoded in the instruction; no scratch register and
+		// no %rflags interaction, so O1/O2 are moot.
+		m := isa.Mem(st.base, st.maxDisp)
+		if st.lea {
+			// bndcu supports the full addressing mode directly.
+			m = st.mref
+		}
+		return append(out, isa.Bndcu(cfg.Bnd, m))
+	}
+	needFlags := true
+	if cfg.Level >= O1 && fl != nil {
+		needFlags = fl.LiveBefore(st.bi, st.ii)
+		if !needFlags {
+			s.PushfqEliminated++
+		}
+	}
+	if needFlags {
+		s.PushfqPairs++
+		out = append(out, isa.Pushfq())
+	}
+	if cfg.Level >= O2 && !st.lea {
+		// cmp $(_krx_edata - disp), %base ; ja viol
+		s.LeaEliminated++
+		out = append(out, isa.CmpSymNeg(st.base, cfg.Edata, st.maxDisp))
+	} else {
+		s.LeaForm++
+		m := isa.Mem(st.base, st.maxDisp)
+		if st.lea {
+			m = st.mref
+		}
+		out = append(out,
+			isa.Lea(isa.R11, m),
+			isa.Instr{Op: isa.CMPri, Dst: isa.R11, Sym: cfg.Edata},
+		)
+	}
+	out = append(out, isa.Jcc(isa.CondA, ViolLabel))
+	if needFlags {
+		out = append(out, isa.Popfq())
+	}
+	return out
+}
+
+// InstrumentProgram instruments every function of the program and returns
+// aggregate statistics.
+func InstrumentProgram(prog *ir.Program, cfg Config) (Stats, error) {
+	var total Stats
+	for _, f := range prog.Funcs {
+		st, err := Instrument(f, cfg)
+		if err != nil {
+			return total, err
+		}
+		total.Add(st)
+	}
+	return total, nil
+}

@@ -1,0 +1,544 @@
+package sfi
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// figure2Func reconstructs the paper's running example,
+// nhm_uncore_msr_enable_event() (Figure 2(e), minus instrumentation):
+//
+//	cmpl $0x7,0x154(%rsi)
+//	mov  0x140(%rsi),%rcx
+//	jg   L1
+//	mov  0x130(%rsi),%rax
+//	or   $0x400000,%rax
+//	mov  %rax,%rdx
+//	shr  $0x20,%rdx
+//	jmp  L2
+//	L1: xor %edx,%edx ; mov $0x1,%eax
+//	L2: wrmsr ; retq
+func figure2Func(t *testing.T) *ir.Function {
+	t.Helper()
+	f, err := ir.NewBuilder("nhm_uncore_msr_enable_event").
+		I(
+			isa.CmpMI(isa.Mem(isa.RSI, 0x154), 0x7),
+			isa.Load(isa.RCX, isa.Mem(isa.RSI, 0x140)),
+			isa.Jcc(isa.CondG, "L1"),
+		).
+		Label("body").
+		I(
+			isa.Load(isa.RAX, isa.Mem(isa.RSI, 0x130)),
+			isa.OrRI(isa.RAX, 0x400000),
+			isa.MovRR(isa.RDX, isa.RAX),
+			isa.ShrRI(isa.RDX, 0x20),
+			isa.Jmp("L2"),
+		).
+		Label("L1").
+		I(
+			isa.XorRR(isa.RDX, isa.RDX),
+			isa.MovRI(isa.RAX, 0x1),
+		).
+		Label("L2").
+		I(isa.Wrmsr(), isa.Ret()).
+		Func()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// render flattens a function to one mnemonic string per instruction.
+func render(f *ir.Function) []string {
+	var out []string
+	for _, b := range f.Blocks {
+		for _, in := range b.Ins {
+			out = append(out, in.String())
+		}
+	}
+	return out
+}
+
+func count(f *ir.Function, pred func(isa.Instr) bool) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Ins {
+			if pred(in) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func isOp(op isa.Opcode) func(isa.Instr) bool {
+	return func(in isa.Instr) bool { return in.Op == op }
+}
+
+func instrument(t *testing.T, f *ir.Function, cfg Config) (Stats, *ir.Function) {
+	t.Helper()
+	c := f.Clone()
+	st, err := Instrument(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("instrumented function invalid: %v", err)
+	}
+	return st, c
+}
+
+func TestFigure2O0(t *testing.T) {
+	st, f := instrument(t, figure2Func(t), Config{Mode: ModeSFI, Level: O0})
+	// Three reads, three RCs, each wrapped in pushfq/popfq with a lea.
+	if st.RCEmitted != 3 || st.PushfqPairs != 3 || st.LeaForm != 3 {
+		t.Fatalf("O0 stats: %+v", st)
+	}
+	if n := count(f, isOp(isa.PUSHFQ)); n != 3 {
+		t.Errorf("pushfq count = %d, want 3", n)
+	}
+	if n := count(f, isOp(isa.LEA)); n != 3 {
+		t.Errorf("lea count = %d, want 3", n)
+	}
+	// All three RC cmps use the scratch register against $_krx_edata.
+	asm := strings.Join(render(f), "\n")
+	if strings.Count(asm, "cmp $_krx_edata, %r11") != 3 {
+		t.Errorf("O0 cmp form missing:\n%s", asm)
+	}
+	// Violation block appended.
+	if f.BlockIndex(ViolLabel) < 0 {
+		t.Error("violation block missing")
+	}
+}
+
+func TestFigure2O1PushfqElimination(t *testing.T) {
+	st, f := instrument(t, figure2Func(t), Config{Mode: ModeSFI, Level: O1})
+	// Per the paper: RC1 (before the cmpl) and RC3 (before the 0x130 load,
+	// whose flags die at the or) lose their pushfq/popfq; RC2 (before the
+	// 0x140 load, with the cmpl's flags still live for the jg) keeps them.
+	if st.PushfqPairs != 1 || st.PushfqEliminated != 2 {
+		t.Fatalf("O1 stats: %+v", st)
+	}
+	if n := count(f, isOp(isa.PUSHFQ)); n != 1 {
+		t.Errorf("pushfq count = %d, want 1", n)
+	}
+}
+
+func TestFigure2O2LeaElimination(t *testing.T) {
+	st, f := instrument(t, figure2Func(t), Config{Mode: ModeSFI, Level: O2})
+	if st.LeaEliminated != 3 || st.LeaForm != 0 {
+		t.Fatalf("O2 stats: %+v", st)
+	}
+	if n := count(f, isOp(isa.LEA)); n != 0 {
+		t.Errorf("lea count = %d, want 0", n)
+	}
+	asm := strings.Join(render(f), "\n")
+	for _, want := range []string{
+		"cmp $(_krx_edata-0x154), %rsi",
+		"cmp $(_krx_edata-0x140), %rsi",
+		"cmp $(_krx_edata-0x130), %rsi",
+	} {
+		if !strings.Contains(asm, want) {
+			t.Errorf("missing %q in:\n%s", want, asm)
+		}
+	}
+}
+
+func TestFigure2O3Coalescing(t *testing.T) {
+	st, f := instrument(t, figure2Func(t), Config{Mode: ModeSFI, Level: O3})
+	// All three checks coalesce into a single check against the maximum
+	// displacement (0x154), exactly Figure 2(d).
+	if st.RCEmitted != 1 || st.RCCoalesced != 2 {
+		t.Fatalf("O3 stats: %+v", st)
+	}
+	asm := strings.Join(render(f), "\n")
+	if !strings.Contains(asm, "cmp $(_krx_edata-0x154), %rsi") {
+		t.Errorf("coalesced check missing:\n%s", asm)
+	}
+	if n := count(f, isOp(isa.PUSHFQ)); n != 0 {
+		t.Errorf("O3 figure function needs no pushfq, got %d", n)
+	}
+	// The single RC plus ja; no lea.
+	if n := count(f, isOp(isa.LEA)); n != 0 {
+		t.Errorf("lea count = %d", n)
+	}
+}
+
+func TestFigure2MPX(t *testing.T) {
+	st, f := instrument(t, figure2Func(t), Config{Mode: ModeMPX})
+	// MPX: a single bndcu $0x154(%rsi), %bnd0 (Figure 2(e)).
+	if st.RCEmitted != 1 || st.RCCoalesced != 2 {
+		t.Fatalf("MPX stats: %+v", st)
+	}
+	if n := count(f, isOp(isa.BNDCU)); n != 1 {
+		t.Fatalf("bndcu count = %d, want 1", n)
+	}
+	asm := strings.Join(render(f), "\n")
+	if !strings.Contains(asm, "bndcu 0x154(%rsi), %bnd0") {
+		t.Errorf("bndcu form missing:\n%s", asm)
+	}
+	// No pushfq, no lea, no violation block (bndcu raises #BR directly).
+	if count(f, isOp(isa.PUSHFQ)) != 0 || count(f, isOp(isa.LEA)) != 0 {
+		t.Error("MPX must not emit pushfq/lea")
+	}
+	if f.BlockIndex(ViolLabel) >= 0 {
+		t.Error("MPX needs no violation block")
+	}
+}
+
+func TestSafeReadsNotInstrumented(t *testing.T) {
+	f, err := ir.NewBuilder("f").
+		I(
+			isa.Load(isa.R11, isa.MemRIP("xkey.f", 0)),  // safe: rip-relative
+			isa.Load(isa.RAX, isa.MemAbs("counter", 0)), // safe: absolute
+			isa.Ret(),
+		).Func()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, g := instrument(t, f, Config{Mode: ModeSFI, Level: O3})
+	if st.ReadsTotal != 2 || st.SafeReads != 2 || st.RCEmitted != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if g.NumInstrs() != f.NumInstrs() {
+		t.Error("safe reads must not grow the function")
+	}
+}
+
+func TestStackReadsUseGuard(t *testing.T) {
+	f, err := ir.NewBuilder("f").
+		I(
+			isa.Load(isa.RAX, isa.Mem(isa.RSP, 0x40)),             // guard-covered
+			isa.Load(isa.RBX, isa.Mem(isa.RSP, 8)),                // guard-covered
+			isa.Load(isa.RCX, isa.MemIdx(isa.RSP, isa.RDX, 8, 0)), // scaled index: instrumented
+			isa.Ret(),
+		).Func()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, g := instrument(t, f, Config{Mode: ModeSFI, Level: O3})
+	if st.StackReads != 2 || st.RCEmitted != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.MaxStackDisp != 0x40 {
+		t.Errorf("MaxStackDisp = %#x, want 0x40", st.MaxStackDisp)
+	}
+	// The scaled-index stack read keeps the lea triplet.
+	if count(g, isOp(isa.LEA)) != 1 {
+		t.Error("scaled-index stack read must use lea form")
+	}
+}
+
+func TestRepStringCheckedAfter(t *testing.T) {
+	f, err := ir.NewBuilder("copy").
+		I(
+			isa.Movs(8, true),
+			isa.Ret(),
+		).Func()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, g := instrument(t, f, Config{Mode: ModeSFI, Level: O2})
+	ins := g.Blocks[0].Ins
+	// Layout: [rep movsq][RC...][ret] — the check follows the instruction.
+	if ins[0].Op != isa.MOVS {
+		t.Fatalf("rep movs must come first, got %v", ins[0].Op)
+	}
+	foundCmp := false
+	for _, in := range ins[1:] {
+		if in.Op == isa.CMPri && in.Dst == isa.RSI {
+			foundCmp = true
+		}
+	}
+	if !foundCmp {
+		t.Errorf("postmortem %%rsi check missing: %v", render(g))
+	}
+}
+
+func TestNonRepStringCheckedBefore(t *testing.T) {
+	f, err := ir.NewBuilder("f").
+		I(isa.Lods(8, false), isa.Ret()).Func()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, g := instrument(t, f, Config{Mode: ModeSFI, Level: O0})
+	ins := g.Blocks[0].Ins
+	if ins[len(ins)-2].Op != isa.LODS && ins[0].Op == isa.LODS {
+		t.Errorf("non-rep string op must be preceded by its RC: %v", render(g))
+	}
+	if ins[0].Op == isa.LODS {
+		t.Errorf("RC must precede lods: %v", render(g))
+	}
+}
+
+func TestCmpsChecksBothPointers(t *testing.T) {
+	f, err := ir.NewBuilder("f").
+		I(isa.Cmps(1, true), isa.Ret()).Func()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, g := instrument(t, f, Config{Mode: ModeSFI, Level: O2})
+	if st.RCEmitted != 2 {
+		t.Fatalf("cmps needs two RCs (rsi+rdi): %+v", st)
+	}
+	asm := strings.Join(render(g), "\n")
+	if !strings.Contains(asm, "%rsi") || !strings.Contains(asm, "%rdi") {
+		t.Errorf("both pointers must be checked:\n%s", asm)
+	}
+}
+
+func TestCoalescingBlockedByRedefinition(t *testing.T) {
+	f, err := ir.NewBuilder("f").
+		I(
+			isa.Load(isa.RAX, isa.Mem(isa.RSI, 0x10)),
+			isa.AddRI(isa.RSI, 8), // base redefined
+			isa.Load(isa.RBX, isa.Mem(isa.RSI, 0x20)),
+			isa.Ret(),
+		).Func()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := instrument(t, f, Config{Mode: ModeSFI, Level: O3})
+	if st.RCCoalesced != 0 || st.RCEmitted != 2 {
+		t.Fatalf("redefinition must block coalescing: %+v", st)
+	}
+}
+
+func TestCoalescingBlockedBySpill(t *testing.T) {
+	f, err := ir.NewBuilder("f").
+		I(
+			isa.Load(isa.RAX, isa.Mem(isa.RSI, 0x10)),
+			isa.Store(isa.Mem(isa.RSP, 0x8), isa.RSI), // spill of the base
+			isa.Load(isa.RBX, isa.Mem(isa.RSI, 0x20)),
+			isa.Ret(),
+		).Func()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := instrument(t, f, Config{Mode: ModeSFI, Level: O3})
+	if st.RCCoalesced != 0 {
+		t.Fatalf("spill must block coalescing (temporal attacks): %+v", st)
+	}
+}
+
+func TestCoalescingBlockedByCall(t *testing.T) {
+	f, err := ir.NewBuilder("f").
+		I(
+			isa.Load(isa.RAX, isa.Mem(isa.RSI, 0x10)),
+			isa.Call("g"),
+			isa.Load(isa.RBX, isa.Mem(isa.RSI, 0x20)),
+			isa.Ret(),
+		).Func()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := instrument(t, f, Config{Mode: ModeSFI, Level: O3})
+	if st.RCCoalesced != 0 {
+		t.Fatalf("call must block coalescing: %+v", st)
+	}
+}
+
+func TestCoalescingAcrossDivergingPathsBlocked(t *testing.T) {
+	// A check in one branch arm must not absorb a check in the other arm.
+	f, err := ir.NewBuilder("f").
+		I(isa.CmpRI(isa.RAX, 0), isa.Jcc(isa.CondE, "right")).
+		Label("left").
+		I(isa.Load(isa.RBX, isa.Mem(isa.RSI, 0x10)), isa.Jmp("join")).
+		Label("right").
+		I(isa.Load(isa.RCX, isa.Mem(isa.RSI, 0x20))).
+		Label("join").
+		I(isa.Ret()).
+		Func()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := instrument(t, f, Config{Mode: ModeSFI, Level: O3})
+	if st.RCCoalesced != 0 || st.RCEmitted != 2 {
+		t.Fatalf("cross-arm coalescing must be blocked: %+v", st)
+	}
+}
+
+func TestNoInstrumentExemption(t *testing.T) {
+	f, err := ir.NewBuilder("memcpy_krx").
+		I(isa.Movs(8, true), isa.Ret()).Func()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.NoInstrument = true
+	st, err := Instrument(f, Config{Mode: ModeSFI, Level: O3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RCEmitted != 0 || f.NumInstrs() != 2 {
+		t.Fatalf("NoInstrument function must stay untouched: %+v", st)
+	}
+}
+
+func TestDoubleInstrumentRejected(t *testing.T) {
+	f := figure2Func(t)
+	if _, err := Instrument(f, Config{Mode: ModeSFI, Level: O0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Instrument(f, Config{Mode: ModeSFI, Level: O0}); err == nil {
+		t.Fatal("re-instrumentation must be rejected")
+	}
+}
+
+func TestWritesNotInstrumented(t *testing.T) {
+	f, err := ir.NewBuilder("f").
+		I(
+			isa.Store(isa.Mem(isa.RDI, 0x10), isa.RAX),
+			isa.StoreImm(isa.Mem(isa.RDI, 0x18), 7),
+			isa.Stos(8, true),
+			isa.Ret(),
+		).Func()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := instrument(t, f, Config{Mode: ModeSFI, Level: O0})
+	if st.RCEmitted != 0 {
+		t.Fatalf("pure writes must not be range-checked: %+v", st)
+	}
+}
+
+func TestRMWIsInstrumented(t *testing.T) {
+	// xor %reg, mem reads memory and must be checked.
+	f, err := ir.NewBuilder("f").
+		I(isa.XorMR(isa.Mem(isa.RDI, 0x10), isa.RAX), isa.Ret()).Func()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := instrument(t, f, Config{Mode: ModeSFI, Level: O2})
+	if st.RCEmitted != 1 {
+		t.Fatalf("rmw must be instrumented: %+v", st)
+	}
+}
+
+func TestIndirectMemBranchesInstrumented(t *testing.T) {
+	f, err := ir.NewBuilder("f").
+		I(
+			isa.CallMem(isa.Mem(isa.RBX, 8)),
+			isa.Ret(),
+		).Func()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := instrument(t, f, Config{Mode: ModeSFI, Level: O2})
+	if st.RCEmitted != 1 {
+		t.Fatalf("callq *mem reads memory and must be checked: %+v", st)
+	}
+}
+
+// Property: instrumentation is a no-op for functions without unsafe reads,
+// and never produces an invalid function for randomly generated bodies.
+func TestQuickInstrumentValidity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		b := ir.NewBuilder("f")
+		n := 1 + rng.Intn(12)
+		for i := 0; i < n; i++ {
+			switch rng.Intn(6) {
+			case 0:
+				b.I(isa.Load(isa.RAX, isa.Mem(isa.RSI, int32(rng.Intn(512)))))
+			case 1:
+				b.I(isa.AddRI(isa.RBX, int32(rng.Intn(100))))
+			case 2:
+				b.I(isa.CmpRI(isa.RAX, int32(rng.Intn(10))))
+			case 3:
+				b.I(isa.Store(isa.Mem(isa.RDI, int32(rng.Intn(512))), isa.RAX))
+			case 4:
+				b.I(isa.Load(isa.RCX, isa.MemIdx(isa.RSI, isa.RDX, 8, int32(rng.Intn(64)))))
+			case 5:
+				b.I(isa.Movs(8, rng.Intn(2) == 0))
+			}
+		}
+		b.I(isa.Ret())
+		f, err := b.Func()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cfg := range []Config{
+			{Mode: ModeSFI, Level: O0}, {Mode: ModeSFI, Level: O1},
+			{Mode: ModeSFI, Level: O2}, {Mode: ModeSFI, Level: O3},
+			{Mode: ModeMPX},
+		} {
+			c := f.Clone()
+			if _, err := Instrument(c, cfg); err != nil {
+				t.Fatalf("trial %d cfg %+v: %v", trial, cfg, err)
+			}
+			if err := c.Validate(); err != nil {
+				t.Fatalf("trial %d cfg %+v: invalid: %v\n%s", trial, cfg, err, c.String())
+			}
+		}
+	}
+}
+
+func TestOptimizationLadderMonotonic(t *testing.T) {
+	// Each optimization level must not increase the instrumented size.
+	f := figure2Func(t)
+	var sizes [4]int
+	for lvl := O0; lvl <= O3; lvl++ {
+		_, g := instrument(t, f, Config{Mode: ModeSFI, Level: lvl})
+		sizes[lvl] = g.NumInstrs()
+	}
+	for lvl := O1; lvl <= O3; lvl++ {
+		if sizes[lvl] > sizes[lvl-1] {
+			t.Errorf("size grew from %v (%d) to %v (%d)", lvl-1, sizes[lvl-1], lvl, sizes[lvl])
+		}
+	}
+	_, m := instrument(t, f, Config{Mode: ModeMPX})
+	if m.NumInstrs() > sizes[O3] {
+		t.Error("MPX instrumentation must be the smallest")
+	}
+}
+
+func TestMPXIndexFormKeepsFullAddressing(t *testing.T) {
+	// bndcu encodes the complete effective address, including scaled
+	// index registers — no lea needed even for index forms.
+	f, err := ir.NewBuilder("f").
+		I(isa.Load(isa.RAX, isa.MemIdx(isa.RSI, isa.RCX, 8, 0x20)), isa.Ret()).
+		Func()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, g := instrument(t, f, Config{Mode: ModeMPX})
+	found := false
+	for _, b := range g.Blocks {
+		for _, in := range b.Ins {
+			if in.Op == isa.BNDCU {
+				found = true
+				if !in.M.HasIndex() || in.M.Index != isa.RCX || in.M.Scale != 8 || in.M.Disp != 0x20 {
+					t.Fatalf("bndcu lost the addressing mode: %s", in.String())
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no bndcu emitted")
+	}
+}
+
+func TestSFILeaFormKeepsFullAddressing(t *testing.T) {
+	f, err := ir.NewBuilder("f").
+		I(isa.Load(isa.RAX, isa.MemIdx(isa.RSI, isa.RCX, 4, -8)), isa.Ret()).
+		Func()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, g := instrument(t, f, Config{Mode: ModeSFI, Level: O3})
+	for _, b := range g.Blocks {
+		for _, in := range b.Ins {
+			if in.Op == isa.LEA {
+				if !in.M.HasIndex() || in.M.Scale != 4 || in.M.Disp != -8 {
+					t.Fatalf("lea lost the addressing mode: %s", in.String())
+				}
+				return
+			}
+		}
+	}
+	t.Fatal("no lea emitted for the index form")
+}

@@ -1,0 +1,103 @@
+// Package testkit provides shared helpers for tests that need to build,
+// link, install, and execute small IR programs on the emulator.
+package testkit
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/ir"
+	"repro/internal/isa"
+	"repro/internal/kas"
+	"repro/internal/link"
+	"repro/internal/mem"
+)
+
+// Env is an installed test environment.
+type Env struct {
+	CPU   *cpu.CPU
+	Img   *link.Image
+	Space *kas.Space
+}
+
+// Build links prog under the given layout, installs it into a fresh address
+// space, and returns the environment.
+func Build(t testing.TB, prog *ir.Program, layout kas.Kind) *Env {
+	t.Helper()
+	img, err := link.Link(prog, link.Options{Layout: layout})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := kas.NewPhysPool(32 << 20)
+	sp, err := kas.Install(img.Layout, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := img.Install(sp); err != nil {
+		t.Fatal(err)
+	}
+	return &Env{CPU: cpu.New(sp.AS), Img: img, Space: sp}
+}
+
+// FillKeys writes deterministic-but-nontrivial values into every xkey slot
+// (the boot-time key replenishment).
+func (e *Env) FillKeys(t testing.TB, seed uint64) {
+	t.Helper()
+	x := seed | 1
+	for _, addr := range e.Img.KeyAddrs {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		var b [8]byte
+		for i := range b {
+			b[i] = byte(x >> (8 * i))
+		}
+		if err := e.Space.AS.Poke(addr, b[:]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Call positions the CPU at the named kernel function with up to four
+// arguments in %rdi/%rsi/%rdx/%rcx, a fresh kernel stack topped with the
+// stop sentinel, and runs to completion.
+func (e *Env) Call(t testing.TB, fn string, args ...uint64) *cpu.RunResult {
+	t.Helper()
+	stack, err := e.Space.AllocMapped(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := stack + 4*mem.PageSize - 64
+	e.CPU.Mode = cpu.Kernel
+	e.CPU.SetReg(isa.RSP, top)
+	if f := e.Space.AS.Write(top, cpu.StopMagic, 8); f != nil {
+		t.Fatal(f)
+	}
+	regs := []isa.Reg{isa.RDI, isa.RSI, isa.RDX, isa.RCX}
+	for i, a := range args {
+		if i >= len(regs) {
+			t.Fatalf("too many arguments (%d)", len(args))
+		}
+		e.CPU.SetReg(regs[i], a)
+	}
+	addr, ok := e.Img.FuncAddr(fn)
+	if !ok {
+		t.Fatalf("no function %q", fn)
+	}
+	e.CPU.RIP = addr
+	return e.CPU.Run(1 << 20)
+}
+
+// KrxHandler returns the standard violation handler function: it simply
+// halts the system (the paper's default handler logs and halts).
+func KrxHandler() *ir.Function {
+	f, err := ir.NewBuilder("krx_handler").
+		I(isa.Hlt()).
+		Func()
+	if err != nil {
+		panic(err)
+	}
+	f.NoInstrument = true
+	f.NoDiversify = true
+	return f
+}
