@@ -8,6 +8,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -93,9 +94,14 @@ func main() {
 }
 
 func printAgreement(agree map[string]float64) {
+	cfgs := make([]string, 0, len(agree))
+	for cfg := range agree {
+		cfgs = append(cfgs, cfg)
+	}
+	sort.Strings(cfgs)
 	fmt.Print("rank agreement with the paper:")
-	for cfg, a := range agree {
-		fmt.Printf("  %s=%.0f%%", cfg, 100*a)
+	for _, cfg := range cfgs {
+		fmt.Printf("  %s=%.0f%%", cfg, 100*agree[cfg])
 	}
 	fmt.Println()
 	fmt.Println()

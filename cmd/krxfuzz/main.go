@@ -1,0 +1,55 @@
+// Command krxfuzz runs the syscall fuzzer with fault injection against the
+// simulated kernel: seeded program generation, corpus-guided mutation,
+// deterministic fault injection, crash triage with deduplication, and
+// reproducer minimization. The same -seed always yields a byte-identical
+// report.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/diversify"
+	"repro/internal/fuzz"
+	"repro/internal/inject"
+	"repro/internal/sfi"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "krxfuzz:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	iters := flag.Int("iters", 1000, "programs to execute")
+	seed := flag.Int64("seed", 42, "master seed (generation, mutation, injection)")
+	noInject := flag.Bool("no-inject", false, "disable fault injection")
+	vanilla := flag.Bool("vanilla", false, "fuzz the unprotected kernel instead of SFI+X")
+	budget := flag.Uint64("budget", 0, "per-syscall instruction watchdog budget (0 = default)")
+	flag.Parse()
+
+	cfg := core.Config{
+		XOM: core.XOMSFI, SFILevel: sfi.O3,
+		Diversify: true, RAProt: diversify.RAEncrypt,
+		Seed:           *seed,
+		WatchdogBudget: *budget,
+	}
+	if *vanilla {
+		cfg = core.Config{Seed: *seed, WatchdogBudget: *budget}
+	}
+	opts := fuzz.Options{Iters: *iters, Seed: *seed, Config: cfg}
+	if !*noInject {
+		plan := inject.DefaultPlan(*seed)
+		opts.Plan = &plan
+	}
+	rep, err := fuzz.Fuzz(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.String())
+	return nil
+}

@@ -12,7 +12,6 @@ import (
 	"repro/internal/figures"
 	"repro/internal/kas"
 	"repro/internal/kernel"
-	"repro/internal/link"
 )
 
 func main() {
@@ -39,7 +38,6 @@ func main() {
 			Data:    uint64(len(img.Data)),
 			Bss:     img.BssSize,
 		}
-		_ = link.FuncAlign
 	}
 	fmt.Print(figures.Figure1(sizes))
 }

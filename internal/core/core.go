@@ -12,6 +12,7 @@ import (
 	"math/rand"
 
 	"repro/internal/diversify"
+	"repro/internal/inject"
 	"repro/internal/ir"
 	"repro/internal/kas"
 	"repro/internal/link"
@@ -82,6 +83,18 @@ type Config struct {
 	// KASLR the paper assumes deployed (§3) — and, unlike fine-grained
 	// KASLR, it falls to a single pointer leak.
 	KASLR bool
+
+	// WatchdogBudget bounds the instructions one syscall round trip may
+	// execute before the watchdog fires (0 = kernel default). Exhaustion
+	// surfaces as a structured *cpu.BudgetError on the syscall result, so
+	// a runaway emulator loop is a reportable finding, never a hang.
+	WatchdogBudget uint64
+
+	// FaultPlan, when non-nil, arms the deterministic fault injector on
+	// the booted kernel (see internal/inject): the robustness harness'
+	// seeded byte flips, permission flips, bound/xkey corruption, and
+	// spurious traps.
+	FaultPlan *inject.Plan
 }
 
 // Name renders the configuration in the paper's column naming: Vanilla,

@@ -113,6 +113,21 @@ type Bound struct {
 	UB uint64
 }
 
+// BudgetError is the structured watchdog verdict: a run consumed its whole
+// instruction budget without reaching a stop condition. It replaces the old
+// convention of silently returning StopLimit and letting callers misread a
+// truncated run as a completed one.
+type BudgetError struct {
+	Budget uint64 // the instruction budget that was exhausted
+	RIP    uint64 // where execution was parked when the watchdog fired
+	Mode   Mode
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("watchdog: instruction budget (%d) exhausted at rip=%#x (%s mode)",
+		e.Budget, e.RIP, e.Mode)
+}
+
 // RunResult summarizes a Run invocation.
 type RunResult struct {
 	Reason  StopReason
@@ -163,8 +178,15 @@ type CPU struct {
 
 	// OnExec, when set, is invoked after every executed instruction with
 	// its address and the cycles it consumed (including rep-string
-	// per-element charges). Used by the profiler; nil costs nothing.
+	// per-element charges). Used by the profiler and by the fuzzer's
+	// coverage and fault-injection hooks; nil costs nothing.
 	OnExec func(rip uint64, in isa.Instr, cycles uint64)
+
+	// Pending is an externally forced exception: Run delivers it before the
+	// next instruction, exactly as if the current instruction had trapped.
+	// The fault injector uses it to model spurious #PF/#BR/#UD/#GP events
+	// (machine-check-style noise the kernel must degrade gracefully under).
+	Pending *Trap
 
 	savedUserRSP  uint64
 	savedUserBnd0 Bound
@@ -318,6 +340,16 @@ func (c *CPU) Run(limit uint64) *RunResult {
 			res.Reason = StopLimit
 			break
 		}
+		if c.Pending != nil {
+			t := c.Pending
+			c.Pending = nil
+			if t2 := c.deliverTrap(t); t2 != nil {
+				res.Reason = StopTrap
+				res.Trap = t2
+				break
+			}
+			continue
+		}
 		stop, trap := c.Step()
 		if trap != nil {
 			if t := c.deliverTrap(trap); t != nil {
@@ -373,4 +405,65 @@ func (c *CPU) Step() (StopReason, *Trap) {
 		c.OnExec(rip, in, c.Cycles-before)
 	}
 	return stop, trap
+}
+
+// State is a complete architectural snapshot of the CPU: everything Restore
+// needs to resume as if the intervening execution never happened. The
+// address space and the OnExec hook are deliberately excluded — memory has
+// its own checkpoint machinery (mem.Checkpoint/Rollback) and hooks belong to
+// whoever installed them.
+type State struct {
+	Regs          [isa.NumGPR]uint64
+	RIP           uint64
+	RFlags        uint64
+	Bnd           [isa.NumBnd]Bound
+	Mode          Mode
+	Cycles        uint64
+	Instrs        uint64
+	MSRs          map[uint64]uint64
+	SavedUserRSP  uint64
+	SavedUserBnd0 Bound
+	InSyscall     bool
+	Pending       *Trap
+}
+
+// SaveState captures the CPU's architectural state.
+func (c *CPU) SaveState() State {
+	s := State{
+		Regs:          c.Regs,
+		RIP:           c.RIP,
+		RFlags:        c.RFlags,
+		Bnd:           c.Bnd,
+		Mode:          c.Mode,
+		Cycles:        c.Cycles,
+		Instrs:        c.Instrs,
+		SavedUserRSP:  c.savedUserRSP,
+		SavedUserBnd0: c.savedUserBnd0,
+		InSyscall:     c.inSyscall,
+		Pending:       c.Pending,
+	}
+	s.MSRs = make(map[uint64]uint64, len(c.MSRs))
+	for k, v := range c.MSRs {
+		s.MSRs[k] = v
+	}
+	return s
+}
+
+// RestoreState rewinds the CPU to a previously saved state.
+func (c *CPU) RestoreState(s State) {
+	c.Regs = s.Regs
+	c.RIP = s.RIP
+	c.RFlags = s.RFlags
+	c.Bnd = s.Bnd
+	c.Mode = s.Mode
+	c.Cycles = s.Cycles
+	c.Instrs = s.Instrs
+	c.savedUserRSP = s.SavedUserRSP
+	c.savedUserBnd0 = s.SavedUserBnd0
+	c.inSyscall = s.InSyscall
+	c.Pending = s.Pending
+	c.MSRs = make(map[uint64]uint64, len(s.MSRs))
+	for k, v := range s.MSRs {
+		c.MSRs[k] = v
+	}
 }

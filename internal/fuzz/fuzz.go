@@ -1,0 +1,361 @@
+// Package fuzz is the syscall fuzzer for the simulated kernel: a
+// syzkaller-style loop of typed program generation, corpus-guided mutation,
+// coverage feedback, optional fault injection, crash triage with
+// deduplication, and reproducer minimization. Everything flows from one
+// seed, so a run is replayable end to end: the same (seed, config, plan)
+// triple produces a byte-identical report.
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/inject"
+	"repro/internal/isa"
+	"repro/internal/kernel"
+)
+
+// Options configures one fuzzing campaign.
+type Options struct {
+	// Iters is the number of programs to execute.
+	Iters int
+	// Seed drives generation, mutation, and the per-iteration injector
+	// seeds.
+	Seed int64
+	// Config is the kernel protection configuration to boot under.
+	Config core.Config
+	// Plan, when non-nil, arms fault injection: each iteration runs under a
+	// fresh injector whose seed is derived from (Seed, iteration), so any
+	// crash replays from its iteration number alone.
+	Plan *inject.Plan
+	// MaxMinimize caps the executions spent minimizing one crash (0 = 64).
+	MaxMinimize int
+}
+
+// Crash is one deduplicated crash bucket.
+type Crash struct {
+	Bucket string // trap kind + containing function (the dedup key)
+	Count  int    // programs that landed in this bucket
+	Iter   int    // first iteration that hit it (replay handle)
+	Prog   *Prog  // first crashing program
+	Min    *Prog  // minimized reproducer
+}
+
+// Report is the campaign result. String() is deterministic: same options in,
+// same bytes out.
+type Report struct {
+	Iters    int
+	Seed     int64
+	Config   string
+	Crashes  []*Crash // sorted by bucket
+	Cover    int      // distinct kernel RIPs executed
+	Faults   int      // total injected faults
+	Executed int      // total syscalls issued (incl. minimization)
+
+	// AuditViolations counts failed audit checks observed after injected
+	// faults, keyed by check name — the "graceful degradation" ledger:
+	// invariant breakage is reported, never silently absorbed.
+	AuditViolations map[string]int
+}
+
+// String renders the report deterministically (sorted buckets, sorted
+// checks, no map iteration).
+func (r *Report) String() string {
+	s := fmt.Sprintf("fuzz: config=%s seed=%d iters=%d syscalls=%d cover=%d faults=%d crashes=%d\n",
+		r.Config, r.Seed, r.Iters, r.Executed, r.Cover, r.Faults, len(r.Crashes))
+	for _, c := range r.Crashes {
+		s += fmt.Sprintf("  crash %-40s count=%-5d iter=%-5d repro: %s\n",
+			c.Bucket, c.Count, c.Iter, c.Min.String())
+	}
+	checks := make([]string, 0, len(r.AuditViolations))
+	for k := range r.AuditViolations {
+		checks = append(checks, k)
+	}
+	sort.Strings(checks)
+	for _, k := range checks {
+		s += fmt.Sprintf("  audit-violation %-30s count=%d\n", k, r.AuditViolations[k])
+	}
+	return s
+}
+
+// Fuzzer is one campaign in progress.
+type Fuzzer struct {
+	opts   Options
+	k      *kernel.Kernel
+	snap   *kernel.Snapshot
+	gen    *generator
+	funcs  []funcSpan // image functions sorted by address, for bucketing
+	corpus []*Prog
+
+	cover    map[uint64]struct{} // global coverage
+	curCover map[uint64]struct{} // this execution's coverage
+
+	report *Report
+}
+
+type funcSpan struct {
+	name       string
+	start, end uint64
+}
+
+// New boots a kernel under opts.Config and prepares the campaign. The boot
+// snapshot is taken after user memory seeding, so every iteration starts
+// from an identical machine.
+func New(opts Options) (*Fuzzer, error) {
+	if opts.Iters <= 0 {
+		opts.Iters = 1000
+	}
+	if opts.MaxMinimize <= 0 {
+		opts.MaxMinimize = 64
+	}
+	k, err := kernel.Boot(opts.Config)
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: boot: %w", err)
+	}
+	if err := SetupUserMemory(k); err != nil {
+		return nil, fmt.Errorf("fuzz: seeding user memory: %w", err)
+	}
+	f := &Fuzzer{
+		opts:     opts,
+		k:        k,
+		gen:      &generator{rng: rand.New(rand.NewSource(opts.Seed))},
+		cover:    make(map[uint64]struct{}),
+		curCover: make(map[uint64]struct{}),
+		report: &Report{
+			Iters:           opts.Iters,
+			Seed:            opts.Seed,
+			Config:          opts.Config.Name(),
+			AuditViolations: make(map[string]int),
+		},
+	}
+	f.gen.kaddrs = interestingKaddrs(k)
+	for _, fn := range k.Img.Funcs {
+		f.funcs = append(f.funcs, funcSpan{name: fn.Name, start: fn.Addr, end: fn.Addr + fn.Size})
+	}
+	sort.Slice(f.funcs, func(i, j int) bool { return f.funcs[i].start < f.funcs[j].start })
+
+	// Coverage hook, installed once; Snapshot/Restore leaves OnExec alone.
+	k.CPU.OnExec = func(rip uint64, in isa.Instr, cycles uint64) {
+		f.curCover[rip] = struct{}{}
+	}
+	f.snap = k.Snapshot()
+	return f, nil
+}
+
+// interestingKaddrs collects the kernel addresses worth aiming leak/plant
+// style arguments at, in deterministic order.
+func interestingKaddrs(k *kernel.Kernel) []uint64 {
+	names := []string{
+		"_text", "_krx_edata", "cred", "sys_call_table", "dentry_table",
+		"fault_count", "task_cur", "sigactions", "vma_table", "pgtable_arr",
+		"brk_ptr", "krx_handler", "syscall_entry",
+	}
+	var out []uint64
+	for _, n := range names {
+		if a := k.Sym(n); a != 0 {
+			out = append(out, a)
+		}
+	}
+	out = append(out, k.KernelStackBase)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// injSeed derives the iteration's injector seed from the master seed. The
+// mixing constant keeps adjacent iterations' streams unrelated.
+func (f *Fuzzer) injSeed(iter int) int64 {
+	return f.opts.Seed ^ (int64(iter)+1)*0x2545f4914f6cdd1d
+}
+
+// execResult is one program execution's outcome.
+type execResult struct {
+	bucket   string // "" = clean run
+	crashIdx int    // index of the crashing call
+	faults   int    // faults injected during the run
+	auditBad []string
+	newCover bool
+}
+
+// exec restores the snapshot and runs prog, with fault injection when the
+// campaign has a plan. The injector seed is passed explicitly so
+// minimization can replay an iteration's exact fault stream.
+func (f *Fuzzer) exec(prog *Prog, injSeed int64) (execResult, error) {
+	var res execResult
+	if err := f.k.Restore(f.snap); err != nil {
+		return res, fmt.Errorf("fuzz: restore: %w", err)
+	}
+	for rip := range f.curCover {
+		delete(f.curCover, rip)
+	}
+
+	var inj *inject.Injector
+	if f.opts.Plan != nil {
+		plan := *f.opts.Plan
+		plan.Seed = injSeed
+		inj = inject.New(plan)
+		inj.Attach(f.k.CPU, f.k.Space.AS, f.k.FaultTargets())
+	}
+
+	res.crashIdx = -1
+	for i, c := range prog.Calls {
+		r := f.k.Syscall(c.Nr, c.Args[0], c.Args[1], c.Args[2])
+		f.report.Executed++
+		if r.Failed {
+			res.bucket = f.bucketOf(r)
+			res.crashIdx = i
+			break
+		}
+	}
+	if inj != nil {
+		inj.Detach()
+		res.faults = len(inj.Events)
+	}
+
+	// Invariant check: after any injected fault (or crash), the protections
+	// must either still hold or report exactly which check broke.
+	if res.faults > 0 || res.bucket != "" {
+		rep := audit.Audit(f.k)
+		for _, fd := range rep.Findings {
+			if !fd.OK {
+				res.auditBad = append(res.auditBad, fd.Check)
+			}
+		}
+	}
+
+	for rip := range f.curCover {
+		if _, ok := f.cover[rip]; !ok {
+			res.newCover = true
+			f.cover[rip] = struct{}{}
+		}
+	}
+	return res, nil
+}
+
+// bucketOf maps a failed syscall to its dedup bucket: the failure class plus
+// the function containing the faulting RIP (so the same root cause at
+// different addresses across diversified layouts still groups sensibly
+// within one image).
+func (f *Fuzzer) bucketOf(r *kernel.SyscallResult) string {
+	if r.Err != nil {
+		if be, ok := r.Err.(*cpu.BudgetError); ok {
+			return "watchdog/" + f.funcAt(be.RIP)
+		}
+		return "harness-panic"
+	}
+	res := r.Run
+	switch res.Reason {
+	case cpu.StopHalt:
+		return "halt/" + f.funcAt(res.HaltRIP)
+	case cpu.StopTrap:
+		if res.Trap != nil {
+			return res.Trap.Kind.String() + "/" + f.funcAt(res.Trap.RIP)
+		}
+		return "trap/?"
+	default:
+		return "stop-" + res.Reason.String()
+	}
+}
+
+// funcAt names the image function containing rip; addresses outside the
+// image coarsen to 64-byte buckets so unknown-RIP crashes still dedup.
+func (f *Fuzzer) funcAt(rip uint64) string {
+	i := sort.Search(len(f.funcs), func(i int) bool { return f.funcs[i].end > rip })
+	if i < len(f.funcs) && rip >= f.funcs[i].start {
+		return f.funcs[i].name
+	}
+	if rip < kernel.UserStack+16*4096 {
+		return "user"
+	}
+	return fmt.Sprintf("rip-%#x", rip>>6<<6)
+}
+
+// Run executes the campaign and returns its report.
+func (f *Fuzzer) Run() (*Report, error) {
+	crashes := make(map[string]*Crash)
+	for i := 0; i < f.opts.Iters; i++ {
+		prog := f.pickProg()
+		res, err := f.exec(prog, f.injSeed(i))
+		if err != nil {
+			return nil, err
+		}
+		f.report.Faults += res.faults
+		for _, check := range res.auditBad {
+			f.report.AuditViolations[check]++
+		}
+		if res.bucket != "" {
+			repro := &Prog{Calls: prog.Calls[:res.crashIdx+1]}
+			if c, ok := crashes[res.bucket]; ok {
+				c.Count++
+			} else {
+				c = &Crash{Bucket: res.bucket, Count: 1, Iter: i, Prog: repro.Clone()}
+				c.Min = f.minimize(repro, res.bucket, f.injSeed(i))
+				crashes[res.bucket] = c
+			}
+			continue
+		}
+		if res.newCover {
+			f.corpus = append(f.corpus, prog)
+		}
+	}
+	for _, c := range crashes {
+		f.report.Crashes = append(f.report.Crashes, c)
+	}
+	sort.Slice(f.report.Crashes, func(i, j int) bool {
+		return f.report.Crashes[i].Bucket < f.report.Crashes[j].Bucket
+	})
+	f.report.Cover = len(f.cover)
+	return f.report, nil
+}
+
+// pickProg draws the next program: a fresh generation while the corpus is
+// cold, afterwards mostly mutations of corpus entries.
+func (f *Fuzzer) pickProg() *Prog {
+	r := f.gen.rng
+	if len(f.corpus) == 0 || r.Intn(4) == 0 {
+		return f.gen.Generate(1 + r.Intn(5))
+	}
+	base := f.corpus[r.Intn(len(f.corpus))]
+	var other *Prog
+	if len(f.corpus) > 1 {
+		other = f.corpus[r.Intn(len(f.corpus))]
+	}
+	return f.gen.Mutate(base, other)
+}
+
+// minimize shrinks a crashing program to the shortest syscall sequence that
+// still lands in the same bucket, re-executing candidates under the
+// iteration's exact injector seed. Delta-removal repeats until a full pass
+// removes nothing (or the execution budget runs out).
+func (f *Fuzzer) minimize(prog *Prog, bucket string, injSeed int64) *Prog {
+	min := prog.Clone()
+	budget := f.opts.MaxMinimize
+	for changed := true; changed && len(min.Calls) > 1; {
+		changed = false
+		for i := len(min.Calls) - 1; i >= 0 && len(min.Calls) > 1; i-- {
+			if budget <= 0 {
+				return min
+			}
+			cand := &Prog{Calls: append(append([]Call{}, min.Calls[:i]...), min.Calls[i+1:]...)}
+			res, err := f.exec(cand, injSeed)
+			budget--
+			if err == nil && res.bucket == bucket {
+				min = cand
+				changed = true
+			}
+		}
+	}
+	return min
+}
+
+// Fuzz is the one-call entry point: boot, run, report.
+func Fuzz(opts Options) (*Report, error) {
+	f, err := New(opts)
+	if err != nil {
+		return nil, err
+	}
+	return f.Run()
+}

@@ -34,8 +34,12 @@ func (b *Builder) Label(label string) *Builder {
 	return b
 }
 
-// I appends instructions to the current block.
+// I appends instructions to the current block. The first construction error
+// latches: subsequent appends are ignored and the error surfaces from Func.
 func (b *Builder) I(ins ...isa.Instr) *Builder {
+	if b.err != nil {
+		return b
+	}
 	for _, in := range ins {
 		if last := len(b.cur.Ins) - 1; last >= 0 && b.cur.Ins[last].IsTerminator() && b.cur.Ins[last].Op != isa.JCC {
 			b.err = fmt.Errorf("ir: %s: instruction %q after terminator in block %q",
@@ -46,6 +50,11 @@ func (b *Builder) I(ins ...isa.Instr) *Builder {
 	}
 	return b
 }
+
+// Err returns the first construction error recorded so far (nil if none),
+// without finalizing. Useful for callers that build incrementally and want
+// to fail fast.
+func (b *Builder) Err() error { return b.err }
 
 // NoInstrument marks the function as exempt from R^X instrumentation.
 func (b *Builder) NoInstrument() *Builder {
@@ -59,7 +68,10 @@ func (b *Builder) NoDiversify() *Builder {
 	return b
 }
 
-// Func finalizes and validates the function.
+// Func finalizes and validates the function. This is the canonical,
+// error-propagating finalizer: every caller that assembles IR from dynamic
+// or untrusted input (fuzzers, loaders, user-supplied programs) must use it
+// and handle the error.
 func (b *Builder) Func() (*Function, error) {
 	if b.err != nil {
 		return nil, b.err
@@ -70,13 +82,15 @@ func (b *Builder) Func() (*Function, error) {
 	return b.fn, nil
 }
 
-// MustFunc finalizes the function and panics on malformed input. The
-// mini-kernel sources are static, so construction errors are programmer
-// errors.
+// MustFunc is the Must-style wrapper over Func for statically-known IR
+// (package-level corpus definitions and test fixtures, where a construction
+// error is a programmer error caught by the first test run). It panics on
+// malformed input and must not be reached from dynamic or fuzzer-driven
+// construction paths — those go through Func.
 func (b *Builder) MustFunc() *Function {
 	f, err := b.Func()
 	if err != nil {
-		panic(err)
+		panic(fmt.Errorf("ir: MustFunc(%s): %w", b.fn.Name, err))
 	}
 	return f
 }

@@ -46,6 +46,18 @@ func (p *PhysPool) Alloc(n int) (pfn int, frames []*mem.Frame, err error) {
 	return pfn, frames, nil
 }
 
+// Mark returns the pool's current allocation watermark, for later Reset.
+func (p *PhysPool) Mark() int { return p.next }
+
+// Reset rewinds the allocation watermark to a previous Mark, releasing every
+// frame handed out since (the Kernel.Snapshot/Restore machinery pairs this
+// with the address-space rollback so post-snapshot allocations are reusable).
+func (p *PhysPool) Reset(mark int) {
+	if mark >= 0 && mark <= p.next {
+		p.next = mark
+	}
+}
+
 // PhysmapAddr returns the physmap virtual address of the given frame number.
 func PhysmapAddr(pfn int) uint64 { return PhysmapBase + uint64(pfn)<<mem.PageShift }
 

@@ -1,0 +1,189 @@
+package kernel
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/diversify"
+	"repro/internal/sfi"
+)
+
+// fuzzMachine is the shared booted kernel for FuzzSyscall. Booting per input
+// would dominate runtime; instead one machine boots lazily and every input
+// runs from the same snapshot under a mutex (fuzz workers in other processes
+// boot their own).
+var fuzzMachine struct {
+	once sync.Once
+	mu   sync.Mutex
+	k    *Kernel
+	snap *Snapshot
+	err  error
+}
+
+func fuzzKernel() (*Kernel, *Snapshot, error) {
+	fuzzMachine.once.Do(func() {
+		k, err := Boot(core.Config{
+			XOM: core.XOMSFI, SFILevel: sfi.O3,
+			Diversify: true, RAProt: diversify.RAEncrypt,
+			Seed: 7,
+		})
+		if err != nil {
+			fuzzMachine.err = err
+			return
+		}
+		if err := k.WriteUser(0, append([]byte("testfile"), 0)); err != nil {
+			fuzzMachine.err = err
+			return
+		}
+		fuzzMachine.k = k
+		fuzzMachine.snap = k.Snapshot()
+	})
+	return fuzzMachine.k, fuzzMachine.snap, fuzzMachine.err
+}
+
+// callLen is the wire size of one fuzzed call: nr + 3 args, little-endian.
+const callLen = 32
+
+func seedCalls(calls ...[4]uint64) []byte {
+	var b []byte
+	for _, c := range calls {
+		for _, v := range c {
+			b = binary.LittleEndian.AppendUint64(b, v)
+		}
+	}
+	return b
+}
+
+// FuzzSyscall drives raw syscall sequences against the hardened kernel. The
+// invariant under test is the harness contract, not kernel semantics: every
+// input must come back as a structured SyscallResult — traps, kR^X
+// violations, and watchdog exhaustion included — with no Go panic escaping
+// and no run exceeding the instruction budget.
+func FuzzSyscall(f *testing.F) {
+	f.Add(seedCalls([4]uint64{SysNull, 0, 0, 0}))
+	f.Add(seedCalls(
+		[4]uint64{SysOpen, UserBuf, 0, 0},
+		[4]uint64{SysWrite, 3, UserBuf + 512, 64},
+		[4]uint64{SysRead, 3, UserBuf + 1024, 64},
+		[4]uint64{SysClose, 3, 0, 0},
+	))
+	f.Add(seedCalls([4]uint64{SysLeak, 0xffffffff80000000, 0, 0}))
+	f.Add(seedCalls([4]uint64{SysStackSmash, UserBuf, 4096, 0}))
+	f.Add(seedCalls(
+		[4]uint64{SysMmap, 8, 0, 0},
+		[4]uint64{SysMunmap, 0, 8, 0},
+	))
+	f.Add(seedCalls([4]uint64{NumSyscalls + 17, ^uint64(0), ^uint64(0), ^uint64(0)}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		k, snap, err := fuzzKernel()
+		if err != nil {
+			t.Fatalf("boot: %v", err)
+		}
+		fuzzMachine.mu.Lock()
+		defer fuzzMachine.mu.Unlock()
+		if err := k.Restore(snap); err != nil {
+			t.Fatalf("restore: %v", err)
+		}
+		for off := 0; off+callLen <= len(data) && off < 8*callLen; off += callLen {
+			nr := binary.LittleEndian.Uint64(data[off:])
+			a := binary.LittleEndian.Uint64(data[off+8:])
+			b := binary.LittleEndian.Uint64(data[off+16:])
+			c := binary.LittleEndian.Uint64(data[off+24:])
+			r := k.Syscall(nr, a, b, c)
+			if r == nil || r.Run == nil {
+				t.Fatalf("syscall %d: nil result", nr)
+			}
+			if r.Run.Instrs > k.WatchdogBudget() {
+				t.Fatalf("syscall %d: ran %d instrs past the %d budget", nr, r.Run.Instrs, k.WatchdogBudget())
+			}
+			if r.Failed {
+				break
+			}
+		}
+	})
+}
+
+// TestSnapshotRestore proves the fuzzing loop's isolation property: state
+// mutated by one iteration (files written, memory mapped, faults taken) does
+// not leak into the next.
+func TestSnapshotRestore(t *testing.T) {
+	k := boot(t, core.Config{XOM: core.XOMSFI, SFILevel: sfi.O3})
+	if err := k.WriteUser(0, append([]byte("testfile"), 0)); err != nil {
+		t.Fatal(err)
+	}
+	snap := k.Snapshot()
+	firstFD := ^uint64(0)
+
+	for round := 0; round < 3; round++ {
+		fd := sysOK(t, k, SysOpen, UserBuf)
+		if round == 0 {
+			firstFD = fd
+		} else if fd != firstFD {
+			t.Fatalf("round %d: fd = %d, want %d (restore leaked fd-table state)", round, fd, firstFD)
+		}
+		if err := k.WriteUser(512, []byte("dirty")); err != nil {
+			t.Fatal(err)
+		}
+		sysOK(t, k, SysMmap, 4)
+		// Crash the machine too: the restore must recover from a trap.
+		if r := k.Syscall(SysRead, fd, ^uint64(0), 64); !r.Failed {
+			t.Fatalf("round %d: wild read unexpectedly succeeded", round)
+		}
+		if err := k.Restore(snap); err != nil {
+			t.Fatalf("round %d: restore: %v", round, err)
+		}
+		back, err := k.ReadUser(512, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(back) == "dirty" {
+			t.Fatalf("round %d: user memory not rolled back", round)
+		}
+	}
+}
+
+// TestWatchdogBudget proves a runaway kernel loop surfaces as a structured
+// BudgetError instead of hanging.
+func TestWatchdogBudget(t *testing.T) {
+	// A budget below even the syscall entry/dispatch sequence: every call
+	// must stop at the limit and report it, never hang or truncate silently.
+	k := boot(t, core.Config{WatchdogBudget: 30})
+	r := k.Syscall(SysGetdents, UserBuf, 64)
+	if !r.Failed {
+		t.Fatal("expected the watchdog to fire")
+	}
+	be, ok := r.Err.(*cpu.BudgetError)
+	if !ok {
+		t.Fatalf("Err = %v (%T), want *cpu.BudgetError", r.Err, r.Err)
+	}
+	if be.Budget != 30 {
+		t.Fatalf("BudgetError.Budget = %d, want 30", be.Budget)
+	}
+	if r.Run.Instrs > 30 {
+		t.Fatalf("ran %d instrs past the budget", r.Run.Instrs)
+	}
+}
+
+// TestBootDeterminism proves two boots under the same seed produce identical
+// xkey assignments — the property seeded fault replay depends on.
+func TestBootDeterminism(t *testing.T) {
+	cfg := core.Config{
+		XOM: core.XOMSFI, SFILevel: sfi.O3,
+		Diversify: true, RAProt: diversify.RAEncrypt,
+		Seed: 99,
+	}
+	k1 := boot(t, cfg)
+	k2 := boot(t, cfg)
+	if len(k1.Keys) == 0 {
+		t.Fatal("no xkeys under RAEncrypt")
+	}
+	for sym, v := range k1.Keys {
+		if k2.Keys[sym] != v {
+			t.Fatalf("key %s differs across same-seed boots: %#x vs %#x", sym, v, k2.Keys[sym])
+		}
+	}
+}

@@ -9,9 +9,11 @@ package kernel
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/inject"
 	"repro/internal/ir"
 	"repro/internal/isa"
 	"repro/internal/kas"
@@ -100,6 +102,11 @@ type Kernel struct {
 	// tests; emulated code can only reach them via the %rip-relative
 	// loads in prologues/epilogues).
 	Keys map[string]uint64
+
+	// Inj is the armed fault injector when Cfg.FaultPlan was set at boot
+	// (nil otherwise). Harnesses that manage their own per-iteration
+	// injectors leave Cfg.FaultPlan nil and attach directly.
+	Inj *inject.Injector
 }
 
 // Boot compiles the kernel corpus under cfg, installs it into a fresh
@@ -136,9 +143,17 @@ func BootProgram(prog *ir.Program, cfg core.Config) (*Kernel, error) {
 
 	// Replenish xkeys with random values (boot-time step (d) of §6). The
 	// keys live in the code region; boot writes them through the
-	// privileged installer before synonyms are closed.
+	// privileged installer before synonyms are closed. Assignment follows
+	// sorted symbol order — map iteration would hand different key values
+	// to different slots on every process run, breaking seeded replay.
 	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x6b52585f)) // "kRX_"
-	for sym, addr := range res.Image.KeyAddrs {
+	keySyms := make([]string, 0, len(res.Image.KeyAddrs))
+	for sym := range res.Image.KeyAddrs {
+		keySyms = append(keySyms, sym)
+	}
+	sort.Strings(keySyms)
+	for _, sym := range keySyms {
+		addr := res.Image.KeyAddrs[sym]
 		v := rng.Uint64() | 1
 		k.Keys[sym] = v
 		var b [8]byte
@@ -203,7 +218,62 @@ func BootProgram(prog *ir.Program, cfg core.Config) (*Kernel, error) {
 		c.KernelBnd0 = cpu.Bound{LB: 0, UB: res.Image.Symbols["_krx_edata"]}
 	}
 	k.CPU = c
+
+	if cfg.FaultPlan != nil {
+		k.Inj = inject.New(*cfg.FaultPlan)
+		k.Inj.Attach(c, sp.AS, k.FaultTargets())
+	}
 	return k, nil
+}
+
+// FaultTargets returns the injection surface of this kernel: every mapped
+// data region (kernel image data sections, the kernel stack, the user
+// buffer) plus the xkey slots. Ordering is deterministic — the injector's
+// replay guarantee depends on it.
+func (k *Kernel) FaultTargets() inject.Targets {
+	var t inject.Targets
+	for _, rg := range k.Img.Layout.Regions {
+		if rg.Code || rg.Size == 0 || rg.Perm&mem.PermW == 0 {
+			continue
+		}
+		t.Data = append(t.Data, inject.Range{Start: rg.Start, End: rg.Start + rg.Size})
+	}
+	t.Data = append(t.Data,
+		inject.Range{Start: k.KernelStackBase, End: k.KernelStackBase + KernelStackPages*mem.PageSize},
+		inject.Range{Start: UserBuf, End: UserBuf + UserBufPages*mem.PageSize},
+	)
+	for _, addr := range k.Img.KeyAddrs {
+		t.KeyAddrs = append(t.KeyAddrs, addr)
+	}
+	sort.Slice(t.KeyAddrs, func(i, j int) bool { return t.KeyAddrs[i] < t.KeyAddrs[j] })
+	return t
+}
+
+// Snapshot captures the complete machine state: CPU registers and MSRs, the
+// physical-pool watermark, and a copy-on-write checkpoint of the address
+// space. Restore rewinds to it, so a crashed or fault-injected run rolls
+// back instead of poisoning subsequent iterations.
+type Snapshot struct {
+	cpu      cpu.State
+	poolMark int
+}
+
+// Snapshot checkpoints the kernel. Only the most recent snapshot is
+// restorable (taking a new one supersedes the old).
+func (k *Kernel) Snapshot() *Snapshot {
+	k.Space.AS.Checkpoint()
+	return &Snapshot{cpu: k.CPU.SaveState(), poolMark: k.Space.Pool.Mark()}
+}
+
+// Restore rewinds the kernel to a snapshot. It may be called repeatedly on
+// the same snapshot (the fuzzing loop restores once per iteration).
+func (k *Kernel) Restore(s *Snapshot) error {
+	if err := k.Space.AS.Rollback(); err != nil {
+		return err
+	}
+	k.CPU.RestoreState(s.cpu)
+	k.Space.Pool.Reset(s.poolMark)
+	return nil
 }
 
 // installUserStubs writes the two user-mode stubs:
@@ -275,23 +345,57 @@ func (k *Kernel) UserCopy(dst, src uint64, quads uint64) *SyscallResult {
 	c.SetReg(isa.RAX, SysNull)
 	c.StopOnSysret = true
 	defer func() { c.StopOnSysret = false }()
-	res := c.Run(4 << 20)
-	return &SyscallResult{Ret: c.Reg(isa.RAX), Run: res, Failed: res.Reason != cpu.StopSysret}
+	res := c.Run(k.WatchdogBudget())
+	r := &SyscallResult{Ret: c.Reg(isa.RAX), Run: res, Failed: res.Reason != cpu.StopSysret}
+	if res.Reason == cpu.StopLimit {
+		r.Err = &cpu.BudgetError{Budget: k.WatchdogBudget(), RIP: c.RIP, Mode: c.Mode}
+	}
+	return r
 }
 
 // SyscallResult reports one syscall round trip.
 type SyscallResult struct {
 	Ret    uint64
 	Run    *cpu.RunResult
-	Failed bool // the kernel trapped or halted instead of returning
+	Failed bool  // the kernel trapped, halted, or overran instead of returning
+	Err    error // structured failure detail: *cpu.BudgetError (watchdog) or a recovered harness panic
+}
+
+// DefaultWatchdogBudget is the per-syscall instruction budget when the
+// configuration does not override it. The heaviest legitimate syscall in the
+// corpus (fork's page-table copy under SFI-O0) stays well under it.
+const DefaultWatchdogBudget = 4 << 20
+
+// WatchdogBudget returns the effective per-syscall instruction budget.
+func (k *Kernel) WatchdogBudget() uint64 {
+	if k.Cfg.WatchdogBudget != 0 {
+		return k.Cfg.WatchdogBudget
+	}
+	return DefaultWatchdogBudget
 }
 
 // Syscall executes one complete user->kernel->user round trip: the user
 // stub issues the syscall instruction, the kernel entry dispatches through
 // the syscall table, and the run stops right after sysret. Up to three
 // arguments travel in %rdi/%rsi/%rdx, the syscall number in %rax.
-func (k *Kernel) Syscall(nr uint64, args ...uint64) *SyscallResult {
+//
+// The boundary is hardened for adversarial workloads: the run is bounded by
+// the watchdog budget (exhaustion is reported as a *cpu.BudgetError, never a
+// hang or a silent truncation), and any panic escaping the emulator — a
+// harness bug tickled by a corrupted machine — is recovered into the result
+// instead of tearing down the whole process.
+func (k *Kernel) Syscall(nr uint64, args ...uint64) (result *SyscallResult) {
 	c := k.CPU
+	defer func() {
+		if p := recover(); p != nil {
+			c.StopOnSysret = false
+			result = &SyscallResult{
+				Run:    &cpu.RunResult{Reason: cpu.StopTrap},
+				Failed: true,
+				Err:    fmt.Errorf("kernel: panic during syscall %d: %v", nr, p),
+			}
+		}
+	}()
 	c.Mode = cpu.User
 	c.RIP = UserCode + userSyscallOff
 	c.SetReg(isa.RSP, UserStack+UserStackPgs*mem.PageSize-128)
@@ -306,12 +410,16 @@ func (k *Kernel) Syscall(nr uint64, args ...uint64) *SyscallResult {
 	}
 	c.StopOnSysret = true
 	defer func() { c.StopOnSysret = false }()
-	res := c.Run(4 << 20)
-	return &SyscallResult{
+	res := c.Run(k.WatchdogBudget())
+	r := &SyscallResult{
 		Ret:    c.Reg(isa.RAX),
 		Run:    res,
 		Failed: res.Reason != cpu.StopSysret,
 	}
+	if res.Reason == cpu.StopLimit {
+		r.Err = &cpu.BudgetError{Budget: k.WatchdogBudget(), RIP: c.RIP, Mode: c.Mode}
+	}
+	return r
 }
 
 // TriggerFault executes the user faulting-load stub against addr, stopping

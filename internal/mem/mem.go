@@ -121,6 +121,12 @@ type page struct {
 	perm  Perm
 }
 
+// pageSnap records one page-table entry at checkpoint time.
+type pageSnap struct {
+	frame *Frame
+	perm  Perm
+}
+
 // AddressSpace is a sparse paged virtual address space.
 type AddressSpace struct {
 	pages map[uint64]*page // keyed by virtual page number
@@ -137,6 +143,15 @@ type AddressSpace struct {
 	// §2 of the paper): the ITLB and DTLB of the same virtual address
 	// point at different physical pages.
 	shadow map[uint64]*Frame
+
+	// Checkpoint state: the page-table structure captured by Checkpoint
+	// plus a copy-on-write undo log of frame pre-images, so Rollback can
+	// return the space to exactly the checkpointed state (the substrate of
+	// Kernel.Snapshot/Restore — crashed fuzzing runs must not poison
+	// subsequent iterations).
+	snapPages  map[uint64]pageSnap
+	snapShadow map[uint64]*Frame
+	undo       map[*Frame]*[PageSize]byte
 }
 
 // NewAddressSpace returns an empty address space with x86 semantics.
@@ -324,7 +339,70 @@ func (as *AddressSpace) StoreByte(va uint64, v byte) *Fault {
 	if pg.perm&PermW == 0 {
 		return &Fault{Addr: va, Kind: FaultNoWrite, Write: true}
 	}
+	as.preimage(pg.frame)
 	pg.frame.Data[va&PageMask] = v
+	return nil
+}
+
+// preimage records a frame's contents in the undo log before its first
+// modification after a checkpoint. Frames already logged keep their original
+// (checkpoint-time) pre-image.
+func (as *AddressSpace) preimage(f *Frame) {
+	if as.undo == nil {
+		return
+	}
+	if _, ok := as.undo[f]; ok {
+		return
+	}
+	cp := f.Data
+	as.undo[f] = &cp
+}
+
+// Checkpoint captures the current page-table structure (mappings, permissions,
+// shadows) and begins copy-on-write tracking of frame contents. A subsequent
+// Rollback restores the space to this exact state. Calling Checkpoint again
+// replaces the previous checkpoint.
+func (as *AddressSpace) Checkpoint() {
+	as.snapPages = make(map[uint64]pageSnap, len(as.pages))
+	for v, pg := range as.pages {
+		as.snapPages[v] = pageSnap{frame: pg.frame, perm: pg.perm}
+	}
+	as.snapShadow = nil
+	if as.shadow != nil {
+		as.snapShadow = make(map[uint64]*Frame, len(as.shadow))
+		for v, f := range as.shadow {
+			as.snapShadow[v] = f
+		}
+	}
+	as.undo = make(map[*Frame]*[PageSize]byte)
+}
+
+// Rollback restores the space to the state captured by the last Checkpoint:
+// every modified frame gets its pre-image back, and the page-table structure
+// (mappings added/removed/re-protected since) is rebuilt. The checkpoint
+// stays armed, so Rollback can be called repeatedly — the fuzzing loop
+// restores once per iteration.
+func (as *AddressSpace) Rollback() error {
+	if as.snapPages == nil {
+		return fmt.Errorf("mem: rollback without a checkpoint")
+	}
+	for f, img := range as.undo {
+		f.Data = *img
+	}
+	pages := make(map[uint64]*page, len(as.snapPages))
+	for v, s := range as.snapPages {
+		pages[v] = &page{frame: s.frame, perm: s.perm}
+	}
+	as.pages = pages
+	if as.snapShadow == nil {
+		as.shadow = nil
+	} else {
+		sh := make(map[uint64]*Frame, len(as.snapShadow))
+		for v, f := range as.snapShadow {
+			sh[v] = f
+		}
+		as.shadow = sh
+	}
 	return nil
 }
 
@@ -412,6 +490,7 @@ func (as *AddressSpace) Poke(va uint64, b []byte) error {
 		if !ok {
 			return fmt.Errorf("mem: poke of unmapped page 0x%x", va+uint64(i))
 		}
+		as.preimage(pg.frame)
 		pg.frame.Data[(va+uint64(i))&PageMask] = v
 	}
 	return nil
