@@ -38,7 +38,7 @@ func BenchmarkTable1(b *testing.B) {
 			for _, cfg := range table1Configs {
 				cfg := cfg
 				b.Run(cfg.Name(), func(b *testing.B) {
-					k, err := kernel.Boot(cfg)
+					k, err := kernel.BootCached(cfg)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -77,7 +77,7 @@ func BenchmarkTable2(b *testing.B) {
 			for _, cfg := range cfgs {
 				cfg := cfg
 				b.Run(cfg.Name(), func(b *testing.B) {
-					k, err := kernel.Boot(cfg)
+					k, err := kernel.BootCached(cfg)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -145,7 +145,7 @@ func BenchmarkKernelBuild(b *testing.B) {
 // BenchmarkGadgetScan measures the §7.3 attacker's Galileo-style scan over
 // a full kernel image.
 func BenchmarkGadgetScan(b *testing.B) {
-	k, err := kernel.Boot(core.Vanilla)
+	k, err := kernel.BootCached(core.Vanilla)
 	if err != nil {
 		b.Fatal(err)
 	}

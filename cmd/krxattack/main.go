@@ -42,7 +42,7 @@ func main() {
 	}
 
 	boot := func(cfg core.Config) *kernel.Kernel {
-		k, err := kernel.Boot(cfg)
+		k, err := kernel.BootCached(cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "krxattack:", err)
 			os.Exit(1)

@@ -30,6 +30,7 @@ func run() error {
 	noInject := flag.Bool("no-inject", false, "disable fault injection")
 	vanilla := flag.Bool("vanilla", false, "fuzz the unprotected kernel instead of SFI+X")
 	budget := flag.Uint64("budget", 0, "per-syscall instruction watchdog budget (0 = default)")
+	workers := flag.Int("workers", 1, "parallel execution workers (report is byte-identical for any count)")
 	flag.Parse()
 
 	cfg := core.Config{
@@ -41,7 +42,7 @@ func run() error {
 	if *vanilla {
 		cfg = core.Config{Seed: *seed, WatchdogBudget: *budget}
 	}
-	opts := fuzz.Options{Iters: *iters, Seed: *seed, Config: cfg}
+	opts := fuzz.Options{Iters: *iters, Seed: *seed, Config: cfg, Workers: *workers}
 	if !*noInject {
 		plan := inject.DefaultPlan(*seed)
 		opts.Plan = &plan

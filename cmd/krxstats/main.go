@@ -30,7 +30,7 @@ func main() {
 	if *runAudit {
 		for _, cfg := range core.Presets() {
 			cfg.Seed = 7
-			k, err := kernel.Boot(cfg)
+			k, err := kernel.BootCached(cfg)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "krxstats:", err)
 				os.Exit(1)
@@ -52,7 +52,7 @@ func main() {
 		{XOM: core.XOMSFI, SFILevel: sfi.O3, Diversify: true, RAProt: diversify.RAEncrypt, Seed: 5},
 		{XOM: core.XOMSFI, SFILevel: sfi.O3, Diversify: true, RAProt: diversify.RADecoy, Seed: 5},
 	} {
-		k, err := kernel.Boot(cfg)
+		k, err := kernel.BootCached(cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "krxstats:", err)
 			os.Exit(1)

@@ -266,10 +266,14 @@ func IndirectJITROP(target *kernel.Kernel) Result {
 // SmashWithHarvestedRA smashes the stack using a harvested return address
 // as the (single-gadget) payload — the control-flow redirection building
 // block of an indirect JIT-ROP chain. raOffset selects which slot of a
-// possible decoy pair the attacker bets on.
-func (a *Attacker) SmashWithHarvestedRA(ra uint64, raOffset int) bool {
+// possible decoy pair the attacker bets on. Success means the run ended on
+// the sentinel stop address — the harvested gadget executed and returned
+// into the rest of the chain, rather than trapping or halting. Alongside it
+// the attempt's emulated cycle cost is reported: a failed bet is not free,
+// and the per-attempt cost is what prices the 1/2^n decoy-guessing game.
+func (a *Attacker) SmashWithHarvestedRA(ra uint64, raOffset int) (ok bool, cycles uint64) {
 	before := a.K.CPU.Cycles
-	_ = before
 	r := a.SmashChain([]uint64{ra, cpu.StopMagic, cpu.StopMagic}, raOffset)
-	return !r.Failed
+	ok = r.Run != nil && r.Run.Reason == cpu.StopReturn
+	return ok, a.K.CPU.Cycles - before
 }

@@ -1,0 +1,88 @@
+package attack
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/diversify"
+	"repro/internal/kernel"
+	"repro/internal/sfi"
+)
+
+// TestScanGadgetsShardedMatchesSequential pins the sharding contract: the
+// parallel scan must reproduce the single-threaded scan byte for byte —
+// same gadgets, same order — on a full kernel image.
+func TestScanGadgetsShardedMatchesSequential(t *testing.T) {
+	k := boot(t, core.Vanilla)
+	code, base := k.Img.Text, k.Sym("_text")
+	seq := scanRange(code, base, 0, len(code))
+	par := ScanGadgets(code, base)
+	if len(seq) != len(par) {
+		t.Fatalf("sharded scan found %d gadgets, sequential %d", len(par), len(seq))
+	}
+	for i := range seq {
+		if seq[i].Addr != par[i].Addr || seq[i].String() != par[i].String() {
+			t.Fatalf("gadget %d diverges: sequential %#x %q, sharded %#x %q",
+				i, seq[i].Addr, seq[i], par[i].Addr, par[i])
+		}
+	}
+}
+
+// TestSmashWithHarvestedRACycleAccounting pins the repaired cycle
+// accounting: every attempt — successful or not — reports the nonzero
+// emulated cost of its syscalls, and the cost is measured per attempt, not
+// cumulatively.
+func TestSmashWithHarvestedRACycleAccounting(t *testing.T) {
+	k := boot(t, core.Config{XOM: core.XOMSFI, SFILevel: sfi.O3, Diversify: true, Seed: 731})
+	a := &Attacker{K: k}
+	ok, cycles := a.SmashWithHarvestedRA(k.Sym("do_set_uid"), 64)
+	if !ok {
+		t.Fatal("unprotected return address: harvested-RA smash must land")
+	}
+	if cycles == 0 {
+		t.Fatal("attempt consumed zero cycles (accounting dropped)")
+	}
+	_, cycles2 := a.SmashWithHarvestedRA(k.Sym("do_set_uid"), 64)
+	if cycles2 == 0 || cycles2 > 2*cycles {
+		t.Fatalf("second attempt reports %d cycles vs %d for the first: not per-attempt accounting", cycles2, cycles)
+	}
+}
+
+// TestSmashWithHarvestedRAFailsUnderEncryption: under X, the same bet is
+// garbled but its cost is still charged.
+func TestSmashWithHarvestedRAFailsUnderEncryption(t *testing.T) {
+	k := boot(t, core.Config{XOM: core.XOMSFI, SFILevel: sfi.O3, Diversify: true, RAProt: diversify.RAEncrypt, Seed: 732})
+	a := &Attacker{K: k}
+	before := a.UID()
+	_, cycles := a.SmashWithHarvestedRA(k.Sym("do_set_uid"), 64)
+	if a.UID() == 0 && before != 0 {
+		t.Fatal("encrypted return address must garble the harvested pointer")
+	}
+	if cycles == 0 {
+		t.Fatal("failed attempt must still report its cost")
+	}
+}
+
+// TestSubstitutionFailureModesAreDistinguished pins the done/swapped
+// discrimination in the substitution attack: the success path reports the
+// redirected return site, and a failing run must name one of the three
+// distinct failure modes instead of collapsing everything into "swap
+// window missed".
+func TestSubstitutionFailureModesAreDistinguished(t *testing.T) {
+	k, err := kernel.Boot(core.Config{XOM: core.XOMSFI, SFILevel: sfi.O3, Diversify: true, RAProt: diversify.RAEncrypt, Seed: 733})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Substitution(k)
+	if r.Success {
+		return // the §5.3 race won: nothing to distinguish
+	}
+	valid := map[string]bool{
+		"ciphertext swap write failed":     true,
+		"swap window missed":               true,
+		"victim never returned after swap": true,
+	}
+	if r.Stage == "ciphertext-swap" && !valid[r.Detail] {
+		t.Fatalf("ciphertext-swap failure reports %q, not one of the three distinguished modes", r.Detail)
+	}
+}

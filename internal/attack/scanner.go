@@ -9,6 +9,8 @@ package attack
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/isa"
 )
@@ -34,13 +36,54 @@ func (g Gadget) String() string {
 // maxGadgetBack is how many bytes before a ret the scanner explores.
 const maxGadgetBack = 24
 
+// scanChunkMin is the smallest per-goroutine slice of the ret-index range
+// worth the spawn overhead; images below it are scanned inline.
+const scanChunkMin = 4096
+
 // ScanGadgets performs backward disassembly from every 0xC3 (ret) byte in
 // code (mapped at base), collecting every window that decodes cleanly into
 // instructions ending exactly at the ret — including sequences that start
 // inside the encoding of legitimate instructions (unaligned gadgets).
+//
+// The scan is sharded across goroutines: each ret byte is examined
+// independently (its gadget windows reach back at most maxGadgetBack bytes
+// into the shared, read-only code slice), so the ret-index range is split
+// into contiguous chunks scanned in parallel and the per-chunk results are
+// concatenated in chunk order — reproducing the sequential output exactly,
+// byte for byte, for any core count.
 func ScanGadgets(code []byte, base uint64) []Gadget {
+	nw := runtime.GOMAXPROCS(0)
+	if max := (len(code) + scanChunkMin - 1) / scanChunkMin; nw > max {
+		nw = max
+	}
+	if nw <= 1 {
+		return scanRange(code, base, 0, len(code))
+	}
+	chunks := make([][]Gadget, nw)
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		lo := w * len(code) / nw
+		hi := (w + 1) * len(code) / nw
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			chunks[w] = scanRange(code, base, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
 	var out []Gadget
-	for i := range code {
+	for _, c := range chunks {
+		out = append(out, c...)
+	}
+	return out
+}
+
+// scanRange scans the ret bytes whose index falls in [lo, hi). Gadget
+// windows may begin before lo — the chunk boundary partitions ret
+// positions, not window bytes.
+func scanRange(code []byte, base uint64, lo, hi int) []Gadget {
+	var out []Gadget
+	for i := lo; i < hi; i++ {
 		if code[i] != 0xC3 {
 			continue
 		}

@@ -79,9 +79,21 @@ func Substitution(target *kernel.Kernel) Result {
 		}
 		return false
 	})
-	_ = done
-	if !swapped {
+	// done reports whether the hook ever stopped the walk; combined with
+	// swapped it separates the three failure modes that were previously
+	// conflated under "swap window missed".
+	switch {
+	case done && !swapped:
+		// The hook fired on the RA slot but the Poke failed.
+		res.Detail = "ciphertext swap write failed"
+		return res
+	case !done && !swapped:
 		res.Detail = "swap window missed"
+		return res
+	case swapped && !done:
+		// We overwrote the slot but the victim never left the function
+		// within the step budget — the callback never fired again.
+		res.Detail = "victim never returned after swap"
 		return res
 	}
 	if landed == rs2 {

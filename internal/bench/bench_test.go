@@ -332,3 +332,33 @@ func TestProfileDecomposition(t *testing.T) {
 			mpx.RangeCheck, sfiProf.RangeCheck)
 	}
 }
+
+// TestSweepBuildsEachConfigOnce is the build-cache acceptance property for
+// the multi-config sweeps: running both tables back to back must compile
+// each distinct configuration exactly once — the second table's columns
+// (a subset of the presets) are all cache hits.
+func TestSweepBuildsEachConfigOnce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full table sweep")
+	}
+	kernel.BuildCache().Reset()
+	if _, err := RunTable1(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunTable2(1); err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[string]bool{core.Vanilla.BuildKey(): true}
+	for _, cfg := range Table1Configs() {
+		distinct[cfg.BuildKey()] = true
+	}
+	for _, cfg := range Table2Configs() {
+		distinct[cfg.BuildKey()] = true
+	}
+	if got := kernel.BuildCache().Builds(); got != len(distinct) {
+		t.Fatalf("sweeps ran %d builds for %d distinct configs", got, len(distinct))
+	}
+	if kernel.BuildCache().Hits() == 0 {
+		t.Fatal("the second sweep produced no cache hits")
+	}
+}

@@ -127,7 +127,7 @@ func (pr *profiler) hook(rip uint64, in isa.Instr, cycles uint64) {
 // RunProfile executes one transaction of every Table 2 workload under the
 // configuration and returns the cycle decomposition.
 func RunProfile(cfg core.Config) (*Profile, error) {
-	k, err := kernel.Boot(cfg)
+	k, err := kernel.BootCached(cfg)
 	if err != nil {
 		return nil, err
 	}

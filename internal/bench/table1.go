@@ -8,6 +8,7 @@ package bench
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/kernel"
@@ -315,9 +316,12 @@ func Table1Configs() []core.Config {
 	return p[1:] // everything except vanilla
 }
 
-// measureOps boots one kernel and measures every op.
+// measureOps boots one kernel (from the shared build cache) and measures
+// every op. Cycle counts are emulated and therefore deterministic, so
+// columns measured concurrently report exactly what a sequential sweep
+// would.
 func measureOps(cfg core.Config, ops []MicroOp, iters int) ([]float64, error) {
-	k, err := kernel.Boot(cfg)
+	k, err := kernel.BootCached(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -351,7 +355,10 @@ func measureOps(cfg core.Config, ops []MicroOp, iters int) ([]float64, error) {
 }
 
 // RunTable1 measures every micro-op under every configuration and returns
-// the overhead table.
+// the overhead table. The columns (and the vanilla baseline) are measured
+// in parallel, one kernel per column, all columns sharing cached builds;
+// results are folded in column order, so the table is identical to the
+// sequential sweep's.
 func RunTable1(iters int) (*Table, error) {
 	if iters <= 0 {
 		iters = 10
@@ -363,10 +370,15 @@ func RunTable1(iters int) (*Table, error) {
 		t.RowNames = append(t.RowNames, op.Name)
 		t.RowKinds = append(t.RowKinds, op.Kind)
 	}
-	base, err := measureOps(core.Vanilla, ops, iters)
+	// Column 0 is the vanilla baseline, columns 1..len(cfgs) the protected
+	// configurations.
+	cols, err := sweep(append([]core.Config{core.Vanilla}, cfgs...), func(cfg core.Config) ([]float64, error) {
+		return measureOps(cfg, MicroOps(), iters)
+	})
 	if err != nil {
-		return nil, fmt.Errorf("bench: vanilla baseline: %w", err)
+		return nil, err
 	}
+	base := cols[0]
 	t.Baseline = base
 	t.Overhead = make([][]float64, len(ops))
 	for i := range t.Overhead {
@@ -374,13 +386,31 @@ func RunTable1(iters int) (*Table, error) {
 	}
 	for ci, cfg := range cfgs {
 		t.Configs = append(t.Configs, cfg.Name())
-		m, err := measureOps(cfg, ops, iters)
-		if err != nil {
-			return nil, err
-		}
 		for ri := range ops {
-			t.Overhead[ri][ci] = 100 * (m[ri] - base[ri]) / base[ri]
+			t.Overhead[ri][ci] = 100 * (cols[ci+1][ri] - base[ri]) / base[ri]
 		}
 	}
 	return t, nil
+}
+
+// sweep measures one column per configuration concurrently and returns the
+// per-config results in input order. The first error (in input order) wins.
+func sweep(cfgs []core.Config, measure func(core.Config) ([]float64, error)) ([][]float64, error) {
+	cols := make([][]float64, len(cfgs))
+	errs := make([]error, len(cfgs))
+	var wg sync.WaitGroup
+	for i, cfg := range cfgs {
+		wg.Add(1)
+		go func(i int, cfg core.Config) {
+			defer wg.Done()
+			cols[i], errs[i] = measure(cfg)
+		}(i, cfg)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cols, nil
 }

@@ -223,10 +223,11 @@ func RunTable2(iters int) (*Table, error) {
 	t := &Table{Title: "Table 2: Phoronix Test Suite overhead (%)"}
 
 	measure := func(cfg core.Config) ([]float64, error) {
-		k, err := kernel.Boot(cfg)
+		k, err := kernel.BootCached(cfg)
 		if err != nil {
 			return nil, err
 		}
+		wls := Workloads() // fresh closures per column (sweep runs concurrently)
 		out := make([]float64, len(wls))
 		for i, w := range wls {
 			if _, err := w.Txn(k); err != nil { // warmup
@@ -245,10 +246,13 @@ func RunTable2(iters int) (*Table, error) {
 		return out, nil
 	}
 
-	base, err := measure(core.Vanilla)
+	// All columns (baseline included) measured in parallel, one cached-build
+	// kernel each, folded in column order — see sweep in table1.go.
+	cols, err := sweep(append([]core.Config{core.Vanilla}, cfgs...), measure)
 	if err != nil {
-		return nil, fmt.Errorf("bench: vanilla baseline: %w", err)
+		return nil, err
 	}
+	base := cols[0]
 	t.Baseline = base
 	for _, w := range wls {
 		t.RowNames = append(t.RowNames, w.Name)
@@ -260,16 +264,12 @@ func RunTable2(iters int) (*Table, error) {
 	}
 	for ci, cfg := range cfgs {
 		t.Configs = append(t.Configs, cfg.Name())
-		m, err := measure(cfg)
-		if err != nil {
-			return nil, err
-		}
 		for ri, w := range wls {
 			// Total time = kernel cycles + user cycles; the user share is
 			// untouched by kernel hardening.
 			user := base[ri] * w.UserShare / (1 - w.UserShare)
 			totalBase := base[ri] + user
-			totalCfg := m[ri] + user
+			totalCfg := cols[ci+1][ri] + user
 			t.Overhead[ri][ci] = 100 * (totalCfg - totalBase) / totalBase
 		}
 	}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/ir"
+)
+
+// BuildKey renders the canonical build-cache key of a configuration: every
+// field that influences the compiled image, and nothing else. Runtime-only
+// knobs (WatchdogBudget, FaultPlan) are deliberately excluded — two kernels
+// that differ only in runtime policy share one compiled image.
+func (c Config) BuildKey() string {
+	return fmt.Sprintf("xom=%d,sfi=%d,div=%t,k=%d,ra=%d,rr=%t,fc=%t,seed=%d,guard=%d,kaslr=%t",
+		c.XOM, c.SFILevel, c.Diversify, c.K, c.RAProt, c.RegRand, c.FullCoverage,
+		c.Seed, c.GuardSize, c.KASLR)
+}
+
+// Cache memoizes Build results by (corpus identity, canonical config key).
+// A BuildResult handed out by the cache is shared: callers must treat the
+// Prog, Image, and stats as immutable, installing the image into fresh
+// address spaces rather than mutating it (link.Image.Install only reads).
+//
+// Concurrent requests for the same key are single-flighted: exactly one
+// build runs, the rest block on it — the build counter therefore counts
+// distinct (corpus, config) compilations, which the sweep tests assert on.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	builds  int
+	hits    int
+}
+
+type cacheEntry struct {
+	once sync.Once
+	res  *BuildResult
+	err  error
+}
+
+// NewCache returns an empty build cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[string]*cacheEntry)}
+}
+
+// Build returns the cached BuildResult for (progID, cfg), compiling prog on
+// the first request. progID must identify the corpus contents: callers that
+// reuse one in-memory program pass a stable name; callers with distinct
+// programs must pass distinct IDs or the cache would alias them.
+func (c *Cache) Build(prog *ir.Program, progID string, cfg Config) (*BuildResult, error) {
+	key := progID + "\x00" + cfg.BuildKey()
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &cacheEntry{}
+		c.entries[key] = e
+	} else {
+		c.hits++
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.res, e.err = Build(prog, cfg)
+		c.mu.Lock()
+		c.builds++
+		c.mu.Unlock()
+	})
+	return e.res, e.err
+}
+
+// Builds reports how many distinct compilations the cache has performed.
+func (c *Cache) Builds() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.builds
+}
+
+// Hits reports how many requests were served from the cache.
+func (c *Cache) Hits() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}
+
+// Reset drops every cached image and zeroes the counters (test isolation).
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*cacheEntry)
+	c.builds, c.hits = 0, 0
+}

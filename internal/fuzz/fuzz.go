@@ -3,13 +3,37 @@
 // coverage feedback, optional fault injection, crash triage with
 // deduplication, and reproducer minimization. Everything flows from one
 // seed, so a run is replayable end to end: the same (seed, config, plan)
-// triple produces a byte-identical report.
+// triple produces a byte-identical report — for any worker count.
+//
+// # Sharded-campaign determinism
+//
+// The campaign is parallel without giving up replayability. Three rules
+// make that work:
+//
+//  1. Every per-iteration random stream is derived from (Seed, iteration),
+//     never drawn from a shared generator: program generation/mutation uses
+//     progSeed(i), fault injection uses injSeed(i). What iteration i does
+//     therefore never depends on which worker ran it or what ran before it
+//     on the same kernel.
+//  2. The iteration space is executed in fixed-size batches (batchSize,
+//     independent of the worker count). Within a batch, workers execute
+//     disjoint iteration shards against their own booted kernels; mutation
+//     bases come from the corpus frozen at the previous batch boundary, so
+//     the corpus state visible to iteration i is a pure function of the
+//     options, not of scheduling.
+//  3. A merge step folds each batch back in canonical iteration-index
+//     order: coverage novelty, corpus growth, crash bucket ownership
+//     (first iteration wins), and reproducer minimization are all decided
+//     during the ordered merge.
+//
+// The result: krxfuzz -workers 1 and -workers 8 emit identical bytes.
 package fuzz
 
 import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/audit"
 	"repro/internal/core"
@@ -34,7 +58,18 @@ type Options struct {
 	Plan *inject.Plan
 	// MaxMinimize caps the executions spent minimizing one crash (0 = 64).
 	MaxMinimize int
+	// Workers is the number of parallel execution workers (0 or 1 =
+	// sequential). Each worker boots its own kernel from the shared build
+	// cache and executes a deterministic shard of every batch; the report
+	// is byte-identical for any value.
+	Workers int
 }
+
+// batchSize is the number of iterations executed between corpus merges. It
+// is a protocol constant — NOT derived from the worker count — because the
+// corpus snapshot an iteration mutates from is "the corpus after the last
+// whole batch", and that must mean the same thing under any parallelism.
+const batchSize = 64
 
 // Crash is one deduplicated crash bucket.
 type Crash struct {
@@ -46,13 +81,13 @@ type Crash struct {
 }
 
 // Report is the campaign result. String() is deterministic: same options in,
-// same bytes out.
+// same bytes out, regardless of Options.Workers.
 type Report struct {
 	Iters    int
 	Seed     int64
 	Config   string
 	Crashes  []*Crash // sorted by bucket
-	Cover    int      // distinct kernel RIPs executed
+	Cover    int      // distinct kernel RIPs executed (minimization excluded)
 	Faults   int      // total injected faults
 	Executed int      // total syscalls issued (incl. minimization)
 
@@ -63,7 +98,7 @@ type Report struct {
 }
 
 // String renders the report deterministically (sorted buckets, sorted
-// checks, no map iteration).
+// checks, no map iteration, no worker-count dependence).
 func (r *Report) String() string {
 	s := fmt.Sprintf("fuzz: config=%s seed=%d iters=%d syscalls=%d cover=%d faults=%d crashes=%d\n",
 		r.Config, r.Seed, r.Iters, r.Executed, r.Cover, r.Faults, len(r.Crashes))
@@ -84,15 +119,12 @@ func (r *Report) String() string {
 
 // Fuzzer is one campaign in progress.
 type Fuzzer struct {
-	opts   Options
-	k      *kernel.Kernel
-	snap   *kernel.Snapshot
-	gen    *generator
-	funcs  []funcSpan // image functions sorted by address, for bucketing
-	corpus []*Prog
+	opts    Options
+	workers []*worker
+	kaddrs  []uint64 // interesting kernel addresses, shared read-only
+	corpus  []*Prog
 
-	cover    map[uint64]struct{} // global coverage
-	curCover map[uint64]struct{} // this execution's coverage
+	cover map[uint64]struct{} // global coverage, updated only at merge
 
 	report *Report
 }
@@ -102,9 +134,20 @@ type funcSpan struct {
 	start, end uint64
 }
 
-// New boots a kernel under opts.Config and prepares the campaign. The boot
-// snapshot is taken after user memory seeding, so every iteration starts
-// from an identical machine.
+// worker owns one booted kernel and executes programs against it. Workers
+// never touch shared campaign state; everything they learn travels back in
+// execResults and is folded in by the merge step.
+type worker struct {
+	opts     Options
+	k        *kernel.Kernel
+	snap     *kernel.Snapshot
+	funcs    []funcSpan // image functions sorted by address, for bucketing
+	curCover map[uint64]struct{}
+}
+
+// New boots the campaign's kernels (one per worker, all sharing one cached
+// build) and prepares the campaign. Each boot snapshot is taken after user
+// memory seeding, so every iteration starts from an identical machine.
 func New(opts Options) (*Fuzzer, error) {
 	if opts.Iters <= 0 {
 		opts.Iters = 1000
@@ -112,19 +155,12 @@ func New(opts Options) (*Fuzzer, error) {
 	if opts.MaxMinimize <= 0 {
 		opts.MaxMinimize = 64
 	}
-	k, err := kernel.Boot(opts.Config)
-	if err != nil {
-		return nil, fmt.Errorf("fuzz: boot: %w", err)
-	}
-	if err := SetupUserMemory(k); err != nil {
-		return nil, fmt.Errorf("fuzz: seeding user memory: %w", err)
+	if opts.Workers <= 0 {
+		opts.Workers = 1
 	}
 	f := &Fuzzer{
-		opts:     opts,
-		k:        k,
-		gen:      &generator{rng: rand.New(rand.NewSource(opts.Seed))},
-		cover:    make(map[uint64]struct{}),
-		curCover: make(map[uint64]struct{}),
+		opts:  opts,
+		cover: make(map[uint64]struct{}),
 		report: &Report{
 			Iters:           opts.Iters,
 			Seed:            opts.Seed,
@@ -132,18 +168,37 @@ func New(opts Options) (*Fuzzer, error) {
 			AuditViolations: make(map[string]int),
 		},
 	}
-	f.gen.kaddrs = interestingKaddrs(k)
-	for _, fn := range k.Img.Funcs {
-		f.funcs = append(f.funcs, funcSpan{name: fn.Name, start: fn.Addr, end: fn.Addr + fn.Size})
+	for i := 0; i < opts.Workers; i++ {
+		w, err := newWorker(opts)
+		if err != nil {
+			return nil, err
+		}
+		f.workers = append(f.workers, w)
 	}
-	sort.Slice(f.funcs, func(i, j int) bool { return f.funcs[i].start < f.funcs[j].start })
+	f.kaddrs = interestingKaddrs(f.workers[0].k)
+	return f, nil
+}
+
+func newWorker(opts Options) (*worker, error) {
+	k, err := kernel.BootCached(opts.Config)
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: boot: %w", err)
+	}
+	if err := SetupUserMemory(k); err != nil {
+		return nil, fmt.Errorf("fuzz: seeding user memory: %w", err)
+	}
+	w := &worker{opts: opts, k: k, curCover: make(map[uint64]struct{})}
+	for _, fn := range k.Img.Funcs {
+		w.funcs = append(w.funcs, funcSpan{name: fn.Name, start: fn.Addr, end: fn.Addr + fn.Size})
+	}
+	sort.Slice(w.funcs, func(i, j int) bool { return w.funcs[i].start < w.funcs[j].start })
 
 	// Coverage hook, installed once; Snapshot/Restore leaves OnExec alone.
 	k.CPU.OnExec = func(rip uint64, in isa.Instr, cycles uint64) {
-		f.curCover[rip] = struct{}{}
+		w.curCover[rip] = struct{}{}
 	}
-	f.snap = k.Snapshot()
-	return f, nil
+	w.snap = k.Snapshot()
+	return w, nil
 }
 
 // interestingKaddrs collects the kernel addresses worth aiming leak/plant
@@ -171,41 +226,49 @@ func (f *Fuzzer) injSeed(iter int) int64 {
 	return f.opts.Seed ^ (int64(iter)+1)*0x2545f4914f6cdd1d
 }
 
-// execResult is one program execution's outcome.
+// progSeed derives the iteration's generation/mutation seed. A constant
+// distinct from injSeed's keeps the two per-iteration streams independent.
+func (f *Fuzzer) progSeed(iter int) int64 {
+	return f.opts.Seed ^ (int64(iter)+1)*-0x61c8864680b583eb // golden-ratio mix
+}
+
+// execResult is one program execution's outcome, self-contained so the
+// merge step can fold it in without touching the worker again.
 type execResult struct {
 	bucket   string // "" = clean run
 	crashIdx int    // index of the crashing call
 	faults   int    // faults injected during the run
 	auditBad []string
-	newCover bool
+	cover    []uint64 // distinct RIPs executed, unordered
+	nexec    int      // syscalls issued
 }
 
 // exec restores the snapshot and runs prog, with fault injection when the
 // campaign has a plan. The injector seed is passed explicitly so
 // minimization can replay an iteration's exact fault stream.
-func (f *Fuzzer) exec(prog *Prog, injSeed int64) (execResult, error) {
+func (w *worker) exec(prog *Prog, injSeed int64) (execResult, error) {
 	var res execResult
-	if err := f.k.Restore(f.snap); err != nil {
+	if err := w.k.Restore(w.snap); err != nil {
 		return res, fmt.Errorf("fuzz: restore: %w", err)
 	}
-	for rip := range f.curCover {
-		delete(f.curCover, rip)
+	for rip := range w.curCover {
+		delete(w.curCover, rip)
 	}
 
 	var inj *inject.Injector
-	if f.opts.Plan != nil {
-		plan := *f.opts.Plan
+	if w.opts.Plan != nil {
+		plan := *w.opts.Plan
 		plan.Seed = injSeed
 		inj = inject.New(plan)
-		inj.Attach(f.k.CPU, f.k.Space.AS, f.k.FaultTargets())
+		inj.Attach(w.k.CPU, w.k.Space.AS, w.k.FaultTargets())
 	}
 
 	res.crashIdx = -1
 	for i, c := range prog.Calls {
-		r := f.k.Syscall(c.Nr, c.Args[0], c.Args[1], c.Args[2])
-		f.report.Executed++
+		r := w.k.Syscall(c.Nr, c.Args[0], c.Args[1], c.Args[2])
+		res.nexec++
 		if r.Failed {
-			res.bucket = f.bucketOf(r)
+			res.bucket = w.bucketOf(r)
 			res.crashIdx = i
 			break
 		}
@@ -218,7 +281,7 @@ func (f *Fuzzer) exec(prog *Prog, injSeed int64) (execResult, error) {
 	// Invariant check: after any injected fault (or crash), the protections
 	// must either still hold or report exactly which check broke.
 	if res.faults > 0 || res.bucket != "" {
-		rep := audit.Audit(f.k)
+		rep := audit.Audit(w.k)
 		for _, fd := range rep.Findings {
 			if !fd.OK {
 				res.auditBad = append(res.auditBad, fd.Check)
@@ -226,33 +289,37 @@ func (f *Fuzzer) exec(prog *Prog, injSeed int64) (execResult, error) {
 		}
 	}
 
-	for rip := range f.curCover {
-		if _, ok := f.cover[rip]; !ok {
-			res.newCover = true
-			f.cover[rip] = struct{}{}
-		}
+	res.cover = make([]uint64, 0, len(w.curCover))
+	for rip := range w.curCover {
+		res.cover = append(res.cover, rip)
 	}
 	return res, nil
+}
+
+// exec runs prog on the campaign's first worker — the replay entry point
+// tests use to re-execute reproducers under an iteration's injector seed.
+func (f *Fuzzer) exec(prog *Prog, injSeed int64) (execResult, error) {
+	return f.workers[0].exec(prog, injSeed)
 }
 
 // bucketOf maps a failed syscall to its dedup bucket: the failure class plus
 // the function containing the faulting RIP (so the same root cause at
 // different addresses across diversified layouts still groups sensibly
 // within one image).
-func (f *Fuzzer) bucketOf(r *kernel.SyscallResult) string {
+func (w *worker) bucketOf(r *kernel.SyscallResult) string {
 	if r.Err != nil {
 		if be, ok := r.Err.(*cpu.BudgetError); ok {
-			return "watchdog/" + f.funcAt(be.RIP)
+			return "watchdog/" + w.funcAt(be.RIP)
 		}
 		return "harness-panic"
 	}
 	res := r.Run
 	switch res.Reason {
 	case cpu.StopHalt:
-		return "halt/" + f.funcAt(res.HaltRIP)
+		return "halt/" + w.funcAt(res.HaltRIP)
 	case cpu.StopTrap:
 		if res.Trap != nil {
-			return res.Trap.Kind.String() + "/" + f.funcAt(res.Trap.RIP)
+			return res.Trap.Kind.String() + "/" + w.funcAt(res.Trap.RIP)
 		}
 		return "trap/?"
 	default:
@@ -262,10 +329,10 @@ func (f *Fuzzer) bucketOf(r *kernel.SyscallResult) string {
 
 // funcAt names the image function containing rip; addresses outside the
 // image coarsen to 64-byte buckets so unknown-RIP crashes still dedup.
-func (f *Fuzzer) funcAt(rip uint64) string {
-	i := sort.Search(len(f.funcs), func(i int) bool { return f.funcs[i].end > rip })
-	if i < len(f.funcs) && rip >= f.funcs[i].start {
-		return f.funcs[i].name
+func (w *worker) funcAt(rip uint64) string {
+	i := sort.Search(len(w.funcs), func(i int) bool { return w.funcs[i].end > rip })
+	if i < len(w.funcs) && rip >= w.funcs[i].start {
+		return w.funcs[i].name
 	}
 	if rip < kernel.UserStack+16*4096 {
 		return "user"
@@ -273,32 +340,107 @@ func (f *Fuzzer) funcAt(rip uint64) string {
 	return fmt.Sprintf("rip-%#x", rip>>6<<6)
 }
 
+// pickProgAt draws the program for iteration i from a corpus snapshot: a
+// fresh generation while the corpus is cold, afterwards mostly mutations of
+// corpus entries. The whole decision consumes only the iteration's own
+// derived RNG, so it is identical under any scheduling.
+func (f *Fuzzer) pickProgAt(i int, corpus []*Prog) *Prog {
+	g := &generator{rng: rand.New(rand.NewSource(f.progSeed(i))), kaddrs: f.kaddrs}
+	r := g.rng
+	if len(corpus) == 0 || r.Intn(4) == 0 {
+		return g.Generate(1 + r.Intn(5))
+	}
+	base := corpus[r.Intn(len(corpus))]
+	var other *Prog
+	if len(corpus) > 1 {
+		other = corpus[r.Intn(len(corpus))]
+	}
+	return g.Mutate(base, other)
+}
+
+// iterOut is one iteration's completed execution, parked until the merge.
+type iterOut struct {
+	prog *Prog
+	res  execResult
+	err  error
+}
+
 // Run executes the campaign and returns its report.
 func (f *Fuzzer) Run() (*Report, error) {
 	crashes := make(map[string]*Crash)
-	for i := 0; i < f.opts.Iters; i++ {
-		prog := f.pickProg()
-		res, err := f.exec(prog, f.injSeed(i))
-		if err != nil {
-			return nil, err
+	for lo := 0; lo < f.opts.Iters; lo += batchSize {
+		hi := lo + batchSize
+		if hi > f.opts.Iters {
+			hi = f.opts.Iters
 		}
-		f.report.Faults += res.faults
-		for _, check := range res.auditBad {
-			f.report.AuditViolations[check]++
+		// The corpus snapshot every iteration of this batch mutates from:
+		// frozen length, so merge-time appends cannot leak into the batch.
+		snapshot := f.corpus[:len(f.corpus):len(f.corpus)]
+		results := make([]iterOut, hi-lo)
+
+		nw := f.opts.Workers
+		if nw > hi-lo {
+			nw = hi - lo
 		}
-		if res.bucket != "" {
-			repro := &Prog{Calls: prog.Calls[:res.crashIdx+1]}
-			if c, ok := crashes[res.bucket]; ok {
-				c.Count++
-			} else {
-				c = &Crash{Bucket: res.bucket, Count: 1, Iter: i, Prog: repro.Clone()}
-				c.Min = f.minimize(repro, res.bucket, f.injSeed(i))
-				crashes[res.bucket] = c
+		if nw <= 1 {
+			for i := lo; i < hi; i++ {
+				prog := f.pickProgAt(i, snapshot)
+				res, err := f.workers[0].exec(prog, f.injSeed(i))
+				results[i-lo] = iterOut{prog: prog, res: res, err: err}
 			}
-			continue
+		} else {
+			var wg sync.WaitGroup
+			for wi := 0; wi < nw; wi++ {
+				wg.Add(1)
+				go func(wi int) {
+					defer wg.Done()
+					w := f.workers[wi]
+					for i := lo + wi; i < hi; i += nw {
+						prog := f.pickProgAt(i, snapshot)
+						res, err := w.exec(prog, f.injSeed(i))
+						results[i-lo] = iterOut{prog: prog, res: res, err: err}
+					}
+				}(wi)
+			}
+			wg.Wait()
 		}
-		if res.newCover {
-			f.corpus = append(f.corpus, prog)
+
+		// Merge in canonical iteration order. Everything order-sensitive —
+		// coverage novelty, corpus membership, which iteration owns a crash
+		// bucket — is decided here, sequentially, so the outcome is
+		// independent of how the batch was scheduled above.
+		for i := lo; i < hi; i++ {
+			out := results[i-lo]
+			if out.err != nil {
+				return nil, out.err
+			}
+			res := out.res
+			f.report.Executed += res.nexec
+			f.report.Faults += res.faults
+			for _, check := range res.auditBad {
+				f.report.AuditViolations[check]++
+			}
+			newCover := false
+			for _, rip := range res.cover {
+				if _, ok := f.cover[rip]; !ok {
+					newCover = true
+					f.cover[rip] = struct{}{}
+				}
+			}
+			if res.bucket != "" {
+				repro := &Prog{Calls: out.prog.Calls[:res.crashIdx+1]}
+				if c, ok := crashes[res.bucket]; ok {
+					c.Count++
+				} else {
+					c = &Crash{Bucket: res.bucket, Count: 1, Iter: i, Prog: repro.Clone()}
+					c.Min = f.minimize(repro, res.bucket, f.injSeed(i))
+					crashes[res.bucket] = c
+				}
+				continue
+			}
+			if newCover {
+				f.corpus = append(f.corpus, out.prog)
+			}
 		}
 	}
 	for _, c := range crashes {
@@ -311,25 +453,13 @@ func (f *Fuzzer) Run() (*Report, error) {
 	return f.report, nil
 }
 
-// pickProg draws the next program: a fresh generation while the corpus is
-// cold, afterwards mostly mutations of corpus entries.
-func (f *Fuzzer) pickProg() *Prog {
-	r := f.gen.rng
-	if len(f.corpus) == 0 || r.Intn(4) == 0 {
-		return f.gen.Generate(1 + r.Intn(5))
-	}
-	base := f.corpus[r.Intn(len(f.corpus))]
-	var other *Prog
-	if len(f.corpus) > 1 {
-		other = f.corpus[r.Intn(len(f.corpus))]
-	}
-	return f.gen.Mutate(base, other)
-}
-
 // minimize shrinks a crashing program to the shortest syscall sequence that
 // still lands in the same bucket, re-executing candidates under the
 // iteration's exact injector seed. Delta-removal repeats until a full pass
-// removes nothing (or the execution budget runs out).
+// removes nothing (or the execution budget runs out). Minimization runs on
+// the first worker, during the ordered merge, so its executions are counted
+// deterministically; its coverage is deliberately not folded into the
+// campaign's coverage map.
 func (f *Fuzzer) minimize(prog *Prog, bucket string, injSeed int64) *Prog {
 	min := prog.Clone()
 	budget := f.opts.MaxMinimize
@@ -340,11 +470,14 @@ func (f *Fuzzer) minimize(prog *Prog, bucket string, injSeed int64) *Prog {
 				return min
 			}
 			cand := &Prog{Calls: append(append([]Call{}, min.Calls[:i]...), min.Calls[i+1:]...)}
-			res, err := f.exec(cand, injSeed)
+			res, err := f.workers[0].exec(cand, injSeed)
 			budget--
-			if err == nil && res.bucket == bucket {
-				min = cand
-				changed = true
+			if err == nil {
+				f.report.Executed += res.nexec
+				if res.bucket == bucket {
+					min = cand
+					changed = true
+				}
 			}
 		}
 	}

@@ -40,6 +40,29 @@ func TestDeterministicReport(t *testing.T) {
 	}
 }
 
+// TestWorkerCountInvariance is the sharding acceptance property: the same
+// campaign executed by 1, 2, 3, and 4 workers renders byte-identical
+// reports — parallelism must never change what the fuzzer finds.
+func TestWorkerCountInvariance(t *testing.T) {
+	var want string
+	for _, workers := range []int{1, 2, 3, 4} {
+		opts := campaignOpts(150)
+		opts.Workers = workers
+		r, err := Fuzz(opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if workers == 1 {
+			want = r.String()
+			continue
+		}
+		if got := r.String(); got != want {
+			t.Fatalf("workers=%d report diverges from workers=1:\n--- workers=1 ---\n%s--- workers=%d ---\n%s",
+				workers, want, workers, got)
+		}
+	}
+}
+
 // TestCrashTriage checks the triage pipeline end to end on a campaign large
 // enough to crash: buckets are deduplicated, sorted, and every minimized
 // reproducer is no longer than what it minimizes.

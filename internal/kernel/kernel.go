@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/cpu"
@@ -120,12 +121,68 @@ func Boot(cfg core.Config) (*Kernel, error) {
 	return BootProgram(prog, cfg)
 }
 
+// The shared corpus and build cache behind BootCached. The corpus program
+// is built once and never mutated afterwards (core.Build clones before
+// instrumenting), so every cached build compiles the same input.
+var (
+	corpusOnce sync.Once
+	corpusProg *ir.Program
+	corpusErr  error
+
+	buildCache = core.NewCache()
+)
+
+// corpusID names the shared corpus in the build-cache key. Bump it if the
+// corpus generator changes shape within one process lifetime (it cannot —
+// BuildCorpus is deterministic — so a constant is the honest identity).
+const corpusID = "kernel-corpus"
+
+// sharedCorpus returns the memoized kernel corpus program. Callers must not
+// mutate it.
+func sharedCorpus() (*ir.Program, error) {
+	corpusOnce.Do(func() {
+		corpusProg, corpusErr = BuildCorpus()
+	})
+	return corpusProg, corpusErr
+}
+
+// BuildCache exposes the process-wide build cache (hit/build counters for
+// the sweep tests; Reset for test isolation).
+func BuildCache() *core.Cache { return buildCache }
+
+// BootCached is Boot through the process-wide build cache: the first boot
+// of a configuration compiles the corpus, every later boot of the same
+// configuration (per Config.BuildKey — runtime knobs like WatchdogBudget
+// and FaultPlan do not fragment the cache) reuses the compiled image and
+// only pays for installing it into a fresh address space. Safe for
+// concurrent use: multi-worker fuzzing campaigns and parallel benchmark
+// sweeps boot their kernels through here.
+func BootCached(cfg core.Config) (*Kernel, error) {
+	prog, err := sharedCorpus()
+	if err != nil {
+		return nil, fmt.Errorf("kernel: corpus: %w", err)
+	}
+	res, err := buildCache.Build(prog, corpusID, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return BootImage(res, cfg)
+}
+
 // BootProgram is Boot with a caller-supplied corpus.
 func BootProgram(prog *ir.Program, cfg core.Config) (*Kernel, error) {
 	res, err := core.Build(prog, cfg)
 	if err != nil {
 		return nil, err
 	}
+	return BootImage(res, cfg)
+}
+
+// BootImage installs an already-built image into a fresh machine and
+// performs the boot-time steps. res may be shared (cached): everything it
+// holds is only read — section bytes are poked into the new space, xkeys
+// are replenished in the space, never in the image.
+func BootImage(res *core.BuildResult, cfg core.Config) (*Kernel, error) {
 	pool := kas.NewPhysPool(PhysMemBytes)
 	sp, err := kas.Install(res.Image.Layout, pool)
 	if err != nil {
