@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/diversify"
 	"repro/internal/figures"
+	"repro/internal/fuzz"
 	"repro/internal/kas"
 	"repro/internal/kernel"
 	"repro/internal/sfi"
@@ -154,5 +155,34 @@ func BenchmarkGadgetScan(b *testing.B) {
 		if gs := attack.ScanGadgets(k.Img.Text, k.Sym("_text")); len(gs) == 0 {
 			b.Fatal("no gadgets")
 		}
+	}
+}
+
+// BenchmarkFuzzIteration measures one fuzzing iteration — snapshot restore
+// plus program execution — with the decode cache on and off. Emulated
+// cycles are identical in both modes; only host wall-clock moves.
+func BenchmarkFuzzIteration(b *testing.B) {
+	for _, cacheOn := range []bool{true, false} {
+		name := "cache-on"
+		if !cacheOn {
+			name = "cache-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			f, err := fuzz.New(fuzz.Options{Iters: 1, Seed: 42, Config: core.Vanilla, Workers: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			f.Kernel().CPU.SetDecodeCache(cacheOn)
+			var cycles uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c, err := f.ExecIteration(i)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += c
+			}
+			b.ReportMetric(float64(cycles)/float64(b.N), "kcycles/op")
+		})
 	}
 }

@@ -23,15 +23,29 @@ func main() {
 		ablation = flag.Bool("ablation", false, "run the ablation sweeps (k, XOM mechanisms, guard)")
 		compare  = flag.Bool("compare", false, "interleave the paper's numbers (measured / paper)")
 		profile  = flag.Bool("profile", false, "cycle-attribution profile (overhead decomposition)")
+		jsonOut  = flag.Bool("json", false, "emulator host-performance benchmark, machine-readable JSON (host ns/op + emulated cycles, decode cache on/off)")
 		iters    = flag.Int("iters", 10, "measured iterations per data point")
 	)
 	flag.Parse()
-	if !*t1 && !*t2 && !*ablation && !*profile {
+	if !*t1 && !*t2 && !*ablation && !*profile && !*jsonOut {
 		*t1, *t2, *ablation = true, true, true
 	}
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "krxbench:", err)
 		os.Exit(1)
+	}
+
+	if *jsonOut {
+		rep, err := bench.EmuBench(*iters)
+		if err != nil {
+			fail(err)
+		}
+		b, err := rep.JSON()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(string(b))
+		return
 	}
 
 	if *t1 {

@@ -41,6 +41,19 @@ func main() {
 				fmt.Fprintf(os.Stderr, "krxstats: audit failed for %s\n", cfg.Name())
 				os.Exit(1)
 			}
+			// Exercise the kernel so the decode-cache counters reflect real
+			// execution under this configuration (the audit itself is a
+			// static inspection and runs no instructions).
+			for i := 0; i < 8; i++ {
+				k.Syscall(kernel.SysNull)
+				if err := k.WriteUser(0, append([]byte("testfile"), 0)); err == nil {
+					if r := k.Syscall(kernel.SysOpen, kernel.UserBuf); !r.Failed {
+						k.Syscall(kernel.SysClose, r.Ret)
+					}
+				}
+			}
+			fmt.Println(bench.DecodeCacheReport(k))
+			fmt.Println()
 		}
 		return
 	}

@@ -1,0 +1,186 @@
+// Emulator host-performance benchmarks: unlike every other measurement in
+// this package (which reports emulated cycles — numbers the decode cache is
+// forbidden to change), these measure host wall-clock of the emulator
+// itself, with the predecoded translation cache on and off. Each workload
+// runs both ways and the harness asserts the emulated cycle totals are
+// identical — the cache's bit-identical-semantics invariant — before
+// reporting the speedup.
+
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fuzz"
+	"repro/internal/kernel"
+)
+
+// EmuResult is one workload measured with the decode cache on and off.
+// Cycles is the emulated total over the timed iterations; it is asserted
+// equal in both modes, so a single field suffices.
+type EmuResult struct {
+	Name      string  `json:"name"`
+	Iters     int     `json:"iters"`
+	HostNsOn  int64   `json:"host_ns_per_op_cache_on"`
+	HostNsOff int64   `json:"host_ns_per_op_cache_off"`
+	Speedup   float64 `json:"speedup"`
+	Cycles    uint64  `json:"emulated_cycles"`
+}
+
+// EmuReport is the machine-readable emulator benchmark baseline
+// (BENCH_emulator.json).
+type EmuReport struct {
+	Schema  string      `json:"schema"`
+	GoOS    string      `json:"goos"`
+	GoArch  string      `json:"goarch"`
+	Results []EmuResult `json:"results"`
+}
+
+// JSON renders the report for the BENCH_emulator.json trajectory file.
+func (r *EmuReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// emuWorkload builds a closure that executes one unit of emulated work and
+// returns its cycle cost. make is called once per cache mode, so each mode
+// gets a fresh kernel and an identical iteration sequence.
+type emuWorkload struct {
+	name string
+	make func(cacheOn bool) (func() (uint64, error), error)
+}
+
+// runTable1Suite executes every Table 1 micro-op once and returns the total
+// emulated cycles (the per-op suite BenchmarkTable1 sweeps).
+func runTable1Suite(k *kernel.Kernel) (uint64, error) {
+	var total uint64
+	for _, op := range MicroOps() {
+		for fd := uint64(0); fd < 64; fd++ {
+			k.Syscall(kernel.SysClose, fd)
+		}
+		if op.Setup != nil {
+			if err := op.Setup(k); err != nil {
+				return 0, fmt.Errorf("%s: %w", op.Name, err)
+			}
+		}
+		c, err := op.Run(k)
+		if err != nil {
+			return 0, fmt.Errorf("%s: %w", op.Name, err)
+		}
+		total += c
+	}
+	return total, nil
+}
+
+func table1Workload(cfg core.Config) emuWorkload {
+	return emuWorkload{
+		name: "table1-suite/" + cfg.Name(),
+		make: func(cacheOn bool) (func() (uint64, error), error) {
+			k, err := kernel.BootCached(cfg)
+			if err != nil {
+				return nil, err
+			}
+			k.CPU.SetDecodeCache(cacheOn)
+			return func() (uint64, error) { return runTable1Suite(k) }, nil
+		},
+	}
+}
+
+func fuzzWorkload(cfg core.Config, seed int64) emuWorkload {
+	return emuWorkload{
+		name: "fuzz-iteration/" + cfg.Name(),
+		make: func(cacheOn bool) (func() (uint64, error), error) {
+			f, err := fuzz.New(fuzz.Options{Iters: 1, Seed: seed, Config: cfg, Workers: 1})
+			if err != nil {
+				return nil, err
+			}
+			f.Kernel().CPU.SetDecodeCache(cacheOn)
+			// The iteration counter restarts per mode, so both modes execute
+			// the identical (seed, i)-derived program sequence.
+			i := 0
+			return func() (uint64, error) {
+				c, err := f.ExecIteration(i)
+				i++
+				return c, err
+			}, nil
+		},
+	}
+}
+
+// measureEmu times one workload in both cache modes and enforces the
+// bit-identical-cycles invariant.
+func measureEmu(w emuWorkload, iters int) (EmuResult, error) {
+	res := EmuResult{Name: w.name, Iters: iters}
+	var cycles [2]uint64
+	var host [2]time.Duration
+	for m, on := range []bool{true, false} {
+		run, err := w.make(on)
+		if err != nil {
+			return res, fmt.Errorf("bench: %s: %w", w.name, err)
+		}
+		if _, err := run(); err != nil { // warmup (populates the cache)
+			return res, fmt.Errorf("bench: %s: %w", w.name, err)
+		}
+		start := time.Now()
+		for n := 0; n < iters; n++ {
+			c, err := run()
+			if err != nil {
+				return res, fmt.Errorf("bench: %s: %w", w.name, err)
+			}
+			cycles[m] += c
+		}
+		host[m] = time.Since(start)
+	}
+	if cycles[0] != cycles[1] {
+		return res, fmt.Errorf("bench: %s: emulated cycles diverge with cache on/off: %d vs %d",
+			w.name, cycles[0], cycles[1])
+	}
+	res.Cycles = cycles[0]
+	res.HostNsOn = host[0].Nanoseconds() / int64(iters)
+	res.HostNsOff = host[1].Nanoseconds() / int64(iters)
+	if res.HostNsOn > 0 {
+		res.Speedup = float64(res.HostNsOff) / float64(res.HostNsOn)
+	}
+	return res, nil
+}
+
+// EmuBench measures the emulator's host performance with the decode cache
+// on and off: the Table 1 micro-op suite under vanilla and a fully
+// protected column, and a fuzzing iteration (restore + program execution).
+func EmuBench(iters int) (*EmuReport, error) {
+	if iters <= 0 {
+		iters = 20
+	}
+	presets := core.Presets()
+	full := presets[len(presets)-1] // the most protected preset column
+	workloads := []emuWorkload{
+		table1Workload(core.Vanilla),
+		table1Workload(full),
+		fuzzWorkload(core.Vanilla, 42),
+		fuzzWorkload(full, 42),
+	}
+	rep := &EmuReport{Schema: "krx-emubench/1", GoOS: runtime.GOOS, GoArch: runtime.GOARCH}
+	for _, w := range workloads {
+		r, err := measureEmu(w, iters)
+		if err != nil {
+			return nil, err
+		}
+		rep.Results = append(rep.Results, r)
+	}
+	return rep, nil
+}
+
+// DecodeCacheReport formats a kernel CPU's decode-cache statistics — the
+// observability line krxstats prints after the invariant audit.
+func DecodeCacheReport(k *kernel.Kernel) string {
+	if !k.CPU.DecodeCacheEnabled() {
+		return "decode-cache: disabled"
+	}
+	s := k.CPU.DecodeCacheStats()
+	return fmt.Sprintf(
+		"decode-cache: pages=%d entries=%d hits=%d misses=%d decoded=%d invalidations=%d remaps=%d",
+		s.Pages, s.Entries, s.Hits, s.Misses, s.Decoded, s.Invalidations, s.Remaps)
+}

@@ -1,0 +1,141 @@
+// Bit-identical-semantics enforcement: the decode cache must not change any
+// architecturally visible outcome. These tests run the Table 1 micro-op
+// suite, the paper's attack scenarios, and a fuzzing campaign with the
+// cache on and off and require identical results — cycles, instruction
+// counts, the full OnExec stream, attack outcomes, and fuzz report bytes.
+package bench
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/fuzz"
+	"repro/internal/isa"
+	"repro/internal/kernel"
+)
+
+// equivConfigs: the unprotected baseline and the most protected preset
+// column (diversification, RA protection, the works).
+func equivConfigs() []core.Config {
+	presets := core.Presets()
+	return []core.Config{core.Vanilla, presets[len(presets)-1]}
+}
+
+// hookDigest folds every OnExec callback (rip, opcode, cycle delta, in
+// order) into a hash readable through the returned pointer.
+func hookDigest(c *cpu.CPU) *uint64 {
+	h := fnv.New64a()
+	out := new(uint64)
+	var buf [17]byte
+	c.OnExec = func(rip uint64, in *isa.Instr, cycles uint64) {
+		binary.LittleEndian.PutUint64(buf[0:], rip)
+		buf[8] = byte(in.Op)
+		binary.LittleEndian.PutUint64(buf[9:], cycles)
+		h.Write(buf[:])
+		*out = h.Sum64()
+	}
+	return out
+}
+
+// TestTable1SuiteCacheEquivalence is the acceptance gate for the Table 1
+// suite: every micro-op under cache-on must execute the identical
+// instruction stream as cache-off.
+func TestTable1SuiteCacheEquivalence(t *testing.T) {
+	for _, cfg := range equivConfigs() {
+		type outcome struct {
+			cycles, instrs, digest uint64
+		}
+		run := func(cacheOn bool) outcome {
+			k, err := kernel.BootCached(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			k.CPU.SetDecodeCache(cacheOn)
+			digest := hookDigest(k.CPU)
+			instrs0 := k.CPU.Instrs
+			cycles, err := runTable1Suite(k)
+			if err != nil {
+				t.Fatalf("%s: %v", cfg.Name(), err)
+			}
+			return outcome{cycles: cycles, instrs: k.CPU.Instrs - instrs0, digest: *digest}
+		}
+		on, off := run(true), run(false)
+		if on != off {
+			t.Errorf("%s: cache on/off diverge: %+v vs %+v", cfg.Name(), on, off)
+		}
+	}
+}
+
+// TestAttackScenariosCacheEquivalence runs the paper's three attack
+// scenarios against cache-on and cache-off kernels: outcomes, stages, and
+// the targets' final instruction/cycle counters must match exactly —
+// whether the attack succeeds (vanilla) or dies (full kR^X).
+func TestAttackScenariosCacheEquivalence(t *testing.T) {
+	scenarios := []struct {
+		name string
+		run  func(cfg core.Config, cacheOn bool) (attack.Result, *kernel.Kernel)
+	}{
+		{"DirectROP", func(cfg core.Config, cacheOn bool) (attack.Result, *kernel.Kernel) {
+			target := bootEquiv(t, cfg, cacheOn)
+			ref := bootEquiv(t, cfg, cacheOn)
+			return attack.DirectROP(target, ref), target
+		}},
+		{"JITROP", func(cfg core.Config, cacheOn bool) (attack.Result, *kernel.Kernel) {
+			target := bootEquiv(t, cfg, cacheOn)
+			return attack.JITROP(target), target
+		}},
+		{"IndirectJITROP", func(cfg core.Config, cacheOn bool) (attack.Result, *kernel.Kernel) {
+			target := bootEquiv(t, cfg, cacheOn)
+			return attack.IndirectJITROP(target), target
+		}},
+	}
+	for _, cfg := range equivConfigs() {
+		for _, sc := range scenarios {
+			rOn, kOn := sc.run(cfg, true)
+			rOff, kOff := sc.run(cfg, false)
+			if rOn != rOff {
+				t.Errorf("%s/%s: results diverge:\n on: %v\noff: %v", cfg.Name(), sc.name, rOn, rOff)
+			}
+			if kOn.CPU.Instrs != kOff.CPU.Instrs || kOn.CPU.Cycles != kOff.CPU.Cycles {
+				t.Errorf("%s/%s: counters diverge: instrs %d/%d cycles %d/%d",
+					cfg.Name(), sc.name, kOn.CPU.Instrs, kOff.CPU.Instrs, kOn.CPU.Cycles, kOff.CPU.Cycles)
+			}
+		}
+	}
+}
+
+func bootEquiv(t *testing.T, cfg core.Config, cacheOn bool) *kernel.Kernel {
+	t.Helper()
+	k, err := kernel.BootCached(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.CPU.SetDecodeCache(cacheOn)
+	return k
+}
+
+// TestFuzzReportCacheInvariance: a fuzzing campaign — generation, mutation,
+// corpus growth, coverage, crash triage — must produce byte-identical
+// reports with the cache on and off.
+func TestFuzzReportCacheInvariance(t *testing.T) {
+	run := func(cacheOn bool) string {
+		f, err := fuzz.New(fuzz.Options{Iters: 96, Seed: 17, Config: core.Vanilla, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Kernel().CPU.SetDecodeCache(cacheOn)
+		rep, err := f.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.String()
+	}
+	on, off := run(true), run(false)
+	if on != off {
+		t.Errorf("fuzz reports diverge with cache on/off:\n on: %s\noff: %s", on, off)
+	}
+}

@@ -86,7 +86,7 @@ func (pr *profiler) funcName(rip uint64) string {
 	return "[module]"
 }
 
-func (pr *profiler) hook(rip uint64, in isa.Instr, cycles uint64) {
+func (pr *profiler) hook(rip uint64, in *isa.Instr, cycles uint64) {
 	p := pr.p
 	p.TotalCycles += cycles
 	p.ByFunc[pr.funcName(rip)] += cycles

@@ -180,7 +180,7 @@ type CPU struct {
 	// its address and the cycles it consumed (including rep-string
 	// per-element charges). Used by the profiler and by the fuzzer's
 	// coverage and fault-injection hooks; nil costs nothing.
-	OnExec func(rip uint64, in isa.Instr, cycles uint64)
+	OnExec func(rip uint64, in *isa.Instr, cycles uint64)
 
 	// Pending is an externally forced exception: Run delivers it before the
 	// next instruction, exactly as if the current instruction had trapped.
@@ -192,12 +192,18 @@ type CPU struct {
 	savedUserBnd0 Bound
 	inSyscall     bool
 
-	fetchBuf [16]byte
+	fetchBuf [isa.MaxInstrLen]byte
+
+	// dc is the predecoded translation cache (see dcache.go); nil when
+	// disabled. It affects host wall-clock only — Instrs, Cycles, traps,
+	// and OnExec callbacks are bit-identical with it on or off.
+	dc *decodeCache
 }
 
-// New creates a CPU over the given address space.
+// New creates a CPU over the given address space. The decode cache is on by
+// default; SetDecodeCache(false) reverts to fetch+decode per instruction.
 func New(as *mem.AddressSpace) *CPU {
-	return &CPU{AS: as, MSRs: make(map[uint64]uint64)}
+	return &CPU{AS: as, MSRs: make(map[uint64]uint64), dc: newDecodeCache()}
 }
 
 // Reg returns a register value.
@@ -387,6 +393,24 @@ func (c *CPU) Step() (StopReason, *Trap) {
 		// SMEP: supervisor-mode execution prevention (blocks ret2usr).
 		return StepContinue, &Trap{Kind: TrapProtection, Addr: c.RIP, RIP: c.RIP, Mode: c.Mode}
 	}
+	if c.dc != nil {
+		if e, ud, ok := c.dc.lookup(c.AS, c.RIP); ok {
+			if ud {
+				// Cached deterministic decode failure: same #UD the slow
+				// path would raise, with no Instrs/Cycles side effects.
+				return StepContinue, &Trap{Kind: TrapUndefined, Addr: c.RIP, RIP: c.RIP, Mode: c.Mode}
+			}
+			c.Instrs++
+			rip := c.RIP
+			before := c.Cycles
+			c.Cycles += e.cost
+			stop, trap := c.exec(&e.in, c.RIP+uint64(e.ilen))
+			if c.OnExec != nil {
+				c.OnExec(rip, &e.in, c.Cycles-before)
+			}
+			return stop, trap
+		}
+	}
 	n, f := c.AS.Fetch(c.RIP, c.fetchBuf[:])
 	if f != nil {
 		return StepContinue, &Trap{Kind: TrapPageFault, Addr: c.RIP, RIP: c.RIP, Mode: c.Mode, Fault: f}
@@ -400,9 +424,9 @@ func (c *CPU) Step() (StopReason, *Trap) {
 	before := c.Cycles
 	c.Cycles += in.Cost()
 	next := c.RIP + uint64(ilen)
-	stop, trap := c.exec(in, next)
+	stop, trap := c.exec(&in, next)
 	if c.OnExec != nil {
-		c.OnExec(rip, in, c.Cycles-before)
+		c.OnExec(rip, &in, c.Cycles-before)
 	}
 	return stop, trap
 }

@@ -1,0 +1,220 @@
+package cpu
+
+import (
+	"errors"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// The predecoded translation cache.
+//
+// Kernel text is immutable between rare, explicit patch events, yet the
+// baseline Step paid a byte-at-a-time page walk plus a full isa.Decode for
+// every executed instruction. The cache decodes each executable page once —
+// lazily, from the first offset actually executed — into {Instr, cost, len}
+// entries indexed by page offset, so the steady-state Step is a slice index
+// and a dispatch.
+//
+// Correctness rests on two generation counters, validated on every lookup:
+//
+//   - mem.AddressSpace.MapGen() changes whenever the translation structure
+//     changes (Map/MapFrames, Unmap, Protect, ShadowData/Unshadow,
+//     Rollback). A change forces re-resolution of the page's frame and
+//     permissions through ExecFrame; a frame swap or lost PermX is observed
+//     here. Cached *page pointers are never held across lookups — Rollback
+//     rebuilds the page table wholesale, so only the frame pointer (which
+//     the undo log preserves) is cached.
+//
+//   - mem.Frame.Gen() changes whenever the frame's bytes change (StoreByte,
+//     StoreBytes, Write, Poke, Zap, Rollback pre-image restore). Content
+//     generations live on the frame, not the virtual page, because frames
+//     map at multiple addresses (physmap synonyms, patch.TextPoke's
+//     temporary RW alias): a write through any alias must invalidate every
+//     mapping's cached decodes. A mismatch flushes the page's entries.
+//
+// Pure reads (Peek, LoadBytes, Read, Fetch) bump nothing and cost the cache
+// nothing.
+//
+// Page-tail rule: an instruction whose decode window is truncated by the
+// page boundary and fails with ErrTruncated is NOT cached — the slow path's
+// Fetch may cross into the next executable page and succeed, so the outcome
+// depends on bytes outside this frame. Any decode over a full MaxInstrLen
+// window, and any in-window deterministic failure (bad opcode / bad
+// encoding), depends only on this frame's bytes and is cacheable — including
+// the failure itself, which is cached as a deterministic #UD slot.
+
+// DecodeCacheStats reports decode-cache behaviour for one CPU.
+type DecodeCacheStats struct {
+	Hits          uint64 // fast-path dispatches from a pre-existing entry
+	Misses        uint64 // lookups that had to decode or fall to the slow path
+	Decoded       uint64 // instructions decoded into cache entries (ever)
+	Invalidations uint64 // page flushes due to frame content changes
+	Remaps        uint64 // page frame re-resolutions that swapped the frame
+	Pages         uint64 // pages currently tracked
+	Entries       uint64 // decoded entries currently live
+}
+
+// dcEntry is one predecoded instruction.
+type dcEntry struct {
+	in   isa.Instr
+	cost uint64
+	ilen uint8
+}
+
+// dcPage caches the decoded instructions of one executable virtual page.
+type dcPage struct {
+	frame   *mem.Frame // resolved frame; nil when last resolution failed
+	fgen    uint64     // frame.Gen() the entries were decoded against
+	mgen    uint64     // AddressSpace.MapGen() the frame was resolved at
+	entries []dcEntry
+	// idx maps page offset -> decode slot: 0 = not yet decoded,
+	// >0 = entries[idx-1], -1 = deterministic in-page decode failure (#UD).
+	idx [mem.PageSize]int32
+}
+
+// flush discards every cached decode on the page.
+func (p *dcPage) flush() {
+	p.entries = p.entries[:0]
+	p.idx = [mem.PageSize]int32{}
+}
+
+// fill decodes forward from off until the page is exhausted, a previously
+// decoded offset is reached, or an uncacheable page-tail decode stops it.
+func (p *dcPage) fill(off int, stats *DecodeCacheStats) {
+	data := p.frame.Data[:]
+	for off < mem.PageSize && p.idx[off] == 0 {
+		end := off + isa.MaxInstrLen
+		tail := false
+		if end > mem.PageSize {
+			end = mem.PageSize
+			tail = true
+		}
+		in, ilen, err := isa.Decode(data[off:end])
+		if err != nil {
+			if tail && errors.Is(err, isa.ErrTruncated) {
+				// The window was cut short by the page boundary: the slow
+				// path's fetch may cross into the next executable page and
+				// decode successfully, so the outcome depends on bytes this
+				// frame does not own. Leave the offset undecided.
+				return
+			}
+			// Deterministic failure on this frame's bytes alone.
+			p.idx[off] = -1
+			return
+		}
+		p.entries = append(p.entries, dcEntry{in: in, cost: in.Cost(), ilen: uint8(ilen)})
+		p.idx[off] = int32(len(p.entries))
+		stats.Decoded++
+		off += ilen
+	}
+}
+
+// dcTLBSize is the direct-mapped page-translation cache size. Syscall-heavy
+// code ping-pongs between the user stub page, the kernel entry page, and a
+// handful of handler pages every few instructions; a single hot-page slot
+// thrashes on that pattern, while a small direct-mapped array absorbs it.
+const dcTLBSize = 16
+
+// decodeCache is the per-CPU translation cache.
+type decodeCache struct {
+	pages map[uint64]*dcPage // keyed by page base address
+	tlb   [dcTLBSize]struct {
+		base uint64
+		p    *dcPage
+	}
+	stats DecodeCacheStats
+}
+
+func newDecodeCache() *decodeCache {
+	return &decodeCache{pages: make(map[uint64]*dcPage)}
+}
+
+// lookup resolves rip against the cache. It returns the entry to dispatch,
+// or ud=true for a cached deterministic #UD, or ok=false when the slow path
+// must run (page not executable, or uncacheable page-tail decode).
+func (dc *decodeCache) lookup(as *mem.AddressSpace, rip uint64) (e *dcEntry, ud bool, ok bool) {
+	base := rip &^ uint64(mem.PageMask)
+	sl := &dc.tlb[(rip>>mem.PageShift)&(dcTLBSize-1)]
+	p := sl.p
+	if p == nil || sl.base != base {
+		p = dc.pages[base]
+		if p == nil {
+			p = &dcPage{}
+			dc.pages[base] = p
+		}
+		sl.p, sl.base = p, base
+	}
+
+	if mgen := as.MapGen(); p.frame == nil || p.mgen != mgen {
+		f, xok := as.ExecFrame(rip)
+		if !xok {
+			// Unmapped or non-executable: the slow path's Fetch produces
+			// the authoritative fault.
+			p.frame = nil
+			dc.stats.Misses++
+			return nil, false, false
+		}
+		if f != p.frame {
+			if p.frame != nil {
+				dc.stats.Remaps++
+			}
+			p.frame = f
+			p.fgen = f.Gen()
+			p.flush()
+		}
+		p.mgen = mgen
+	}
+	if g := p.frame.Gen(); g != p.fgen {
+		p.flush()
+		p.fgen = g
+		dc.stats.Invalidations++
+	}
+
+	off := int(rip & uint64(mem.PageMask))
+	i := p.idx[off]
+	if i != 0 {
+		dc.stats.Hits++
+	} else {
+		dc.stats.Misses++
+		p.fill(off, &dc.stats)
+		i = p.idx[off]
+	}
+	switch {
+	case i > 0:
+		return &p.entries[i-1], false, true
+	case i < 0:
+		return nil, true, true
+	}
+	return nil, false, false
+}
+
+// SetDecodeCache enables or disables the predecoded translation cache.
+// Disabling drops all cached state; execution semantics are bit-identical
+// either way — only host wall-clock changes.
+func (c *CPU) SetDecodeCache(on bool) {
+	if on {
+		if c.dc == nil {
+			c.dc = newDecodeCache()
+		}
+		return
+	}
+	c.dc = nil
+}
+
+// DecodeCacheEnabled reports whether the translation cache is active.
+func (c *CPU) DecodeCacheEnabled() bool { return c.dc != nil }
+
+// DecodeCacheStats returns a snapshot of the cache counters. Pages and
+// Entries reflect the current live footprint; the rest are cumulative.
+func (c *CPU) DecodeCacheStats() DecodeCacheStats {
+	if c.dc == nil {
+		return DecodeCacheStats{}
+	}
+	s := c.dc.stats
+	s.Pages = uint64(len(c.dc.pages))
+	for _, p := range c.dc.pages {
+		s.Entries += uint64(len(p.entries))
+	}
+	return s
+}

@@ -1,0 +1,483 @@
+package cpu
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/fnv"
+	"math/rand"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Raw-page harness: the decode-cache tests work on hand-encoded bytes in
+// plain mapped pages (no linker, no kR^X layout) so that they control every
+// byte the cache sees.
+const (
+	dcCodeVA  = 0x100000
+	dcDataVA  = 0x200000
+	dcStackVA = 0x300000
+)
+
+// rawCPU maps two code pages (perm as given), a data page, and a stack
+// page, installs the encoded program at dcCodeVA, and returns a kernel-mode
+// CPU ready to Run until the sentinel RET.
+func rawCPU(t *testing.T, codePerm mem.Perm, prog ...isa.Instr) *CPU {
+	t.Helper()
+	as := mem.NewAddressSpace()
+	for _, m := range []struct {
+		va   uint64
+		n    int
+		perm mem.Perm
+	}{
+		{dcCodeVA, 2, codePerm},
+		{dcDataVA, 1, mem.PermRW},
+		{dcStackVA, 1, mem.PermRW},
+	} {
+		if _, err := as.Map(m.va, m.n, m.perm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := as.Poke(dcCodeVA, encodeProg(t, prog...)); err != nil {
+		t.Fatal(err)
+	}
+	c := New(as)
+	resetRaw(t, c)
+	return c
+}
+
+// resetRaw rewinds the CPU to the program entry with a fresh stop sentinel.
+func resetRaw(t *testing.T, c *CPU) {
+	t.Helper()
+	c.Mode = Kernel
+	c.RIP = dcCodeVA
+	c.Regs[isa.RSP] = dcStackVA + mem.PageSize - 16
+	if f := c.AS.Write(c.Regs[isa.RSP], StopMagic, 8); f != nil {
+		t.Fatal(f)
+	}
+}
+
+func encodeProg(t *testing.T, prog ...isa.Instr) []byte {
+	t.Helper()
+	var b []byte
+	var err error
+	for _, in := range prog {
+		if b, err = in.Encode(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b
+}
+
+func mustReturn(t *testing.T, c *CPU, limit uint64) *RunResult {
+	t.Helper()
+	res := c.Run(limit)
+	if res.Reason != StopReturn {
+		t.Fatalf("run: %v trap=%v", res.Reason, res.Trap)
+	}
+	return res
+}
+
+func TestDecodeCacheHitsAndStats(t *testing.T) {
+	c := rawCPU(t, mem.PermX,
+		isa.MovRI(isa.RAX, 5),
+		isa.AddRI(isa.RAX, 7),
+		isa.Ret(),
+	)
+	mustReturn(t, c, 100)
+	s := c.DecodeCacheStats()
+	if s.Decoded == 0 || s.Pages == 0 || s.Entries == 0 {
+		t.Fatalf("cold run must populate the cache: %+v", s)
+	}
+	if s.Invalidations != 0 {
+		t.Fatalf("nothing wrote code, yet %d invalidations", s.Invalidations)
+	}
+
+	// A second run of the same code is pure hits: no new decodes.
+	resetRaw(t, c)
+	mustReturn(t, c, 100)
+	s2 := c.DecodeCacheStats()
+	if s2.Decoded != s.Decoded {
+		t.Errorf("warm run decoded %d new instructions", s2.Decoded-s.Decoded)
+	}
+	if s2.Hits != s.Hits+3 {
+		t.Errorf("warm run: hits %d -> %d, want +3", s.Hits, s2.Hits)
+	}
+	if c.Reg(isa.RAX) != 12 {
+		t.Errorf("rax = %d, want 12", c.Reg(isa.RAX))
+	}
+}
+
+// TestDecodeCachePokeInvalidation: rewriting code through Poke (the module
+// loader / boot path) must be observed on the very next Step.
+func TestDecodeCachePokeInvalidation(t *testing.T) {
+	c := rawCPU(t, mem.PermX,
+		isa.MovRI(isa.RAX, 1),
+		isa.Ret(),
+	)
+	mustReturn(t, c, 100)
+	if c.Reg(isa.RAX) != 1 {
+		t.Fatalf("rax = %d, want 1", c.Reg(isa.RAX))
+	}
+
+	if err := c.AS.Poke(dcCodeVA, encodeProg(t, isa.MovRI(isa.RAX, 2))); err != nil {
+		t.Fatal(err)
+	}
+	resetRaw(t, c)
+	mustReturn(t, c, 100)
+	if c.Reg(isa.RAX) != 2 {
+		t.Fatalf("stale decode executed: rax = %d, want 2", c.Reg(isa.RAX))
+	}
+	if s := c.DecodeCacheStats(); s.Invalidations == 0 {
+		t.Error("poke must flush the page's decodes")
+	}
+}
+
+// TestDecodeCacheAliasInvalidation: a store through a second mapping of the
+// same frame (the physmap synonym attack surface, patch.TextPoke's
+// mechanism) must invalidate decodes cached under the executable mapping.
+func TestDecodeCacheAliasInvalidation(t *testing.T) {
+	c := rawCPU(t, mem.PermX,
+		isa.MovRI(isa.RAX, 1),
+		isa.Ret(),
+	)
+	frames, err := c.AS.FramesAt(dcCodeVA, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const alias = uint64(0x800000)
+	if err := c.AS.MapFrames(alias, frames, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	mustReturn(t, c, 100)
+
+	// MOVri encodes [op][reg][imm64]; flip the immediate's low byte
+	// through the writable alias.
+	if f := c.AS.StoreByte(alias+2, 9); f != nil {
+		t.Fatal(f)
+	}
+	resetRaw(t, c)
+	mustReturn(t, c, 100)
+	if c.Reg(isa.RAX) != 9 {
+		t.Fatalf("alias write not observed: rax = %d, want 9", c.Reg(isa.RAX))
+	}
+}
+
+// TestDecodeCacheCachedUD: a deterministic in-page decode failure is cached
+// as a #UD slot and replayed without Instrs/Cycles side effects —
+// bit-identical to the slow path's trap.
+func TestDecodeCacheCachedUD(t *testing.T) {
+	mkCPU := func(cacheOn bool) *CPU {
+		as := mem.NewAddressSpace()
+		if _, err := as.Map(dcCodeVA, 1, mem.PermX); err != nil {
+			t.Fatal(err)
+		}
+		bad := byte(0x01)
+		if isa.Opcode(bad).Valid() {
+			t.Fatalf("test assumes 0x%02x is undefined", bad)
+		}
+		if err := as.Poke(dcCodeVA, []byte{bad}); err != nil {
+			t.Fatal(err)
+		}
+		c := New(as)
+		c.SetDecodeCache(cacheOn)
+		c.Mode = Kernel
+		c.RIP = dcCodeVA
+		return c
+	}
+
+	ref := mkCPU(false)
+	_, want := ref.Step()
+
+	c := mkCPU(true)
+	for i := 0; i < 2; i++ { // cold (fill -> -1 slot) then cached replay
+		stop, trap := c.Step()
+		if stop != StepContinue || trap == nil {
+			t.Fatalf("step %d: stop=%v trap=%v", i, stop, trap)
+		}
+		if *trap != *want {
+			t.Fatalf("step %d: trap %+v, slow path %+v", i, *trap, *want)
+		}
+		if c.Instrs != 0 || c.Cycles != 0 {
+			t.Fatalf("step %d: #UD must not count: instrs=%d cycles=%d", i, c.Instrs, c.Cycles)
+		}
+	}
+	if s := c.DecodeCacheStats(); s.Hits == 0 {
+		t.Error("second #UD must replay from the cached slot")
+	}
+}
+
+// TestDecodeCachePageTail: an instruction straddling the page boundary is
+// never cached — its bytes extend past the frame — so a write to the second
+// page alone must still be observed.
+func TestDecodeCachePageTail(t *testing.T) {
+	run := func(cacheOn bool) (*CPU, *RunResult) {
+		as := mem.NewAddressSpace()
+		if _, err := as.Map(dcCodeVA, 2, mem.PermX); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := as.Map(dcStackVA, 1, mem.PermRW); err != nil {
+			t.Fatal(err)
+		}
+		// Pad with NOPs so a MOVri [op][reg][imm64] starts 3 bytes before
+		// the boundary: 3 bytes on page 0, 7 bytes on page 1.
+		code := bytes.Repeat([]byte{byte(isa.NOP)}, mem.PageSize-3)
+		code, err := isa.MovRI(isa.RBX, 0x1122334455667788).Encode(code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		code, err = isa.Ret().Encode(code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := as.Poke(dcCodeVA, code); err != nil {
+			t.Fatal(err)
+		}
+		c := New(as)
+		c.SetDecodeCache(cacheOn)
+		resetRaw(t, c)
+		res := c.Run(2 * mem.PageSize)
+		if res.Reason != StopReturn {
+			t.Fatalf("run: %v trap=%v", res.Reason, res.Trap)
+		}
+		return c, res
+	}
+
+	on, resOn := run(true)
+	_, resOff := run(false)
+	if on.Reg(isa.RBX) != 0x1122334455667788 {
+		t.Fatalf("straddling mov: rbx = %#x", on.Reg(isa.RBX))
+	}
+	if resOn.Instrs != resOff.Instrs || resOn.Cycles != resOff.Cycles {
+		t.Fatalf("cache on/off diverge: %+v vs %+v", resOn, resOff)
+	}
+
+	// Rewrite ONLY the second page's bytes (the straddling instruction's
+	// immediate tail). If the straddler had been cached under page 0 —
+	// whose frame never changed — this write would go unseen.
+	if err := on.AS.Poke(dcCodeVA+mem.PageSize, make([]byte, 7)); err != nil {
+		t.Fatal(err)
+	}
+	resetRaw(t, on)
+	if res := on.Run(2 * mem.PageSize); res.Reason != StopReturn {
+		t.Fatalf("rerun: %v trap=%v", res.Reason, res.Trap)
+	}
+	if got := on.Reg(isa.RBX); got != 0x88 {
+		t.Fatalf("page-tail instruction served stale: rbx = %#x, want 0x88", got)
+	}
+}
+
+// TestDecodeCacheProtectUnmap: structural changes (permissions, unmapping)
+// are observed through the map generation — the cached page must not keep
+// executing after losing PermX or its mapping.
+func TestDecodeCacheProtectUnmap(t *testing.T) {
+	c := rawCPU(t, mem.PermX,
+		isa.MovRI(isa.RAX, 1),
+		isa.Ret(),
+	)
+	mustReturn(t, c, 100)
+
+	if err := c.AS.Protect(dcCodeVA, 1, mem.PermR); err != nil {
+		t.Fatal(err)
+	}
+	resetRaw(t, c)
+	_, trap := c.Step()
+	if trap == nil || trap.Kind != TrapPageFault || trap.Fault.Kind != mem.FaultNoExec {
+		t.Fatalf("exec after Protect(R): %+v", trap)
+	}
+
+	if err := c.AS.Protect(dcCodeVA, 1, mem.PermX); err != nil {
+		t.Fatal(err)
+	}
+	resetRaw(t, c)
+	mustReturn(t, c, 100)
+
+	if err := c.AS.Unmap(dcCodeVA, 1); err != nil {
+		t.Fatal(err)
+	}
+	resetRaw(t, c)
+	_, trap = c.Step()
+	if trap == nil || trap.Kind != TrapPageFault || trap.Fault.Kind != mem.FaultNotMapped {
+		t.Fatalf("exec after Unmap: %+v", trap)
+	}
+}
+
+// TestDecodeCacheRollback: Checkpoint/Rollback restores both the bytes and
+// the decodes — execution after rollback must match the pre-poke program.
+func TestDecodeCacheRollback(t *testing.T) {
+	c := rawCPU(t, mem.PermX,
+		isa.MovRI(isa.RAX, 1),
+		isa.Ret(),
+	)
+	c.AS.Checkpoint()
+	mustReturn(t, c, 100)
+
+	if err := c.AS.Poke(dcCodeVA, encodeProg(t, isa.MovRI(isa.RAX, 2))); err != nil {
+		t.Fatal(err)
+	}
+	resetRaw(t, c)
+	mustReturn(t, c, 100)
+	if c.Reg(isa.RAX) != 2 {
+		t.Fatalf("post-poke rax = %d, want 2", c.Reg(isa.RAX))
+	}
+
+	if err := c.AS.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	resetRaw(t, c)
+	mustReturn(t, c, 100)
+	if c.Reg(isa.RAX) != 1 {
+		t.Fatalf("post-rollback rax = %d, want 1 (stale decode survived rollback)", c.Reg(isa.RAX))
+	}
+}
+
+func TestSetDecodeCache(t *testing.T) {
+	c := rawCPU(t, mem.PermX, isa.Nop(), isa.Ret())
+	mustReturn(t, c, 100)
+	if !c.DecodeCacheEnabled() {
+		t.Fatal("cache must default on")
+	}
+	c.SetDecodeCache(false)
+	if c.DecodeCacheEnabled() {
+		t.Fatal("disable failed")
+	}
+	if s := c.DecodeCacheStats(); s != (DecodeCacheStats{}) {
+		t.Fatalf("disabled cache must report zero stats: %+v", s)
+	}
+	resetRaw(t, c)
+	mustReturn(t, c, 100) // slow path still executes correctly
+	c.SetDecodeCache(true)
+	resetRaw(t, c)
+	mustReturn(t, c, 100)
+	if s := c.DecodeCacheStats(); s.Decoded == 0 {
+		t.Fatal("re-enabled cache must start decoding again")
+	}
+}
+
+// dcDigest installs an OnExec hook folding the callback stream — rip,
+// opcode, and cycle delta of every executed instruction, in order — into a
+// hash readable through the returned pointer.
+func dcDigest(c *CPU) *uint64 {
+	h := fnv.New64a()
+	out := new(uint64)
+	var buf [17]byte
+	c.OnExec = func(rip uint64, in *isa.Instr, cycles uint64) {
+		binary.LittleEndian.PutUint64(buf[0:], rip)
+		buf[8] = byte(in.Op)
+		binary.LittleEndian.PutUint64(buf[9:], cycles)
+		h.Write(buf[:])
+		*out = h.Sum64()
+	}
+	return out
+}
+
+// FuzzDecodeCacheEquivalence is the bit-identical-semantics oracle: random
+// bytes execute as code on a writable+executable page (so programs can and
+// do overwrite themselves), and every architecturally visible outcome —
+// stop reason, trap, Instrs, Cycles, registers, flags, memory, and the
+// OnExec stream — must match between cache-on and cache-off.
+func FuzzDecodeCacheEquivalence(f *testing.F) {
+	f.Add([]byte{byte(isa.NOP), byte(isa.RET)}, uint64(1))
+	f.Add(encodeProgF(isa.MovRI(isa.RAX, 5), isa.AddRI(isa.RAX, 7), isa.Ret()), uint64(2))
+	// A self-modifying seed: store %rbx over our own first instruction.
+	f.Add(encodeProgF(
+		isa.MovRI(isa.RBX, int64(isa.RET)),
+		isa.MovRI(isa.RCX, dcCodeVA),
+		isa.StoreSz(isa.Mem(isa.RCX, 0), isa.RBX, 1),
+		isa.Nop(),
+	), uint64(3))
+
+	f.Fuzz(func(t *testing.T, code []byte, seed uint64) {
+		if len(code) > 2*mem.PageSize {
+			code = code[:2*mem.PageSize]
+		}
+		type outcome struct {
+			res       RunResult
+			trap      Trap
+			faultKind mem.FaultKind
+			faultAddr uint64
+			regs      [isa.NumGPR]uint64
+			rip       uint64
+			flags     uint64
+			digest    uint64
+			memory    []byte
+		}
+		run := func(cacheOn bool) outcome {
+			as := mem.NewAddressSpace()
+			for _, m := range []struct {
+				va   uint64
+				n    int
+				perm mem.Perm
+			}{
+				{dcCodeVA, 2, mem.PermRWX}, // writable code: self-modification in play
+				{dcDataVA, 1, mem.PermRW},
+				{dcStackVA, 1, mem.PermRW},
+			} {
+				if _, err := as.Map(m.va, m.n, m.perm); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := as.Poke(dcCodeVA, code); err != nil {
+				t.Fatal(err)
+			}
+			c := New(as)
+			c.SetDecodeCache(cacheOn)
+			c.Mode = Kernel
+			c.RIP = dcCodeVA
+			// Deterministically seed registers with addresses into the
+			// mapped regions so loads/stores/branches sometimes land.
+			rng := rand.New(rand.NewSource(int64(seed)))
+			bases := []uint64{dcCodeVA, dcDataVA, dcStackVA}
+			for i := range c.Regs {
+				c.Regs[i] = bases[rng.Intn(len(bases))] + uint64(rng.Intn(mem.PageSize))
+			}
+			c.Regs[isa.RSP] = dcStackVA + mem.PageSize - 64
+			if f := as.Write(c.Regs[isa.RSP], StopMagic, 8); f != nil {
+				t.Fatal(f)
+			}
+			digest := dcDigest(c)
+			res := c.Run(512)
+			o := outcome{res: *res, regs: c.Regs, rip: c.RIP, flags: c.RFlags, digest: *digest}
+			if res.Trap != nil {
+				o.trap = *res.Trap
+				o.trap.Fault = nil // pointer field: compared via the two fields below
+				o.res.Trap = nil
+				if f := res.Trap.Fault; f != nil {
+					o.faultKind, o.faultAddr = f.Kind, f.Addr
+				}
+			}
+			for _, r := range []struct {
+				va uint64
+				n  int
+			}{{dcCodeVA, 2 * mem.PageSize}, {dcDataVA, mem.PageSize}, {dcStackVA, mem.PageSize}} {
+				b, err := as.Peek(r.va, r.n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				o.memory = append(o.memory, b...)
+			}
+			return o
+		}
+
+		on, off := run(true), run(false)
+		if on.res != off.res || on.trap != off.trap ||
+			on.faultKind != off.faultKind || on.faultAddr != off.faultAddr ||
+			on.regs != off.regs ||
+			on.rip != off.rip || on.flags != off.flags || on.digest != off.digest {
+			t.Fatalf("cache on/off diverge:\n on: %+v trap=%+v rip=%#x digest=%#x\noff: %+v trap=%+v rip=%#x digest=%#x",
+				on.res, on.trap, on.rip, on.digest, off.res, off.trap, off.rip, off.digest)
+		}
+		if !bytes.Equal(on.memory, off.memory) {
+			t.Fatal("cache on/off diverge in final memory")
+		}
+	})
+}
+
+func encodeProgF(prog ...isa.Instr) []byte {
+	var b []byte
+	for _, in := range prog {
+		b, _ = in.Encode(b)
+	}
+	return b
+}

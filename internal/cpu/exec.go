@@ -53,10 +53,10 @@ func (c *CPU) flagsLogic(r uint64) {
 }
 
 // srcVal resolves the second operand of reg/imm ALU forms.
-func immSx(in isa.Instr) uint64 { return uint64(in.Imm) }
+func immSx(in *isa.Instr) uint64 { return uint64(in.Imm) }
 
 // exec executes one decoded instruction whose successor address is next.
-func (c *CPU) exec(in isa.Instr, next uint64) (StopReason, *Trap) {
+func (c *CPU) exec(in *isa.Instr, next uint64) (StopReason, *Trap) {
 	ea := func() uint64 { return c.effAddr(in.M, next) }
 	trapUD := func() (StopReason, *Trap) {
 		return StepContinue, &Trap{Kind: TrapUndefined, Addr: c.RIP, RIP: c.RIP, Mode: c.Mode}
@@ -453,7 +453,7 @@ func (c *CPU) exec(in isa.Instr, next uint64) (StopReason, *Trap) {
 }
 
 // execString executes a (possibly REP-prefixed) string instruction.
-func (c *CPU) execString(in isa.Instr) *Trap {
+func (c *CPU) execString(in *isa.Instr) *Trap {
 	w := uint64(in.SF.Width())
 	step := int64(w)
 	if c.RFlags&isa.FlagDF != 0 {

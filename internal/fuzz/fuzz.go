@@ -31,6 +31,7 @@ package fuzz
 
 import (
 	"fmt"
+	mathbits "math/bits"
 	"math/rand"
 	"sort"
 	"sync"
@@ -142,7 +143,18 @@ type worker struct {
 	k        *kernel.Kernel
 	snap     *kernel.Snapshot
 	funcs    []funcSpan // image functions sorted by address, for bucketing
-	curCover map[uint64]struct{}
+	curCover map[uint64]struct{} // rips outside the text bitmap (user stubs, modules)
+
+	// Kernel-text coverage is tracked in a bitmap instead of a map: the
+	// OnExec hook runs once per executed instruction, making it the single
+	// hottest callback in a campaign, and a test-and-set on a word beats a
+	// map assign by an order of magnitude. covWords remembers which words
+	// were touched so reset and collection stay proportional to the
+	// coverage actually observed, not to the text size.
+	covBase  uint64
+	covSpan  uint64
+	covBits  []uint64
+	covWords []uint32
 }
 
 // New boots the campaign's kernels (one per worker, all sharing one cached
@@ -193,8 +205,22 @@ func newWorker(opts Options) (*worker, error) {
 	}
 	sort.Slice(w.funcs, func(i, j int) bool { return w.funcs[i].start < w.funcs[j].start })
 
+	w.covBase = k.Sym("_text")
+	w.covSpan = uint64(len(k.Img.Text))
+	w.covBits = make([]uint64, (w.covSpan+63)/64)
+
 	// Coverage hook, installed once; Snapshot/Restore leaves OnExec alone.
-	k.CPU.OnExec = func(rip uint64, in isa.Instr, cycles uint64) {
+	k.CPU.OnExec = func(rip uint64, in *isa.Instr, cycles uint64) {
+		if off := rip - w.covBase; off < w.covSpan {
+			word, bit := off>>6, uint64(1)<<(off&63)
+			if w.covBits[word]&bit == 0 {
+				if w.covBits[word] == 0 {
+					w.covWords = append(w.covWords, uint32(word))
+				}
+				w.covBits[word] |= bit
+			}
+			return
+		}
 		w.curCover[rip] = struct{}{}
 	}
 	w.snap = k.Snapshot()
@@ -254,6 +280,10 @@ func (w *worker) exec(prog *Prog, injSeed int64) (execResult, error) {
 	for rip := range w.curCover {
 		delete(w.curCover, rip)
 	}
+	for _, word := range w.covWords {
+		w.covBits[word] = 0
+	}
+	w.covWords = w.covWords[:0]
 
 	var inj *inject.Injector
 	if w.opts.Plan != nil {
@@ -289,9 +319,17 @@ func (w *worker) exec(prog *Prog, injSeed int64) (execResult, error) {
 		}
 	}
 
-	res.cover = make([]uint64, 0, len(w.curCover))
+	res.cover = make([]uint64, 0, len(w.curCover)+8*len(w.covWords))
 	for rip := range w.curCover {
 		res.cover = append(res.cover, rip)
+	}
+	for _, word := range w.covWords {
+		bits := w.covBits[word]
+		base := w.covBase + uint64(word)<<6
+		for bits != 0 {
+			res.cover = append(res.cover, base+uint64(mathbits.TrailingZeros64(bits)))
+			bits &= bits - 1
+		}
 	}
 	return res, nil
 }
@@ -300,6 +338,30 @@ func (w *worker) exec(prog *Prog, injSeed int64) (execResult, error) {
 // tests use to re-execute reproducers under an iteration's injector seed.
 func (f *Fuzzer) exec(prog *Prog, injSeed int64) (execResult, error) {
 	return f.workers[0].exec(prog, injSeed)
+}
+
+// Kernel returns the first worker's booted kernel — the instance the
+// benchmark harness inspects (e.g. for decode-cache configuration).
+func (f *Fuzzer) Kernel() *kernel.Kernel { return f.workers[0].k }
+
+// ExecIteration re-executes iteration i exactly as the campaign's first
+// worker would — restore the boot snapshot, derive the iteration's program
+// from the current corpus, run it under the iteration's injector seed — and
+// returns the emulated cycles consumed. What runs depends only on (Seed, i)
+// and the corpus state, so benchmark loops over it are deterministic.
+func (f *Fuzzer) ExecIteration(i int) (uint64, error) {
+	w := f.workers[0]
+	prog := f.pickProgAt(i, f.corpus[:len(f.corpus):len(f.corpus)])
+	// Restore first to anchor the cycle baseline; exec's own restore of the
+	// same snapshot is idempotent.
+	if err := w.k.Restore(w.snap); err != nil {
+		return 0, err
+	}
+	base := w.k.CPU.Cycles
+	if _, err := w.exec(prog, f.injSeed(i)); err != nil {
+		return 0, err
+	}
+	return w.k.CPU.Cycles - base, nil
 }
 
 // bucketOf maps a failed syscall to its dedup bucket: the failure class plus

@@ -105,7 +105,7 @@ type Injector struct {
 	Events []Event
 
 	since uint64 // instructions since the last opportunity
-	prev  func(rip uint64, in isa.Instr, cycles uint64)
+	prev  func(rip uint64, in *isa.Instr, cycles uint64)
 }
 
 // New creates an injector for the plan. Zero-valued stride and cap take
@@ -125,7 +125,7 @@ func New(plan Plan) *Injector {
 func (inj *Injector) Attach(c *cpu.CPU, as *mem.AddressSpace, t Targets) {
 	inj.c, inj.as, inj.targets = c, as, t
 	inj.prev = c.OnExec
-	c.OnExec = func(rip uint64, in isa.Instr, cycles uint64) {
+	c.OnExec = func(rip uint64, in *isa.Instr, cycles uint64) {
 		if inj.prev != nil {
 			inj.prev(rip, in, cycles)
 		}

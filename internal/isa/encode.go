@@ -9,6 +9,12 @@ import (
 // layout can be computed before symbol resolution (two-pass assembly).
 const memRefBytes = 8
 
+// MaxInstrLen is an upper bound on every encoded instruction length (the
+// widest format, fmtMemImm32, is 13 bytes). Fetch windows and the decode
+// cache size against it: a decode attempt over MaxInstrLen bytes can never
+// fail with ErrTruncated.
+const MaxInstrLen = 16
+
 // formatLength returns the encoded length in bytes of an instruction with
 // the given format.
 func formatLength(f opFormat) int {

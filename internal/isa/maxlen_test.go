@@ -1,0 +1,34 @@
+package isa
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestMaxInstrLenBound pins the contract the decode cache builds on: no
+// defined opcode encodes to more than MaxInstrLen bytes, so a decode
+// attempt over a full MaxInstrLen window can never fail with ErrTruncated.
+func TestMaxInstrLenBound(t *testing.T) {
+	for op := 0; op < 256; op++ {
+		o := Opcode(op)
+		if !o.Valid() {
+			continue
+		}
+		if n := formatLength(o.Format()); n > MaxInstrLen {
+			t.Errorf("%v: encoded length %d exceeds MaxInstrLen %d", o, n, MaxInstrLen)
+		}
+	}
+}
+
+// TestFullWindowNeverTruncated feeds every possible leading byte through
+// Decode with exactly MaxInstrLen bytes available: whatever the outcome
+// (success or bad encoding), it must never be ErrTruncated.
+func TestFullWindowNeverTruncated(t *testing.T) {
+	buf := make([]byte, MaxInstrLen)
+	for b := 0; b < 256; b++ {
+		buf[0] = byte(b)
+		if _, _, err := Decode(buf); errors.Is(err, ErrTruncated) {
+			t.Errorf("opcode byte %#02x: ErrTruncated over a full %d-byte window", b, MaxInstrLen)
+		}
+	}
+}

@@ -58,7 +58,21 @@ func (p Perm) String() string {
 // modelled: writes through one mapping are visible through all others.
 type Frame struct {
 	Data [PageSize]byte
+
+	// gen counts content mutations. Every store path through the address
+	// space (StoreByte/StoreBytes, Write, Poke, Rollback's pre-image
+	// restore) and Zap bump it, so consumers that cache derived views of
+	// the frame's bytes — the CPU's predecoded translation cache — can
+	// validate with one integer compare per use. The counter lives on the
+	// frame, not the page-table entry, because frames are the physical
+	// truth: a write through a synonym mapping (text_poke's scratch alias)
+	// must invalidate the view cached under every other virtual address.
+	gen uint64
 }
+
+// Gen returns the frame's content generation. It changes (strictly
+// increases) whenever the frame's bytes may have changed.
+func (f *Frame) Gen() uint64 { return f.gen }
 
 // Zap clears the frame's contents (used when modules are unloaded, to
 // prevent code-layout inference attacks per §5.1.1).
@@ -66,6 +80,7 @@ func (f *Frame) Zap() {
 	for i := range f.Data {
 		f.Data[i] = 0
 	}
+	f.gen++
 }
 
 // FaultKind classifies a memory access fault.
@@ -144,6 +159,15 @@ type AddressSpace struct {
 	// point at different physical pages.
 	shadow map[uint64]*Frame
 
+	// mapGen counts page-table structure mutations: Map/MapFrames, Unmap,
+	// Protect, ShadowData/Unshadow, and Rollback all bump it. Consumers
+	// that cache address translations (the CPU's decode cache) re-resolve
+	// a page only when this changes; frame *content* changes are tracked
+	// separately, per frame (Frame.Gen). Pure reads — Peek included, which
+	// deliberately bypasses permissions but mutates nothing — never bump
+	// either counter.
+	mapGen uint64
+
 	// Checkpoint state: the page-table structure captured by Checkpoint
 	// plus a copy-on-write undo log of frame pre-images, so Rollback can
 	// return the space to exactly the checkpointed state (the substrate of
@@ -152,6 +176,21 @@ type AddressSpace struct {
 	snapPages  map[uint64]pageSnap
 	snapShadow map[uint64]*Frame
 	undo       map[*Frame]*[PageSize]byte
+	// snapMapGen is mapGen as of the last Checkpoint/Rollback sync point;
+	// when it still matches at Rollback time, no structural mutation
+	// happened and the page-table rebuild is skipped entirely.
+	snapMapGen uint64
+	// undoPool recycles pre-image buffers across Rollback cycles so the
+	// per-iteration restore loop (the fuzzer's hottest mem path) does not
+	// re-allocate a 4KB copy per dirtied frame every iteration.
+	undoPool []*[PageSize]byte
+
+	// Cached Ranges() result, valid while rangesGen matches mapGen (the
+	// audit walks the ranges several times per invocation; the layout only
+	// changes when mapGen does).
+	ranges    []MappedRange
+	rangesGen uint64
+	rangesOK  bool
 }
 
 // NewAddressSpace returns an empty address space with x86 semantics.
@@ -160,6 +199,23 @@ func NewAddressSpace() *AddressSpace {
 }
 
 func vpn(va uint64) uint64 { return va >> PageShift }
+
+// MapGen returns the page-table structure generation. It changes whenever
+// a translation cached outside the address space could have gone stale for
+// structural reasons: pages mapped, unmapped, re-protected, shadowed, or
+// rolled back.
+func (as *AddressSpace) MapGen() uint64 { return as.mapGen }
+
+// ExecFrame resolves the frame backing va for instruction fetch: the page
+// must be mapped with the execute permission. Fetches always see the real
+// frame — HideM data shadows desynchronize only the data view.
+func (as *AddressSpace) ExecFrame(va uint64) (*Frame, bool) {
+	pg, ok := as.pages[vpn(va)]
+	if !ok || pg.perm&PermX == 0 {
+		return nil, false
+	}
+	return pg.frame, true
+}
 
 // PageAligned reports whether va is page-aligned.
 func PageAligned(va uint64) bool { return va&PageMask == 0 }
@@ -198,6 +254,7 @@ func (as *AddressSpace) MapFrames(va uint64, frames []*Frame, perm Perm) error {
 	for i, f := range frames {
 		as.pages[base+uint64(i)] = &page{frame: f, perm: perm}
 	}
+	as.mapGen++
 	return nil
 }
 
@@ -215,6 +272,7 @@ func (as *AddressSpace) Unmap(va uint64, n int) error {
 	for i := 0; i < n; i++ {
 		delete(as.pages, base+uint64(i))
 	}
+	as.mapGen++
 	return nil
 }
 
@@ -231,6 +289,7 @@ func (as *AddressSpace) Protect(va uint64, n int, perm Perm) error {
 		}
 		pg.perm = perm
 	}
+	as.mapGen++
 	return nil
 }
 
@@ -319,6 +378,7 @@ func (as *AddressSpace) ShadowData(va uint64, n int, frames []*Frame) error {
 		}
 		as.shadow[base+uint64(i)] = f
 	}
+	as.mapGen++
 	return nil
 }
 
@@ -328,6 +388,7 @@ func (as *AddressSpace) Unshadow(va uint64, n int) {
 	for i := 0; i < n; i++ {
 		delete(as.shadow, base+uint64(i))
 	}
+	as.mapGen++
 }
 
 // StoreByte performs a data store of one byte.
@@ -341,6 +402,7 @@ func (as *AddressSpace) StoreByte(va uint64, v byte) *Fault {
 	}
 	as.preimage(pg.frame)
 	pg.frame.Data[va&PageMask] = v
+	pg.frame.gen++
 	return nil
 }
 
@@ -354,8 +416,15 @@ func (as *AddressSpace) preimage(f *Frame) {
 	if _, ok := as.undo[f]; ok {
 		return
 	}
-	cp := f.Data
-	as.undo[f] = &cp
+	var cp *[PageSize]byte
+	if n := len(as.undoPool); n > 0 {
+		cp = as.undoPool[n-1]
+		as.undoPool = as.undoPool[:n-1]
+	} else {
+		cp = new([PageSize]byte)
+	}
+	*cp = f.Data
+	as.undo[f] = cp
 }
 
 // Checkpoint captures the current page-table structure (mappings, permissions,
@@ -375,6 +444,7 @@ func (as *AddressSpace) Checkpoint() {
 		}
 	}
 	as.undo = make(map[*Frame]*[PageSize]byte)
+	as.snapMapGen = as.mapGen
 }
 
 // Rollback restores the space to the state captured by the last Checkpoint:
@@ -386,28 +456,65 @@ func (as *AddressSpace) Rollback() error {
 	if as.snapPages == nil {
 		return fmt.Errorf("mem: rollback without a checkpoint")
 	}
+	// Content: restore only the frames dirtied since the last restore, and
+	// recycle their pre-image buffers. The undo log empties here, so the
+	// next cycle's work is proportional to what it actually wrote — not to
+	// everything ever written since the checkpoint.
 	for f, img := range as.undo {
 		f.Data = *img
+		f.gen++
+		as.undoPool = append(as.undoPool, img)
+		delete(as.undo, f)
 	}
-	pages := make(map[uint64]*page, len(as.snapPages))
-	for v, s := range as.snapPages {
-		pages[v] = &page{frame: s.frame, perm: s.perm}
-	}
-	as.pages = pages
-	if as.snapShadow == nil {
-		as.shadow = nil
-	} else {
-		sh := make(map[uint64]*Frame, len(as.snapShadow))
-		for v, f := range as.snapShadow {
-			sh[v] = f
+	// Structure: the page table is rebuilt only if a structural mutation
+	// (Map/Unmap/Protect/Shadow) actually happened since the checkpoint —
+	// mapGen tracks exactly that; plain stores leave it alone.
+	if as.mapGen != as.snapMapGen {
+		pages := make(map[uint64]*page, len(as.snapPages))
+		for v, s := range as.snapPages {
+			pages[v] = &page{frame: s.frame, perm: s.perm}
 		}
-		as.shadow = sh
+		as.pages = pages
+		if as.snapShadow == nil {
+			as.shadow = nil
+		} else {
+			sh := make(map[uint64]*Frame, len(as.snapShadow))
+			for v, f := range as.snapShadow {
+				sh[v] = f
+			}
+			as.shadow = sh
+		}
+		as.mapGen++
+		as.snapMapGen = as.mapGen
 	}
 	return nil
 }
 
 // Read performs a little-endian data load of size bytes (1, 2, 4, or 8).
+// Accesses contained in one page resolve that page once; only accesses
+// straddling a page boundary fall back to the byte loop.
 func (as *AddressSpace) Read(va uint64, size uint8) (uint64, *Fault) {
+	if va&PageMask+uint64(size) <= PageSize {
+		pg, ok := as.pages[vpn(va)]
+		if !ok {
+			return 0, &Fault{Addr: va, Kind: FaultNotMapped}
+		}
+		if !as.readable(pg.perm) {
+			return 0, &Fault{Addr: va, Kind: FaultNoRead}
+		}
+		data := &pg.frame.Data
+		if as.shadow != nil {
+			if sh, ok := as.shadow[vpn(va)]; ok {
+				data = &sh.Data
+			}
+		}
+		off := va & PageMask
+		var v uint64
+		for i := uint8(0); i < size; i++ {
+			v |= uint64(data[off+uint64(i)]) << (8 * i)
+		}
+		return v, nil
+	}
 	var v uint64
 	for i := uint8(0); i < size; i++ {
 		b, f := as.LoadByte(va + uint64(i))
@@ -421,6 +528,22 @@ func (as *AddressSpace) Read(va uint64, size uint8) (uint64, *Fault) {
 
 // Write performs a little-endian data store of size bytes.
 func (as *AddressSpace) Write(va uint64, v uint64, size uint8) *Fault {
+	if va&PageMask+uint64(size) <= PageSize {
+		pg, ok := as.pages[vpn(va)]
+		if !ok {
+			return &Fault{Addr: va, Kind: FaultNotMapped, Write: true}
+		}
+		if pg.perm&PermW == 0 {
+			return &Fault{Addr: va, Kind: FaultNoWrite, Write: true}
+		}
+		as.preimage(pg.frame)
+		off := va & PageMask
+		for i := uint8(0); i < size; i++ {
+			pg.frame.Data[off+uint64(i)] = byte(v >> (8 * i))
+		}
+		pg.frame.gen++
+		return nil
+	}
 	for i := uint8(0); i < size; i++ {
 		if f := as.StoreByte(va+uint64(i), byte(v>>(8*i))); f != nil {
 			return f
@@ -436,7 +559,8 @@ func (as *AddressSpace) Write(va uint64, v uint64, size uint8) *Fault {
 func (as *AddressSpace) Fetch(va uint64, buf []byte) (int, *Fault) {
 	n := 0
 	for n < len(buf) {
-		pg, ok := as.pages[vpn(va+uint64(n))]
+		a := va + uint64(n)
+		pg, ok := as.pages[vpn(a)]
 		if !ok {
 			if n == 0 {
 				return 0, &Fault{Addr: va, Kind: FaultNotMapped, Fetch: true}
@@ -449,8 +573,7 @@ func (as *AddressSpace) Fetch(va uint64, buf []byte) (int, *Fault) {
 			}
 			return n, nil
 		}
-		buf[n] = pg.frame.Data[(va+uint64(n))&PageMask]
-		n++
+		n += copy(buf[n:], pg.frame.Data[a&PageMask:])
 	}
 	return n, nil
 }
@@ -460,22 +583,43 @@ func (as *AddressSpace) Fetch(va uint64, buf []byte) (int, *Fault) {
 // "arbitrary read" plumbing).
 func (as *AddressSpace) LoadBytes(va uint64, n int) ([]byte, *Fault) {
 	out := make([]byte, n)
-	for i := 0; i < n; i++ {
-		b, f := as.LoadByte(va + uint64(i))
-		if f != nil {
-			return nil, f
+	for i := 0; i < n; {
+		a := va + uint64(i)
+		pg, ok := as.pages[vpn(a)]
+		if !ok {
+			return nil, &Fault{Addr: a, Kind: FaultNotMapped}
 		}
-		out[i] = b
+		if !as.readable(pg.perm) {
+			return nil, &Fault{Addr: a, Kind: FaultNoRead}
+		}
+		src := &pg.frame.Data
+		if as.shadow != nil {
+			if sh, ok := as.shadow[vpn(a)]; ok {
+				src = &sh.Data
+			}
+		}
+		i += copy(out[i:], src[a&PageMask:])
 	}
 	return out, nil
 }
 
-// StoreBytes stores b at va, honouring write permissions.
+// StoreBytes stores b at va, honouring write permissions. On a fault,
+// bytes on preceding pages have already been stored (the same partial
+// progress a byte-at-a-time store would make) and the fault names the
+// first unwritable byte.
 func (as *AddressSpace) StoreBytes(va uint64, b []byte) *Fault {
-	for i, v := range b {
-		if f := as.StoreByte(va+uint64(i), v); f != nil {
-			return f
+	for i := 0; i < len(b); {
+		a := va + uint64(i)
+		pg, ok := as.pages[vpn(a)]
+		if !ok {
+			return &Fault{Addr: a, Kind: FaultNotMapped, Write: true}
 		}
+		if pg.perm&PermW == 0 {
+			return &Fault{Addr: a, Kind: FaultNoWrite, Write: true}
+		}
+		as.preimage(pg.frame)
+		i += copy(pg.frame.Data[a&PageMask:], b[i:])
+		pg.frame.gen++
 	}
 	return nil
 }
@@ -485,13 +629,15 @@ func (as *AddressSpace) StoreBytes(va uint64, b []byte) *Fault {
 // text through the still-mapped physmap synonym) and is not reachable from
 // emulated code.
 func (as *AddressSpace) Poke(va uint64, b []byte) error {
-	for i, v := range b {
-		pg, ok := as.pages[vpn(va+uint64(i))]
+	for i := 0; i < len(b); {
+		a := va + uint64(i)
+		pg, ok := as.pages[vpn(a)]
 		if !ok {
-			return fmt.Errorf("mem: poke of unmapped page 0x%x", va+uint64(i))
+			return fmt.Errorf("mem: poke of unmapped page 0x%x", a)
 		}
 		as.preimage(pg.frame)
-		pg.frame.Data[(va+uint64(i))&PageMask] = v
+		i += copy(pg.frame.Data[a&PageMask:], b[i:])
+		pg.frame.gen++
 	}
 	return nil
 }
@@ -500,12 +646,13 @@ func (as *AddressSpace) Poke(va uint64, b []byte) error {
 // evaluation harness when comparing images).
 func (as *AddressSpace) Peek(va uint64, n int) ([]byte, error) {
 	out := make([]byte, n)
-	for i := 0; i < n; i++ {
-		pg, ok := as.pages[vpn(va+uint64(i))]
+	for i := 0; i < n; {
+		a := va + uint64(i)
+		pg, ok := as.pages[vpn(a)]
 		if !ok {
-			return nil, fmt.Errorf("mem: peek of unmapped page 0x%x", va+uint64(i))
+			return nil, fmt.Errorf("mem: peek of unmapped page 0x%x", a)
 		}
-		out[i] = pg.frame.Data[(va+uint64(i))&PageMask]
+		i += copy(out[i:], pg.frame.Data[a&PageMask:])
 	}
 	return out, nil
 }
@@ -519,9 +666,14 @@ type MappedRange struct {
 }
 
 // Ranges returns the mapped ranges of the address space in ascending order.
+// The result is cached until the next structural mutation (mapGen change);
+// callers must treat the returned slice as read-only.
 func (as *AddressSpace) Ranges() []MappedRange {
 	if len(as.pages) == 0 {
 		return nil
+	}
+	if as.rangesOK && as.rangesGen == as.mapGen {
+		return as.ranges
 	}
 	vpns := make([]uint64, 0, len(as.pages))
 	for k := range as.pages {
@@ -539,5 +691,7 @@ func (as *AddressSpace) Ranges() []MappedRange {
 		out = append(out, cur)
 		cur = MappedRange{Start: v << PageShift, End: (v + 1) << PageShift, Perm: p}
 	}
-	return append(out, cur)
+	out = append(out, cur)
+	as.ranges, as.rangesGen, as.rangesOK = out, as.mapGen, true
+	return out
 }
