@@ -39,7 +39,7 @@ func BenchmarkTable1(b *testing.B) {
 			for _, cfg := range table1Configs {
 				cfg := cfg
 				b.Run(cfg.Name(), func(b *testing.B) {
-					k, err := kernel.BootCached(cfg)
+					k, err := kernel.Boot(cfg, kernel.WithCache())
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -78,7 +78,7 @@ func BenchmarkTable2(b *testing.B) {
 			for _, cfg := range cfgs {
 				cfg := cfg
 				b.Run(cfg.Name(), func(b *testing.B) {
-					k, err := kernel.BootCached(cfg)
+					k, err := kernel.Boot(cfg, kernel.WithCache())
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -146,7 +146,7 @@ func BenchmarkKernelBuild(b *testing.B) {
 // BenchmarkGadgetScan measures the §7.3 attacker's Galileo-style scan over
 // a full kernel image.
 func BenchmarkGadgetScan(b *testing.B) {
-	k, err := kernel.BootCached(core.Vanilla)
+	k, err := kernel.Boot(core.Vanilla, kernel.WithCache())
 	if err != nil {
 		b.Fatal(err)
 	}

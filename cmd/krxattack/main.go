@@ -42,7 +42,7 @@ func main() {
 	}
 
 	boot := func(cfg core.Config) *kernel.Kernel {
-		k, err := kernel.BootCached(cfg)
+		k, err := kernel.Boot(cfg, kernel.WithCache())
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "krxattack:", err)
 			os.Exit(1)

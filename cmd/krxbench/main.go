@@ -13,6 +13,8 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/diversify"
+	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/sfi"
 )
 
@@ -24,10 +26,14 @@ func main() {
 		compare  = flag.Bool("compare", false, "interleave the paper's numbers (measured / paper)")
 		profile  = flag.Bool("profile", false, "cycle-attribution profile (overhead decomposition)")
 		jsonOut  = flag.Bool("json", false, "emulator host-performance benchmark, machine-readable JSON (host ns/op + emulated cycles, decode cache on/off)")
+		traceOut = flag.String("trace", "", "run the Table 1 suite under the fully protected preset with event tracing; write Chrome trace-event JSON to this file")
+		funcs    = flag.Bool("funcs", false, "cycle-attributed per-function profile of the Table 1 suite (conservation-checked)")
+		stats    = flag.Bool("stats", false, "print the observability metric registry after the traced/profiled run")
 		iters    = flag.Int("iters", 10, "measured iterations per data point")
 	)
 	flag.Parse()
-	if !*t1 && !*t2 && !*ablation && !*profile && !*jsonOut {
+	observe := *traceOut != "" || *funcs || *stats
+	if !*t1 && !*t2 && !*ablation && !*profile && !*jsonOut && !observe {
 		*t1, *t2, *ablation = true, true, true
 	}
 	fail := func(err error) {
@@ -45,6 +51,13 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(string(b))
+		return
+	}
+
+	if observe {
+		if err := runObserved(*traceOut, *funcs, *stats); err != nil {
+			fail(err)
+		}
 		return
 	}
 
@@ -105,6 +118,58 @@ func main() {
 		}
 		fmt.Println(gc)
 	}
+}
+
+// runObserved executes the Table 1 suite once under the fully protected
+// preset with the observability layer armed: an event tracer (exported as
+// Chrome trace-event JSON), the cycle-attributed function profiler, and the
+// metric registry. Tracing and profiling never perturb the emulated
+// machine, so the suite's cycle totals match an unobserved run exactly.
+func runObserved(traceOut string, funcs, stats bool) error {
+	presets := core.Presets()
+	cfg := presets[len(presets)-1]
+	tr := obs.NewTracer(1 << 16)
+	k, err := kernel.Boot(cfg, kernel.WithCache(), kernel.WithTracer(tr))
+	if err != nil {
+		return err
+	}
+	var prof *obs.Profiler
+	if funcs {
+		prof = obs.NewProfiler(k.Img)
+		prof.Attach(k.CPU)
+	}
+	cycles, err := bench.RunTable1Suite(k)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("table1-suite/%s: %d emulated cycles, %d trace events\n", cfg.Name(), cycles, tr.Len())
+	if prof != nil {
+		if err := prof.CheckConservation(); err != nil {
+			return fmt.Errorf("profiler conservation: %w", err)
+		}
+		fmt.Println(prof.Report().Format(12, func(nr int64) string {
+			return kernel.SyscallName(uint64(nr))
+		}))
+	}
+	if traceOut != "" {
+		b, err := obs.ChromeTrace(tr.Events())
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(traceOut, b, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d trace events to %s (load in about://tracing or Perfetto)\n", tr.Len(), traceOut)
+	}
+	if stats {
+		reg := obs.NewRegistry()
+		obs.RegisterCPU(reg, "cpu", k.CPU)
+		obs.RegisterDecodeCache(reg, "decode_cache", k.CPU)
+		obs.RegisterBuildCache(reg, "build_cache", kernel.BuildCache())
+		obs.RegisterTracer(reg, "trace", tr)
+		fmt.Print(reg.Format())
+	}
+	return nil
 }
 
 func printAgreement(agree map[string]float64) {

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -14,6 +15,8 @@ import (
 	"repro/internal/diversify"
 	"repro/internal/fuzz"
 	"repro/internal/inject"
+	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/sfi"
 )
 
@@ -31,6 +34,9 @@ func run() error {
 	vanilla := flag.Bool("vanilla", false, "fuzz the unprotected kernel instead of SFI+X")
 	budget := flag.Uint64("budget", 0, "per-syscall instruction watchdog budget (0 = default)")
 	workers := flag.Int("workers", 1, "parallel execution workers (report is byte-identical for any count)")
+	jsonOut := flag.Bool("json", false, "emit the report as machine-readable JSON (schema_version marks the format)")
+	traceOut := flag.String("trace", "", "record the campaign event stream (byte-identical for any -workers count); write Chrome trace-event JSON to this file")
+	stats := flag.Bool("stats", false, "print the observability metric registry after the campaign")
 	flag.Parse()
 
 	cfg := core.Config{
@@ -42,15 +48,47 @@ func run() error {
 	if *vanilla {
 		cfg = core.Config{Seed: *seed, WatchdogBudget: *budget}
 	}
-	opts := fuzz.Options{Iters: *iters, Seed: *seed, Config: cfg, Workers: *workers}
+	opts := fuzz.Options{
+		Iters: *iters, Seed: *seed, Config: cfg, Workers: *workers,
+		Trace: *traceOut != "",
+	}
 	if !*noInject {
 		plan := inject.DefaultPlan(*seed)
 		opts.Plan = &plan
 	}
-	rep, err := fuzz.Fuzz(opts)
+	f, err := fuzz.New(opts)
 	if err != nil {
 		return err
 	}
-	fmt.Print(rep.String())
+	rep, err := f.Run()
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(b))
+	} else {
+		fmt.Print(rep.String())
+	}
+	if *traceOut != "" {
+		b, err := obs.ChromeTrace(rep.Trace)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*traceOut, b, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "krxfuzz: wrote %d trace events to %s\n", len(rep.Trace), *traceOut)
+	}
+	if *stats {
+		reg := obs.NewRegistry()
+		obs.RegisterCPU(reg, "cpu", f.Kernel().CPU)
+		obs.RegisterDecodeCache(reg, "decode_cache", f.Kernel().CPU)
+		obs.RegisterBuildCache(reg, "build_cache", kernel.BuildCache())
+		fmt.Print(reg.Format())
+	}
 	return nil
 }

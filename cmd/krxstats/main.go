@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/diversify"
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/pgtable"
 	"repro/internal/sfi"
 )
@@ -21,16 +22,24 @@ import (
 func main() {
 	appendixA := flag.Bool("appendix-a", false, "demonstrate the Appendix A XD-bit bug")
 	runAudit := flag.Bool("audit", false, "audit the security invariants of every preset")
+	metrics := flag.Bool("metrics", false, "print the observability metric registry (CPU, decode cache, build cache) for every preset")
 	flag.Parse()
 
 	if *appendixA {
 		demoAppendixA()
 		return
 	}
+	if *metrics {
+		if err := printMetrics(); err != nil {
+			fmt.Fprintln(os.Stderr, "krxstats:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *runAudit {
 		for _, cfg := range core.Presets() {
 			cfg.Seed = 7
-			k, err := kernel.BootCached(cfg)
+			k, err := kernel.Boot(cfg, kernel.WithCache())
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "krxstats:", err)
 				os.Exit(1)
@@ -65,13 +74,37 @@ func main() {
 		{XOM: core.XOMSFI, SFILevel: sfi.O3, Diversify: true, RAProt: diversify.RAEncrypt, Seed: 5},
 		{XOM: core.XOMSFI, SFILevel: sfi.O3, Diversify: true, RAProt: diversify.RADecoy, Seed: 5},
 	} {
-		k, err := kernel.BootCached(cfg)
+		k, err := kernel.Boot(cfg, kernel.WithCache())
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "krxstats:", err)
 			os.Exit(1)
 		}
 		fmt.Println(bench.StatsReport(k))
 	}
+}
+
+// printMetrics boots every preset from the shared build cache, exercises a
+// few syscalls so the execution counters reflect real work, and prints the
+// unified metric registry — the one-stop view of the stats previously
+// scattered across DecodeCacheReport and the build-cache counters.
+func printMetrics() error {
+	for _, cfg := range core.Presets() {
+		cfg.Seed = 7
+		k, err := kernel.Boot(cfg, kernel.WithCache())
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 8; i++ {
+			k.Syscall(kernel.SysNull)
+			k.Syscall(kernel.SysGetpid)
+		}
+		reg := obs.NewRegistry()
+		obs.RegisterCPU(reg, "cpu", k.CPU)
+		obs.RegisterDecodeCache(reg, "decode_cache", k.CPU)
+		obs.RegisterBuildCache(reg, "build_cache", kernel.BuildCache())
+		fmt.Printf("=== %s ===\n%s\n", cfg.Name(), reg.Format())
+	}
+	return nil
 }
 
 func demoAppendixA() {

@@ -29,7 +29,7 @@ func KSweep(ks []int, iters int) ([]KSweepResult, error) {
 	var out []KSweepResult
 	for _, k := range ks {
 		cfg := core.Config{Diversify: true, K: k, RAProt: diversify.RAEncrypt, Seed: 7}
-		kn, err := kernel.BootCached(cfg)
+		kn, err := kernel.Boot(cfg, kernel.WithCache())
 		if err != nil {
 			return nil, err
 		}
@@ -90,7 +90,7 @@ func XOMCompare(iters int) ([]XOMCompareResult, error) {
 	}
 	var out []XOMCompareResult
 	for _, c := range cfgs {
-		k, err := kernel.BootCached(c.cfg)
+		k, err := kernel.Boot(c.cfg, kernel.WithCache())
 		if err != nil {
 			return nil, err
 		}
@@ -146,7 +146,7 @@ func GuardCheck() (string, error) {
 		{XOM: core.XOMSFI, SFILevel: sfi.O3, Seed: 3},
 		{XOM: core.XOMSFI, SFILevel: sfi.O3, Diversify: true, RAProt: diversify.RADecoy, Seed: 3},
 	} {
-		k, err := kernel.BootCached(cfg)
+		k, err := kernel.Boot(cfg, kernel.WithCache())
 		if err != nil {
 			return "", err
 		}

@@ -31,13 +31,18 @@ type EmuResult struct {
 	Cycles    uint64  `json:"emulated_cycles"`
 }
 
+// EmuSchemaVersion identifies the JSON layout of EmuReport. Bump it on any
+// field change so downstream consumers can detect the format.
+const EmuSchemaVersion = 2
+
 // EmuReport is the machine-readable emulator benchmark baseline
 // (BENCH_emulator.json).
 type EmuReport struct {
-	Schema  string      `json:"schema"`
-	GoOS    string      `json:"goos"`
-	GoArch  string      `json:"goarch"`
-	Results []EmuResult `json:"results"`
+	Schema        string      `json:"schema"`
+	SchemaVersion int         `json:"schema_version"`
+	GoOS          string      `json:"goos"`
+	GoArch        string      `json:"goarch"`
+	Results       []EmuResult `json:"results"`
 }
 
 // JSON renders the report for the BENCH_emulator.json trajectory file.
@@ -53,9 +58,10 @@ type emuWorkload struct {
 	make func(cacheOn bool) (func() (uint64, error), error)
 }
 
-// runTable1Suite executes every Table 1 micro-op once and returns the total
-// emulated cycles (the per-op suite BenchmarkTable1 sweeps).
-func runTable1Suite(k *kernel.Kernel) (uint64, error) {
+// RunTable1Suite executes every Table 1 micro-op once against k and returns
+// the total emulated cycles (the per-op suite BenchmarkTable1 sweeps; also
+// the workload krxbench traces and profiles).
+func RunTable1Suite(k *kernel.Kernel) (uint64, error) {
 	var total uint64
 	for _, op := range MicroOps() {
 		for fd := uint64(0); fd < 64; fd++ {
@@ -79,12 +85,12 @@ func table1Workload(cfg core.Config) emuWorkload {
 	return emuWorkload{
 		name: "table1-suite/" + cfg.Name(),
 		make: func(cacheOn bool) (func() (uint64, error), error) {
-			k, err := kernel.BootCached(cfg)
+			k, err := kernel.Boot(cfg, kernel.WithCache())
 			if err != nil {
 				return nil, err
 			}
 			k.CPU.SetDecodeCache(cacheOn)
-			return func() (uint64, error) { return runTable1Suite(k) }, nil
+			return func() (uint64, error) { return RunTable1Suite(k) }, nil
 		},
 	}
 }
@@ -162,7 +168,12 @@ func EmuBench(iters int) (*EmuReport, error) {
 		fuzzWorkload(core.Vanilla, 42),
 		fuzzWorkload(full, 42),
 	}
-	rep := &EmuReport{Schema: "krx-emubench/1", GoOS: runtime.GOOS, GoArch: runtime.GOARCH}
+	rep := &EmuReport{
+		Schema:        "krx-emubench",
+		SchemaVersion: EmuSchemaVersion,
+		GoOS:          runtime.GOOS,
+		GoArch:        runtime.GOARCH,
+	}
 	for _, w := range workloads {
 		r, err := measureEmu(w, iters)
 		if err != nil {

@@ -50,14 +50,14 @@ func TestTable1SuiteCacheEquivalence(t *testing.T) {
 			cycles, instrs, digest uint64
 		}
 		run := func(cacheOn bool) outcome {
-			k, err := kernel.BootCached(cfg)
+			k, err := kernel.Boot(cfg, kernel.WithCache())
 			if err != nil {
 				t.Fatal(err)
 			}
 			k.CPU.SetDecodeCache(cacheOn)
 			digest := hookDigest(k.CPU)
 			instrs0 := k.CPU.Instrs
-			cycles, err := runTable1Suite(k)
+			cycles, err := RunTable1Suite(k)
 			if err != nil {
 				t.Fatalf("%s: %v", cfg.Name(), err)
 			}
@@ -110,7 +110,7 @@ func TestAttackScenariosCacheEquivalence(t *testing.T) {
 
 func bootEquiv(t *testing.T, cfg core.Config, cacheOn bool) *kernel.Kernel {
 	t.Helper()
-	k, err := kernel.BootCached(cfg)
+	k, err := kernel.Boot(cfg, kernel.WithCache())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,294 @@
+// Observability acceptance gates (ISSUE 4): the profiler's conservation
+// invariant and the observer-neutrality of tracing/profiling, verified over
+// the Table 1 suite, the paper's three attack scenarios, and a seeded fuzz
+// campaign — under the decode cache on and off, at -workers 1 and 4.
+package bench
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/fuzz"
+	"repro/internal/inject"
+	"repro/internal/isa"
+	"repro/internal/kernel"
+	"repro/internal/obs"
+)
+
+// digestProbe folds the exec stream (rip, opcode, cycle delta) and the trap
+// stream (kind, addr, rip) into separate order-sensitive hashes. It is the
+// probe-API successor of hookDigest: installable several times over via
+// AddProbe, alongside legacy OnExec, tracers, and profilers.
+type digestProbe struct {
+	exec, trap uint64
+}
+
+func newDigestProbe() *digestProbe {
+	return &digestProbe{exec: fnv1aSeed, trap: fnv1aSeed}
+}
+
+const (
+	fnv1aSeed  = 14695981039346656037
+	fnv1aPrime = 1099511628211
+)
+
+func mix(h uint64, words ...uint64) uint64 {
+	var buf [8]byte
+	for _, w := range words {
+		binary.LittleEndian.PutUint64(buf[:], w)
+		for _, b := range buf {
+			h = (h ^ uint64(b)) * fnv1aPrime
+		}
+	}
+	return h
+}
+
+func (d *digestProbe) OnExec(rip uint64, in *isa.Instr, cycles uint64) {
+	d.exec = mix(d.exec, rip, uint64(in.Op), cycles)
+}
+
+func (d *digestProbe) OnTrap(t *cpu.Trap, cycles uint64) {
+	d.trap = mix(d.trap, uint64(t.Kind), t.Addr, t.RIP)
+}
+
+// TestProfilerConservationTable1Suite: over the full micro-op suite, every
+// cycle the CPU counts is attributed exactly once — with the decode cache on
+// and off.
+func TestProfilerConservationTable1Suite(t *testing.T) {
+	for _, cfg := range equivConfigs() {
+		for _, cacheOn := range []bool{true, false} {
+			k, err := kernel.Boot(cfg, kernel.WithCache())
+			if err != nil {
+				t.Fatal(err)
+			}
+			k.CPU.SetDecodeCache(cacheOn)
+			p := obs.NewProfiler(k.Img)
+			p.Attach(k.CPU)
+			if _, err := RunTable1Suite(k); err != nil {
+				t.Fatalf("%s: %v", cfg.Name(), err)
+			}
+			if err := p.CheckConservation(); err != nil {
+				t.Errorf("%s cache=%v: %v", cfg.Name(), cacheOn, err)
+			}
+		}
+	}
+}
+
+// TestProfilerConservationAttacks: conservation holds across the paper's
+// three attack scenarios — ROP chains and JIT-ROP harvesting are exactly the
+// adversarial control flow the attribution rules must survive.
+func TestProfilerConservationAttacks(t *testing.T) {
+	scenarios := []struct {
+		name string
+		run  func(target, ref *kernel.Kernel) attack.Result
+	}{
+		{"DirectROP", func(target, ref *kernel.Kernel) attack.Result { return attack.DirectROP(target, ref) }},
+		{"JITROP", func(target, _ *kernel.Kernel) attack.Result { return attack.JITROP(target) }},
+		{"IndirectJITROP", func(target, _ *kernel.Kernel) attack.Result { return attack.IndirectJITROP(target) }},
+	}
+	for _, cfg := range equivConfigs() {
+		for _, sc := range scenarios {
+			target := bootEquiv(t, cfg, true)
+			ref := bootEquiv(t, cfg, true)
+			p := obs.NewProfiler(target.Img)
+			p.Attach(target.CPU)
+			sc.run(target, ref)
+			if err := p.CheckConservation(); err != nil {
+				t.Errorf("%s/%s: %v", cfg.Name(), sc.name, err)
+			}
+		}
+	}
+}
+
+// TestProfilerConservationFuzz: one profiler per worker kernel, a seeded
+// campaign with fault injection at -workers 1 and 4 — conservation holds on
+// every worker CPU, and the campaign report stays byte-identical to an
+// unprofiled run.
+func TestProfilerConservationFuzz(t *testing.T) {
+	plan := inject.DefaultPlan(17)
+	opts := fuzz.Options{Iters: 64, Seed: 17, Config: core.Vanilla, Plan: &plan}
+	baseline := ""
+	for _, workers := range []int{1, 4} {
+		o := opts
+		o.Workers = workers
+		f, err := fuzz.New(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		profs := make([]*obs.Profiler, 0, workers)
+		for _, k := range f.Kernels() {
+			p := obs.NewProfiler(k.Img)
+			p.Attach(k.CPU)
+			profs = append(profs, p)
+		}
+		rep, err := f.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for wi, p := range profs {
+			if err := p.CheckConservation(); err != nil {
+				t.Errorf("workers=%d worker %d: %v", workers, wi, err)
+			}
+		}
+		if baseline == "" {
+			baseline = rep.String()
+		} else if rep.String() != baseline {
+			t.Errorf("workers=%d: profiled report diverges from workers=1", workers)
+		}
+	}
+	// The profiled report must match an entirely unobserved campaign.
+	o := opts
+	o.Workers = 1
+	rep, err := fuzz.Fuzz(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.String() != baseline {
+		t.Error("profiled campaign report diverges from unprofiled campaign")
+	}
+}
+
+// TestTracedTable1SuiteBitIdentical: arming the tracer and the profiler must
+// not change the emulated Instrs/Cycles or the exec/trap streams, with the
+// decode cache on and off.
+func TestTracedTable1SuiteBitIdentical(t *testing.T) {
+	for _, cfg := range equivConfigs() {
+		for _, cacheOn := range []bool{true, false} {
+			type outcome struct {
+				cycles, instrs, exec, trap uint64
+			}
+			run := func(traced bool) outcome {
+				var bootOpts []kernel.BootOption
+				bootOpts = append(bootOpts, kernel.WithCache())
+				tr := obs.NewTracer(1 << 15)
+				if traced {
+					bootOpts = append(bootOpts, kernel.WithTracer(tr))
+				}
+				k, err := kernel.Boot(cfg, bootOpts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				k.CPU.SetDecodeCache(cacheOn)
+				d := newDigestProbe()
+				k.CPU.AddProbe(d)
+				if traced {
+					p := obs.NewProfiler(k.Img)
+					p.Attach(k.CPU)
+					defer func() {
+						if err := p.CheckConservation(); err != nil {
+							t.Errorf("%s cache=%v: %v", cfg.Name(), cacheOn, err)
+						}
+					}()
+				}
+				cycles, err := RunTable1Suite(k)
+				if err != nil {
+					t.Fatalf("%s: %v", cfg.Name(), err)
+				}
+				return outcome{cycles: cycles, instrs: k.CPU.Instrs, exec: d.exec, trap: d.trap}
+			}
+			plain, traced := run(false), run(true)
+			if plain != traced {
+				t.Errorf("%s cache=%v: traced run diverges: %+v vs %+v", cfg.Name(), cacheOn, plain, traced)
+			}
+		}
+	}
+}
+
+// TestAttackScenariosTracedBitIdentical: attack outcomes and the targets'
+// counters are unchanged by an attached tracer.
+func TestAttackScenariosTracedBitIdentical(t *testing.T) {
+	cfg := equivConfigs()[1] // the fully protected column
+	run := func(traced bool) (attack.Result, uint64, uint64) {
+		var bootOpts []kernel.BootOption
+		bootOpts = append(bootOpts, kernel.WithCache())
+		if traced {
+			bootOpts = append(bootOpts, kernel.WithTracer(obs.NewTracer(1<<15)))
+		}
+		target, err := kernel.Boot(cfg, bootOpts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return attack.JITROP(target), target.CPU.Instrs, target.CPU.Cycles
+	}
+	r1, i1, c1 := run(false)
+	r2, i2, c2 := run(true)
+	if r1 != r2 || i1 != i2 || c1 != c2 {
+		t.Errorf("traced attack diverges: %v/%d/%d vs %v/%d/%d", r1, i1, c1, r2, i2, c2)
+	}
+}
+
+// TestFuzzTraceWorkerInvariance: the merged campaign event stream —
+// snapshot/restore, syscall enter/exit, traps, injected faults — is
+// byte-identical at -workers 1 and 4, and unchanged by the decode cache.
+func TestFuzzTraceWorkerInvariance(t *testing.T) {
+	plan := inject.DefaultPlan(17)
+	run := func(workers int, cacheOn bool) (string, string) {
+		f, err := fuzz.New(fuzz.Options{
+			Iters: 64, Seed: 17, Config: core.Vanilla,
+			Plan: &plan, Workers: workers, Trace: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range f.Kernels() {
+			k.CPU.SetDecodeCache(cacheOn)
+		}
+		rep, err := f.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Trace) == 0 {
+			t.Fatal("traced campaign produced no events")
+		}
+		return obs.TraceText(rep.Trace), rep.String()
+	}
+	baseTrace, baseReport := run(1, true)
+	for _, tc := range []struct {
+		workers int
+		cacheOn bool
+	}{{4, true}, {1, false}, {4, false}} {
+		gotTrace, gotReport := run(tc.workers, tc.cacheOn)
+		if gotTrace != baseTrace {
+			t.Errorf("workers=%d cache=%v: trace stream diverges from workers=1 cache=on",
+				tc.workers, tc.cacheOn)
+		}
+		if gotReport != baseReport {
+			t.Errorf("workers=%d cache=%v: report diverges", tc.workers, tc.cacheOn)
+		}
+	}
+}
+
+// TestMultiProbeCacheEquivalence extends the PR 3 cache-equivalence gate to
+// multi-probe configurations: two probes installed via AddProbe alongside
+// the legacy OnExec shim all observe the identical stream, cache on and off.
+func TestMultiProbeCacheEquivalence(t *testing.T) {
+	cfg := equivConfigs()[1]
+	type outcome struct {
+		legacy, a, b, trap uint64
+	}
+	run := func(cacheOn bool) outcome {
+		k, err := kernel.Boot(cfg, kernel.WithCache())
+		if err != nil {
+			t.Fatal(err)
+		}
+		k.CPU.SetDecodeCache(cacheOn)
+		legacy := hookDigest(k.CPU)
+		a, b := newDigestProbe(), newDigestProbe()
+		k.CPU.AddProbe(a)
+		k.CPU.AddProbe(b)
+		if _, err := RunTable1Suite(k); err != nil {
+			t.Fatal(err)
+		}
+		return outcome{legacy: *legacy, a: a.exec, b: b.exec, trap: a.trap}
+	}
+	on, off := run(true), run(false)
+	if on != off {
+		t.Errorf("multi-probe streams diverge with cache on/off: %+v vs %+v", on, off)
+	}
+	if on.a != on.b {
+		t.Errorf("co-installed probes saw different streams: %#x vs %#x", on.a, on.b)
+	}
+}

@@ -86,7 +86,8 @@ func (pr *profiler) funcName(rip uint64) string {
 	return "[module]"
 }
 
-func (pr *profiler) hook(rip uint64, in *isa.Instr, cycles uint64) {
+// OnExec implements cpu.ExecProbe.
+func (pr *profiler) OnExec(rip uint64, in *isa.Instr, cycles uint64) {
 	p := pr.p
 	p.TotalCycles += cycles
 	p.ByFunc[pr.funcName(rip)] += cycles
@@ -127,13 +128,13 @@ func (pr *profiler) hook(rip uint64, in *isa.Instr, cycles uint64) {
 // RunProfile executes one transaction of every Table 2 workload under the
 // configuration and returns the cycle decomposition.
 func RunProfile(cfg core.Config) (*Profile, error) {
-	k, err := kernel.BootCached(cfg)
+	k, err := kernel.Boot(cfg, kernel.WithCache())
 	if err != nil {
 		return nil, err
 	}
 	pr := newProfiler(k)
-	k.CPU.OnExec = pr.hook
-	defer func() { k.CPU.OnExec = nil }()
+	k.CPU.AddProbe(pr)
+	defer k.CPU.RemoveProbe(pr)
 	for _, w := range Workloads() {
 		if _, err := w.Txn(k); err != nil {
 			return nil, fmt.Errorf("profile: %s: %w", w.Name, err)

@@ -321,7 +321,7 @@ func Table1Configs() []core.Config {
 // columns measured concurrently report exactly what a sequential sweep
 // would.
 func measureOps(cfg core.Config, ops []MicroOp, iters int) ([]float64, error) {
-	k, err := kernel.BootCached(cfg)
+	k, err := kernel.Boot(cfg, kernel.WithCache())
 	if err != nil {
 		return nil, err
 	}

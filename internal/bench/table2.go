@@ -223,7 +223,7 @@ func RunTable2(iters int) (*Table, error) {
 	t := &Table{Title: "Table 2: Phoronix Test Suite overhead (%)"}
 
 	measure := func(cfg core.Config) ([]float64, error) {
-		k, err := kernel.BootCached(cfg)
+		k, err := kernel.Boot(cfg, kernel.WithCache())
 		if err != nil {
 			return nil, err
 		}

@@ -178,9 +178,21 @@ type CPU struct {
 
 	// OnExec, when set, is invoked after every executed instruction with
 	// its address and the cycles it consumed (including rep-string
-	// per-element charges). Used by the profiler and by the fuzzer's
-	// coverage and fault-injection hooks; nil costs nothing.
+	// per-element charges); nil costs nothing. It fires before any
+	// installed probes.
+	//
+	// Deprecated: use AddProbe/RemoveProbe (probe.go) — the composable
+	// replacement that lets the profiler, coverage bitmap, and fault
+	// injector coexist without chaining closures. This field remains for
+	// one release as a shim and will then be removed.
 	OnExec func(rip uint64, in *isa.Instr, cycles uint64)
+
+	// probes are the installed exec probes (install order); probe is the
+	// compiled dispatcher — nil, probes[0] (the single-probe fast path),
+	// or a *multiProbe fan-out. trapProbes observe trap delivery.
+	probes     []ExecProbe
+	probe      ExecProbe
+	trapProbes []TrapProbe
 
 	// Pending is an externally forced exception: Run delivers it before the
 	// next instruction, exactly as if the current instruction had trapped.
@@ -309,6 +321,9 @@ func (c *CPU) ExitKernel() {
 // handler (if configured); kernel-mode traps are fatal for the run.
 func (c *CPU) deliverTrap(t *Trap) *Trap {
 	c.Cycles += isa.TrapCost
+	if len(c.trapProbes) != 0 {
+		c.notifyTrap(t, isa.TrapCost)
+	}
 	if t.Mode == User && c.FaultEntry != 0 {
 		// Push an exception frame on the kernel stack: rip, rsp, rflags.
 		c.savedUserRSP = c.Regs[isa.RSP]
@@ -405,8 +420,8 @@ func (c *CPU) Step() (StopReason, *Trap) {
 			before := c.Cycles
 			c.Cycles += e.cost
 			stop, trap := c.exec(&e.in, c.RIP+uint64(e.ilen))
-			if c.OnExec != nil {
-				c.OnExec(rip, &e.in, c.Cycles-before)
+			if c.OnExec != nil || c.probe != nil {
+				c.notifyExec(rip, &e.in, c.Cycles-before)
 			}
 			return stop, trap
 		}
@@ -425,17 +440,17 @@ func (c *CPU) Step() (StopReason, *Trap) {
 	c.Cycles += in.Cost()
 	next := c.RIP + uint64(ilen)
 	stop, trap := c.exec(&in, next)
-	if c.OnExec != nil {
-		c.OnExec(rip, &in, c.Cycles-before)
+	if c.OnExec != nil || c.probe != nil {
+		c.notifyExec(rip, &in, c.Cycles-before)
 	}
 	return stop, trap
 }
 
 // State is a complete architectural snapshot of the CPU: everything Restore
 // needs to resume as if the intervening execution never happened. The
-// address space and the OnExec hook are deliberately excluded — memory has
-// its own checkpoint machinery (mem.Checkpoint/Rollback) and hooks belong to
-// whoever installed them.
+// address space, the deprecated OnExec hook, and the installed probes are
+// deliberately excluded — memory has its own checkpoint machinery
+// (mem.Checkpoint/Rollback) and observers belong to whoever installed them.
 type State struct {
 	Regs          [isa.NumGPR]uint64
 	RIP           uint64

@@ -1,0 +1,144 @@
+package cpu
+
+// The composable execution-probe API.
+//
+// The CPU used to expose a single OnExec func field, and every observer —
+// the fuzzer's coverage bitmap, the fault injector, the cycle profiler —
+// fought over it by chaining closures. Probes replace that: any number of
+// observers install independently via AddProbe/RemoveProbe, dispatch order
+// is installation order, and the common cases stay cheap — zero probes is
+// one predictable nil check per instruction, one probe is a single indirect
+// call (no fan-out loop).
+//
+// The legacy OnExec field still works (it is called before any probes) so
+// existing harness code keeps running unchanged; it is deprecated and will
+// be removed one release after the probe API lands.
+
+import "repro/internal/isa"
+
+// ExecProbe observes executed instructions. OnExec is invoked after every
+// executed instruction — including one that faults during execution — with
+// the instruction's address, its decoded form, and the cycles it consumed
+// (rep-string per-element charges included). Probes must not retain in
+// beyond the call.
+type ExecProbe interface {
+	OnExec(rip uint64, in *isa.Instr, cycles uint64)
+}
+
+// TrapProbe is an optional extension: a probe (or trap-only observer) that
+// also wants trap-delivery events. OnTrap fires when the CPU delivers an
+// exception — before the handler runs or the run stops — with the trap and
+// the delivery cost (isa.TrapCost) that was just added to CPU.Cycles.
+// Together with OnExec this accounts for every emulated cycle: the cycle
+// conservation the profiler's invariant rests on.
+type TrapProbe interface {
+	OnTrap(t *Trap, cycles uint64)
+}
+
+// ExecProbeFunc adapts a function to the ExecProbe interface. Func values
+// are not comparable, so a probe installed this way cannot be removed with
+// RemoveProbe — use a (pointer-typed) struct probe when the observer's
+// lifetime is shorter than the CPU's.
+type ExecProbeFunc func(rip uint64, in *isa.Instr, cycles uint64)
+
+// OnExec implements ExecProbe.
+func (f ExecProbeFunc) OnExec(rip uint64, in *isa.Instr, cycles uint64) { f(rip, in, cycles) }
+
+// multiProbe fans one dispatch out to several probes, in install order. It
+// exists so the single-probe case can stay one indirect call: the compiled
+// dispatcher is nil, the probe itself, or a *multiProbe.
+type multiProbe struct {
+	ps []ExecProbe
+}
+
+func (m *multiProbe) OnExec(rip uint64, in *isa.Instr, cycles uint64) {
+	for _, p := range m.ps {
+		p.OnExec(rip, in, cycles)
+	}
+}
+
+// AddProbe installs p at the end of the dispatch order. If p also
+// implements TrapProbe it is registered for trap-delivery events too.
+// Installing the same probe value twice dispatches it twice.
+func (c *CPU) AddProbe(p ExecProbe) {
+	c.probes = append(c.probes, p)
+	c.recompileProbes()
+	if tp, ok := p.(TrapProbe); ok {
+		c.trapProbes = append(c.trapProbes, tp)
+	}
+}
+
+// RemoveProbe uninstalls the most recently added occurrence of p (probes
+// are typically attached/detached in LIFO pairs around a run). Removing a
+// probe that is not installed is a no-op.
+func (c *CPU) RemoveProbe(p ExecProbe) {
+	for i := len(c.probes) - 1; i >= 0; i-- {
+		if c.probes[i] == p {
+			c.probes = append(c.probes[:i], c.probes[i+1:]...)
+			break
+		}
+	}
+	c.recompileProbes()
+	if tp, ok := p.(TrapProbe); ok {
+		c.removeTrapProbe(tp)
+	}
+}
+
+// AddTrapProbe registers a trap-only observer (one that does not want the
+// per-instruction OnExec stream — e.g. the event tracer). Probes installed
+// via AddProbe that implement TrapProbe are registered automatically and
+// must not be added here too.
+func (c *CPU) AddTrapProbe(p TrapProbe) {
+	c.trapProbes = append(c.trapProbes, p)
+}
+
+// RemoveTrapProbe uninstalls a trap-only observer added with AddTrapProbe.
+func (c *CPU) RemoveTrapProbe(p TrapProbe) {
+	c.removeTrapProbe(p)
+}
+
+func (c *CPU) removeTrapProbe(p TrapProbe) {
+	for i := len(c.trapProbes) - 1; i >= 0; i-- {
+		if c.trapProbes[i] == p {
+			c.trapProbes = append(c.trapProbes[:i], c.trapProbes[i+1:]...)
+			return
+		}
+	}
+}
+
+// Probes returns the installed exec probes in dispatch order (a copy).
+func (c *CPU) Probes() []ExecProbe {
+	return append([]ExecProbe(nil), c.probes...)
+}
+
+// recompileProbes rebuilds the dispatch path: nil for none, the probe
+// itself for one (the fast path), a fan-out wrapper otherwise.
+func (c *CPU) recompileProbes() {
+	switch len(c.probes) {
+	case 0:
+		c.probe = nil
+	case 1:
+		c.probe = c.probes[0]
+	default:
+		c.probe = &multiProbe{ps: append([]ExecProbe(nil), c.probes...)}
+	}
+}
+
+// notifyExec delivers one executed instruction to the legacy hook and the
+// installed probes. Kept out of line so Step's hot path only pays the two
+// nil checks when nothing is attached.
+func (c *CPU) notifyExec(rip uint64, in *isa.Instr, cycles uint64) {
+	if c.OnExec != nil {
+		c.OnExec(rip, in, cycles)
+	}
+	if c.probe != nil {
+		c.probe.OnExec(rip, in, cycles)
+	}
+}
+
+// notifyTrap delivers a trap-delivery event to the registered trap probes.
+func (c *CPU) notifyTrap(t *Trap, cycles uint64) {
+	for _, p := range c.trapProbes {
+		p.OnTrap(t, cycles)
+	}
+}

@@ -1,0 +1,166 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// countProbe records every OnExec callback and, when it also acts as a
+// TrapProbe, every trap delivery.
+type countProbe struct {
+	tag    string
+	order  *[]string // shared dispatch log, appended to per callback
+	execs  int
+	cycles uint64
+	traps  int
+	trapC  uint64
+}
+
+func (p *countProbe) OnExec(rip uint64, in *isa.Instr, cycles uint64) {
+	p.execs++
+	p.cycles += cycles
+	if p.order != nil {
+		*p.order = append(*p.order, p.tag)
+	}
+}
+
+func (p *countProbe) OnTrap(t *Trap, cycles uint64) {
+	p.traps++
+	p.trapC += cycles
+}
+
+func probeTestCPU(t *testing.T) *CPU {
+	t.Helper()
+	f := mustFunc(t, ir.NewBuilder("f").
+		I(
+			isa.MovRI(isa.RAX, 1),
+			isa.AddRI(isa.RAX, 2),
+			isa.Ret(),
+		))
+	c, img, sp := buildAndInstall(t, &ir.Program{Funcs: []*ir.Function{f}})
+	callKernelFunc(t, c, img, sp, "f")
+	return c
+}
+
+func TestProbeDispatchAndCounts(t *testing.T) {
+	c := probeTestCPU(t)
+	p := &countProbe{tag: "p"}
+	c.AddProbe(p)
+	before := c.Cycles
+	res := c.Run(100)
+	if res.Reason != StopReturn {
+		t.Fatalf("run: %v", res.Reason)
+	}
+	if p.execs != int(res.Instrs) {
+		t.Errorf("probe saw %d instructions, CPU executed %d", p.execs, res.Instrs)
+	}
+	if p.cycles != c.Cycles-before {
+		t.Errorf("probe cycles %d != CPU delta %d", p.cycles, c.Cycles-before)
+	}
+}
+
+func TestMultiProbeOrderAndRemoval(t *testing.T) {
+	c := probeTestCPU(t)
+	var order []string
+	a := &countProbe{tag: "a", order: &order}
+	b := &countProbe{tag: "b", order: &order}
+	legacySeen := 0
+	// The deprecated shim must fire before any probe.
+	c.OnExec = func(rip uint64, in *isa.Instr, cycles uint64) {
+		legacySeen++
+		order = append(order, "legacy")
+	}
+	c.AddProbe(a)
+	c.AddProbe(b)
+	if _, trap := c.Step(); trap != nil {
+		t.Fatal(trap)
+	}
+	want := []string{"legacy", "a", "b"}
+	if len(order) != 3 || order[0] != want[0] || order[1] != want[1] || order[2] != want[2] {
+		t.Fatalf("dispatch order %v, want %v", order, want)
+	}
+
+	// Removing b leaves a as the single-probe fast path: the dispatcher
+	// must be the probe itself, not a fan-out wrapper.
+	c.RemoveProbe(b)
+	if c.probe != ExecProbe(a) {
+		t.Fatalf("single-probe fast path not restored: %T", c.probe)
+	}
+	order = order[:0]
+	if _, trap := c.Step(); trap != nil {
+		t.Fatal(trap)
+	}
+	if len(order) != 2 || order[0] != "legacy" || order[1] != "a" {
+		t.Fatalf("dispatch after removal %v", order)
+	}
+	if b.execs != 1 {
+		t.Errorf("removed probe still dispatched: %d", b.execs)
+	}
+
+	c.RemoveProbe(a)
+	c.OnExec = nil
+	if c.probe != nil || len(c.probes) != 0 {
+		t.Fatalf("probe list not empty after removals: %v", c.probes)
+	}
+	// Removing an uninstalled probe is a no-op.
+	c.RemoveProbe(a)
+}
+
+func TestTrapProbeSeesDeliveryCost(t *testing.T) {
+	c := probeTestCPU(t)
+	p := &countProbe{tag: "p"}
+	c.AddProbe(p) // countProbe implements TrapProbe: auto-registered
+	c.Pending = &Trap{Kind: TrapUndefined, RIP: c.RIP, Mode: Kernel}
+	res := c.Run(100)
+	if res.Reason != StopTrap {
+		t.Fatalf("run: %v", res.Reason)
+	}
+	if p.traps != 1 || p.trapC != isa.TrapCost {
+		t.Errorf("trap probe saw %d traps / %d cycles, want 1 / %d", p.traps, p.trapC, isa.TrapCost)
+	}
+	// Conservation across both channels: exec cycles + trap cost account
+	// for every cycle the CPU charged.
+	if p.cycles+p.trapC != c.Cycles {
+		t.Errorf("exec %d + trap %d != CPU cycles %d", p.cycles, p.trapC, c.Cycles)
+	}
+	c.RemoveProbe(p)
+	if len(c.trapProbes) != 0 {
+		t.Errorf("trap probe not unregistered on RemoveProbe")
+	}
+}
+
+func TestTrapOnlyProbe(t *testing.T) {
+	c := probeTestCPU(t)
+	p := &countProbe{tag: "p"}
+	c.AddTrapProbe(p)
+	c.Pending = &Trap{Kind: TrapProtection, RIP: c.RIP, Mode: Kernel}
+	if res := c.Run(100); res.Reason != StopTrap {
+		t.Fatalf("run: %v", res.Reason)
+	}
+	if p.traps != 1 {
+		t.Errorf("trap-only probe saw %d traps, want 1", p.traps)
+	}
+	if p.execs != 0 {
+		t.Errorf("trap-only probe saw %d exec callbacks, want 0", p.execs)
+	}
+	c.RemoveTrapProbe(p)
+	if len(c.trapProbes) != 0 {
+		t.Errorf("trap-only probe not removed")
+	}
+}
+
+func TestExecProbeFunc(t *testing.T) {
+	c := probeTestCPU(t)
+	n := 0
+	p := ExecProbeFunc(func(rip uint64, in *isa.Instr, cycles uint64) { n++ })
+	c.AddProbe(p)
+	res := c.Run(100)
+	if res.Reason != StopReturn {
+		t.Fatalf("run: %v", res.Reason)
+	}
+	if n != int(res.Instrs) {
+		t.Errorf("func probe saw %d, want %d", n, res.Instrs)
+	}
+}

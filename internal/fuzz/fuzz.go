@@ -42,6 +42,7 @@ import (
 	"repro/internal/inject"
 	"repro/internal/isa"
 	"repro/internal/kernel"
+	"repro/internal/obs"
 )
 
 // Options configures one fuzzing campaign.
@@ -64,6 +65,13 @@ type Options struct {
 	// cache and executes a deterministic shard of every batch; the report
 	// is byte-identical for any value.
 	Workers int
+	// Trace arms per-iteration event tracing: every worker records
+	// snapshot/restore, syscall enter/exit, trap, and injected-fault events,
+	// and the merge folds them into Report.Trace in canonical iteration
+	// order. Timestamps are the emulated counters, which Restore rewinds to
+	// the boot snapshot before every iteration, so the merged stream is
+	// byte-identical for any worker count.
+	Trace bool
 }
 
 // batchSize is the number of iterations executed between corpus merges. It
@@ -81,9 +89,15 @@ type Crash struct {
 	Min    *Prog  // minimized reproducer
 }
 
+// ReportSchemaVersion identifies the JSON layout of Report. Bump it on any
+// field change so downstream consumers can detect the format.
+const ReportSchemaVersion = 1
+
 // Report is the campaign result. String() is deterministic: same options in,
 // same bytes out, regardless of Options.Workers.
 type Report struct {
+	SchemaVersion int `json:"schema_version"`
+
 	Iters    int
 	Seed     int64
 	Config   string
@@ -96,6 +110,11 @@ type Report struct {
 	// faults, keyed by check name — the "graceful degradation" ledger:
 	// invariant breakage is reported, never silently absorbed.
 	AuditViolations map[string]int
+
+	// Trace is the merged campaign event stream (Options.Trace), in
+	// canonical iteration order with renumbered sequence numbers. Excluded
+	// from String() — trace identity is asserted via obs.TraceText.
+	Trace []obs.Event `json:",omitempty"`
 }
 
 // String renders the report deterministically (sorted buckets, sorted
@@ -142,6 +161,7 @@ type worker struct {
 	opts     Options
 	k        *kernel.Kernel
 	snap     *kernel.Snapshot
+	tracer   *obs.Tracer         // non-nil when Options.Trace
 	funcs    []funcSpan // image functions sorted by address, for bucketing
 	curCover map[uint64]struct{} // rips outside the text bitmap (user stubs, modules)
 
@@ -174,6 +194,7 @@ func New(opts Options) (*Fuzzer, error) {
 		opts:  opts,
 		cover: make(map[uint64]struct{}),
 		report: &Report{
+			SchemaVersion:   ReportSchemaVersion,
 			Iters:           opts.Iters,
 			Seed:            opts.Seed,
 			Config:          opts.Config.Name(),
@@ -192,14 +213,20 @@ func New(opts Options) (*Fuzzer, error) {
 }
 
 func newWorker(opts Options) (*worker, error) {
-	k, err := kernel.BootCached(opts.Config)
+	bootOpts := []kernel.BootOption{kernel.WithCache()}
+	var tr *obs.Tracer
+	if opts.Trace {
+		tr = obs.NewTracer(0)
+		bootOpts = append(bootOpts, kernel.WithTracer(tr))
+	}
+	k, err := kernel.Boot(opts.Config, bootOpts...)
 	if err != nil {
 		return nil, fmt.Errorf("fuzz: boot: %w", err)
 	}
 	if err := SetupUserMemory(k); err != nil {
 		return nil, fmt.Errorf("fuzz: seeding user memory: %w", err)
 	}
-	w := &worker{opts: opts, k: k, curCover: make(map[uint64]struct{})}
+	w := &worker{opts: opts, k: k, tracer: tr, curCover: make(map[uint64]struct{})}
 	for _, fn := range k.Img.Funcs {
 		w.funcs = append(w.funcs, funcSpan{name: fn.Name, start: fn.Addr, end: fn.Addr + fn.Size})
 	}
@@ -209,22 +236,30 @@ func newWorker(opts Options) (*worker, error) {
 	w.covSpan = uint64(len(k.Img.Text))
 	w.covBits = make([]uint64, (w.covSpan+63)/64)
 
-	// Coverage hook, installed once; Snapshot/Restore leaves OnExec alone.
-	k.CPU.OnExec = func(rip uint64, in *isa.Instr, cycles uint64) {
-		if off := rip - w.covBase; off < w.covSpan {
-			word, bit := off>>6, uint64(1)<<(off&63)
-			if w.covBits[word]&bit == 0 {
-				if w.covBits[word] == 0 {
-					w.covWords = append(w.covWords, uint32(word))
-				}
-				w.covBits[word] |= bit
-			}
-			return
-		}
-		w.curCover[rip] = struct{}{}
-	}
+	// Coverage probe, installed once at boot; per-iteration injectors append
+	// after it, so coverage sees each instruction first — the same order the
+	// old OnExec chaining produced. Snapshot/Restore leaves probes alone.
+	k.CPU.AddProbe(w)
 	w.snap = k.Snapshot()
 	return w, nil
+}
+
+// OnExec implements cpu.ExecProbe: the coverage bitmap. It runs once per
+// executed instruction — the hottest callback in a campaign — so kernel-text
+// RIPs take the test-and-set fast path and only stray RIPs fall back to the
+// map.
+func (w *worker) OnExec(rip uint64, in *isa.Instr, cycles uint64) {
+	if off := rip - w.covBase; off < w.covSpan {
+		word, bit := off>>6, uint64(1)<<(off&63)
+		if w.covBits[word]&bit == 0 {
+			if w.covBits[word] == 0 {
+				w.covWords = append(w.covWords, uint32(word))
+			}
+			w.covBits[word] |= bit
+		}
+		return
+	}
+	w.curCover[rip] = struct{}{}
 }
 
 // interestingKaddrs collects the kernel addresses worth aiming leak/plant
@@ -267,6 +302,7 @@ type execResult struct {
 	auditBad []string
 	cover    []uint64 // distinct RIPs executed, unordered
 	nexec    int      // syscalls issued
+	trace    []obs.Event // iteration event stream (Options.Trace)
 }
 
 // exec restores the snapshot and runs prog, with fault injection when the
@@ -274,6 +310,12 @@ type execResult struct {
 // minimization can replay an iteration's exact fault stream.
 func (w *worker) exec(prog *Prog, injSeed int64) (execResult, error) {
 	var res execResult
+	if w.tracer != nil {
+		// Start the iteration's stream empty; Restore below rewinds the
+		// emulated clock to the boot snapshot, so every iteration's events
+		// carry identical, scheduling-independent timestamps.
+		w.tracer.Reset()
+	}
 	if err := w.k.Restore(w.snap); err != nil {
 		return res, fmt.Errorf("fuzz: restore: %w", err)
 	}
@@ -290,6 +332,11 @@ func (w *worker) exec(prog *Prog, injSeed int64) (execResult, error) {
 		plan := *w.opts.Plan
 		plan.Seed = injSeed
 		inj = inject.New(plan)
+		if w.tracer != nil {
+			inj.Sink = func(e inject.Event) {
+				w.tracer.Emit(obs.EvFault, e.Kind, e.Addr, 0)
+			}
+		}
 		inj.Attach(w.k.CPU, w.k.Space.AS, w.k.FaultTargets())
 	}
 
@@ -331,6 +378,9 @@ func (w *worker) exec(prog *Prog, injSeed int64) (execResult, error) {
 			bits &= bits - 1
 		}
 	}
+	if w.tracer != nil {
+		res.trace = w.tracer.Take()
+	}
 	return res, nil
 }
 
@@ -343,6 +393,17 @@ func (f *Fuzzer) exec(prog *Prog, injSeed int64) (execResult, error) {
 // Kernel returns the first worker's booted kernel — the instance the
 // benchmark harness inspects (e.g. for decode-cache configuration).
 func (f *Fuzzer) Kernel() *kernel.Kernel { return f.workers[0].k }
+
+// Kernels returns every worker's booted kernel, in worker order — the
+// observability tests attach one profiler per worker and toggle each
+// worker's decode cache through this.
+func (f *Fuzzer) Kernels() []*kernel.Kernel {
+	ks := make([]*kernel.Kernel, len(f.workers))
+	for i, w := range f.workers {
+		ks[i] = w.k
+	}
+	return ks
+}
 
 // ExecIteration re-executes iteration i exactly as the campaign's first
 // worker would — restore the boot snapshot, derive the iteration's program
@@ -479,6 +540,7 @@ func (f *Fuzzer) Run() (*Report, error) {
 			res := out.res
 			f.report.Executed += res.nexec
 			f.report.Faults += res.faults
+			f.report.Trace = append(f.report.Trace, res.trace...)
 			for _, check := range res.auditBad {
 				f.report.AuditViolations[check]++
 			}
@@ -512,6 +574,7 @@ func (f *Fuzzer) Run() (*Report, error) {
 		return f.report.Crashes[i].Bucket < f.report.Crashes[j].Bucket
 	})
 	f.report.Cover = len(f.cover)
+	obs.Renumber(f.report.Trace)
 	return f.report, nil
 }
 

@@ -1,0 +1,61 @@
+package fuzz
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestReportSchemaGolden pins the krxfuzz -json wire format: any field
+// addition, removal, or rename changes these bytes and must come with a
+// ReportSchemaVersion bump (and a regenerated golden file —
+// `KRX_UPDATE_GOLDEN=1 go test ./internal/fuzz/`).
+func TestReportSchemaGolden(t *testing.T) {
+	prog := &Prog{Calls: []Call{{Nr: 3, Args: [3]uint64{1, 2, 0}}}}
+	rep := &Report{
+		SchemaVersion: ReportSchemaVersion,
+		Iters:         8,
+		Seed:          42,
+		Config:        "Vanilla",
+		Crashes: []*Crash{{
+			Bucket: "#PF/sys_read",
+			Count:  2,
+			Iter:   3,
+			Prog:   prog,
+			Min:    prog,
+		}},
+		Cover:           100,
+		Faults:          1,
+		Executed:        9,
+		AuditViolations: map[string]int{"wxorkx": 1},
+		Trace: []obs.Event{{
+			Seq: 0, Instrs: 10, Cycles: 40,
+			Kind: obs.EvSyscallEnter, Name: "sys_read", Addr: 0, Arg: 3,
+		}},
+	}
+	got, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "report.golden.json")
+	if os.Getenv("KRX_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with KRX_UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("report JSON changed without a ReportSchemaVersion bump.\n got: %s\nwant: %s", got, want)
+	}
+}

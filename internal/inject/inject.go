@@ -91,9 +91,11 @@ func (e Event) String() string {
 	return fmt.Sprintf("@%d %s addr=%#x %s", e.Instr, e.Kind, e.Addr, e.Note)
 }
 
-// Injector drives one campaign over one CPU. It chains onto the CPU's
-// OnExec hook so injection points are tied to the instruction stream, not
-// wall-clock or scheduling noise.
+// Injector drives one campaign over one CPU. It is a cpu.ExecProbe:
+// attaching installs it on the CPU's probe list, so injection points are
+// tied to the instruction stream — not wall-clock or scheduling noise —
+// and it composes with any other installed observer (coverage bitmaps,
+// profilers, tracers) without hook chaining.
 type Injector struct {
 	plan    Plan
 	rng     *rand.Rand
@@ -104,8 +106,11 @@ type Injector struct {
 	// Events is the log of injected faults, in injection order.
 	Events []Event
 
+	// Sink, when set, receives each injected fault as it is logged — the
+	// bridge into the observability tracer (obs.EvFault events).
+	Sink func(e Event)
+
 	since uint64 // instructions since the last opportunity
-	prev  func(rip uint64, in *isa.Instr, cycles uint64)
 }
 
 // New creates an injector for the plan. Zero-valued stride and cap take
@@ -120,28 +125,30 @@ func New(plan Plan) *Injector {
 	return &Injector{plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
 }
 
-// Attach hooks the injector onto the CPU, chaining any existing OnExec
-// handler (e.g. the fuzzer's coverage hook) before the injection logic.
+// Attach installs the injector as an execution probe on the CPU. Probes
+// dispatch in installation order, so observers installed earlier (e.g. the
+// fuzzer's coverage bitmap) still see each instruction before the injection
+// logic runs — the same ordering the old OnExec chaining provided.
 func (inj *Injector) Attach(c *cpu.CPU, as *mem.AddressSpace, t Targets) {
 	inj.c, inj.as, inj.targets = c, as, t
-	inj.prev = c.OnExec
-	c.OnExec = func(rip uint64, in *isa.Instr, cycles uint64) {
-		if inj.prev != nil {
-			inj.prev(rip, in, cycles)
-		}
-		inj.since++
-		if inj.since < inj.plan.Every {
-			return
-		}
-		inj.since = 0
-		inj.opportunity(rip)
-	}
+	c.AddProbe(inj)
 }
 
-// Detach restores the CPU's previous OnExec hook.
+// OnExec implements cpu.ExecProbe: every Plan.Every instructions, one
+// injection opportunity.
+func (inj *Injector) OnExec(rip uint64, in *isa.Instr, cycles uint64) {
+	inj.since++
+	if inj.since < inj.plan.Every {
+		return
+	}
+	inj.since = 0
+	inj.opportunity(rip)
+}
+
+// Detach uninstalls the injector's probe.
 func (inj *Injector) Detach() {
 	if inj.c != nil {
-		inj.c.OnExec = inj.prev
+		inj.c.RemoveProbe(inj)
 	}
 	inj.c = nil
 }
@@ -184,7 +191,11 @@ func (inj *Injector) opportunity(rip uint64) {
 }
 
 func (inj *Injector) log(kind string, addr uint64, note string) {
-	inj.Events = append(inj.Events, Event{Instr: inj.c.Instrs, Kind: kind, Addr: addr, Note: note})
+	e := Event{Instr: inj.c.Instrs, Kind: kind, Addr: addr, Note: note}
+	inj.Events = append(inj.Events, e)
+	if inj.Sink != nil {
+		inj.Sink(e)
+	}
 }
 
 // pickAddr draws a uniform address from the target data ranges.

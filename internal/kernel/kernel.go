@@ -20,6 +20,7 @@ import (
 	"repro/internal/kas"
 	"repro/internal/link"
 	"repro/internal/mem"
+	"repro/internal/obs"
 )
 
 // Syscall numbers.
@@ -108,17 +109,120 @@ type Kernel struct {
 	// (nil otherwise). Harnesses that manage their own per-iteration
 	// injectors leave Cfg.FaultPlan nil and attach directly.
 	Inj *inject.Injector
+
+	// Trace, when non-nil, receives syscall enter/exit and
+	// snapshot/restore events (and, because Boot attaches it for trap
+	// delivery too, every exception the CPU delivers). Set it with
+	// WithTracer or assign before issuing syscalls.
+	Trace *obs.Tracer
 }
 
-// Boot compiles the kernel corpus under cfg, installs it into a fresh
-// machine, performs the kR^X boot-time steps (xkey replenishment, physmap
-// synonym unmapping), and sets up a user process ready to issue syscalls.
-func Boot(cfg core.Config) (*Kernel, error) {
-	prog, err := BuildCorpus()
-	if err != nil {
-		return nil, fmt.Errorf("kernel: corpus: %w", err)
+// BootOption customizes Boot. The zero set of options compiles the shared
+// kernel corpus uncached — exactly what the original Boot(cfg) did.
+type BootOption func(*bootOptions)
+
+type bootOptions struct {
+	cached bool
+	prog   *ir.Program
+	image  *core.BuildResult
+	probes []cpu.ExecProbe
+	tracer *obs.Tracer
+}
+
+// WithCache boots through the process-wide build cache: the first boot of
+// a configuration compiles the corpus, every later boot of the same
+// configuration (per Config.BuildKey — runtime knobs like WatchdogBudget
+// and FaultPlan do not fragment the cache) reuses the compiled image and
+// only pays for installing it into a fresh address space. Safe for
+// concurrent use: multi-worker fuzzing campaigns and parallel benchmark
+// sweeps boot their kernels through here. Incompatible with WithProgram
+// (the cache is keyed to the shared corpus).
+func WithCache() BootOption {
+	return func(o *bootOptions) { o.cached = true }
+}
+
+// WithProgram boots a caller-supplied corpus instead of the shared one.
+func WithProgram(prog *ir.Program) BootOption {
+	return func(o *bootOptions) { o.prog = prog }
+}
+
+// WithImage installs an already-built image, skipping compilation. The
+// result may be shared: everything it holds is only read.
+func WithImage(res *core.BuildResult) BootOption {
+	return func(o *bootOptions) { o.image = res }
+}
+
+// WithProbes installs execution probes on the booted CPU (in order), before
+// any instruction runs.
+func WithProbes(ps ...cpu.ExecProbe) BootOption {
+	return func(o *bootOptions) { o.probes = append(o.probes, ps...) }
+}
+
+// WithTracer wires an event tracer into the kernel: syscall enter/exit and
+// snapshot/restore events are emitted by the kernel itself, and the tracer
+// is attached to the CPU for trap-delivery events.
+func WithTracer(t *obs.Tracer) BootOption {
+	return func(o *bootOptions) { o.tracer = t }
+}
+
+// Boot builds a kernel under cfg, installs it into a fresh machine,
+// performs the kR^X boot-time steps (xkey replenishment, physmap synonym
+// unmapping), and sets up a user process ready to issue syscalls. Options
+// select where the image comes from (WithCache, WithProgram, WithImage —
+// default: an uncached compile of the shared corpus) and what observers
+// ride along (WithProbes, WithTracer).
+func Boot(cfg core.Config, opts ...BootOption) (*Kernel, error) {
+	var o bootOptions
+	for _, opt := range opts {
+		opt(&o)
 	}
-	return BootProgram(prog, cfg)
+	res := o.image
+	switch {
+	case res != nil:
+		// Pre-built image wins; a redundant WithCache/WithProgram is a
+		// caller bug worth surfacing.
+		if o.cached || o.prog != nil {
+			return nil, fmt.Errorf("kernel: WithImage is exclusive with WithCache/WithProgram")
+		}
+	case o.cached:
+		if o.prog != nil {
+			return nil, fmt.Errorf("kernel: WithCache builds the shared corpus; it cannot cache a caller-supplied program")
+		}
+		prog, err := sharedCorpus()
+		if err != nil {
+			return nil, fmt.Errorf("kernel: corpus: %w", err)
+		}
+		res, err = buildCache.Build(prog, corpusID, cfg)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		prog := o.prog
+		if prog == nil {
+			var err error
+			prog, err = BuildCorpus()
+			if err != nil {
+				return nil, fmt.Errorf("kernel: corpus: %w", err)
+			}
+		}
+		var err error
+		res, err = core.Build(prog, cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	k, err := bootImage(res, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range o.probes {
+		k.CPU.AddProbe(p)
+	}
+	if o.tracer != nil {
+		k.Trace = o.tracer
+		o.tracer.Attach(k.CPU)
+	}
+	return k, nil
 }
 
 // The shared corpus and build cache behind BootCached. The corpus program
@@ -150,39 +254,32 @@ func sharedCorpus() (*ir.Program, error) {
 // the sweep tests; Reset for test isolation).
 func BuildCache() *core.Cache { return buildCache }
 
-// BootCached is Boot through the process-wide build cache: the first boot
-// of a configuration compiles the corpus, every later boot of the same
-// configuration (per Config.BuildKey — runtime knobs like WatchdogBudget
-// and FaultPlan do not fragment the cache) reuses the compiled image and
-// only pays for installing it into a fresh address space. Safe for
-// concurrent use: multi-worker fuzzing campaigns and parallel benchmark
-// sweeps boot their kernels through here.
+// BootCached is Boot through the process-wide build cache.
+//
+// Deprecated: use Boot(cfg, WithCache()).
 func BootCached(cfg core.Config) (*Kernel, error) {
-	prog, err := sharedCorpus()
-	if err != nil {
-		return nil, fmt.Errorf("kernel: corpus: %w", err)
-	}
-	res, err := buildCache.Build(prog, corpusID, cfg)
-	if err != nil {
-		return nil, err
-	}
-	return BootImage(res, cfg)
+	return Boot(cfg, WithCache())
 }
 
 // BootProgram is Boot with a caller-supplied corpus.
+//
+// Deprecated: use Boot(cfg, WithProgram(prog)).
 func BootProgram(prog *ir.Program, cfg core.Config) (*Kernel, error) {
-	res, err := core.Build(prog, cfg)
-	if err != nil {
-		return nil, err
-	}
-	return BootImage(res, cfg)
+	return Boot(cfg, WithProgram(prog))
 }
 
-// BootImage installs an already-built image into a fresh machine and
+// BootImage installs an already-built image into a fresh machine.
+//
+// Deprecated: use Boot(cfg, WithImage(res)).
+func BootImage(res *core.BuildResult, cfg core.Config) (*Kernel, error) {
+	return Boot(cfg, WithImage(res))
+}
+
+// bootImage installs an already-built image into a fresh machine and
 // performs the boot-time steps. res may be shared (cached): everything it
 // holds is only read — section bytes are poked into the new space, xkeys
 // are replenished in the space, never in the image.
-func BootImage(res *core.BuildResult, cfg core.Config) (*Kernel, error) {
+func bootImage(res *core.BuildResult, cfg core.Config) (*Kernel, error) {
 	pool := kas.NewPhysPool(PhysMemBytes)
 	sp, err := kas.Install(res.Image.Layout, pool)
 	if err != nil {
@@ -319,6 +416,9 @@ type Snapshot struct {
 // restorable (taking a new one supersedes the old).
 func (k *Kernel) Snapshot() *Snapshot {
 	k.Space.AS.Checkpoint()
+	if k.Trace != nil {
+		k.Trace.Emit(obs.EvSnapshot, "snapshot", 0, 0)
+	}
 	return &Snapshot{cpu: k.CPU.SaveState(), poolMark: k.Space.Pool.Mark()}
 }
 
@@ -330,6 +430,13 @@ func (k *Kernel) Restore(s *Snapshot) error {
 	}
 	k.CPU.RestoreState(s.cpu)
 	k.Space.Pool.Reset(s.poolMark)
+	if k.Trace != nil {
+		// Emitted after the CPU state rewinds, so the timestamp is the
+		// restored (deterministic) counter value, not the pre-rollback one
+		// — the property that keeps per-iteration traces byte-identical
+		// across worker counts.
+		k.Trace.Emit(obs.EvRestore, "restore", 0, 0)
+	}
 	return nil
 }
 
@@ -467,6 +574,13 @@ func (k *Kernel) Syscall(nr uint64, args ...uint64) (result *SyscallResult) {
 	}
 	c.StopOnSysret = true
 	defer func() { c.StopOnSysret = false }()
+	if k.Trace != nil {
+		var a0 uint64
+		if len(args) > 0 {
+			a0 = args[0]
+		}
+		k.Trace.Emit(obs.EvSyscallEnter, SyscallName(nr), a0, nr)
+	}
 	res := c.Run(k.WatchdogBudget())
 	r := &SyscallResult{
 		Ret:    c.Reg(isa.RAX),
@@ -476,7 +590,42 @@ func (k *Kernel) Syscall(nr uint64, args ...uint64) (result *SyscallResult) {
 	if res.Reason == cpu.StopLimit {
 		r.Err = &cpu.BudgetError{Budget: k.WatchdogBudget(), RIP: c.RIP, Mode: c.Mode}
 	}
+	if k.Trace != nil {
+		ret := r.Ret
+		if r.Failed {
+			ret = uint64(res.Reason)
+		}
+		k.Trace.Emit(obs.EvSyscallExit, SyscallName(nr), ret, nr)
+	}
 	return r
+}
+
+// syscallNames renders syscall numbers for trace events and profiler
+// reports, indexed by number.
+var syscallNames = [NumSyscalls]string{
+	SysNull: "sys_null", SysGetpid: "sys_getpid", SysOpen: "sys_open",
+	SysClose: "sys_close", SysRead: "sys_read", SysWrite: "sys_write",
+	SysSelect: "sys_select", SysFstat: "sys_fstat", SysMmap: "sys_mmap",
+	SysMunmap: "sys_munmap", SysFork: "sys_fork", SysExecve: "sys_execve",
+	SysExit: "sys_exit", SysSigaction: "sys_sigaction", SysKill: "sys_kill",
+	SysPipeRead: "sys_pipe_read", SysPipeWrite: "sys_pipe_write",
+	SysUnixRead: "sys_unix_read", SysUnixWrite: "sys_unix_write",
+	SysTCPRead: "sys_tcp_read", SysTCPWrite: "sys_tcp_write",
+	SysUDPRead: "sys_udp_read", SysUDPWrite: "sys_udp_write",
+	SysFtracePeek: "sys_ftrace_peek", SysLeak: "sys_leak",
+	SysPlant: "sys_plant", SysTrigger: "sys_trigger",
+	SysStackSmash: "sys_stack_smash", SysGetdents: "sys_getdents",
+	SysUname: "sys_uname", SysYield: "sys_yield", SysBrk: "sys_brk",
+	SysTriggerJmp: "sys_trigger_jmp",
+}
+
+// SyscallName returns the canonical name of a syscall number
+// ("sys_<nr>" for numbers outside the table).
+func SyscallName(nr uint64) string {
+	if nr < NumSyscalls {
+		return syscallNames[nr]
+	}
+	return fmt.Sprintf("sys_%d", nr)
 }
 
 // TriggerFault executes the user faulting-load stub against addr, stopping

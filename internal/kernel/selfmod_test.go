@@ -19,7 +19,7 @@ import (
 
 func bootK(t *testing.T) *kernel.Kernel {
 	t.Helper()
-	k, err := kernel.BootCached(core.Vanilla)
+	k, err := kernel.Boot(core.Vanilla, kernel.WithCache())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,14 @@
+// Package obs is the observability layer for the emulated machine: a
+// cycle-attributed profiler that maps every executed instruction to its
+// owning kernel function, a bounded ring-buffer tracer for traps, syscalls,
+// snapshot/restore, and injected faults, and a counter/gauge registry that
+// unifies the statistics scattered across the build cache, the decode
+// cache, and the fuzzer.
+//
+// Everything in this package is an observer: attaching any of it must never
+// change an architecturally visible outcome (Instrs, Cycles, trap streams,
+// syscall results). The profiler's conservation invariant — the sum of
+// attributed cycles equals the CPU's cycle delta over the attachment window
+// — and the tracer's deterministic text format are enforced by tests; both
+// hold with the decode cache on or off and under any fuzzing worker count.
+package obs

@@ -1,0 +1,123 @@
+// External test package: exercising the profiler against a real booted
+// kernel needs internal/kernel, which itself imports obs.
+package obs_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/obs"
+)
+
+func bootProfiled(t *testing.T, cfg core.Config) (*kernel.Kernel, *obs.Profiler) {
+	t.Helper()
+	k, err := kernel.Boot(cfg, kernel.WithCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := obs.NewProfiler(k.Img)
+	p.Attach(k.CPU)
+	return k, p
+}
+
+func TestProfilerConservationSyscalls(t *testing.T) {
+	k, p := bootProfiled(t, core.Vanilla)
+	for i := 0; i < 4; i++ {
+		if r := k.Syscall(kernel.SysGetpid); r.Failed {
+			t.Fatalf("getpid: %v", r.Run.Reason)
+		}
+		k.Syscall(kernel.SysNull)
+	}
+	if err := p.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	c, i := p.Attributed()
+	if c != k.CPU.Cycles || i != k.CPU.Instrs {
+		t.Fatalf("attributed %d/%d, CPU %d/%d", c, i, k.CPU.Cycles, k.CPU.Instrs)
+	}
+}
+
+// TestProfilerConservationWithTraps: trap delivery charges isa.TrapCost
+// outside any instruction; the TrapProbe channel must attribute it, keeping
+// the invariant exact even on faulting runs.
+func TestProfilerConservationWithTraps(t *testing.T) {
+	k, p := bootProfiled(t, core.Vanilla)
+	k.Syscall(kernel.SysGetpid)
+	k.TriggerFault(0xdead0000)
+	k.Syscall(kernel.SysNull)
+	if err := p.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfilerSyscallDimension(t *testing.T) {
+	k, p := bootProfiled(t, core.Vanilla)
+	k.Syscall(kernel.SysGetpid)
+	rep := p.Report()
+	var sawGetpid, sawOutside bool
+	for _, s := range rep.BySyscall {
+		switch s.Nr {
+		case int64(kernel.SysGetpid):
+			sawGetpid = s.Cycles > 0
+		case obs.NoSyscall:
+			sawOutside = s.Cycles > 0
+		}
+	}
+	if !sawGetpid {
+		t.Error("no cycles attributed to sys_getpid")
+	}
+	if !sawOutside {
+		t.Error("no cycles attributed outside the syscall window (entry stub runs before SYSCALL)")
+	}
+}
+
+func TestProfilerReportAndFormat(t *testing.T) {
+	k, p := bootProfiled(t, core.Vanilla)
+	k.Syscall(kernel.SysGetpid)
+	rep := p.Report()
+	if rep.TotalCycles != k.CPU.Cycles || rep.Attributed != rep.TotalCycles {
+		t.Fatalf("report totals %d/%d, CPU %d", rep.TotalCycles, rep.Attributed, k.CPU.Cycles)
+	}
+	var total uint64
+	for _, f := range rep.Funcs {
+		total += f.ExclCycles
+		if f.InclCycles < f.ExclCycles && f.Name != "[user]" {
+			// Inclusive covers the function's own work plus callees; virtual
+			// unwind at report time must keep it >= exclusive.
+			t.Errorf("%s: inclusive %d < exclusive %d", f.Name, f.InclCycles, f.ExclCycles)
+		}
+	}
+	if total != rep.Attributed {
+		t.Fatalf("function dimension sums to %d, attributed %d", total, rep.Attributed)
+	}
+	text := rep.Format(5, func(nr int64) string { return kernel.SyscallName(uint64(nr)) })
+	for _, want := range []string{"profile:", "sys_getpid", "syscall_entry"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("format missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestProfilerObserverNeutral: attaching the profiler must not change the
+// emulated outcome — same cycles, same instruction count, same return value.
+func TestProfilerObserverNeutral(t *testing.T) {
+	run := func(profiled bool) (uint64, uint64, uint64) {
+		k, err := kernel.Boot(core.Vanilla, kernel.WithCache())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if profiled {
+			p := obs.NewProfiler(k.Img)
+			p.Attach(k.CPU)
+		}
+		r := k.Syscall(kernel.SysGetpid)
+		return r.Ret, k.CPU.Cycles, k.CPU.Instrs
+	}
+	r1, c1, i1 := run(false)
+	r2, c2, i2 := run(true)
+	if r1 != r2 || c1 != c2 || i1 != i2 {
+		t.Fatalf("profiled run diverges: ret %d/%d cycles %d/%d instrs %d/%d", r1, r2, c1, c2, i1, i2)
+	}
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+)
+
+// Registry is a named counter/gauge collection: the one place the ad-hoc
+// statistics previously scattered across the build cache, the decode cache,
+// and the fuzzer report through. Counters are owned values incremented by
+// the instrumented code; gauges are pull-based closures sampled at Snapshot
+// time. Snapshot order is sorted by name, so every rendering is
+// deterministic.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]func() uint64
+}
+
+// Counter is a monotonically increasing metric, safe for concurrent use.
+type Counter struct {
+	n atomic.Uint64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d uint64) { c.n.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n.Load() }
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]func() uint64),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A name is
+// either a counter or a gauge, never both; registering across kinds
+// panics (a wiring bug, not a runtime condition).
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.gauges[name]; ok {
+		panic("obs: metric " + name + " already registered as a gauge")
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge registers a pull-based metric sampled at Snapshot time.
+// Re-registering a name replaces its closure.
+func (r *Registry) Gauge(name string, fn func() uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.counters[name]; ok {
+		panic("obs: metric " + name + " already registered as a counter")
+	}
+	r.gauges[name] = fn
+}
+
+// Metric is one sampled value.
+type Metric struct {
+	Name  string
+	Value uint64
+}
+
+// Snapshot samples every metric, sorted by name.
+func (r *Registry) Snapshot() []Metric {
+	r.mu.Lock()
+	out := make([]Metric, 0, len(r.counters)+len(r.gauges))
+	for name, c := range r.counters {
+		out = append(out, Metric{Name: name, Value: c.Value()})
+	}
+	fns := make([]Metric, 0, len(r.gauges))
+	gaugeFns := make(map[string]func() uint64, len(r.gauges))
+	for name, fn := range r.gauges {
+		gaugeFns[name] = fn
+	}
+	r.mu.Unlock()
+	// Sample gauges outside the lock: a gauge closure may itself take
+	// locks (e.g. the build cache's).
+	for name, fn := range gaugeFns {
+		fns = append(fns, Metric{Name: name, Value: fn()})
+	}
+	out = append(out, fns...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Format renders the snapshot one "name value" per line.
+func (r *Registry) Format() string {
+	var sb strings.Builder
+	for _, m := range r.Snapshot() {
+		fmt.Fprintf(&sb, "%-40s %d\n", m.Name, m.Value)
+	}
+	return sb.String()
+}
+
+// RegisterDecodeCache publishes a CPU's decode-cache statistics under
+// prefix (e.g. "decode_cache").
+func RegisterDecodeCache(r *Registry, prefix string, c *cpu.CPU) {
+	stat := func(pick func(cpu.DecodeCacheStats) uint64) func() uint64 {
+		return func() uint64 { return pick(c.DecodeCacheStats()) }
+	}
+	r.Gauge(prefix+".hits", stat(func(s cpu.DecodeCacheStats) uint64 { return s.Hits }))
+	r.Gauge(prefix+".misses", stat(func(s cpu.DecodeCacheStats) uint64 { return s.Misses }))
+	r.Gauge(prefix+".decoded", stat(func(s cpu.DecodeCacheStats) uint64 { return s.Decoded }))
+	r.Gauge(prefix+".invalidations", stat(func(s cpu.DecodeCacheStats) uint64 { return s.Invalidations }))
+	r.Gauge(prefix+".remaps", stat(func(s cpu.DecodeCacheStats) uint64 { return s.Remaps }))
+	r.Gauge(prefix+".pages", stat(func(s cpu.DecodeCacheStats) uint64 { return s.Pages }))
+	r.Gauge(prefix+".entries", stat(func(s cpu.DecodeCacheStats) uint64 { return s.Entries }))
+}
+
+// RegisterBuildCache publishes a build cache's counters under prefix
+// (e.g. "build_cache").
+func RegisterBuildCache(r *Registry, prefix string, c *core.Cache) {
+	r.Gauge(prefix+".builds", func() uint64 { return uint64(c.Builds()) })
+	r.Gauge(prefix+".hits", func() uint64 { return uint64(c.Hits()) })
+}
+
+// RegisterCPU publishes a CPU's cumulative execution counters under prefix
+// (e.g. "cpu").
+func RegisterCPU(r *Registry, prefix string, c *cpu.CPU) {
+	r.Gauge(prefix+".instrs", func() uint64 { return c.Instrs })
+	r.Gauge(prefix+".cycles", func() uint64 { return c.Cycles })
+}
+
+// RegisterTracer publishes a tracer's occupancy under prefix (e.g.
+// "trace").
+func RegisterTracer(r *Registry, prefix string, t *Tracer) {
+	r.Gauge(prefix+".events", func() uint64 { return uint64(t.Len()) })
+	r.Gauge(prefix+".dropped", func() uint64 { return t.Dropped() })
+}
