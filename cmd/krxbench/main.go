@@ -29,6 +29,7 @@ func main() {
 		traceOut = flag.String("trace", "", "run the Table 1 suite under the fully protected preset with event tracing; write Chrome trace-event JSON to this file")
 		funcs    = flag.Bool("funcs", false, "cycle-attributed per-function profile of the Table 1 suite (conservation-checked)")
 		stats    = flag.Bool("stats", false, "print the observability metric registry after the traced/profiled run")
+		blocks   = flag.Bool("blocks", true, "dispatch through the superblock engine where no probes are armed (bit-identical either way)")
 		iters    = flag.Int("iters", 10, "measured iterations per data point")
 	)
 	flag.Parse()
@@ -55,7 +56,7 @@ func main() {
 	}
 
 	if observe {
-		if err := runObserved(*traceOut, *funcs, *stats); err != nil {
+		if err := runObserved(*traceOut, *funcs, *stats, *blocks); err != nil {
 			fail(err)
 		}
 		return
@@ -125,7 +126,7 @@ func main() {
 // Chrome trace-event JSON), the cycle-attributed function profiler, and the
 // metric registry. Tracing and profiling never perturb the emulated
 // machine, so the suite's cycle totals match an unobserved run exactly.
-func runObserved(traceOut string, funcs, stats bool) error {
+func runObserved(traceOut string, funcs, stats, blocks bool) error {
 	presets := core.Presets()
 	cfg := presets[len(presets)-1]
 	tr := obs.NewTracer(1 << 16)
@@ -133,6 +134,7 @@ func runObserved(traceOut string, funcs, stats bool) error {
 	if err != nil {
 		return err
 	}
+	k.CPU.SetBlockEngine(blocks)
 	var prof *obs.Profiler
 	if funcs {
 		prof = obs.NewProfiler(k.Img)
@@ -165,6 +167,8 @@ func runObserved(traceOut string, funcs, stats bool) error {
 		reg := obs.NewRegistry()
 		obs.RegisterCPU(reg, "cpu", k.CPU)
 		obs.RegisterDecodeCache(reg, "decode_cache", k.CPU)
+		obs.RegisterBlockEngine(reg, "block_engine", k.CPU)
+		obs.RegisterDataTLB(reg, "dtlb", k.CPU.AS)
 		obs.RegisterBuildCache(reg, "build_cache", kernel.BuildCache())
 		obs.RegisterTracer(reg, "trace", tr)
 		fmt.Print(reg.Format())

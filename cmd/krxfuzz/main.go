@@ -37,6 +37,7 @@ func run() error {
 	jsonOut := flag.Bool("json", false, "emit the report as machine-readable JSON (schema_version marks the format)")
 	traceOut := flag.String("trace", "", "record the campaign event stream (byte-identical for any -workers count); write Chrome trace-event JSON to this file")
 	stats := flag.Bool("stats", false, "print the observability metric registry after the campaign")
+	blocks := flag.Bool("blocks", true, "dispatch through the superblock engine (bit-identical either way; -blocks=false forces per-instruction stepping)")
 	flag.Parse()
 
 	cfg := core.Config{
@@ -59,6 +60,9 @@ func run() error {
 	f, err := fuzz.New(opts)
 	if err != nil {
 		return err
+	}
+	for _, k := range f.Kernels() {
+		k.CPU.SetBlockEngine(*blocks)
 	}
 	rep, err := f.Run()
 	if err != nil {
@@ -87,6 +91,8 @@ func run() error {
 		reg := obs.NewRegistry()
 		obs.RegisterCPU(reg, "cpu", f.Kernel().CPU)
 		obs.RegisterDecodeCache(reg, "decode_cache", f.Kernel().CPU)
+		obs.RegisterBlockEngine(reg, "block_engine", f.Kernel().CPU)
+		obs.RegisterDataTLB(reg, "dtlb", f.Kernel().CPU.AS)
 		obs.RegisterBuildCache(reg, "build_cache", kernel.BuildCache())
 		fmt.Print(reg.Format())
 	}

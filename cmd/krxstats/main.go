@@ -62,6 +62,8 @@ func main() {
 				}
 			}
 			fmt.Println(bench.DecodeCacheReport(k))
+			fmt.Println(bench.BlockEngineReport(k))
+			fmt.Println(bench.DataTLBReport(k))
 			fmt.Println()
 		}
 		return
@@ -101,6 +103,8 @@ func printMetrics() error {
 		reg := obs.NewRegistry()
 		obs.RegisterCPU(reg, "cpu", k.CPU)
 		obs.RegisterDecodeCache(reg, "decode_cache", k.CPU)
+		obs.RegisterBlockEngine(reg, "block_engine", k.CPU)
+		obs.RegisterDataTLB(reg, "dtlb", k.CPU.AS)
 		obs.RegisterBuildCache(reg, "build_cache", kernel.BuildCache())
 		fmt.Printf("=== %s ===\n%s\n", cfg.Name(), reg.Format())
 	}

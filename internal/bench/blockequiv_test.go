@@ -1,0 +1,131 @@
+// Block-engine bit-identity enforcement at system scale: the superblock
+// engine must not change any architecturally visible outcome of the Table 1
+// suite, the paper's attack scenarios, or a fuzzing campaign — and the fuzz
+// report must stay byte-identical across worker counts with the engine on.
+// These runs are probe-free (probes disarm the block fast path), so the
+// on-side genuinely executes through block dispatch; each test asserts so
+// via BlockStats.
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/fuzz"
+	"repro/internal/kernel"
+)
+
+func bootBlocks(t *testing.T, cfg core.Config, blocksOn bool) *kernel.Kernel {
+	t.Helper()
+	k, err := kernel.Boot(cfg, kernel.WithCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.CPU.SetBlockEngine(blocksOn)
+	return k
+}
+
+// TestTable1SuiteBlockEquivalence: every micro-op under block dispatch must
+// produce the identical cycle and instruction totals as single-step, on the
+// unprotected and the fully protected columns.
+func TestTable1SuiteBlockEquivalence(t *testing.T) {
+	for _, cfg := range equivConfigs() {
+		type outcome struct {
+			cycles, instrs uint64
+		}
+		run := func(blocksOn bool) outcome {
+			k := bootBlocks(t, cfg, blocksOn)
+			instrs0 := k.CPU.Instrs
+			cycles, err := RunTable1Suite(k)
+			if err != nil {
+				t.Fatalf("%s: %v", cfg.Name(), err)
+			}
+			if bs := k.CPU.BlockStats(); blocksOn && bs.Dispatches == 0 {
+				t.Fatalf("%s: block engine never dispatched", cfg.Name())
+			} else if !blocksOn && bs.Dispatches != 0 {
+				t.Fatalf("%s: disabled engine dispatched: %+v", cfg.Name(), bs)
+			}
+			return outcome{cycles: cycles, instrs: k.CPU.Instrs - instrs0}
+		}
+		on, off := run(true), run(false)
+		if on != off {
+			t.Errorf("%s: blocks on/off diverge: %+v vs %+v", cfg.Name(), on, off)
+		}
+	}
+}
+
+// TestAttackScenariosBlockEquivalence: the paper's three attack scenarios —
+// including JIT-ROP gadget harvesting, exactly the adversarial control flow
+// and text-reading a block engine could corrupt — end identically with the
+// engine on and off.
+func TestAttackScenariosBlockEquivalence(t *testing.T) {
+	scenarios := []struct {
+		name string
+		run  func(cfg core.Config, blocksOn bool) (attack.Result, *kernel.Kernel)
+	}{
+		{"DirectROP", func(cfg core.Config, blocksOn bool) (attack.Result, *kernel.Kernel) {
+			target := bootBlocks(t, cfg, blocksOn)
+			ref := bootBlocks(t, cfg, blocksOn)
+			return attack.DirectROP(target, ref), target
+		}},
+		{"JITROP", func(cfg core.Config, blocksOn bool) (attack.Result, *kernel.Kernel) {
+			target := bootBlocks(t, cfg, blocksOn)
+			return attack.JITROP(target), target
+		}},
+		{"IndirectJITROP", func(cfg core.Config, blocksOn bool) (attack.Result, *kernel.Kernel) {
+			target := bootBlocks(t, cfg, blocksOn)
+			return attack.IndirectJITROP(target), target
+		}},
+	}
+	for _, cfg := range equivConfigs() {
+		for _, sc := range scenarios {
+			rOn, kOn := sc.run(cfg, true)
+			rOff, kOff := sc.run(cfg, false)
+			if rOn != rOff {
+				t.Errorf("%s/%s: results diverge:\n on: %v\noff: %v", cfg.Name(), sc.name, rOn, rOff)
+			}
+			if kOn.CPU.Instrs != kOff.CPU.Instrs || kOn.CPU.Cycles != kOff.CPU.Cycles {
+				t.Errorf("%s/%s: counters diverge: instrs %d/%d cycles %d/%d",
+					cfg.Name(), sc.name, kOn.CPU.Instrs, kOff.CPU.Instrs, kOn.CPU.Cycles, kOff.CPU.Cycles)
+			}
+			// On the unprotected column the attack genuinely executes its
+			// payload; there the engine must have been in the loop. Protected
+			// columns may fault before a single block dispatches.
+			if bs := kOn.CPU.BlockStats(); cfg.Name() == core.Vanilla.Name() && bs.Dispatches == 0 {
+				t.Errorf("%s/%s: block engine never dispatched on the target", cfg.Name(), sc.name)
+			}
+		}
+	}
+}
+
+// TestFuzzReportBlockInvariance: campaign reports must be byte-identical
+// across block engine on/off AND across -workers 1 and 4 with the engine
+// on — the worker-count invariance the deterministic scheduler guarantees
+// must survive the new dispatch path.
+func TestFuzzReportBlockInvariance(t *testing.T) {
+	run := func(workers int, blocksOn bool) string {
+		f, err := fuzz.New(fuzz.Options{Iters: 96, Seed: 17, Config: core.Vanilla, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range f.Kernels() {
+			k.CPU.SetBlockEngine(blocksOn)
+		}
+		rep, err := f.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.String()
+	}
+	base := run(1, true)
+	for _, tc := range []struct {
+		workers  int
+		blocksOn bool
+	}{{4, true}, {1, false}, {4, false}} {
+		if got := run(tc.workers, tc.blocksOn); got != base {
+			t.Errorf("workers=%d blocks=%v: report diverges from workers=1 blocks=on",
+				tc.workers, tc.blocksOn)
+		}
+	}
+}

@@ -1,10 +1,10 @@
 // Emulator host-performance benchmarks: unlike every other measurement in
-// this package (which reports emulated cycles — numbers the decode cache is
-// forbidden to change), these measure host wall-clock of the emulator
-// itself, with the predecoded translation cache on and off. Each workload
-// runs both ways and the harness asserts the emulated cycle totals are
-// identical — the cache's bit-identical-semantics invariant — before
-// reporting the speedup.
+// this package (which reports emulated cycles — numbers the acceleration
+// layers are forbidden to change), these measure host wall-clock of the
+// emulator itself in three modes: superblocks + decode cache (the default),
+// decode cache only, and neither. Each workload runs all three ways and the
+// harness asserts the emulated cycle totals are identical — the
+// bit-identical-semantics invariant — before reporting the speedups.
 
 package bench
 
@@ -19,21 +19,28 @@ import (
 	"repro/internal/kernel"
 )
 
-// EmuResult is one workload measured with the decode cache on and off.
-// Cycles is the emulated total over the timed iterations; it is asserted
-// equal in both modes, so a single field suffices.
+// EmuResult is one workload measured in three modes: block engine + decode
+// cache, decode cache only, and neither. Cycles is the emulated total over
+// the timed iterations; it is asserted equal across all modes, so a single
+// field suffices. Speedup compares the decode cache against raw
+// interpretation (cache_off / cache_on, the PR 3 metric); BlockSpeedup
+// compares block dispatch against the decode-cache-only path
+// (cache_on / blocks_on, this PR's metric).
 type EmuResult struct {
-	Name      string  `json:"name"`
-	Iters     int     `json:"iters"`
-	HostNsOn  int64   `json:"host_ns_per_op_cache_on"`
-	HostNsOff int64   `json:"host_ns_per_op_cache_off"`
-	Speedup   float64 `json:"speedup"`
-	Cycles    uint64  `json:"emulated_cycles"`
+	Name         string  `json:"name"`
+	Iters        int     `json:"iters"`
+	HostNsBlocks int64   `json:"host_ns_per_op_blocks_on"`
+	HostNsOn     int64   `json:"host_ns_per_op_cache_on"`
+	HostNsOff    int64   `json:"host_ns_per_op_cache_off"`
+	Speedup      float64 `json:"speedup"`
+	BlockSpeedup float64 `json:"block_speedup"`
+	Cycles       uint64  `json:"emulated_cycles"`
 }
 
 // EmuSchemaVersion identifies the JSON layout of EmuReport. Bump it on any
 // field change so downstream consumers can detect the format.
-const EmuSchemaVersion = 2
+// v3: added host_ns_per_op_blocks_on and block_speedup (superblock engine).
+const EmuSchemaVersion = 3
 
 // EmuReport is the machine-readable emulator benchmark baseline
 // (BENCH_emulator.json).
@@ -51,11 +58,11 @@ func (r *EmuReport) JSON() ([]byte, error) {
 }
 
 // emuWorkload builds a closure that executes one unit of emulated work and
-// returns its cycle cost. make is called once per cache mode, so each mode
-// gets a fresh kernel and an identical iteration sequence.
+// returns its cycle cost. make is called once per mode, so each mode gets a
+// fresh kernel and an identical iteration sequence.
 type emuWorkload struct {
 	name string
-	make func(cacheOn bool) (func() (uint64, error), error)
+	make func(cacheOn, blocksOn bool) (func() (uint64, error), error)
 }
 
 // RunTable1Suite executes every Table 1 micro-op once against k and returns
@@ -84,12 +91,13 @@ func RunTable1Suite(k *kernel.Kernel) (uint64, error) {
 func table1Workload(cfg core.Config) emuWorkload {
 	return emuWorkload{
 		name: "table1-suite/" + cfg.Name(),
-		make: func(cacheOn bool) (func() (uint64, error), error) {
+		make: func(cacheOn, blocksOn bool) (func() (uint64, error), error) {
 			k, err := kernel.Boot(cfg, kernel.WithCache())
 			if err != nil {
 				return nil, err
 			}
 			k.CPU.SetDecodeCache(cacheOn)
+			k.CPU.SetBlockEngine(blocksOn)
 			return func() (uint64, error) { return RunTable1Suite(k) }, nil
 		},
 	}
@@ -98,12 +106,13 @@ func table1Workload(cfg core.Config) emuWorkload {
 func fuzzWorkload(cfg core.Config, seed int64) emuWorkload {
 	return emuWorkload{
 		name: "fuzz-iteration/" + cfg.Name(),
-		make: func(cacheOn bool) (func() (uint64, error), error) {
+		make: func(cacheOn, blocksOn bool) (func() (uint64, error), error) {
 			f, err := fuzz.New(fuzz.Options{Iters: 1, Seed: seed, Config: cfg, Workers: 1})
 			if err != nil {
 				return nil, err
 			}
 			f.Kernel().CPU.SetDecodeCache(cacheOn)
+			f.Kernel().CPU.SetBlockEngine(blocksOn)
 			// The iteration counter restarts per mode, so both modes execute
 			// the identical (seed, i)-derived program sequence.
 			i := 0
@@ -116,18 +125,26 @@ func fuzzWorkload(cfg core.Config, seed int64) emuWorkload {
 	}
 }
 
-// measureEmu times one workload in both cache modes and enforces the
-// bit-identical-cycles invariant.
+// measureEmu times one workload in all three modes and enforces the
+// bit-identical-cycles invariant across every pair.
 func measureEmu(w emuWorkload, iters int) (EmuResult, error) {
 	res := EmuResult{Name: w.name, Iters: iters}
-	var cycles [2]uint64
-	var host [2]time.Duration
-	for m, on := range []bool{true, false} {
-		run, err := w.make(on)
+	modes := []struct {
+		name              string
+		cacheOn, blocksOn bool
+	}{
+		{"blocks+cache", true, true},
+		{"cache-only", true, false},
+		{"uncached", false, false},
+	}
+	var cycles [3]uint64
+	var host [3]time.Duration
+	for m, mode := range modes {
+		run, err := w.make(mode.cacheOn, mode.blocksOn)
 		if err != nil {
 			return res, fmt.Errorf("bench: %s: %w", w.name, err)
 		}
-		if _, err := run(); err != nil { // warmup (populates the cache)
+		if _, err := run(); err != nil { // warmup (populates the caches)
 			return res, fmt.Errorf("bench: %s: %w", w.name, err)
 		}
 		start := time.Now()
@@ -140,15 +157,21 @@ func measureEmu(w emuWorkload, iters int) (EmuResult, error) {
 		}
 		host[m] = time.Since(start)
 	}
-	if cycles[0] != cycles[1] {
-		return res, fmt.Errorf("bench: %s: emulated cycles diverge with cache on/off: %d vs %d",
-			w.name, cycles[0], cycles[1])
+	for m := 1; m < len(modes); m++ {
+		if cycles[m] != cycles[0] {
+			return res, fmt.Errorf("bench: %s: emulated cycles diverge: %s %d vs %s %d",
+				w.name, modes[0].name, cycles[0], modes[m].name, cycles[m])
+		}
 	}
 	res.Cycles = cycles[0]
-	res.HostNsOn = host[0].Nanoseconds() / int64(iters)
-	res.HostNsOff = host[1].Nanoseconds() / int64(iters)
+	res.HostNsBlocks = host[0].Nanoseconds() / int64(iters)
+	res.HostNsOn = host[1].Nanoseconds() / int64(iters)
+	res.HostNsOff = host[2].Nanoseconds() / int64(iters)
 	if res.HostNsOn > 0 {
 		res.Speedup = float64(res.HostNsOff) / float64(res.HostNsOn)
+	}
+	if res.HostNsBlocks > 0 {
+		res.BlockSpeedup = float64(res.HostNsOn) / float64(res.HostNsBlocks)
 	}
 	return res, nil
 }
@@ -194,4 +217,22 @@ func DecodeCacheReport(k *kernel.Kernel) string {
 	return fmt.Sprintf(
 		"decode-cache: pages=%d entries=%d hits=%d misses=%d decoded=%d invalidations=%d remaps=%d",
 		s.Pages, s.Entries, s.Hits, s.Misses, s.Decoded, s.Invalidations, s.Remaps)
+}
+
+// BlockEngineReport formats a kernel CPU's superblock-engine statistics —
+// the companion line to DecodeCacheReport in krxstats -audit.
+func BlockEngineReport(k *kernel.Kernel) string {
+	if !k.CPU.BlockEngineEnabled() {
+		return "block-engine: disabled"
+	}
+	s := k.CPU.BlockStats()
+	return fmt.Sprintf(
+		"block-engine: blocks=%d formed=%d dispatches=%d instrs=%d aborts=%d",
+		s.Blocks, s.Formed, s.Dispatches, s.Instrs, s.Aborts)
+}
+
+// DataTLBReport formats the kernel address space's data-TLB counters.
+func DataTLBReport(k *kernel.Kernel) string {
+	s := k.CPU.AS.DataTLBStats()
+	return fmt.Sprintf("data-tlb: hits=%d misses=%d", s.Hits, s.Misses)
 }

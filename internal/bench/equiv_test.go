@@ -25,19 +25,20 @@ func equivConfigs() []core.Config {
 	return []core.Config{core.Vanilla, presets[len(presets)-1]}
 }
 
-// hookDigest folds every OnExec callback (rip, opcode, cycle delta, in
-// order) into a hash readable through the returned pointer.
+// hookDigest installs an exec probe folding every OnExec callback (rip,
+// opcode, cycle delta, in order) into a hash readable through the returned
+// pointer.
 func hookDigest(c *cpu.CPU) *uint64 {
 	h := fnv.New64a()
 	out := new(uint64)
 	var buf [17]byte
-	c.OnExec = func(rip uint64, in *isa.Instr, cycles uint64) {
+	c.AddProbe(cpu.ExecProbeFunc(func(rip uint64, in *isa.Instr, cycles uint64) {
 		binary.LittleEndian.PutUint64(buf[0:], rip)
 		buf[8] = byte(in.Op)
 		binary.LittleEndian.PutUint64(buf[9:], cycles)
 		h.Write(buf[:])
 		*out = h.Sum64()
-	}
+	}))
 	return out
 }
 

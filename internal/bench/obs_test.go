@@ -262,12 +262,12 @@ func TestFuzzTraceWorkerInvariance(t *testing.T) {
 }
 
 // TestMultiProbeCacheEquivalence extends the PR 3 cache-equivalence gate to
-// multi-probe configurations: two probes installed via AddProbe alongside
-// the legacy OnExec shim all observe the identical stream, cache on and off.
+// multi-probe configurations: a func-adapted probe and two struct probes
+// installed via AddProbe all observe the identical stream, cache on and off.
 func TestMultiProbeCacheEquivalence(t *testing.T) {
 	cfg := equivConfigs()[1]
 	type outcome struct {
-		legacy, a, b, trap uint64
+		fn, a, b, trap uint64
 	}
 	run := func(cacheOn bool) outcome {
 		k, err := kernel.Boot(cfg, kernel.WithCache())
@@ -275,14 +275,14 @@ func TestMultiProbeCacheEquivalence(t *testing.T) {
 			t.Fatal(err)
 		}
 		k.CPU.SetDecodeCache(cacheOn)
-		legacy := hookDigest(k.CPU)
+		fn := hookDigest(k.CPU)
 		a, b := newDigestProbe(), newDigestProbe()
 		k.CPU.AddProbe(a)
 		k.CPU.AddProbe(b)
 		if _, err := RunTable1Suite(k); err != nil {
 			t.Fatal(err)
 		}
-		return outcome{legacy: *legacy, a: a.exec, b: b.exec, trap: a.trap}
+		return outcome{fn: *fn, a: a.exec, b: b.exec, trap: a.trap}
 	}
 	on, off := run(true), run(false)
 	if on != off {

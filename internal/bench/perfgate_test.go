@@ -103,3 +103,57 @@ func TestProbesDisabledStepPerfGate(t *testing.T) {
 		}
 	}
 }
+
+// TestBlockEnginePerfGate gates the superblock engine against its own
+// fallback: on the probe-free table1-suite workloads, block dispatch must
+// be at least as fast as the decode-cache-only path (block_speedup >= 1.0,
+// within the KRX_PERF_GATE_PCT band). The measurement is the minimum over
+// three EmuBench repetitions; the exact emulated-cycles equality across all
+// three modes is enforced inside measureEmu on every repetition — a
+// divergence fails the run before any timing is reported.
+//
+// Like the Step gate, this only arms under KRX_PERF_GATE: it is a relative
+// same-host comparison, so no goos/goarch check is needed.
+func TestBlockEnginePerfGate(t *testing.T) {
+	if os.Getenv("KRX_PERF_GATE") == "" {
+		t.Skip("perf gate disarmed (set KRX_PERF_GATE=1 to gate block-engine speedup)")
+	}
+	tolerance := 2.0
+	if s := os.Getenv("KRX_PERF_GATE_PCT"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("KRX_PERF_GATE_PCT: %v", err)
+		}
+		tolerance = v
+	}
+
+	best := make(map[string]EmuResult)
+	for rep := 0; rep < 3; rep++ {
+		cur, err := EmuBench(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range cur.Results {
+			b, ok := best[r.Name]
+			if !ok || r.HostNsBlocks < b.HostNsBlocks {
+				best[r.Name] = r
+			}
+		}
+	}
+
+	for name, r := range best {
+		t.Logf("%s: blocks %d ns/op vs cache-only %d ns/op (block speedup %.3fx)",
+			name, r.HostNsBlocks, r.HostNsOn, r.BlockSpeedup)
+		// Only the table1-suite workloads run probe-free; the fuzz workloads
+		// carry the coverage probe, which disarms block dispatch, so their
+		// two timings measure the same path and are informational only.
+		if !strings.HasPrefix(name, "table1-suite/") {
+			continue
+		}
+		speedup := float64(r.HostNsOn) / float64(r.HostNsBlocks)
+		if speedup < 1.0-tolerance/100 {
+			t.Errorf("%s: block engine slower than decode-cache-only: %.3fx (< 1.0 - %.1f%% band)",
+				name, speedup, tolerance)
+		}
+	}
+}

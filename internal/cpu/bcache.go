@@ -1,0 +1,236 @@
+package cpu
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// The basic-block superblock engine.
+//
+// The decode cache (dcache.go) removed per-instruction decode cost, but the
+// Run loop still paid a full dispatch per instruction: a decode-cache lookup
+// (TLB slot, map-generation compare, frame-generation compare, index load),
+// the fetch privilege checks, the limit check, and the probe check. Classic
+// DBT systems (QEMU's translation-block chaining, Embra's fast paths)
+// amortize that dispatch over straight-line regions; this engine does the
+// same on top of the cached decodes.
+//
+// A block is a maximal run of consecutively cached instructions on one page,
+// ending at (and including) the first terminator: any control transfer
+// (jmp/jcc/call/ret/iret/syscall/sysret), a trapping or serializing
+// instruction (hlt/int3/ud2), or a string operation (whose REP cost is
+// dynamic — the static per-block cost precomputation cannot cover it).
+// Formation also stops short of a cached deterministic-#UD slot and at the
+// page-tail boundary (offsets the decode cache leaves undecided), so every
+// entry in a block is a fully decoded instruction of this frame's bytes.
+//
+// Validation is hoisted to block granularity: the page's frame is resolved
+// and its MapGen/Frame.Gen generations are checked ONCE at block entry (by
+// blockLookup, through the same resolve path the per-instruction cache
+// uses), and the block then executes in a tight loop with no per-instruction
+// lookups. Three things make that sound:
+//
+//   - Control flow cannot leave the block silently: every instruction that
+//     can set RIP anywhere but the next sequential address is a terminator,
+//     so entry k+1 is always the instruction at entry k's end.
+//
+//   - The privilege mode cannot change mid-block: mode switches happen only
+//     in terminators (syscall/sysret/iret) or through trap delivery, which
+//     exits the block. The fetch privilege checks (user/upper-half, SMEP)
+//     done once at block entry therefore hold for every instruction in it.
+//
+//   - Self-modification cannot outrun invalidation: after every instruction
+//     that can store to memory (flagged dcStore at decode time), the frame
+//     generation is re-checked; a mismatch means the block just overwrote
+//     its own page, so execution aborts back to the dispatch loop, whose
+//     next lookup flushes and redecodes. Stores to *other* pages need no
+//     mid-block check — their cached blocks revalidate at next entry.
+//
+// Accounting stays per-instruction (Instrs++/Cycles+=cost before each
+// exec), not per-block: a mid-block trap must observe exactly the counter
+// state the single-step path would, or the bit-identical invariant breaks.
+// The precomputed block cost and count feed the limit guard and the stats.
+
+// BlockStats reports superblock-engine behaviour for one CPU.
+type BlockStats struct {
+	Formed     uint64 // blocks ever formed (cumulative, survives flushes)
+	Dispatches uint64 // block executions entered via the Run fast path
+	Instrs     uint64 // instructions executed inside dispatched blocks
+	Aborts     uint64 // mid-block self-modification resyncs
+	Blocks     uint64 // blocks currently live in the cache
+}
+
+// Entry flag bits, computed once at decode time (dcache.fill).
+const (
+	// dcEnd marks a block terminator: control transfer, trapping or
+	// serializing instruction, or a dynamic-cost string operation.
+	dcEnd uint8 = 1 << iota
+	// dcStore marks an instruction that can write memory on the straight-
+	// line path (isa.Instr.WritesMemory minus the string ops, which are
+	// terminators, plus the implicit stack/bound-table stores it excludes).
+	dcStore
+)
+
+// entryFlags classifies one decoded instruction for block formation.
+func entryFlags(op isa.Opcode) uint8 {
+	switch op {
+	case isa.JMP, isa.JMPR, isa.JMPM, isa.JCC,
+		isa.CALL, isa.CALLR, isa.CALLM,
+		isa.RET, isa.RETI, isa.IRET,
+		isa.SYSCALL, isa.SYSRET,
+		isa.HLT, isa.INT3, isa.UD2,
+		isa.MOVS, isa.STOS, isa.LODS, isa.CMPS, isa.SCAS:
+		return dcEnd
+	case isa.MOVmr, isa.MOVmi, isa.XORmr, isa.PUSH, isa.PUSHFQ, isa.BNDSTX:
+		return dcStore
+	}
+	return 0
+}
+
+// blkEnt is one instruction of a formed block: a dense copy of the decode
+// cache's entry, laid out contiguously so the dispatch loop walks a single
+// cache-friendly array instead of chasing indices into dcPage.entries.
+// Copies are safe because any event that could stale the decoded form
+// (frame content change, remap) flushes the page's blocks wholesale.
+type blkEnt struct {
+	in    isa.Instr
+	cost  uint64
+	ilen  uint8
+	flags uint8
+}
+
+// dcBlock is one superblock: consecutive instructions of its page,
+// terminator (if any) last.
+type dcBlock struct {
+	ents  []blkEnt
+	count uint64 // len(ents): the Run fast path's limit guard
+	cost  uint64 // cumulative static cycle cost of the block
+}
+
+// formBlock builds (and registers) the block starting at page offset off,
+// decoding forward as needed. It returns the blkIdx value for off: >0 for
+// blocks[i-1], -1 when no block can start here (a cached #UD or an
+// undecidable page-tail offset — the single-step path owns those).
+func (p *dcPage) formBlock(off int, dc *decodeCache) int32 {
+	start := off
+	var ents []blkEnt
+	var cost uint64
+	for off < mem.PageSize {
+		i := p.idx[off]
+		if i == 0 {
+			dc.stats.Misses++
+			p.fill(off, &dc.stats)
+			i = p.idx[off]
+		}
+		if i <= 0 {
+			// #UD slot or page-tail straddler: the block ends before it;
+			// the dispatch loop falls back to Step for the offset itself.
+			break
+		}
+		e := &p.entries[i-1]
+		ents = append(ents, blkEnt{in: e.in, cost: e.cost, ilen: e.ilen, flags: e.flags})
+		cost += e.cost
+		if e.flags&dcEnd != 0 {
+			break
+		}
+		off += int(e.ilen)
+	}
+	if len(ents) == 0 {
+		p.blkIdx[start] = -1
+		return -1
+	}
+	p.blocks = append(p.blocks, dcBlock{ents: ents, count: uint64(len(ents)), cost: cost})
+	bi := int32(len(p.blocks))
+	p.blkIdx[start] = bi
+	dc.bstats.Formed++
+	return bi
+}
+
+// blockLookup resolves rip to a formed superblock, validating the page's
+// generations exactly as the per-instruction lookup does. It returns
+// (nil, nil) when no block starts at rip — not executable, a cached #UD, or
+// a page-tail offset — and the caller must fall back to single-step.
+func (dc *decodeCache) blockLookup(as *mem.AddressSpace, rip uint64) (*dcPage, *dcBlock) {
+	p := dc.resolvePage(as, rip)
+	if p == nil {
+		return nil, nil
+	}
+	off := int(rip & uint64(mem.PageMask))
+	bi := p.blkIdx[off]
+	if bi == 0 {
+		bi = p.formBlock(off, dc)
+	}
+	if bi < 0 {
+		return nil, nil
+	}
+	return p, &p.blocks[bi-1]
+}
+
+// runBlock executes one superblock in a tight loop. exec() is shared with
+// Step and every instruction is charged individually, so a trap anywhere in
+// the block observes exactly the Instrs/Cycles/register state the
+// single-step path would have produced.
+func (c *CPU) runBlock(p *dcPage, b *dcBlock) (stop StopReason, trap *Trap) {
+	dc := c.dc
+	fgen := p.fgen
+	frame := p.frame
+	var done uint64
+	for i := range b.ents {
+		e := &b.ents[i]
+		c.Instrs++
+		c.Cycles += e.cost
+		done++
+		stop, trap = c.exec(&e.in, c.RIP+uint64(e.ilen))
+		if trap != nil || stop != StepContinue {
+			break
+		}
+		if e.flags&dcStore != 0 && frame.Gen() != fgen {
+			// The store landed on this very frame (directly or through an
+			// alias): the rest of the block is stale. Resync through the
+			// dispatch loop — its next lookup flushes and redecodes.
+			dc.bstats.Aborts++
+			break
+		}
+	}
+	// Batched bookkeeping: each executed instruction is a decode-cache hit
+	// and a block-engine instruction. Nothing inside exec reads these, so
+	// deferring them off the hot loop cannot be observed mid-block.
+	dc.stats.Hits += done
+	dc.bstats.Instrs += done
+	dc.bstats.Dispatches++
+	return stop, trap
+}
+
+// SetBlockEngine enables or disables the superblock engine (on by default).
+// Blocks are a pure dispatch optimization layered on the decode cache:
+// disabling it reverts Run to per-instruction Step dispatch, with
+// bit-identical Instrs/Cycles/traps/probe streams either way. It has no
+// effect while the decode cache is off.
+func (c *CPU) SetBlockEngine(on bool) {
+	c.blocks = on
+	if !on && c.dc != nil {
+		// Drop formed blocks so Blocks/live stats read zero; the decoded
+		// entries stay (they belong to the decode cache).
+		for _, p := range c.dc.pages {
+			p.blocks = nil
+			p.blkIdx = [mem.PageSize]int32{}
+		}
+	}
+}
+
+// BlockEngineEnabled reports whether the superblock engine is active (it
+// also requires the decode cache to be enabled to take effect).
+func (c *CPU) BlockEngineEnabled() bool { return c.blocks && c.dc != nil }
+
+// BlockStats returns a snapshot of the superblock-engine counters. Blocks
+// reflects the current live footprint; the rest are cumulative.
+func (c *CPU) BlockStats() BlockStats {
+	if c.dc == nil {
+		return BlockStats{}
+	}
+	s := c.dc.bstats
+	for _, p := range c.dc.pages {
+		s.Blocks += uint64(len(p.blocks))
+	}
+	return s
+}

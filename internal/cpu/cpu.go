@@ -176,17 +176,6 @@ type CPU struct {
 	// MSRs models wrmsr/rdmsr state (keyed by %rcx).
 	MSRs map[uint64]uint64
 
-	// OnExec, when set, is invoked after every executed instruction with
-	// its address and the cycles it consumed (including rep-string
-	// per-element charges); nil costs nothing. It fires before any
-	// installed probes.
-	//
-	// Deprecated: use AddProbe/RemoveProbe (probe.go) — the composable
-	// replacement that lets the profiler, coverage bitmap, and fault
-	// injector coexist without chaining closures. This field remains for
-	// one release as a shim and will then be removed.
-	OnExec func(rip uint64, in *isa.Instr, cycles uint64)
-
 	// probes are the installed exec probes (install order); probe is the
 	// compiled dispatcher — nil, probes[0] (the single-probe fast path),
 	// or a *multiProbe fan-out. trapProbes observe trap delivery.
@@ -207,15 +196,19 @@ type CPU struct {
 	fetchBuf [isa.MaxInstrLen]byte
 
 	// dc is the predecoded translation cache (see dcache.go); nil when
-	// disabled. It affects host wall-clock only — Instrs, Cycles, traps,
-	// and OnExec callbacks are bit-identical with it on or off.
-	dc *decodeCache
+	// disabled. blocks arms the superblock engine layered on it (see
+	// bcache.go). Both affect host wall-clock only — Instrs, Cycles,
+	// traps, and probe callbacks are bit-identical with them on or off.
+	dc     *decodeCache
+	blocks bool
 }
 
-// New creates a CPU over the given address space. The decode cache is on by
-// default; SetDecodeCache(false) reverts to fetch+decode per instruction.
+// New creates a CPU over the given address space. The decode cache and the
+// superblock engine are on by default; SetDecodeCache(false) reverts to
+// fetch+decode per instruction, SetBlockEngine(false) to per-instruction
+// dispatch over cached decodes.
 func New(as *mem.AddressSpace) *CPU {
-	return &CPU{AS: as, MSRs: make(map[uint64]uint64), dc: newDecodeCache()}
+	return &CPU{AS: as, MSRs: make(map[uint64]uint64), dc: newDecodeCache(), blocks: true}
 }
 
 // Reg returns a register value.
@@ -352,12 +345,18 @@ func (c *CPU) deliverTrap(t *Trap) *Trap {
 	return t
 }
 
-// Run executes until a stop condition or the instruction limit.
+// Run executes until a stop condition or the instruction limit. When the
+// superblock engine is armed it dispatches whole basic blocks per loop
+// iteration (bcache.go); it falls back to single-step dispatch whenever an
+// exec probe is installed (the per-instruction callback stream must be
+// produced), a trap is pending, a fetch privilege check fails, no block
+// starts at RIP, or the remaining limit budget is smaller than the block.
 func (c *CPU) Run(limit uint64) *RunResult {
 	res := &RunResult{}
 	startInstrs, startCycles := c.Instrs, c.Cycles
 	for {
-		if limit > 0 && c.Instrs-startInstrs >= limit {
+		done := c.Instrs - startInstrs
+		if limit > 0 && done >= limit {
 			res.Reason = StopLimit
 			break
 		}
@@ -371,7 +370,23 @@ func (c *CPU) Run(limit uint64) *RunResult {
 			}
 			continue
 		}
-		stop, trap := c.Step()
+		var stop StopReason
+		var trap *Trap
+		if c.blocks && c.dc != nil && c.probe == nil &&
+			!(c.Mode == User && c.RIP >= UpperHalf) &&
+			!(c.SMEP && c.Mode == Kernel && c.RIP < UpperHalf) {
+			// Fetch privilege holds for the whole block: the mode cannot
+			// change mid-block (mode switches are terminators) and the
+			// block never leaves its page.
+			if p, b := c.dc.blockLookup(c.AS, c.RIP); b != nil &&
+				(limit == 0 || limit-done >= b.count) {
+				stop, trap = c.runBlock(p, b)
+			} else {
+				stop, trap = c.Step()
+			}
+		} else {
+			stop, trap = c.Step()
+		}
 		if trap != nil {
 			if t := c.deliverTrap(trap); t != nil {
 				res.Reason = StopTrap
@@ -420,7 +435,7 @@ func (c *CPU) Step() (StopReason, *Trap) {
 			before := c.Cycles
 			c.Cycles += e.cost
 			stop, trap := c.exec(&e.in, c.RIP+uint64(e.ilen))
-			if c.OnExec != nil || c.probe != nil {
+			if c.probe != nil {
 				c.notifyExec(rip, &e.in, c.Cycles-before)
 			}
 			return stop, trap
@@ -440,7 +455,7 @@ func (c *CPU) Step() (StopReason, *Trap) {
 	c.Cycles += in.Cost()
 	next := c.RIP + uint64(ilen)
 	stop, trap := c.exec(&in, next)
-	if c.OnExec != nil || c.probe != nil {
+	if c.probe != nil {
 		c.notifyExec(rip, &in, c.Cycles-before)
 	}
 	return stop, trap
@@ -448,9 +463,9 @@ func (c *CPU) Step() (StopReason, *Trap) {
 
 // State is a complete architectural snapshot of the CPU: everything Restore
 // needs to resume as if the intervening execution never happened. The
-// address space, the deprecated OnExec hook, and the installed probes are
-// deliberately excluded — memory has its own checkpoint machinery
-// (mem.Checkpoint/Rollback) and observers belong to whoever installed them.
+// address space and the installed probes are deliberately excluded — memory
+// has its own checkpoint machinery (mem.Checkpoint/Rollback) and observers
+// belong to whoever installed them.
 type State struct {
 	Regs          [isa.NumGPR]uint64
 	RIP           uint64

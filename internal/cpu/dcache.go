@@ -57,26 +57,36 @@ type DecodeCacheStats struct {
 
 // dcEntry is one predecoded instruction.
 type dcEntry struct {
-	in   isa.Instr
-	cost uint64
-	ilen uint8
+	in    isa.Instr
+	cost  uint64
+	ilen  uint8
+	flags uint8 // dcEnd/dcStore block-formation classification (bcache.go)
 }
 
-// dcPage caches the decoded instructions of one executable virtual page.
+// dcPage caches the decoded instructions of one executable virtual page,
+// plus the superblocks formed over them (bcache.go).
 type dcPage struct {
 	frame   *mem.Frame // resolved frame; nil when last resolution failed
 	fgen    uint64     // frame.Gen() the entries were decoded against
 	mgen    uint64     // AddressSpace.MapGen() the frame was resolved at
 	entries []dcEntry
+	blocks  []dcBlock
 	// idx maps page offset -> decode slot: 0 = not yet decoded,
 	// >0 = entries[idx-1], -1 = deterministic in-page decode failure (#UD).
 	idx [mem.PageSize]int32
+	// blkIdx maps page offset -> superblock: 0 = not yet formed,
+	// >0 = blocks[blkIdx-1], -1 = no block can start here (cached #UD or
+	// an undecidable page-tail offset).
+	blkIdx [mem.PageSize]int32
 }
 
-// flush discards every cached decode on the page.
+// flush discards every cached decode — and every block formed over them —
+// on the page.
 func (p *dcPage) flush() {
 	p.entries = p.entries[:0]
+	p.blocks = p.blocks[:0]
 	p.idx = [mem.PageSize]int32{}
+	p.blkIdx = [mem.PageSize]int32{}
 }
 
 // fill decodes forward from off until the page is exhausted, a previously
@@ -103,7 +113,7 @@ func (p *dcPage) fill(off int, stats *DecodeCacheStats) {
 			p.idx[off] = -1
 			return
 		}
-		p.entries = append(p.entries, dcEntry{in: in, cost: in.Cost(), ilen: uint8(ilen)})
+		p.entries = append(p.entries, dcEntry{in: in, cost: in.Cost(), ilen: uint8(ilen), flags: entryFlags(in.Op)})
 		p.idx[off] = int32(len(p.entries))
 		stats.Decoded++
 		off += ilen
@@ -123,17 +133,21 @@ type decodeCache struct {
 		base uint64
 		p    *dcPage
 	}
-	stats DecodeCacheStats
+	stats  DecodeCacheStats
+	bstats BlockStats
 }
 
 func newDecodeCache() *decodeCache {
 	return &decodeCache{pages: make(map[uint64]*dcPage)}
 }
 
-// lookup resolves rip against the cache. It returns the entry to dispatch,
-// or ud=true for a cached deterministic #UD, or ok=false when the slow path
-// must run (page not executable, or uncacheable page-tail decode).
-func (dc *decodeCache) lookup(as *mem.AddressSpace, rip uint64) (e *dcEntry, ud bool, ok bool) {
+// resolvePage returns the cache page for rip with its frame resolved and
+// both generations validated (flushing stale decodes), or nil when the
+// address is not executable — the slow path's Fetch produces the
+// authoritative fault. Shared by the per-instruction lookup and the
+// superblock lookup, so block entry revalidates exactly what a single-step
+// lookup would.
+func (dc *decodeCache) resolvePage(as *mem.AddressSpace, rip uint64) *dcPage {
 	base := rip &^ uint64(mem.PageMask)
 	sl := &dc.tlb[(rip>>mem.PageShift)&(dcTLBSize-1)]
 	p := sl.p
@@ -149,11 +163,9 @@ func (dc *decodeCache) lookup(as *mem.AddressSpace, rip uint64) (e *dcEntry, ud 
 	if mgen := as.MapGen(); p.frame == nil || p.mgen != mgen {
 		f, xok := as.ExecFrame(rip)
 		if !xok {
-			// Unmapped or non-executable: the slow path's Fetch produces
-			// the authoritative fault.
 			p.frame = nil
 			dc.stats.Misses++
-			return nil, false, false
+			return nil
 		}
 		if f != p.frame {
 			if p.frame != nil {
@@ -169,6 +181,17 @@ func (dc *decodeCache) lookup(as *mem.AddressSpace, rip uint64) (e *dcEntry, ud 
 		p.flush()
 		p.fgen = g
 		dc.stats.Invalidations++
+	}
+	return p
+}
+
+// lookup resolves rip against the cache. It returns the entry to dispatch,
+// or ud=true for a cached deterministic #UD, or ok=false when the slow path
+// must run (page not executable, or uncacheable page-tail decode).
+func (dc *decodeCache) lookup(as *mem.AddressSpace, rip uint64) (e *dcEntry, ud bool, ok bool) {
+	p := dc.resolvePage(as, rip)
+	if p == nil {
+		return nil, false, false
 	}
 
 	off := int(rip & uint64(mem.PageMask))

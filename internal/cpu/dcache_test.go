@@ -355,20 +355,20 @@ func TestSetDecodeCache(t *testing.T) {
 	}
 }
 
-// dcDigest installs an OnExec hook folding the callback stream — rip,
+// dcDigest installs an exec probe folding the callback stream — rip,
 // opcode, and cycle delta of every executed instruction, in order — into a
 // hash readable through the returned pointer.
 func dcDigest(c *CPU) *uint64 {
 	h := fnv.New64a()
 	out := new(uint64)
 	var buf [17]byte
-	c.OnExec = func(rip uint64, in *isa.Instr, cycles uint64) {
+	c.AddProbe(ExecProbeFunc(func(rip uint64, in *isa.Instr, cycles uint64) {
 		binary.LittleEndian.PutUint64(buf[0:], rip)
 		buf[8] = byte(in.Op)
 		binary.LittleEndian.PutUint64(buf[9:], cycles)
 		h.Write(buf[:])
 		*out = h.Sum64()
-	}
+	}))
 	return out
 }
 

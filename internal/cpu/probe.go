@@ -8,11 +8,9 @@ package cpu
 // observers install independently via AddProbe/RemoveProbe, dispatch order
 // is installation order, and the common cases stay cheap — zero probes is
 // one predictable nil check per instruction, one probe is a single indirect
-// call (no fan-out loop).
-//
-// The legacy OnExec field still works (it is called before any probes) so
-// existing harness code keeps running unchanged; it is deprecated and will
-// be removed one release after the probe API lands.
+// call (no fan-out loop). An installed exec probe also disarms the Run
+// loop's superblock fast path (bcache.go), which otherwise skips the
+// per-instruction dispatch the callbacks ride on.
 
 import "repro/internal/isa"
 
@@ -124,16 +122,11 @@ func (c *CPU) recompileProbes() {
 	}
 }
 
-// notifyExec delivers one executed instruction to the legacy hook and the
-// installed probes. Kept out of line so Step's hot path only pays the two
-// nil checks when nothing is attached.
+// notifyExec delivers one executed instruction to the installed probes.
+// Kept out of line so Step's hot path only pays one nil check when nothing
+// is attached.
 func (c *CPU) notifyExec(rip uint64, in *isa.Instr, cycles uint64) {
-	if c.OnExec != nil {
-		c.OnExec(rip, in, cycles)
-	}
-	if c.probe != nil {
-		c.probe.OnExec(rip, in, cycles)
-	}
+	c.probe.OnExec(rip, in, cycles)
 }
 
 // notifyTrap delivers a trap-delivery event to the registered trap probes.

@@ -66,19 +66,13 @@ func TestMultiProbeOrderAndRemoval(t *testing.T) {
 	var order []string
 	a := &countProbe{tag: "a", order: &order}
 	b := &countProbe{tag: "b", order: &order}
-	legacySeen := 0
-	// The deprecated shim must fire before any probe.
-	c.OnExec = func(rip uint64, in *isa.Instr, cycles uint64) {
-		legacySeen++
-		order = append(order, "legacy")
-	}
 	c.AddProbe(a)
 	c.AddProbe(b)
 	if _, trap := c.Step(); trap != nil {
 		t.Fatal(trap)
 	}
-	want := []string{"legacy", "a", "b"}
-	if len(order) != 3 || order[0] != want[0] || order[1] != want[1] || order[2] != want[2] {
+	want := []string{"a", "b"}
+	if len(order) != 2 || order[0] != want[0] || order[1] != want[1] {
 		t.Fatalf("dispatch order %v, want %v", order, want)
 	}
 
@@ -92,7 +86,7 @@ func TestMultiProbeOrderAndRemoval(t *testing.T) {
 	if _, trap := c.Step(); trap != nil {
 		t.Fatal(trap)
 	}
-	if len(order) != 2 || order[0] != "legacy" || order[1] != "a" {
+	if len(order) != 1 || order[0] != "a" {
 		t.Fatalf("dispatch after removal %v", order)
 	}
 	if b.execs != 1 {
@@ -100,7 +94,6 @@ func TestMultiProbeOrderAndRemoval(t *testing.T) {
 	}
 
 	c.RemoveProbe(a)
-	c.OnExec = nil
 	if c.probe != nil || len(c.probes) != 0 {
 		t.Fatalf("probe list not empty after removals: %v", c.probes)
 	}

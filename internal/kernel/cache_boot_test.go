@@ -31,7 +31,7 @@ func TestBootCachedEquivalentToBoot(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: uncached boot: %v", cfg.Name(), err)
 		}
-		cached, err := BootCached(cfg)
+		cached, err := Boot(cfg, WithCache())
 		if err != nil {
 			t.Fatalf("%s: cached boot: %v", cfg.Name(), err)
 		}
@@ -76,7 +76,7 @@ func TestBootCachedBuildsOnce(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := BootCached(cfg); err != nil {
+			if _, err := Boot(cfg, WithCache()); err != nil {
 				t.Error(err)
 			}
 		}()
@@ -87,7 +87,7 @@ func TestBootCachedBuildsOnce(t *testing.T) {
 	}
 	other := cfg
 	other.Seed = 100
-	if _, err := BootCached(other); err != nil {
+	if _, err := Boot(other, WithCache()); err != nil {
 		t.Fatal(err)
 	}
 	if got := BuildCache().Builds(); got != 2 {
@@ -96,7 +96,7 @@ func TestBootCachedBuildsOnce(t *testing.T) {
 	// Runtime-only knobs must hit the same entry.
 	budgeted := cfg
 	budgeted.WatchdogBudget = 1 << 22
-	if _, err := BootCached(budgeted); err != nil {
+	if _, err := Boot(budgeted, WithCache()); err != nil {
 		t.Fatal(err)
 	}
 	if got := BuildCache().Builds(); got != 2 {
@@ -109,7 +109,7 @@ func TestBootCachedBuildsOnce(t *testing.T) {
 // syscall behavior and the split-TLB property (data reads of code pages see
 // the zero-filled shadow while execution keeps running the real bytes).
 func TestSnapshotRestoreHideM(t *testing.T) {
-	k, err := BootCached(core.Config{XOM: core.XOMHideM, Seed: 1})
+	k, err := Boot(core.Config{XOM: core.XOMHideM, Seed: 1}, WithCache())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -225,7 +225,7 @@ func Boot(cfg core.Config, opts ...BootOption) (*Kernel, error) {
 	return k, nil
 }
 
-// The shared corpus and build cache behind BootCached. The corpus program
+// The shared corpus and build cache behind Boot(cfg, WithCache()). The corpus program
 // is built once and never mutated afterwards (core.Build clones before
 // instrumenting), so every cached build compiles the same input.
 var (
@@ -253,27 +253,6 @@ func sharedCorpus() (*ir.Program, error) {
 // BuildCache exposes the process-wide build cache (hit/build counters for
 // the sweep tests; Reset for test isolation).
 func BuildCache() *core.Cache { return buildCache }
-
-// BootCached is Boot through the process-wide build cache.
-//
-// Deprecated: use Boot(cfg, WithCache()).
-func BootCached(cfg core.Config) (*Kernel, error) {
-	return Boot(cfg, WithCache())
-}
-
-// BootProgram is Boot with a caller-supplied corpus.
-//
-// Deprecated: use Boot(cfg, WithProgram(prog)).
-func BootProgram(prog *ir.Program, cfg core.Config) (*Kernel, error) {
-	return Boot(cfg, WithProgram(prog))
-}
-
-// BootImage installs an already-built image into a fresh machine.
-//
-// Deprecated: use Boot(cfg, WithImage(res)).
-func BootImage(res *core.BuildResult, cfg core.Config) (*Kernel, error) {
-	return Boot(cfg, WithImage(res))
-}
 
 // bootImage installs an already-built image into a fresh machine and
 // performs the boot-time steps. res may be shared (cached): everything it

@@ -147,6 +147,75 @@ func TestModuleReloadOnWarmCache(t *testing.T) {
 	}
 }
 
+// TestSelfModBlockEngineParity re-runs the kprobe/livepatch/TextPoke ladder
+// with the superblock engine on and off, requiring identical syscall returns
+// and identical Instrs/Cycles — and proving the engine was actually in the
+// loop: the warm path dispatches through blocks, and every text rewrite
+// invalidates cached blocks mid-flight.
+func TestSelfModBlockEngineParity(t *testing.T) {
+	run := func(blocksOn bool) (rets []uint64, instrs, cycles uint64, bs cpu.BlockStats) {
+		k := bootK(t)
+		k.CPU.SetBlockEngine(blocksOn)
+		warm(t, k)
+
+		// kprobe plant + remove.
+		orig, addr, err := patch.InstallProbe(k, "sys_getpid")
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := k.Syscall(kernel.SysGetpid)
+		if !r.Failed || r.Run.Trap == nil || r.Run.Trap.Kind != cpu.TrapBreakpoint {
+			t.Fatalf("blocks=%v: probe did not trap: %v %v", blocksOn, r.Run.Reason, r.Run.Trap)
+		}
+		if err := patch.RemoveProbe(k, addr, orig); err != nil {
+			t.Fatal(err)
+		}
+		rets = append(rets, k.Syscall(kernel.SysGetpid).Ret)
+
+		// livepatch + revert through a loaded module.
+		v2, err := ir.NewBuilder("sys_getpid_v2").
+			I(isa.MovRI(isa.RAX, 42), isa.Ret()).Func()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := module.NewLoader(k).Load(&module.Object{
+			Name: "getpid-v2",
+			Prog: &ir.Program{Funcs: []*ir.Function{v2}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		revert, err := patch.Livepatch(k, "sys_getpid", m.Symbols["sys_getpid_v2"])
+		if err != nil {
+			t.Fatal(err)
+		}
+		rets = append(rets, k.Syscall(kernel.SysGetpid).Ret)
+		if err := patch.Revert(k, "sys_getpid", revert); err != nil {
+			t.Fatal(err)
+		}
+		rets = append(rets, k.Syscall(kernel.SysGetpid).Ret)
+		return rets, k.CPU.Instrs, k.CPU.Cycles, k.CPU.BlockStats()
+	}
+
+	retsOn, iOn, cOn, bsOn := run(true)
+	retsOff, iOff, cOff, bsOff := run(false)
+	want := []uint64{1, 42, 1}
+	for i := range want {
+		if retsOn[i] != want[i] || retsOff[i] != want[i] {
+			t.Fatalf("returns diverge: on=%v off=%v want %v", retsOn, retsOff, want)
+		}
+	}
+	if iOn != iOff || cOn != cOff {
+		t.Errorf("counters diverge: instrs %d/%d cycles %d/%d", iOn, iOff, cOn, cOff)
+	}
+	if bsOn.Dispatches == 0 || bsOn.Instrs == 0 {
+		t.Errorf("blocks=on must dispatch through the engine: %+v", bsOn)
+	}
+	if bsOff.Dispatches != 0 {
+		t.Errorf("blocks=off must not dispatch: %+v", bsOff)
+	}
+}
+
 // callAddr calls a kernel address directly on the CPU with a sentinel
 // return address and returns RAX.
 func callAddr(t *testing.T, k *kernel.Kernel, addr uint64) uint64 {

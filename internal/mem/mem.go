@@ -13,6 +13,7 @@
 package mem
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 )
@@ -136,6 +137,50 @@ type page struct {
 	perm  Perm
 }
 
+// The data-side TLB.
+//
+// Every data access used to walk the page table — a Go map lookup — per
+// byte or per access. The hot exec path (the CPU's load/store/push/pop)
+// touches the same handful of pages over and over, so a small direct-mapped
+// translation cache (the data-side analogue of the decode cache's 16-entry
+// exec-page TLB) turns the steady state into one array index plus one
+// generation compare.
+//
+// Validation is by construction: an entry records the mapGen it was filled
+// at, and every structural mutation that could make it stale — Map/Unmap,
+// Protect, ShadowData/Unshadow, and a structural Rollback — already bumps
+// mapGen, which invalidates every entry at once. No explicit invalidation
+// hooks are needed. A content-only Rollback deliberately does NOT bump
+// mapGen: it restores frame bytes in place, so the cached page and data
+// pointers remain both valid and correct.
+//
+// What an entry caches and what it must not:
+//
+//   - pg, the page-table entry: permissions are re-read from it on every
+//     access (Protect bumps mapGen anyway, but the readable() outcome also
+//     depends on the live EPT flag, so it is never precomputed).
+//   - data, the data-READ view: the shadow frame when a HideM shadow is
+//     installed, the real frame otherwise. Writes never go through it —
+//     they target pg.frame, preserving the split-TLB semantics where
+//     stores land on the real frame even while reads see the shadow.
+//   - Faults are never cached: an unmapped vpn misses every time.
+//
+// dtlbSize is a power of two; vpn low bits index the array directly.
+const dtlbSize = 64
+
+type dtlbEntry struct {
+	vpn  uint64
+	gen  uint64 // mapGen at fill time
+	pg   *page
+	data *[PageSize]byte // data-read view (shadow-aware)
+}
+
+// DataTLBStats reports data-TLB behaviour for one address space.
+type DataTLBStats struct {
+	Hits   uint64
+	Misses uint64 // fills; faulting accesses are not cached and count neither
+}
+
 // pageSnap records one page-table entry at checkpoint time.
 type pageSnap struct {
 	frame *Frame
@@ -191,6 +236,11 @@ type AddressSpace struct {
 	ranges    []MappedRange
 	rangesGen uint64
 	rangesOK  bool
+
+	// The data-side TLB (see the dtlbEntry comment). Entries self-
+	// invalidate through the mapGen compare; the stats are cumulative.
+	dtlb      [dtlbSize]dtlbEntry
+	dtlbStats DataTLBStats
 }
 
 // NewAddressSpace returns an empty address space with x86 semantics.
@@ -335,21 +385,46 @@ func (as *AddressSpace) readable(p Perm) bool {
 	return !as.EPT && p&PermX != 0
 }
 
+// dataPage resolves a virtual page number for a data access through the
+// data-side TLB, filling the entry on a miss. It returns nil when the page
+// is unmapped (faults are never cached). Permission checks are the
+// caller's: reads re-evaluate readable() per access, writes check PermW.
+func (as *AddressSpace) dataPage(v uint64) *dtlbEntry {
+	e := &as.dtlb[v&(dtlbSize-1)]
+	if e.pg != nil && e.gen == as.mapGen && e.vpn == v {
+		as.dtlbStats.Hits++
+		return e
+	}
+	pg, ok := as.pages[v]
+	if !ok {
+		return nil
+	}
+	data := &pg.frame.Data
+	if as.shadow != nil {
+		if sh, ok := as.shadow[v]; ok {
+			// HideM split-TLB semantics: the DTLB view differs from the
+			// ITLB view — data reads see the shadow frame.
+			data = &sh.Data
+		}
+	}
+	e.vpn, e.gen, e.pg, e.data = v, as.mapGen, pg, data
+	as.dtlbStats.Misses++
+	return e
+}
+
+// DataTLBStats returns a snapshot of the data-TLB counters.
+func (as *AddressSpace) DataTLBStats() DataTLBStats { return as.dtlbStats }
+
 // LoadByte performs a data load of one byte.
 func (as *AddressSpace) LoadByte(va uint64) (byte, *Fault) {
-	pg, ok := as.pages[vpn(va)]
-	if !ok {
+	e := as.dataPage(vpn(va))
+	if e == nil {
 		return 0, &Fault{Addr: va, Kind: FaultNotMapped}
 	}
-	if !as.readable(pg.perm) {
+	if !as.readable(e.pg.perm) {
 		return 0, &Fault{Addr: va, Kind: FaultNoRead}
 	}
-	if sh, ok := as.shadow[vpn(va)]; ok {
-		// HideM split-TLB semantics: the DTLB view differs from the
-		// ITLB view — data reads see the shadow frame.
-		return sh.Data[va&PageMask], nil
-	}
-	return pg.frame.Data[va&PageMask], nil
+	return e.data[va&PageMask], nil
 }
 
 // ShadowData installs a HideM-style data shadow for n pages at va: fetches
@@ -391,18 +466,21 @@ func (as *AddressSpace) Unshadow(va uint64, n int) {
 	as.mapGen++
 }
 
-// StoreByte performs a data store of one byte.
+// StoreByte performs a data store of one byte. Stores always land on the
+// real frame, never a data shadow — the ITLB/DTLB split desynchronizes
+// reads only.
 func (as *AddressSpace) StoreByte(va uint64, v byte) *Fault {
-	pg, ok := as.pages[vpn(va)]
-	if !ok {
+	e := as.dataPage(vpn(va))
+	if e == nil {
 		return &Fault{Addr: va, Kind: FaultNotMapped, Write: true}
 	}
-	if pg.perm&PermW == 0 {
+	if e.pg.perm&PermW == 0 {
 		return &Fault{Addr: va, Kind: FaultNoWrite, Write: true}
 	}
-	as.preimage(pg.frame)
-	pg.frame.Data[va&PageMask] = v
-	pg.frame.gen++
+	f := e.pg.frame
+	as.preimage(f)
+	f.Data[va&PageMask] = v
+	f.gen++
 	return nil
 }
 
@@ -491,27 +569,35 @@ func (as *AddressSpace) Rollback() error {
 }
 
 // Read performs a little-endian data load of size bytes (1, 2, 4, or 8).
-// Accesses contained in one page resolve that page once; only accesses
-// straddling a page boundary fall back to the byte loop.
+// Accesses contained in one page resolve that page once through the data
+// TLB and load word-at-a-time; only accesses straddling a page boundary
+// fall back to the byte loop (whose per-byte faults are the partial-
+// progress semantics). Fault outcomes are identical on both paths: the
+// in-page case cannot make partial progress, so the first failing byte —
+// which the byte loop would report — is the access's own first byte.
 func (as *AddressSpace) Read(va uint64, size uint8) (uint64, *Fault) {
 	if va&PageMask+uint64(size) <= PageSize {
-		pg, ok := as.pages[vpn(va)]
-		if !ok {
+		e := as.dataPage(vpn(va))
+		if e == nil {
 			return 0, &Fault{Addr: va, Kind: FaultNotMapped}
 		}
-		if !as.readable(pg.perm) {
+		if !as.readable(e.pg.perm) {
 			return 0, &Fault{Addr: va, Kind: FaultNoRead}
 		}
-		data := &pg.frame.Data
-		if as.shadow != nil {
-			if sh, ok := as.shadow[vpn(va)]; ok {
-				data = &sh.Data
-			}
-		}
 		off := va & PageMask
+		switch size {
+		case 8:
+			return binary.LittleEndian.Uint64(e.data[off : off+8]), nil
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(e.data[off : off+4])), nil
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(e.data[off : off+2])), nil
+		case 1:
+			return uint64(e.data[off]), nil
+		}
 		var v uint64
 		for i := uint8(0); i < size; i++ {
-			v |= uint64(data[off+uint64(i)]) << (8 * i)
+			v |= uint64(e.data[off+uint64(i)]) << (8 * i)
 		}
 		return v, nil
 	}
@@ -526,22 +612,36 @@ func (as *AddressSpace) Read(va uint64, size uint8) (uint64, *Fault) {
 	return v, nil
 }
 
-// Write performs a little-endian data store of size bytes.
+// Write performs a little-endian data store of size bytes. Like Read, the
+// in-page case resolves the page once and stores word-at-a-time; page
+// straddlers keep the byte loop and its partial-progress fault semantics.
 func (as *AddressSpace) Write(va uint64, v uint64, size uint8) *Fault {
 	if va&PageMask+uint64(size) <= PageSize {
-		pg, ok := as.pages[vpn(va)]
-		if !ok {
+		e := as.dataPage(vpn(va))
+		if e == nil {
 			return &Fault{Addr: va, Kind: FaultNotMapped, Write: true}
 		}
-		if pg.perm&PermW == 0 {
+		if e.pg.perm&PermW == 0 {
 			return &Fault{Addr: va, Kind: FaultNoWrite, Write: true}
 		}
-		as.preimage(pg.frame)
+		f := e.pg.frame
+		as.preimage(f)
 		off := va & PageMask
-		for i := uint8(0); i < size; i++ {
-			pg.frame.Data[off+uint64(i)] = byte(v >> (8 * i))
+		switch size {
+		case 8:
+			binary.LittleEndian.PutUint64(f.Data[off:off+8], v)
+		case 4:
+			binary.LittleEndian.PutUint32(f.Data[off:off+4], uint32(v))
+		case 2:
+			binary.LittleEndian.PutUint16(f.Data[off:off+2], uint16(v))
+		case 1:
+			f.Data[off] = byte(v)
+		default:
+			for i := uint8(0); i < size; i++ {
+				f.Data[off+uint64(i)] = byte(v >> (8 * i))
+			}
 		}
-		pg.frame.gen++
+		f.gen++
 		return nil
 	}
 	for i := uint8(0); i < size; i++ {

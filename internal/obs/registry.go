@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/mem"
 )
 
 // Registry is a named counter/gauge collection: the one place the ad-hoc
@@ -124,6 +125,26 @@ func RegisterDecodeCache(r *Registry, prefix string, c *cpu.CPU) {
 	r.Gauge(prefix+".remaps", stat(func(s cpu.DecodeCacheStats) uint64 { return s.Remaps }))
 	r.Gauge(prefix+".pages", stat(func(s cpu.DecodeCacheStats) uint64 { return s.Pages }))
 	r.Gauge(prefix+".entries", stat(func(s cpu.DecodeCacheStats) uint64 { return s.Entries }))
+}
+
+// RegisterBlockEngine publishes a CPU's superblock-engine statistics under
+// prefix (e.g. "block_engine").
+func RegisterBlockEngine(r *Registry, prefix string, c *cpu.CPU) {
+	stat := func(pick func(cpu.BlockStats) uint64) func() uint64 {
+		return func() uint64 { return pick(c.BlockStats()) }
+	}
+	r.Gauge(prefix+".blocks", stat(func(s cpu.BlockStats) uint64 { return s.Blocks }))
+	r.Gauge(prefix+".formed", stat(func(s cpu.BlockStats) uint64 { return s.Formed }))
+	r.Gauge(prefix+".dispatches", stat(func(s cpu.BlockStats) uint64 { return s.Dispatches }))
+	r.Gauge(prefix+".instrs", stat(func(s cpu.BlockStats) uint64 { return s.Instrs }))
+	r.Gauge(prefix+".aborts", stat(func(s cpu.BlockStats) uint64 { return s.Aborts }))
+}
+
+// RegisterDataTLB publishes an address space's data-TLB counters under
+// prefix (e.g. "dtlb").
+func RegisterDataTLB(r *Registry, prefix string, as *mem.AddressSpace) {
+	r.Gauge(prefix+".hits", func() uint64 { return as.DataTLBStats().Hits })
+	r.Gauge(prefix+".misses", func() uint64 { return as.DataTLBStats().Misses })
 }
 
 // RegisterBuildCache publishes a build cache's counters under prefix
