@@ -172,7 +172,11 @@ func BenchmarkFuzzIteration(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			f.Kernel().CPU.SetDecodeCache(cacheOn)
+			k, err := f.Kernel()
+			if err != nil {
+				b.Fatal(err)
+			}
+			k.CPU.SetDecodeCache(cacheOn)
 			var cycles uint64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

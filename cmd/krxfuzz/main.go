@@ -3,17 +3,35 @@
 // deterministic fault injection, crash triage with deduplication, and
 // reproducer minimization. The same -seed always yields a byte-identical
 // report.
+//
+// Two schedulers are available. The default runs the in-process fuzz.Fuzzer.
+// -serve runs the same campaign through the fault-tolerant fuzzd service: a
+// manager granting lease-based iteration batches to a worker fleet, with
+// heartbeat renewal, expiry reclamation, bounded retries, dead-letter
+// quarantine, and worker respawn — all invisible in the report, which stays
+// byte-identical to the in-process run. -chaos injects a replayable fault
+// schedule into the fleet to demonstrate exactly that.
+//
+// SIGINT/SIGTERM cancel the campaign gracefully under either scheduler: the
+// in-flight batch drains and the report of every completed iteration is
+// emitted with "partial": true.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/diversify"
 	"repro/internal/fuzz"
+	"repro/internal/fuzzd"
+	"repro/internal/fuzzd/chaos"
 	"repro/internal/inject"
 	"repro/internal/kernel"
 	"repro/internal/obs"
@@ -38,7 +56,18 @@ func run() error {
 	traceOut := flag.String("trace", "", "record the campaign event stream (byte-identical for any -workers count); write Chrome trace-event JSON to this file")
 	stats := flag.Bool("stats", false, "print the observability metric registry after the campaign")
 	blocks := flag.Bool("blocks", true, "dispatch through the superblock engine (bit-identical either way; -blocks=false forces per-instruction stepping)")
+	serve := flag.Bool("serve", false, "run through the fault-tolerant fuzzd manager/worker service instead of the in-process scheduler")
+	leaseTimeout := flag.Duration("lease-timeout", time.Second, "serve: lease deadline; a lease unrenewed for this long is reclaimed and reassigned")
+	leaseIters := flag.Int("lease-iters", 16, "serve: iterations per lease grant")
+	retries := flag.Int("retries", 3, "serve: regrants of a lost lease before its range is quarantined to the manager")
+	chaosSpec := flag.String("chaos", "", "serve: worker fault schedule (kill-one, expire-third, stall-recover, seeded:<seed>); the report must not change")
 	flag.Parse()
+
+	// Graceful shutdown: first SIGINT/SIGTERM cancels the campaign; the
+	// in-flight batch drains and a partial report is emitted. A second
+	// signal kills the process the usual way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	cfg := core.Config{
 		XOM: core.XOMSFI, SFILevel: sfi.O3,
@@ -57,25 +86,37 @@ func run() error {
 		plan := inject.DefaultPlan(*seed)
 		opts.Plan = &plan
 	}
+
+	if *serve {
+		return runServe(ctx, opts, serveFlags{
+			leaseTimeout: *leaseTimeout,
+			leaseIters:   *leaseIters,
+			retries:      *retries,
+			chaosSpec:    *chaosSpec,
+			blocks:       *blocks,
+			jsonOut:      *jsonOut,
+			traceOut:     *traceOut,
+			stats:        *stats,
+		})
+	}
+
 	f, err := fuzz.New(opts)
 	if err != nil {
 		return err
 	}
-	for _, k := range f.Kernels() {
-		k.CPU.SetBlockEngine(*blocks)
-	}
-	rep, err := f.Run()
+	ks, err := f.Kernels()
 	if err != nil {
 		return err
 	}
-	if *jsonOut {
-		b, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
-			return err
-		}
-		fmt.Println(string(b))
-	} else {
-		fmt.Print(rep.String())
+	for _, k := range ks {
+		k.CPU.SetBlockEngine(*blocks)
+	}
+	rep, err := f.RunContext(ctx)
+	if err != nil {
+		return err
+	}
+	if err := emitReport(rep, *jsonOut); err != nil {
+		return err
 	}
 	if *traceOut != "" {
 		b, err := obs.ChromeTrace(rep.Trace)
@@ -88,13 +129,89 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "krxfuzz: wrote %d trace events to %s\n", len(rep.Trace), *traceOut)
 	}
 	if *stats {
+		k, err := f.Kernel()
+		if err != nil {
+			return err
+		}
 		reg := obs.NewRegistry()
-		obs.RegisterCPU(reg, "cpu", f.Kernel().CPU)
-		obs.RegisterDecodeCache(reg, "decode_cache", f.Kernel().CPU)
-		obs.RegisterBlockEngine(reg, "block_engine", f.Kernel().CPU)
-		obs.RegisterDataTLB(reg, "dtlb", f.Kernel().CPU.AS)
+		obs.RegisterCPU(reg, "cpu", k.CPU)
+		obs.RegisterDecodeCache(reg, "decode_cache", k.CPU)
+		obs.RegisterBlockEngine(reg, "block_engine", k.CPU)
+		obs.RegisterDataTLB(reg, "dtlb", k.CPU.AS)
 		obs.RegisterBuildCache(reg, "build_cache", kernel.BuildCache())
 		fmt.Print(reg.Format())
 	}
+	return nil
+}
+
+type serveFlags struct {
+	leaseTimeout time.Duration
+	leaseIters   int
+	retries      int
+	chaosSpec    string
+	blocks       bool
+	jsonOut      bool
+	traceOut     string
+	stats        bool
+}
+
+// runServe runs the campaign through the fuzzd service.
+func runServe(ctx context.Context, opts fuzz.Options, sf serveFlags) error {
+	fn, err := chaos.Parse(sf.chaosSpec)
+	if err != nil {
+		return err
+	}
+	m, err := fuzzd.New(fuzzd.Options{
+		Fuzz:         opts,
+		LeaseIters:   sf.leaseIters,
+		LeaseTimeout: sf.leaseTimeout,
+		MaxRetries:   sf.retries,
+		Chaos:        fn,
+		Tune:         func(k *kernel.Kernel) { k.CPU.SetBlockEngine(sf.blocks) },
+	})
+	if err != nil {
+		return err
+	}
+	rep, err := m.Run(ctx)
+	if err != nil {
+		return err
+	}
+	if err := emitReport(rep, sf.jsonOut); err != nil {
+		return err
+	}
+	if sf.traceOut != "" {
+		// Two tracks: the deterministic campaign stream (emulated-cycle
+		// timestamps) and the service-plane lease/death/respawn stream (host
+		// microseconds since manager start).
+		b, err := obs.ChromeTraceTracks(
+			obs.Track{Name: "campaign", Pid: 1, Events: rep.Trace},
+			obs.Track{Name: "fuzzd", Pid: 2, Events: m.Tracer().Events()},
+		)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(sf.traceOut, b, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "krxfuzz: wrote %d campaign + %d service trace events to %s\n",
+			len(rep.Trace), m.Tracer().Len(), sf.traceOut)
+	}
+	if sf.stats {
+		obs.RegisterBuildCache(m.Registry(), "build_cache", kernel.BuildCache())
+		fmt.Print(m.Registry().Format())
+	}
+	return nil
+}
+
+func emitReport(rep *fuzz.Report, jsonOut bool) error {
+	if jsonOut {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(b))
+		return nil
+	}
+	fmt.Print(rep.String())
 	return nil
 }

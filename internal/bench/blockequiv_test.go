@@ -109,7 +109,11 @@ func TestFuzzReportBlockInvariance(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, k := range f.Kernels() {
+		ks, err := f.Kernels()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range ks {
 			k.CPU.SetBlockEngine(blocksOn)
 		}
 		rep, err := f.Run()

@@ -111,8 +111,12 @@ func fuzzWorkload(cfg core.Config, seed int64) emuWorkload {
 			if err != nil {
 				return nil, err
 			}
-			f.Kernel().CPU.SetDecodeCache(cacheOn)
-			f.Kernel().CPU.SetBlockEngine(blocksOn)
+			k, err := f.Kernel()
+			if err != nil {
+				return nil, err
+			}
+			k.CPU.SetDecodeCache(cacheOn)
+			k.CPU.SetBlockEngine(blocksOn)
 			// The iteration counter restarts per mode, so both modes execute
 			// the identical (seed, i)-derived program sequence.
 			i := 0

@@ -128,7 +128,11 @@ func TestFuzzReportCacheInvariance(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		f.Kernel().CPU.SetDecodeCache(cacheOn)
+		k, err := f.Kernel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		k.CPU.SetDecodeCache(cacheOn)
 		rep, err := f.Run()
 		if err != nil {
 			t.Fatal(err)

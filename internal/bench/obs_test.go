@@ -118,8 +118,12 @@ func TestProfilerConservationFuzz(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		ks, err := f.Kernels()
+		if err != nil {
+			t.Fatal(err)
+		}
 		profs := make([]*obs.Profiler, 0, workers)
-		for _, k := range f.Kernels() {
+		for _, k := range ks {
 			p := obs.NewProfiler(k.Img)
 			p.Attach(k.CPU)
 			profs = append(profs, p)
@@ -233,7 +237,11 @@ func TestFuzzTraceWorkerInvariance(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, k := range f.Kernels() {
+		ks, err := f.Kernels()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range ks {
 			k.CPU.SetDecodeCache(cacheOn)
 		}
 		rep, err := f.Run()

@@ -12,10 +12,10 @@
 //
 //  1. Every per-iteration random stream is derived from (Seed, iteration),
 //     never drawn from a shared generator: program generation/mutation uses
-//     progSeed(i), fault injection uses injSeed(i). What iteration i does
-//     therefore never depends on which worker ran it or what ran before it
-//     on the same kernel.
-//  2. The iteration space is executed in fixed-size batches (batchSize,
+//     ProgSeed(seed, i), fault injection uses InjSeed(seed, i). What
+//     iteration i does therefore never depends on which worker ran it or
+//     what ran before it on the same kernel.
+//  2. The iteration space is executed in fixed-size batches (BatchSize,
 //     independent of the worker count). Within a batch, workers execute
 //     disjoint iteration shards against their own booted kernels; mutation
 //     bases come from the corpus frozen at the previous batch boundary, so
@@ -27,9 +27,18 @@
 //     during the ordered merge.
 //
 // The result: krxfuzz -workers 1 and -workers 8 emit identical bytes.
+//
+// The building blocks are exported so other schedulers can reuse them
+// under the same contract: an Executor executes programs against one booted
+// kernel, and a Ledger folds ExecResults in canonical iteration order into
+// a Report. The in-process Fuzzer below and the lease-based manager/worker
+// service in internal/fuzzd are both thin schedulers over these two pieces
+// — which is why the service's crash recovery, retries, and reassignment
+// cannot change a single report byte.
 package fuzz
 
 import (
+	"context"
 	"fmt"
 	mathbits "math/bits"
 	"math/rand"
@@ -74,11 +83,60 @@ type Options struct {
 	Trace bool
 }
 
-// batchSize is the number of iterations executed between corpus merges. It
+// OptionsError is the typed validation error New and NewExecutor return for
+// an out-of-range Options field.
+type OptionsError struct {
+	Field  string
+	Value  int
+	Reason string
+}
+
+func (e *OptionsError) Error() string {
+	return fmt.Sprintf("fuzz: invalid Options.%s = %d: %s", e.Field, e.Value, e.Reason)
+}
+
+// Normalize validates the options and fills in defaults: negative counts
+// are rejected with an *OptionsError; zero values take their documented
+// defaults. Idempotent.
+func (o *Options) Normalize() error {
+	switch {
+	case o.Iters < 0:
+		return &OptionsError{Field: "Iters", Value: o.Iters, Reason: "must be >= 0 (0 = default 1000)"}
+	case o.Workers < 0:
+		return &OptionsError{Field: "Workers", Value: o.Workers, Reason: "must be >= 0 (0 = sequential)"}
+	case o.MaxMinimize < 0:
+		return &OptionsError{Field: "MaxMinimize", Value: o.MaxMinimize, Reason: "must be >= 0 (0 = default 64)"}
+	}
+	if o.Iters == 0 {
+		o.Iters = 1000
+	}
+	if o.MaxMinimize == 0 {
+		o.MaxMinimize = 64
+	}
+	if o.Workers == 0 {
+		o.Workers = 1
+	}
+	return nil
+}
+
+// NoWorkersError is the typed error returned by Kernel, Kernels, and Run on
+// a Fuzzer with no booted workers — a zero-value Fuzzer, not one built by
+// New, which always boots at least one.
+type NoWorkersError struct {
+	Op string
+}
+
+func (e *NoWorkersError) Error() string {
+	return "fuzz: " + e.Op + ": fuzzer has no workers (not built by New)"
+}
+
+// BatchSize is the number of iterations executed between corpus merges. It
 // is a protocol constant — NOT derived from the worker count — because the
 // corpus snapshot an iteration mutates from is "the corpus after the last
 // whole batch", and that must mean the same thing under any parallelism.
-const batchSize = 64
+// The fuzzd service leases sub-ranges of these same batches, so its reports
+// land on identical bytes.
+const BatchSize = 64
 
 // Crash is one deduplicated crash bucket.
 type Crash struct {
@@ -91,12 +149,21 @@ type Crash struct {
 
 // ReportSchemaVersion identifies the JSON layout of Report. Bump it on any
 // field change so downstream consumers can detect the format.
-const ReportSchemaVersion = 1
+//
+// v2: added Partial (graceful-shutdown reports cover a batch-aligned prefix
+// of the requested iterations; Iters reports the completed count).
+const ReportSchemaVersion = 2
 
 // Report is the campaign result. String() is deterministic: same options in,
 // same bytes out, regardless of Options.Workers.
 type Report struct {
 	SchemaVersion int `json:"schema_version"`
+
+	// Partial marks a report cut short by cancellation (SIGINT/SIGTERM):
+	// the campaign drained its in-flight batch and merged every completed
+	// batch, so the report is the canonical report of the first Iters
+	// iterations — a byte-identical prefix of the full campaign's ledger.
+	Partial bool `json:"partial"`
 
 	Iters    int
 	Seed     int64
@@ -120,8 +187,12 @@ type Report struct {
 // String renders the report deterministically (sorted buckets, sorted
 // checks, no map iteration, no worker-count dependence).
 func (r *Report) String() string {
-	s := fmt.Sprintf("fuzz: config=%s seed=%d iters=%d syscalls=%d cover=%d faults=%d crashes=%d\n",
-		r.Config, r.Seed, r.Iters, r.Executed, r.Cover, r.Faults, len(r.Crashes))
+	partial := ""
+	if r.Partial {
+		partial = " partial=true"
+	}
+	s := fmt.Sprintf("fuzz: config=%s seed=%d iters=%d syscalls=%d cover=%d faults=%d crashes=%d%s\n",
+		r.Config, r.Seed, r.Iters, r.Executed, r.Cover, r.Faults, len(r.Crashes), partial)
 	for _, c := range r.Crashes {
 		s += fmt.Sprintf("  crash %-40s count=%-5d iter=%-5d repro: %s\n",
 			c.Bucket, c.Count, c.Iter, c.Min.String())
@@ -137,16 +208,49 @@ func (r *Report) String() string {
 	return s
 }
 
+// InjSeed derives iteration iter's injector seed from the master seed. The
+// mixing constant keeps adjacent iterations' streams unrelated.
+func InjSeed(seed int64, iter int) int64 {
+	return seed ^ (int64(iter)+1)*0x2545f4914f6cdd1d
+}
+
+// ProgSeed derives iteration iter's generation/mutation seed. A constant
+// distinct from InjSeed's keeps the two per-iteration streams independent.
+func ProgSeed(seed int64, iter int) int64 {
+	return seed ^ (int64(iter)+1)*-0x61c8864680b583eb // golden-ratio mix
+}
+
+// PickProg draws the program for iteration iter from a corpus snapshot: a
+// fresh generation while the corpus is cold, afterwards mostly mutations of
+// corpus entries. The whole decision consumes only the iteration's own
+// derived RNG, so it is identical under any scheduling — the function every
+// scheduler (the in-process Fuzzer, the fuzzd workers, and the manager's
+// quarantine path) must agree on.
+func PickProg(seed int64, iter int, corpus []*Prog, kaddrs []uint64) *Prog {
+	g := &generator{rng: rand.New(rand.NewSource(ProgSeed(seed, iter))), kaddrs: kaddrs}
+	r := g.rng
+	if len(corpus) == 0 || r.Intn(4) == 0 {
+		return g.Generate(1 + r.Intn(5))
+	}
+	base := corpus[r.Intn(len(corpus))]
+	var other *Prog
+	if len(corpus) > 1 {
+		other = corpus[r.Intn(len(corpus))]
+	}
+	return g.Mutate(base, other)
+}
+
 // Fuzzer is one campaign in progress.
 type Fuzzer struct {
 	opts    Options
-	workers []*worker
+	workers []*Executor
 	kaddrs  []uint64 // interesting kernel addresses, shared read-only
-	corpus  []*Prog
+	ledger  *Ledger
 
-	cover map[uint64]struct{} // global coverage, updated only at merge
-
-	report *Report
+	// batchHook, when set, runs after every merged batch with the count of
+	// iterations folded so far — the test seam for exercising mid-campaign
+	// cancellation at a deterministic boundary.
+	batchHook func(done int)
 }
 
 type funcSpan struct {
@@ -154,15 +258,17 @@ type funcSpan struct {
 	start, end uint64
 }
 
-// worker owns one booted kernel and executes programs against it. Workers
-// never touch shared campaign state; everything they learn travels back in
-// execResults and is folded in by the merge step.
-type worker struct {
+// Executor owns one booted kernel and executes programs against it — the
+// unit a scheduler hands work to. Executors never touch shared campaign
+// state; everything they learn travels back in ExecResults and is folded in
+// by a Ledger in canonical iteration order.
+type Executor struct {
 	opts     Options
 	k        *kernel.Kernel
 	snap     *kernel.Snapshot
-	tracer   *obs.Tracer         // non-nil when Options.Trace
-	funcs    []funcSpan // image functions sorted by address, for bucketing
+	tracer   *obs.Tracer // non-nil when Options.Trace
+	funcs    []funcSpan  // image functions sorted by address, for bucketing
+	kaddrs   []uint64
 	curCover map[uint64]struct{} // rips outside the text bitmap (user stubs, modules)
 
 	// Kernel-text coverage is tracked in a bitmap instead of a map: the
@@ -181,38 +287,29 @@ type worker struct {
 // build) and prepares the campaign. Each boot snapshot is taken after user
 // memory seeding, so every iteration starts from an identical machine.
 func New(opts Options) (*Fuzzer, error) {
-	if opts.Iters <= 0 {
-		opts.Iters = 1000
+	if err := opts.Normalize(); err != nil {
+		return nil, err
 	}
-	if opts.MaxMinimize <= 0 {
-		opts.MaxMinimize = 64
-	}
-	if opts.Workers <= 0 {
-		opts.Workers = 1
-	}
-	f := &Fuzzer{
-		opts:  opts,
-		cover: make(map[uint64]struct{}),
-		report: &Report{
-			SchemaVersion:   ReportSchemaVersion,
-			Iters:           opts.Iters,
-			Seed:            opts.Seed,
-			Config:          opts.Config.Name(),
-			AuditViolations: make(map[string]int),
-		},
-	}
+	f := &Fuzzer{opts: opts}
 	for i := 0; i < opts.Workers; i++ {
-		w, err := newWorker(opts)
+		w, err := NewExecutor(opts)
 		if err != nil {
 			return nil, err
 		}
 		f.workers = append(f.workers, w)
 	}
-	f.kaddrs = interestingKaddrs(f.workers[0].k)
+	f.kaddrs = f.workers[0].Kaddrs()
+	f.ledger = NewLedger(opts, f.workers[0])
 	return f, nil
 }
 
-func newWorker(opts Options) (*worker, error) {
+// NewExecutor boots one worker kernel (through the shared build cache),
+// seeds user memory, installs the coverage probe, and snapshots the machine
+// so every Exec starts from an identical state.
+func NewExecutor(opts Options) (*Executor, error) {
+	if err := opts.Normalize(); err != nil {
+		return nil, err
+	}
 	bootOpts := []kernel.BootOption{kernel.WithCache()}
 	var tr *obs.Tracer
 	if opts.Trace {
@@ -226,11 +323,12 @@ func newWorker(opts Options) (*worker, error) {
 	if err := SetupUserMemory(k); err != nil {
 		return nil, fmt.Errorf("fuzz: seeding user memory: %w", err)
 	}
-	w := &worker{opts: opts, k: k, tracer: tr, curCover: make(map[uint64]struct{})}
+	w := &Executor{opts: opts, k: k, tracer: tr, curCover: make(map[uint64]struct{})}
 	for _, fn := range k.Img.Funcs {
 		w.funcs = append(w.funcs, funcSpan{name: fn.Name, start: fn.Addr, end: fn.Addr + fn.Size})
 	}
 	sort.Slice(w.funcs, func(i, j int) bool { return w.funcs[i].start < w.funcs[j].start })
+	w.kaddrs = interestingKaddrs(k)
 
 	w.covBase = k.Sym("_text")
 	w.covSpan = uint64(len(k.Img.Text))
@@ -244,11 +342,19 @@ func newWorker(opts Options) (*worker, error) {
 	return w, nil
 }
 
+// Kernel returns the executor's booted kernel.
+func (w *Executor) Kernel() *kernel.Kernel { return w.k }
+
+// Kaddrs returns the interesting kernel addresses program generation aims
+// at. They depend only on the configuration (layout diversification is
+// seeded by Config.Seed), so every executor of a campaign agrees on them.
+func (w *Executor) Kaddrs() []uint64 { return w.kaddrs }
+
 // OnExec implements cpu.ExecProbe: the coverage bitmap. It runs once per
 // executed instruction — the hottest callback in a campaign — so kernel-text
 // RIPs take the test-and-set fast path and only stray RIPs fall back to the
 // map.
-func (w *worker) OnExec(rip uint64, in *isa.Instr, cycles uint64) {
+func (w *Executor) OnExec(rip uint64, in *isa.Instr, cycles uint64) {
 	if off := rip - w.covBase; off < w.covSpan {
 		word, bit := off>>6, uint64(1)<<(off&63)
 		if w.covBits[word]&bit == 0 {
@@ -281,35 +387,27 @@ func interestingKaddrs(k *kernel.Kernel) []uint64 {
 	return out
 }
 
-// injSeed derives the iteration's injector seed from the master seed. The
-// mixing constant keeps adjacent iterations' streams unrelated.
-func (f *Fuzzer) injSeed(iter int) int64 {
-	return f.opts.Seed ^ (int64(iter)+1)*0x2545f4914f6cdd1d
+// injSeed derives the iteration's injector seed from the master seed.
+func (f *Fuzzer) injSeed(iter int) int64 { return InjSeed(f.opts.Seed, iter) }
+
+// ExecResult is one program execution's outcome, self-contained so a merge
+// step can fold it in without touching the executor again — and so the
+// fuzzd workers can ship it across the lease protocol unchanged.
+type ExecResult struct {
+	Bucket   string // "" = clean run
+	CrashIdx int    // index of the crashing call
+	Faults   int    // faults injected during the run
+	AuditBad []string
+	Cover    []uint64    // distinct RIPs executed, unordered
+	NExec    int         // syscalls issued
+	Trace    []obs.Event // iteration event stream (Options.Trace)
 }
 
-// progSeed derives the iteration's generation/mutation seed. A constant
-// distinct from injSeed's keeps the two per-iteration streams independent.
-func (f *Fuzzer) progSeed(iter int) int64 {
-	return f.opts.Seed ^ (int64(iter)+1)*-0x61c8864680b583eb // golden-ratio mix
-}
-
-// execResult is one program execution's outcome, self-contained so the
-// merge step can fold it in without touching the worker again.
-type execResult struct {
-	bucket   string // "" = clean run
-	crashIdx int    // index of the crashing call
-	faults   int    // faults injected during the run
-	auditBad []string
-	cover    []uint64 // distinct RIPs executed, unordered
-	nexec    int      // syscalls issued
-	trace    []obs.Event // iteration event stream (Options.Trace)
-}
-
-// exec restores the snapshot and runs prog, with fault injection when the
+// Exec restores the snapshot and runs prog, with fault injection when the
 // campaign has a plan. The injector seed is passed explicitly so
 // minimization can replay an iteration's exact fault stream.
-func (w *worker) exec(prog *Prog, injSeed int64) (execResult, error) {
-	var res execResult
+func (w *Executor) Exec(prog *Prog, injSeed int64) (ExecResult, error) {
+	var res ExecResult
 	if w.tracer != nil {
 		// Start the iteration's stream empty; Restore below rewinds the
 		// emulated clock to the boot snapshot, so every iteration's events
@@ -340,69 +438,77 @@ func (w *worker) exec(prog *Prog, injSeed int64) (execResult, error) {
 		inj.Attach(w.k.CPU, w.k.Space.AS, w.k.FaultTargets())
 	}
 
-	res.crashIdx = -1
+	res.CrashIdx = -1
 	for i, c := range prog.Calls {
 		r := w.k.Syscall(c.Nr, c.Args[0], c.Args[1], c.Args[2])
-		res.nexec++
+		res.NExec++
 		if r.Failed {
-			res.bucket = w.bucketOf(r)
-			res.crashIdx = i
+			res.Bucket = w.bucketOf(r)
+			res.CrashIdx = i
 			break
 		}
 	}
 	if inj != nil {
 		inj.Detach()
-		res.faults = len(inj.Events)
+		res.Faults = len(inj.Events)
 	}
 
 	// Invariant check: after any injected fault (or crash), the protections
 	// must either still hold or report exactly which check broke.
-	if res.faults > 0 || res.bucket != "" {
+	if res.Faults > 0 || res.Bucket != "" {
 		rep := audit.Audit(w.k)
 		for _, fd := range rep.Findings {
 			if !fd.OK {
-				res.auditBad = append(res.auditBad, fd.Check)
+				res.AuditBad = append(res.AuditBad, fd.Check)
 			}
 		}
 	}
 
-	res.cover = make([]uint64, 0, len(w.curCover)+8*len(w.covWords))
+	res.Cover = make([]uint64, 0, len(w.curCover)+8*len(w.covWords))
 	for rip := range w.curCover {
-		res.cover = append(res.cover, rip)
+		res.Cover = append(res.Cover, rip)
 	}
 	for _, word := range w.covWords {
 		bits := w.covBits[word]
 		base := w.covBase + uint64(word)<<6
 		for bits != 0 {
-			res.cover = append(res.cover, base+uint64(mathbits.TrailingZeros64(bits)))
+			res.Cover = append(res.Cover, base+uint64(mathbits.TrailingZeros64(bits)))
 			bits &= bits - 1
 		}
 	}
 	if w.tracer != nil {
-		res.trace = w.tracer.Take()
+		res.Trace = w.tracer.Take()
 	}
 	return res, nil
 }
 
 // exec runs prog on the campaign's first worker — the replay entry point
 // tests use to re-execute reproducers under an iteration's injector seed.
-func (f *Fuzzer) exec(prog *Prog, injSeed int64) (execResult, error) {
-	return f.workers[0].exec(prog, injSeed)
+func (f *Fuzzer) exec(prog *Prog, injSeed int64) (ExecResult, error) {
+	return f.workers[0].Exec(prog, injSeed)
 }
 
 // Kernel returns the first worker's booted kernel — the instance the
 // benchmark harness inspects (e.g. for decode-cache configuration).
-func (f *Fuzzer) Kernel() *kernel.Kernel { return f.workers[0].k }
+func (f *Fuzzer) Kernel() (*kernel.Kernel, error) {
+	if len(f.workers) == 0 {
+		return nil, &NoWorkersError{Op: "Kernel"}
+	}
+	return f.workers[0].k, nil
+}
 
 // Kernels returns every worker's booted kernel, in worker order — the
 // observability tests attach one profiler per worker and toggle each
 // worker's decode cache through this.
-func (f *Fuzzer) Kernels() []*kernel.Kernel {
+func (f *Fuzzer) Kernels() ([]*kernel.Kernel, error) {
+	if len(f.workers) == 0 {
+		return nil, &NoWorkersError{Op: "Kernels"}
+	}
 	ks := make([]*kernel.Kernel, len(f.workers))
 	for i, w := range f.workers {
 		ks[i] = w.k
 	}
-	return ks
+	return ks, nil
 }
 
 // ExecIteration re-executes iteration i exactly as the campaign's first
@@ -411,15 +517,18 @@ func (f *Fuzzer) Kernels() []*kernel.Kernel {
 // returns the emulated cycles consumed. What runs depends only on (Seed, i)
 // and the corpus state, so benchmark loops over it are deterministic.
 func (f *Fuzzer) ExecIteration(i int) (uint64, error) {
+	if len(f.workers) == 0 {
+		return 0, &NoWorkersError{Op: "ExecIteration"}
+	}
 	w := f.workers[0]
-	prog := f.pickProgAt(i, f.corpus[:len(f.corpus):len(f.corpus)])
-	// Restore first to anchor the cycle baseline; exec's own restore of the
+	prog := PickProg(f.opts.Seed, i, f.ledger.Corpus(), f.kaddrs)
+	// Restore first to anchor the cycle baseline; Exec's own restore of the
 	// same snapshot is idempotent.
 	if err := w.k.Restore(w.snap); err != nil {
 		return 0, err
 	}
 	base := w.k.CPU.Cycles
-	if _, err := w.exec(prog, f.injSeed(i)); err != nil {
+	if _, err := w.Exec(prog, f.injSeed(i)); err != nil {
 		return 0, err
 	}
 	return w.k.CPU.Cycles - base, nil
@@ -429,7 +538,7 @@ func (f *Fuzzer) ExecIteration(i int) (uint64, error) {
 // the function containing the faulting RIP (so the same root cause at
 // different addresses across diversified layouts still groups sensibly
 // within one image).
-func (w *worker) bucketOf(r *kernel.SyscallResult) string {
+func (w *Executor) bucketOf(r *kernel.SyscallResult) string {
 	if r.Err != nil {
 		if be, ok := r.Err.(*cpu.BudgetError); ok {
 			return "watchdog/" + w.funcAt(be.RIP)
@@ -452,7 +561,7 @@ func (w *worker) bucketOf(r *kernel.SyscallResult) string {
 
 // funcAt names the image function containing rip; addresses outside the
 // image coarsen to 64-byte buckets so unknown-RIP crashes still dedup.
-func (w *worker) funcAt(rip uint64) string {
+func (w *Executor) funcAt(rip uint64) string {
 	i := sort.Search(len(w.funcs), func(i int) bool { return w.funcs[i].end > rip })
 	if i < len(w.funcs) && rip >= w.funcs[i].start {
 		return w.funcs[i].name
@@ -463,42 +572,170 @@ func (w *worker) funcAt(rip uint64) string {
 	return fmt.Sprintf("rip-%#x", rip>>6<<6)
 }
 
-// pickProgAt draws the program for iteration i from a corpus snapshot: a
-// fresh generation while the corpus is cold, afterwards mostly mutations of
-// corpus entries. The whole decision consumes only the iteration's own
-// derived RNG, so it is identical under any scheduling.
-func (f *Fuzzer) pickProgAt(i int, corpus []*Prog) *Prog {
-	g := &generator{rng: rand.New(rand.NewSource(f.progSeed(i))), kaddrs: f.kaddrs}
-	r := g.rng
-	if len(corpus) == 0 || r.Intn(4) == 0 {
-		return g.Generate(1 + r.Intn(5))
+// Ledger is the campaign's single-writer merge state: the corpus, the
+// global coverage map, the crash buckets, and the report under
+// construction. Fold must be called exactly once per iteration, in
+// canonical iteration order — the one rule that makes any scheduler
+// (strided goroutines, leased batches, quarantined retries) produce the
+// same bytes. The ledger itself is not goroutine-safe; schedulers serialize
+// into it.
+type Ledger struct {
+	opts    Options
+	min     *Executor // executes minimization candidates (deterministic replays)
+	corpus  []*Prog
+	cover   map[uint64]struct{}
+	crashes map[string]*Crash
+	report  *Report
+	done    int
+}
+
+// NewLedger creates the merge state for one campaign. min is the executor
+// reproducer minimization replays on; any executor of the campaign yields
+// identical results (every Exec restores the boot snapshot), so the choice
+// never shows in the report.
+func NewLedger(opts Options, min *Executor) *Ledger {
+	return &Ledger{
+		opts:    opts,
+		min:     min,
+		cover:   make(map[uint64]struct{}),
+		crashes: make(map[string]*Crash),
+		report: &Report{
+			SchemaVersion:   ReportSchemaVersion,
+			Iters:           opts.Iters,
+			Seed:            opts.Seed,
+			Config:          opts.Config.Name(),
+			AuditViolations: make(map[string]int),
+		},
 	}
-	base := corpus[r.Intn(len(corpus))]
-	var other *Prog
-	if len(corpus) > 1 {
-		other = corpus[r.Intn(len(corpus))]
+}
+
+// Corpus returns the frozen corpus snapshot iterations of the next batch
+// mutate from: capacity-clamped, so merge-time appends cannot leak into a
+// batch already executing against it.
+func (l *Ledger) Corpus() []*Prog {
+	return l.corpus[:len(l.corpus):len(l.corpus)]
+}
+
+// Done reports how many iterations have been folded.
+func (l *Ledger) Done() int { return l.done }
+
+// Fold merges iteration iter's execution into the campaign. Everything
+// order-sensitive — coverage novelty, corpus membership, which iteration
+// owns a crash bucket, minimization's execution budget — is decided here,
+// sequentially, so the outcome is independent of how the iteration was
+// scheduled, retried, or reassigned.
+func (l *Ledger) Fold(iter int, prog *Prog, res ExecResult) {
+	l.done++
+	l.report.Executed += res.NExec
+	l.report.Faults += res.Faults
+	l.report.Trace = append(l.report.Trace, res.Trace...)
+	for _, check := range res.AuditBad {
+		l.report.AuditViolations[check]++
 	}
-	return g.Mutate(base, other)
+	newCover := false
+	for _, rip := range res.Cover {
+		if _, ok := l.cover[rip]; !ok {
+			newCover = true
+			l.cover[rip] = struct{}{}
+		}
+	}
+	if res.Bucket != "" {
+		repro := &Prog{Calls: prog.Calls[:res.CrashIdx+1]}
+		if c, ok := l.crashes[res.Bucket]; ok {
+			c.Count++
+		} else {
+			c = &Crash{Bucket: res.Bucket, Count: 1, Iter: iter, Prog: repro.Clone()}
+			c.Min = l.minimize(repro, res.Bucket, InjSeed(l.opts.Seed, iter))
+			l.crashes[res.Bucket] = c
+		}
+		return
+	}
+	if newCover {
+		l.corpus = append(l.corpus, prog)
+	}
+}
+
+// Finalize assembles the report: sorted crash buckets, the coverage count,
+// renumbered trace. partial marks a cancelled campaign; Iters then reports
+// the iterations actually folded, so the partial report is byte-identical
+// (bar the partial marker) to a full campaign over that prefix.
+func (l *Ledger) Finalize(partial bool) *Report {
+	for _, c := range l.crashes {
+		l.report.Crashes = append(l.report.Crashes, c)
+	}
+	sort.Slice(l.report.Crashes, func(i, j int) bool {
+		return l.report.Crashes[i].Bucket < l.report.Crashes[j].Bucket
+	})
+	l.report.Cover = len(l.cover)
+	l.report.Partial = partial
+	l.report.Iters = l.done
+	obs.Renumber(l.report.Trace)
+	return l.report
+}
+
+// minimize shrinks a crashing program to the shortest syscall sequence that
+// still lands in the same bucket, re-executing candidates under the
+// iteration's exact injector seed. Delta-removal repeats until a full pass
+// removes nothing (or the execution budget runs out). Minimization runs on
+// the ledger's executor, during the ordered merge, so its executions are
+// counted deterministically; its coverage is deliberately not folded into
+// the campaign's coverage map.
+func (l *Ledger) minimize(prog *Prog, bucket string, injSeed int64) *Prog {
+	min := prog.Clone()
+	budget := l.opts.MaxMinimize
+	for changed := true; changed && len(min.Calls) > 1; {
+		changed = false
+		for i := len(min.Calls) - 1; i >= 0 && len(min.Calls) > 1; i-- {
+			if budget <= 0 {
+				return min
+			}
+			cand := &Prog{Calls: append(append([]Call{}, min.Calls[:i]...), min.Calls[i+1:]...)}
+			res, err := l.min.Exec(cand, injSeed)
+			budget--
+			if err == nil {
+				l.report.Executed += res.NExec
+				if res.Bucket == bucket {
+					min = cand
+					changed = true
+				}
+			}
+		}
+	}
+	return min
 }
 
 // iterOut is one iteration's completed execution, parked until the merge.
 type iterOut struct {
 	prog *Prog
-	res  execResult
+	res  ExecResult
 	err  error
 }
 
 // Run executes the campaign and returns its report.
 func (f *Fuzzer) Run() (*Report, error) {
-	crashes := make(map[string]*Crash)
-	for lo := 0; lo < f.opts.Iters; lo += batchSize {
-		hi := lo + batchSize
+	return f.RunContext(context.Background())
+}
+
+// RunContext executes the campaign under ctx. Cancellation is graceful and
+// batch-aligned: the in-flight batch drains and merges, then the ledger is
+// finalized with Partial set — the canonical report of the completed
+// prefix, never a torn one.
+func (f *Fuzzer) RunContext(ctx context.Context) (*Report, error) {
+	if len(f.workers) == 0 {
+		return nil, &NoWorkersError{Op: "Run"}
+	}
+	done := 0
+	for lo := 0; lo < f.opts.Iters; lo += BatchSize {
+		if ctx.Err() != nil {
+			break
+		}
+		hi := lo + BatchSize
 		if hi > f.opts.Iters {
 			hi = f.opts.Iters
 		}
 		// The corpus snapshot every iteration of this batch mutates from:
 		// frozen length, so merge-time appends cannot leak into the batch.
-		snapshot := f.corpus[:len(f.corpus):len(f.corpus)]
+		snapshot := f.ledger.Corpus()
 		results := make([]iterOut, hi-lo)
 
 		nw := f.opts.Workers
@@ -507,8 +744,8 @@ func (f *Fuzzer) Run() (*Report, error) {
 		}
 		if nw <= 1 {
 			for i := lo; i < hi; i++ {
-				prog := f.pickProgAt(i, snapshot)
-				res, err := f.workers[0].exec(prog, f.injSeed(i))
+				prog := PickProg(f.opts.Seed, i, snapshot, f.kaddrs)
+				res, err := f.workers[0].Exec(prog, f.injSeed(i))
 				results[i-lo] = iterOut{prog: prog, res: res, err: err}
 			}
 		} else {
@@ -519,8 +756,8 @@ func (f *Fuzzer) Run() (*Report, error) {
 					defer wg.Done()
 					w := f.workers[wi]
 					for i := lo + wi; i < hi; i += nw {
-						prog := f.pickProgAt(i, snapshot)
-						res, err := w.exec(prog, f.injSeed(i))
+						prog := PickProg(f.opts.Seed, i, snapshot, f.kaddrs)
+						res, err := w.Exec(prog, f.injSeed(i))
 						results[i-lo] = iterOut{prog: prog, res: res, err: err}
 					}
 				}(wi)
@@ -528,85 +765,19 @@ func (f *Fuzzer) Run() (*Report, error) {
 			wg.Wait()
 		}
 
-		// Merge in canonical iteration order. Everything order-sensitive —
-		// coverage novelty, corpus membership, which iteration owns a crash
-		// bucket — is decided here, sequentially, so the outcome is
-		// independent of how the batch was scheduled above.
 		for i := lo; i < hi; i++ {
 			out := results[i-lo]
 			if out.err != nil {
 				return nil, out.err
 			}
-			res := out.res
-			f.report.Executed += res.nexec
-			f.report.Faults += res.faults
-			f.report.Trace = append(f.report.Trace, res.trace...)
-			for _, check := range res.auditBad {
-				f.report.AuditViolations[check]++
-			}
-			newCover := false
-			for _, rip := range res.cover {
-				if _, ok := f.cover[rip]; !ok {
-					newCover = true
-					f.cover[rip] = struct{}{}
-				}
-			}
-			if res.bucket != "" {
-				repro := &Prog{Calls: out.prog.Calls[:res.crashIdx+1]}
-				if c, ok := crashes[res.bucket]; ok {
-					c.Count++
-				} else {
-					c = &Crash{Bucket: res.bucket, Count: 1, Iter: i, Prog: repro.Clone()}
-					c.Min = f.minimize(repro, res.bucket, f.injSeed(i))
-					crashes[res.bucket] = c
-				}
-				continue
-			}
-			if newCover {
-				f.corpus = append(f.corpus, out.prog)
-			}
+			f.ledger.Fold(i, out.prog, out.res)
+		}
+		done = hi
+		if f.batchHook != nil {
+			f.batchHook(done)
 		}
 	}
-	for _, c := range crashes {
-		f.report.Crashes = append(f.report.Crashes, c)
-	}
-	sort.Slice(f.report.Crashes, func(i, j int) bool {
-		return f.report.Crashes[i].Bucket < f.report.Crashes[j].Bucket
-	})
-	f.report.Cover = len(f.cover)
-	obs.Renumber(f.report.Trace)
-	return f.report, nil
-}
-
-// minimize shrinks a crashing program to the shortest syscall sequence that
-// still lands in the same bucket, re-executing candidates under the
-// iteration's exact injector seed. Delta-removal repeats until a full pass
-// removes nothing (or the execution budget runs out). Minimization runs on
-// the first worker, during the ordered merge, so its executions are counted
-// deterministically; its coverage is deliberately not folded into the
-// campaign's coverage map.
-func (f *Fuzzer) minimize(prog *Prog, bucket string, injSeed int64) *Prog {
-	min := prog.Clone()
-	budget := f.opts.MaxMinimize
-	for changed := true; changed && len(min.Calls) > 1; {
-		changed = false
-		for i := len(min.Calls) - 1; i >= 0 && len(min.Calls) > 1; i-- {
-			if budget <= 0 {
-				return min
-			}
-			cand := &Prog{Calls: append(append([]Call{}, min.Calls[:i]...), min.Calls[i+1:]...)}
-			res, err := f.workers[0].exec(cand, injSeed)
-			budget--
-			if err == nil {
-				f.report.Executed += res.nexec
-				if res.bucket == bucket {
-					min = cand
-					changed = true
-				}
-			}
-		}
-	}
-	return min
+	return f.ledger.Finalize(done < f.opts.Iters), nil
 }
 
 // Fuzz is the one-call entry point: boot, run, report.

@@ -111,8 +111,8 @@ func TestMinimizedReproReplays(t *testing.T) {
 		if err != nil {
 			t.Fatalf("bucket %q: replay: %v", c.Bucket, err)
 		}
-		if res.bucket != c.Bucket {
-			t.Errorf("bucket %q: minimized repro lands in %q on replay", c.Bucket, res.bucket)
+		if res.Bucket != c.Bucket {
+			t.Errorf("bucket %q: minimized repro lands in %q on replay", c.Bucket, res.Bucket)
 		}
 	}
 }

@@ -18,6 +18,7 @@ func TestReportSchemaGolden(t *testing.T) {
 	prog := &Prog{Calls: []Call{{Nr: 3, Args: [3]uint64{1, 2, 0}}}}
 	rep := &Report{
 		SchemaVersion: ReportSchemaVersion,
+		Partial:       false,
 		Iters:         8,
 		Seed:          42,
 		Config:        "Vanilla",

@@ -1,0 +1,155 @@
+// Package chaos provides replayable worker-fault schedules for the fuzzd
+// service's self-testing — internal/inject's idea of seeded, deterministic
+// fault plans, aimed at the service's own fleet instead of the emulated
+// machine. A schedule decides, at the moment a worker begins its n-th
+// lease, whether that worker should die, stall past its lease deadline, or
+// slow down while keeping its lease alive. The decision is a pure function
+// of (worker, lease ordinal), so a given worker's fault stream replays
+// exactly — and the service's determinism contract is asserted against it:
+// the campaign report must be byte-identical under ANY schedule, because
+// the manager reassigns, retries, or quarantines whatever the schedule
+// breaks.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// Action is the fault a worker self-injects at a lease boundary.
+type Action int
+
+// Actions.
+const (
+	ActNone  Action = iota
+	ActKill         // panic inside the worker (exercises containment + respawn)
+	ActStall        // stop heartbeating past the lease deadline, deliver late (exercises expiry, reassignment, stale-result fencing)
+	ActDelay        // run slowly but keep heartbeating (exercises lease renewal)
+)
+
+func (a Action) String() string {
+	switch a {
+	case ActNone:
+		return "none"
+	case ActKill:
+		return "kill"
+	case ActStall:
+		return "stall"
+	case ActDelay:
+		return "delay"
+	}
+	return "?"
+}
+
+// Func decides the fault a worker self-injects when it begins its n-th
+// lease (0-based, counted per worker). Implementations must be safe for
+// concurrent use from multiple workers; for replayability they should be
+// pure in (worker, lease). Nil means no faults.
+type Func func(worker, lease int) Action
+
+// OnLease fires act exactly when worker `worker` begins its `lease`-th
+// lease — the scripted building block ("kill worker 0 on its second
+// lease").
+func OnLease(worker, lease int, act Action) Func {
+	return func(w, l int) Action {
+		if w == worker && l == lease {
+			return act
+		}
+		return ActNone
+	}
+}
+
+// EveryNth fires act on every n-th lease a worker begins (its leases n-1,
+// 2n-1, ...), for every worker — "expire every third lease" is
+// EveryNth(3, ActStall).
+func EveryNth(n int, act Action) Func {
+	if n <= 0 {
+		n = 1
+	}
+	return func(_, l int) Action {
+		if l%n == n-1 {
+			return act
+		}
+		return ActNone
+	}
+}
+
+// Merge combines schedules: the first non-ActNone decision wins.
+func Merge(fns ...Func) Func {
+	return func(w, l int) Action {
+		for _, fn := range fns {
+			if fn == nil {
+				continue
+			}
+			if a := fn(w, l); a != ActNone {
+				return a
+			}
+		}
+		return ActNone
+	}
+}
+
+// Seeded draws each (worker, lease) decision from its own derived RNG —
+// the internal/inject recipe: one master seed, per-point derivation, so a
+// worker's fault stream never depends on scheduling order or on what other
+// workers drew. kill, stall, and delay are per-lease probabilities
+// evaluated in that order. maxFaults (>0) is a global safety valve bounding
+// the total faults fired across the fleet, so a kill-heavy schedule cannot
+// chew through the manager's whole respawn budget and leave the campaign
+// grinding through its quarantine path; the cap is a shared counter, not
+// part of the pure per-worker stream.
+func Seeded(seed int64, kill, stall, delay float64, maxFaults int64) Func {
+	var fired atomic.Int64
+	return func(worker, lease int) Action {
+		h := uint64(seed)
+		h ^= (uint64(worker) + 1) * 0x9e3779b97f4a7c15
+		h ^= (uint64(lease) + 1) * 0x2545f4914f6cdd1d
+		x := rand.New(rand.NewSource(int64(h))).Float64()
+		var act Action
+		switch {
+		case x < kill:
+			act = ActKill
+		case x < kill+stall:
+			act = ActStall
+		case x < kill+stall+delay:
+			act = ActDelay
+		default:
+			return ActNone
+		}
+		if maxFaults > 0 && fired.Add(1) > maxFaults {
+			return ActNone
+		}
+		return act
+	}
+}
+
+// Parse builds a schedule from a CLI spec — the krxfuzz -chaos flag.
+// Specs:
+//
+//	""              no faults (nil Func)
+//	kill-one        kill worker 0 on its second lease
+//	expire-third    every worker stalls on every third lease
+//	stall-recover   worker 0 stalls once (lease 2), then recovers
+//	seeded:<seed>   Seeded(seed, 0.2, 0.2, 0.2, 8)
+func Parse(spec string) (Func, error) {
+	switch {
+	case spec == "":
+		return nil, nil
+	case spec == "kill-one":
+		return OnLease(0, 1, ActKill), nil
+	case spec == "expire-third":
+		return EveryNth(3, ActStall), nil
+	case spec == "stall-recover":
+		return OnLease(0, 2, ActStall), nil
+	case strings.HasPrefix(spec, "seeded:"):
+		seed, err := strconv.ParseInt(strings.TrimPrefix(spec, "seeded:"), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: bad seed in %q: %w", spec, err)
+		}
+		return Seeded(seed, 0.2, 0.2, 0.2, 8), nil
+	}
+	return nil, fmt.Errorf("chaos: unknown schedule %q (want kill-one, expire-third, stall-recover, or seeded:<seed>)", spec)
+}

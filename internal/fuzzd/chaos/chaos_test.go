@@ -1,0 +1,94 @@
+package chaos
+
+import "testing"
+
+func TestOnLease(t *testing.T) {
+	fn := OnLease(2, 1, ActKill)
+	if got := fn(2, 1); got != ActKill {
+		t.Errorf("fn(2,1) = %v, want kill", got)
+	}
+	for _, c := range [][2]int{{2, 0}, {2, 2}, {0, 1}, {3, 1}} {
+		if got := fn(c[0], c[1]); got != ActNone {
+			t.Errorf("fn(%d,%d) = %v, want none", c[0], c[1], got)
+		}
+	}
+}
+
+func TestEveryNth(t *testing.T) {
+	fn := EveryNth(3, ActStall)
+	want := []Action{ActNone, ActNone, ActStall, ActNone, ActNone, ActStall}
+	for l, w := range want {
+		if got := fn(7, l); got != w {
+			t.Errorf("lease %d: %v, want %v", l, got, w)
+		}
+	}
+}
+
+func TestMergeFirstWins(t *testing.T) {
+	fn := Merge(nil, OnLease(0, 0, ActDelay), OnLease(0, 0, ActKill))
+	if got := fn(0, 0); got != ActDelay {
+		t.Errorf("merge = %v, want delay (first non-none wins)", got)
+	}
+	if got := fn(1, 5); got != ActNone {
+		t.Errorf("merge miss = %v, want none", got)
+	}
+}
+
+// TestSeededReplayable: the per-(worker, lease) decision is a pure
+// derivation from the seed — calling in any order, any number of times,
+// returns the same action (with the global cap disabled).
+func TestSeededReplayable(t *testing.T) {
+	a, b := Seeded(42, 0.3, 0.3, 0.3, 0), Seeded(42, 0.3, 0.3, 0.3, 0)
+	for w := 0; w < 4; w++ {
+		for l := 0; l < 32; l++ {
+			if x, y := a(w, l), b(w, l); x != y {
+				t.Fatalf("(%d,%d): %v vs %v — not replayable", w, l, x, y)
+			}
+		}
+	}
+	// Different seeds must produce different streams somewhere.
+	c := Seeded(43, 0.3, 0.3, 0.3, 0)
+	same := true
+	for w := 0; w < 4 && same; w++ {
+		for l := 0; l < 32; l++ {
+			if a(w, l) != c(w, l) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 produced identical 4x32 decision grids")
+	}
+}
+
+func TestSeededMaxFaults(t *testing.T) {
+	fn := Seeded(42, 1.0, 0, 0, 3)
+	fired := 0
+	for l := 0; l < 100; l++ {
+		if fn(0, l) != ActNone {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Errorf("fired %d faults, want cap of 3", fired)
+	}
+}
+
+func TestParse(t *testing.T) {
+	if fn, err := Parse(""); err != nil || fn != nil {
+		t.Errorf("Parse(\"\") = %v, %v, want nil, nil", fn, err)
+	}
+	for _, spec := range []string{"kill-one", "expire-third", "stall-recover", "seeded:7"} {
+		fn, err := Parse(spec)
+		if err != nil || fn == nil {
+			t.Errorf("Parse(%q) = %v, %v", spec, fn, err)
+		}
+	}
+	if _, err := Parse("explode"); err == nil {
+		t.Error("Parse(\"explode\") succeeded, want error")
+	}
+	if _, err := Parse("seeded:xyz"); err == nil {
+		t.Error("Parse(\"seeded:xyz\") succeeded, want error")
+	}
+}

@@ -1,0 +1,405 @@
+// Service robustness and determinism tests. The load-bearing assertion,
+// repeated under every fault schedule: the service's report is byte-identical
+// to the in-process fuzz.Fuzzer's for the same campaign options — crash
+// recovery, lease expiry, retries, and quarantine must never show in the
+// output.
+package fuzzd
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/diversify"
+	"repro/internal/fuzz"
+	"repro/internal/fuzzd/chaos"
+	"repro/internal/inject"
+	"repro/internal/obs"
+	"repro/internal/sfi"
+)
+
+// campaign is the reference workload: protected config with fault injection,
+// so the report exercises crashes, minimization, and audit accounting.
+func campaign(iters, workers int) fuzz.Options {
+	plan := inject.DefaultPlan(42)
+	return fuzz.Options{
+		Iters: iters,
+		Seed:  42,
+		Config: core.Config{
+			XOM: core.XOMSFI, SFILevel: sfi.O3,
+			Diversify: true, RAProt: diversify.RAEncrypt,
+			Seed: 42,
+		},
+		Plan:    &plan,
+		Workers: workers,
+	}
+}
+
+// serviceOpts wraps a campaign in test-friendly service timings: leases
+// expire fast so chaos schedules resolve in milliseconds, not seconds.
+func serviceOpts(iters, workers int) Options {
+	return Options{
+		Fuzz:         campaign(iters, workers),
+		LeaseIters:   16,
+		LeaseTimeout: 50 * time.Millisecond,
+	}
+}
+
+// direct runs the in-process fuzzer — the byte-identity baseline. Memoized
+// per iteration count: the baseline itself is deterministic, so computing it
+// once per process is both faster and part of the point.
+var (
+	baselineMu sync.Mutex
+	baselines  = map[int]string{}
+)
+
+func direct(t *testing.T, iters int) string {
+	t.Helper()
+	baselineMu.Lock()
+	defer baselineMu.Unlock()
+	if s, ok := baselines[iters]; ok {
+		return s
+	}
+	rep, err := fuzz.Fuzz(campaign(iters, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baselines[iters] = rep.String()
+	return rep.String()
+}
+
+func TestOptionsValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		mut   func(*Options)
+		field string
+	}{
+		{"NegativeLeaseIters", func(o *Options) { o.LeaseIters = -1 }, "LeaseIters"},
+		{"LeaseSpansBatches", func(o *Options) { o.LeaseIters = fuzz.BatchSize + 1 }, "LeaseIters"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := serviceOpts(64, 1)
+			tc.mut(&o)
+			_, err := New(o)
+			var oe *OptionsError
+			if !errors.As(err, &oe) {
+				t.Fatalf("New = %v, want *OptionsError", err)
+			}
+			if oe.Field != tc.field {
+				t.Errorf("error field = %q, want %q", oe.Field, tc.field)
+			}
+		})
+	}
+	// Campaign-level validation propagates as the fuzz package's typed error.
+	o := serviceOpts(64, 1)
+	o.Fuzz.Iters = -1
+	var fe *fuzz.OptionsError
+	if _, err := New(o); !errors.As(err, &fe) {
+		t.Fatalf("New with bad Fuzz options = %v, want *fuzz.OptionsError", err)
+	}
+}
+
+// TestChaosDeterminismMatrix is the acceptance gate: byte-identical reports
+// across worker counts and fault schedules, against the in-process baseline.
+// The schedules cover the full failure surface — worker death (containment +
+// respawn), every-third-lease expiry (reclaim + reassignment + fencing), and
+// a one-shot stall (expiry then late delivery).
+func TestChaosDeterminismMatrix(t *testing.T) {
+	iters := 192 // three full batches
+	workerCounts := []int{1, 2, 4}
+	if raceEnabled {
+		iters = 128
+		workerCounts = []int{1, 4}
+	}
+	baseline := direct(t, iters)
+	for _, workers := range workerCounts {
+		for _, spec := range []string{"", "kill-one", "expire-third", "stall-recover"} {
+			name := spec
+			if name == "" {
+				name = "no-faults"
+			}
+			t.Run(name+"/workers="+string(rune('0'+workers)), func(t *testing.T) {
+				fn, err := chaos.Parse(spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				o := serviceOpts(iters, workers)
+				o.Chaos = fn
+				m, err := New(o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep, err := m.Run(context.Background())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := rep.String(); got != baseline {
+					t.Errorf("report diverges from direct run:\n--- service ---\n%s--- direct ---\n%s", got, baseline)
+				}
+			})
+		}
+	}
+}
+
+// TestAllButOneWorkerKilled: three of four workers die on their very first
+// lease with no respawn budget — the campaign degrades to a single worker
+// and still terminates with the canonical report.
+func TestAllButOneWorkerKilled(t *testing.T) {
+	const iters = 128
+	baseline := direct(t, iters)
+	o := serviceOpts(iters, 4)
+	o.MaxRespawns = -1 // no replacements: genuinely down to one worker
+	o.Chaos = func(worker, lease int) chaos.Action {
+		if worker < 3 && lease == 0 {
+			return chaos.ActKill
+		}
+		return chaos.ActNone
+	}
+	m, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.String(); got != baseline {
+		t.Errorf("degraded campaign diverges:\n--- service ---\n%s--- direct ---\n%s", got, baseline)
+	}
+	if n := m.cDeaths.Value(); n != 3 {
+		t.Errorf("deaths = %d, want 3", n)
+	}
+	if n := m.cRespawns.Value(); n != 0 {
+		t.Errorf("respawns = %d, want 0 (budget disabled)", n)
+	}
+}
+
+// TestWholeFleetKilled: every worker (and every respawned replacement) dies
+// on its first lease. Once the respawn budget is spent the manager executes
+// the rest of the campaign inline — graceful degradation to zero workers.
+func TestWholeFleetKilled(t *testing.T) {
+	const iters = 64
+	baseline := direct(t, iters)
+	o := serviceOpts(iters, 2)
+	o.Chaos = func(worker, lease int) chaos.Action {
+		if lease == 0 {
+			return chaos.ActKill
+		}
+		return chaos.ActNone
+	}
+	m, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.String(); got != baseline {
+		t.Errorf("zero-worker campaign diverges:\n--- service ---\n%s--- direct ---\n%s", got, baseline)
+	}
+	if n := m.cInline.Value(); n == 0 {
+		t.Error("expected inline executions after the fleet died")
+	}
+	// 2 initial workers + the full respawn budget (default 2x2), all dead.
+	if n := m.cDeaths.Value(); n < 2 {
+		t.Errorf("deaths = %d, want >= 2", n)
+	}
+}
+
+// blackHole is a Transport whose workers accept leases and never respond —
+// no heartbeat, no result, no death message. The pathological remote worker.
+type blackHole struct {
+	mu      sync.Mutex
+	spawned int
+}
+
+type blackHoleWorker struct{}
+
+func (blackHoleWorker) Send(Lease) {}
+func (blackHoleWorker) Stop()      {}
+
+func (b *blackHole) Spawn(id int, msgs chan<- Msg) (Worker, error) {
+	b.mu.Lock()
+	b.spawned++
+	b.mu.Unlock()
+	return blackHoleWorker{}, nil
+}
+
+// TestDeadLetterQuarantine: against a fleet of black holes, every lease
+// expires unanswered; once a chunk burns its retry budget it must be
+// dead-lettered — executed inline on the manager's triage executor — and the
+// report must still be byte-identical and complete.
+func TestDeadLetterQuarantine(t *testing.T) {
+	const iters = 64
+	baseline := direct(t, iters)
+	o := serviceOpts(iters, 2)
+	o.LeaseTimeout = 25 * time.Millisecond
+	o.MaxRetries = 1
+	o.Transport = &blackHole{}
+	m, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.String(); got != baseline {
+		t.Errorf("quarantined campaign diverges:\n--- service ---\n%s--- direct ---\n%s", got, baseline)
+	}
+	if n := m.cDeadletter.Value(); n == 0 {
+		t.Error("expected dead-lettered chunks against a black-hole fleet")
+	}
+	if n := m.cExpired.Value(); n == 0 {
+		t.Error("expected expired leases against a black-hole fleet")
+	}
+	if rep.Partial {
+		t.Error("report marked partial; black-hole fleet must not lose iterations")
+	}
+}
+
+// TestStallAccounting: a stalled worker's lease expires, and its eventual
+// result is either accepted late (chunk not regranted) or fenced off as
+// stale (chunk regranted under a new generation) — exactly one of the two
+// per stall, never folded twice. The byte-identity of the report (asserted
+// in the matrix test) plus these counters pin the behavior.
+func TestStallAccounting(t *testing.T) {
+	const iters = 128
+	o := serviceOpts(iters, 2)
+	o.Chaos = chaos.EveryNth(3, chaos.ActStall)
+	m, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if n := m.cExpired.Value(); n == 0 {
+		t.Error("expected lease expiries under an every-third-lease stall schedule")
+	}
+	if m.cLate.Value()+m.cStale.Value() == 0 {
+		t.Error("stalled leases resolved neither late-accepted nor stale-dropped")
+	}
+}
+
+// TestPartialReportOnCancel: cancelling mid-campaign drains the in-flight
+// batch and finalizes a partial report that is a byte-identical prefix (bar
+// the partial marker) of a full campaign over the completed iterations.
+func TestPartialReportOnCancel(t *testing.T) {
+	const iters, cutoff = 192, 128
+	o := serviceOpts(iters, 2)
+	m, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	m.batchHook = func(done int) {
+		if done >= cutoff {
+			cancel()
+		}
+	}
+	rep, err := m.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Partial {
+		t.Fatal("cancelled campaign not marked partial")
+	}
+	if rep.Iters != cutoff {
+		t.Fatalf("partial report folded %d iters, want %d", rep.Iters, cutoff)
+	}
+	full := direct(t, cutoff)
+	got := strings.Replace(rep.String(), " partial=true", "", 1)
+	if got != full {
+		t.Errorf("partial report is not a prefix campaign:\n--- partial ---\n%s--- full(%d) ---\n%s", got, cutoff, full)
+	}
+}
+
+// TestServiceTraceIsolation: with campaign tracing on and chaos active, the
+// merged campaign trace stays byte-identical to the in-process fuzzer's —
+// service-plane events (leases, expiries, deaths) live on the manager's own
+// host-clocked tracer and never leak into Report.Trace.
+func TestServiceTraceIsolation(t *testing.T) {
+	const iters = 128
+	base := campaign(iters, 1)
+	base.Trace = true
+	f, err := fuzz.New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	o := serviceOpts(iters, 2)
+	o.Fuzz.Trace = true
+	o.Chaos = chaos.Merge(
+		chaos.OnLease(0, 1, chaos.ActKill),
+		chaos.OnLease(1, 2, chaos.ActStall),
+	)
+	m, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.TraceText(rep.Trace) != obs.TraceText(want.Trace) {
+		t.Error("campaign trace diverges under the service")
+	}
+	if rep.String() != want.String() {
+		t.Error("traced report diverges under the service")
+	}
+	events := m.Tracer().Events()
+	if len(events) == 0 {
+		t.Fatal("service tracer recorded no lease-plane events")
+	}
+	var sawLease, sawDeath bool
+	for _, e := range events {
+		switch e.Kind {
+		case obs.EvLease:
+			sawLease = true
+		case obs.EvWorkerDeath:
+			sawDeath = true
+		}
+	}
+	if !sawLease || !sawDeath {
+		t.Errorf("service trace missing lease/death events (lease=%v death=%v)", sawLease, sawDeath)
+	}
+}
+
+// TestSeededChaosSoak: the replayable seeded schedule — mixed kills, stalls,
+// and delays, capped by its fault budget — against the byte-identity
+// contract, at two worker counts.
+func TestSeededChaosSoak(t *testing.T) {
+	iters := 128
+	if raceEnabled {
+		iters = 64
+	}
+	baseline := direct(t, iters)
+	for _, workers := range []int{2, 4} {
+		o := serviceOpts(iters, workers)
+		o.Chaos = chaos.Seeded(7, 0.15, 0.15, 0.1, 6)
+		m, err := New(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := m.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := rep.String(); got != baseline {
+			t.Errorf("workers=%d: seeded-chaos report diverges:\n--- service ---\n%s--- direct ---\n%s",
+				workers, got, baseline)
+		}
+	}
+}

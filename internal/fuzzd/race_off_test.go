@@ -1,0 +1,5 @@
+//go:build !race
+
+package fuzzd
+
+const raceEnabled = false

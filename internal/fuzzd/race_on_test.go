@@ -1,0 +1,8 @@
+//go:build race
+
+package fuzzd
+
+// raceEnabled scales the heavyweight determinism tests down when the race
+// detector multiplies per-iteration cost: the same properties are asserted
+// over a smaller grid.
+const raceEnabled = true
