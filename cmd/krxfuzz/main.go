@@ -56,6 +56,7 @@ func run() error {
 	traceOut := flag.String("trace", "", "record the campaign event stream (byte-identical for any -workers count); write Chrome trace-event JSON to this file")
 	stats := flag.Bool("stats", false, "print the observability metric registry after the campaign")
 	blocks := flag.Bool("blocks", true, "dispatch through the superblock engine (bit-identical either way; -blocks=false forces per-instruction stepping)")
+	hot := flag.Int("hot", 0, "block-formation hotness threshold: form a superblock after this many dispatches of an entry point (0 = engine default)")
 	serve := flag.Bool("serve", false, "run through the fault-tolerant fuzzd manager/worker service instead of the in-process scheduler")
 	leaseTimeout := flag.Duration("lease-timeout", time.Second, "serve: lease deadline; a lease unrenewed for this long is reclaimed and reassigned")
 	leaseIters := flag.Int("lease-iters", 16, "serve: iterations per lease grant")
@@ -94,6 +95,7 @@ func run() error {
 			retries:      *retries,
 			chaosSpec:    *chaosSpec,
 			blocks:       *blocks,
+			hot:          *hot,
 			jsonOut:      *jsonOut,
 			traceOut:     *traceOut,
 			stats:        *stats,
@@ -110,6 +112,7 @@ func run() error {
 	}
 	for _, k := range ks {
 		k.CPU.SetBlockEngine(*blocks)
+		k.CPU.SetBlockHotThreshold(*hot)
 	}
 	rep, err := f.RunContext(ctx)
 	if err != nil {
@@ -150,6 +153,7 @@ type serveFlags struct {
 	retries      int
 	chaosSpec    string
 	blocks       bool
+	hot          int
 	jsonOut      bool
 	traceOut     string
 	stats        bool
@@ -167,7 +171,10 @@ func runServe(ctx context.Context, opts fuzz.Options, sf serveFlags) error {
 		LeaseTimeout: sf.leaseTimeout,
 		MaxRetries:   sf.retries,
 		Chaos:        fn,
-		Tune:         func(k *kernel.Kernel) { k.CPU.SetBlockEngine(sf.blocks) },
+		Tune: func(k *kernel.Kernel) {
+			k.CPU.SetBlockEngine(sf.blocks)
+			k.CPU.SetBlockHotThreshold(sf.hot)
+		},
 	})
 	if err != nil {
 		return err

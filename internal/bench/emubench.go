@@ -29,6 +29,7 @@ import (
 type EmuResult struct {
 	Name         string  `json:"name"`
 	Iters        int     `json:"iters"`
+	Reps         int     `json:"reps"`
 	HostNsBlocks int64   `json:"host_ns_per_op_blocks_on"`
 	HostNsOn     int64   `json:"host_ns_per_op_cache_on"`
 	HostNsOff    int64   `json:"host_ns_per_op_cache_off"`
@@ -40,7 +41,17 @@ type EmuResult struct {
 // EmuSchemaVersion identifies the JSON layout of EmuReport. Bump it on any
 // field change so downstream consumers can detect the format.
 // v3: added host_ns_per_op_blocks_on and block_speedup (superblock engine).
-const EmuSchemaVersion = 3
+// v4: added reps; per-mode times are now min-of-reps, not a single-sample
+// mean — a mean folds GC pauses and scheduler noise into the baseline,
+// which is how v3 recorded physically impossible sub-1.0 speedups on
+// noise-dominated rows.
+const EmuSchemaVersion = 4
+
+// emuReps is the number of repetitions per mode; the reported time is the
+// minimum over them, matching the KRX_PERF_GATE min-of-3 convention (the
+// min estimates the noise-free cost; means are biased up by arbitrary
+// amounts of host interference).
+const emuReps = 3
 
 // EmuReport is the machine-readable emulator benchmark baseline
 // (BENCH_emulator.json).
@@ -58,10 +69,23 @@ func (r *EmuReport) JSON() ([]byte, error) {
 }
 
 // emuWorkload builds a closure that executes one unit of emulated work and
-// returns its cycle cost. make is called once per mode, so each mode gets a
-// fresh kernel and an identical iteration sequence.
+// returns its cycle cost. make is called once per mode per repetition, so
+// each measurement gets a fresh kernel and an identical iteration sequence.
+// warm is how many untimed ops precede the timed window (0 = 1): one op
+// populates the decode cache, but workloads whose op is much smaller than
+// the Table 1 suite (a single fuzz iteration) need several to reach the
+// block engine's steady state — the hotness gate defers formation until an
+// entry point has been dispatched BlockHotThreshold times, and a campaign's
+// per-iteration cost is the steady-state number, not the ramp.
+// mult scales the timed iteration count (0 = 1), for the same reason from
+// the other side: a fuzz iteration is tens of microseconds, so the default
+// iteration count would time a sub-millisecond window — below the host's
+// scheduling noise floor, where even a min-of-reps ratio is a coin flip.
+// The reported per-op time still divides by the scaled count.
 type emuWorkload struct {
 	name string
+	warm int
+	mult int
 	make func(cacheOn, blocksOn bool) (func() (uint64, error), error)
 }
 
@@ -106,8 +130,22 @@ func table1Workload(cfg core.Config) emuWorkload {
 func fuzzWorkload(cfg core.Config, seed int64) emuWorkload {
 	return emuWorkload{
 		name: "fuzz-iteration/" + cfg.Name(),
+		// A fuzz iteration is a few orders of magnitude smaller than the
+		// Table 1 suite, so one warmup op leaves the hotness gate mid-ramp
+		// (formation cost inside the timed window, payoff outside it);
+		// enough warmup iterations put the timed window in steady state —
+		// the regime a real campaign (thousands of iterations) runs in.
+		// The multiplier keeps the timed window in the milliseconds for the
+		// same reason (see emuWorkload.mult).
+		warm: 8,
+		mult: 10,
 		make: func(cacheOn, blocksOn bool) (func() (uint64, error), error) {
-			f, err := fuzz.New(fuzz.Options{Iters: 1, Seed: seed, Config: cfg, Workers: 1})
+			// NoCoverage: a campaign's coverage probe would disarm the block
+			// fast path (probes need per-instruction callbacks), turning the
+			// blocks-on and cache-only modes into the same code path and the
+			// reported block_speedup into pure timer noise. Probe-free, the
+			// row measures what the iteration loop itself can reach.
+			f, err := fuzz.New(fuzz.Options{Iters: 1, Seed: seed, Config: cfg, Workers: 1, NoCoverage: true})
 			if err != nil {
 				return nil, err
 			}
@@ -130,9 +168,16 @@ func fuzzWorkload(cfg core.Config, seed int64) emuWorkload {
 }
 
 // measureEmu times one workload in all three modes and enforces the
-// bit-identical-cycles invariant across every pair.
+// bit-identical-cycles invariant across every pair. Each mode is measured
+// emuReps times — each repetition rebuilding the workload from scratch, so
+// every rep times the identical iteration sequence — and the reported
+// per-op time is the minimum over repetitions (the min-of-N convention the
+// KRX_PERF_GATE tests use): the min converges on the noise-free cost,
+// where a single-sample mean folds whatever GC pauses and scheduler
+// preemptions happened to land in the timed window into the baseline.
 func measureEmu(w emuWorkload, iters int) (EmuResult, error) {
-	res := EmuResult{Name: w.name, Iters: iters}
+	iters *= max(w.mult, 1)
+	res := EmuResult{Name: w.name, Iters: iters, Reps: emuReps}
 	modes := []struct {
 		name              string
 		cacheOn, blocksOn bool
@@ -144,22 +189,38 @@ func measureEmu(w emuWorkload, iters int) (EmuResult, error) {
 	var cycles [3]uint64
 	var host [3]time.Duration
 	for m, mode := range modes {
-		run, err := w.make(mode.cacheOn, mode.blocksOn)
-		if err != nil {
-			return res, fmt.Errorf("bench: %s: %w", w.name, err)
-		}
-		if _, err := run(); err != nil { // warmup (populates the caches)
-			return res, fmt.Errorf("bench: %s: %w", w.name, err)
-		}
-		start := time.Now()
-		for n := 0; n < iters; n++ {
-			c, err := run()
+		for rep := 0; rep < emuReps; rep++ {
+			run, err := w.make(mode.cacheOn, mode.blocksOn)
 			if err != nil {
 				return res, fmt.Errorf("bench: %s: %w", w.name, err)
 			}
-			cycles[m] += c
+			for wi := 0; wi < max(w.warm, 1); wi++ { // warmup (populates the caches)
+				if _, err := run(); err != nil {
+					return res, fmt.Errorf("bench: %s: %w", w.name, err)
+				}
+			}
+			var c uint64
+			start := time.Now()
+			for n := 0; n < iters; n++ {
+				cc, err := run()
+				if err != nil {
+					return res, fmt.Errorf("bench: %s: %w", w.name, err)
+				}
+				c += cc
+			}
+			d := time.Since(start)
+			if rep == 0 {
+				cycles[m], host[m] = c, d
+				continue
+			}
+			if c != cycles[m] {
+				return res, fmt.Errorf("bench: %s: %s: emulated cycles diverge across reps: %d vs %d",
+					w.name, mode.name, cycles[m], c)
+			}
+			if d < host[m] {
+				host[m] = d
+			}
 		}
-		host[m] = time.Since(start)
 	}
 	for m := 1; m < len(modes); m++ {
 		if cycles[m] != cycles[0] {
@@ -231,8 +292,8 @@ func BlockEngineReport(k *kernel.Kernel) string {
 	}
 	s := k.CPU.BlockStats()
 	return fmt.Sprintf(
-		"block-engine: blocks=%d formed=%d dispatches=%d instrs=%d aborts=%d",
-		s.Blocks, s.Formed, s.Dispatches, s.Instrs, s.Aborts)
+		"block-engine: blocks=%d formed=%d dispatches=%d instrs=%d aborts=%d chained=%d severed=%d cold=%d",
+		s.Blocks, s.Formed, s.Dispatches, s.Instrs, s.Aborts, s.Chained, s.Severed, s.Cold)
 }
 
 // DataTLBReport formats the kernel address space's data-TLB counters.

@@ -59,22 +59,15 @@ func TestProbesDisabledStepPerfGate(t *testing.T) {
 		baseline[r.Name] = r
 	}
 
-	// Min over repetitions: scheduling noise only ever adds time.
-	best := make(map[string]EmuResult)
-	for rep := 0; rep < 3; rep++ {
-		cur, err := EmuBench(5)
-		if err != nil {
-			t.Fatal(err)
-		}
-		for _, r := range cur.Results {
-			b, ok := best[r.Name]
-			if !ok || r.HostNsOn < b.HostNsOn {
-				best[r.Name] = r
-			}
-		}
+	// EmuBench is itself min-of-emuReps per mode (scheduling noise only
+	// ever adds time), so one call is the noise-robust estimate.
+	cur, err := EmuBench(5)
+	if err != nil {
+		t.Fatal(err)
 	}
 
-	for name, r := range best {
+	for _, r := range cur.Results {
+		name := r.Name
 		want, ok := baseline[name]
 		if !ok || want.HostNsOn <= 0 {
 			t.Logf("%s: no baseline entry, skipping", name)
@@ -82,10 +75,12 @@ func TestProbesDisabledStepPerfGate(t *testing.T) {
 		}
 		ratio := float64(r.HostNsOn) / float64(want.HostNsOn)
 		t.Logf("%s: %d ns/op vs baseline %d ns/op (%.3fx)", name, r.HostNsOn, want.HostNsOn, ratio)
-		// The table1-suite workloads run with no probes installed — the
-		// probes-disabled Step path this gate protects. Fuzz workloads
-		// iterate over varying programs (cycles/op is not constant) and
-		// carry the coverage probe, so they are informational only.
+		// The table1-suite workloads repeat one identical instruction stream
+		// per op — the probes-disabled Step path this gate protects, directly
+		// comparable across iteration counts. Fuzz workloads execute a
+		// different program each iteration, so their ns/op only compares at
+		// equal iteration counts; they are informational here and gated
+		// relatively (blocks vs cache-only) in TestBlockEnginePerfGate.
 		if !strings.HasPrefix(name, "table1-suite/") {
 			continue
 		}
@@ -105,12 +100,15 @@ func TestProbesDisabledStepPerfGate(t *testing.T) {
 }
 
 // TestBlockEnginePerfGate gates the superblock engine against its own
-// fallback: on the probe-free table1-suite workloads, block dispatch must
-// be at least as fast as the decode-cache-only path (block_speedup >= 1.0,
-// within the KRX_PERF_GATE_PCT band). The measurement is the minimum over
-// three EmuBench repetitions; the exact emulated-cycles equality across all
-// three modes is enforced inside measureEmu on every repetition — a
-// divergence fails the run before any timing is reported.
+// fallback on EVERY workload: block dispatch (with hotness-gated formation
+// and chaining) must be at least as fast as the decode-cache-only path
+// (block_speedup >= 1.0, within the KRX_PERF_GATE_PCT band). The fuzz rows
+// run probe-free (fuzz.Options.NoCoverage), so block dispatch is genuinely
+// armed there — the fuzz-iteration/Vanilla row is exactly the regression
+// this gate exists to hold down. Each mode is min-of-emuReps inside
+// EmuBench, and the exact emulated-cycles equality across all three modes
+// is enforced inside measureEmu on every repetition — a divergence fails
+// the run before any timing is reported.
 //
 // Like the Step gate, this only arms under KRX_PERF_GATE: it is a relative
 // same-host comparison, so no goos/goarch check is needed.
@@ -127,33 +125,18 @@ func TestBlockEnginePerfGate(t *testing.T) {
 		tolerance = v
 	}
 
-	best := make(map[string]EmuResult)
-	for rep := 0; rep < 3; rep++ {
-		cur, err := EmuBench(5)
-		if err != nil {
-			t.Fatal(err)
-		}
-		for _, r := range cur.Results {
-			b, ok := best[r.Name]
-			if !ok || r.HostNsBlocks < b.HostNsBlocks {
-				best[r.Name] = r
-			}
-		}
+	cur, err := EmuBench(5)
+	if err != nil {
+		t.Fatal(err)
 	}
 
-	for name, r := range best {
+	for _, r := range cur.Results {
 		t.Logf("%s: blocks %d ns/op vs cache-only %d ns/op (block speedup %.3fx)",
-			name, r.HostNsBlocks, r.HostNsOn, r.BlockSpeedup)
-		// Only the table1-suite workloads run probe-free; the fuzz workloads
-		// carry the coverage probe, which disarms block dispatch, so their
-		// two timings measure the same path and are informational only.
-		if !strings.HasPrefix(name, "table1-suite/") {
-			continue
-		}
+			r.Name, r.HostNsBlocks, r.HostNsOn, r.BlockSpeedup)
 		speedup := float64(r.HostNsOn) / float64(r.HostNsBlocks)
 		if speedup < 1.0-tolerance/100 {
 			t.Errorf("%s: block engine slower than decode-cache-only: %.3fx (< 1.0 - %.1f%% band)",
-				name, speedup, tolerance)
+				r.Name, speedup, tolerance)
 		}
 	}
 }

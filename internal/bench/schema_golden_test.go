@@ -44,6 +44,7 @@ func TestEmuReportSchemaGolden(t *testing.T) {
 		Results: []EmuResult{{
 			Name:         "table1-suite/Vanilla",
 			Iters:        10,
+			Reps:         3,
 			HostNsBlocks: 800,
 			HostNsOn:     1000,
 			HostNsOff:    2500,

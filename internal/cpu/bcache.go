@@ -24,11 +24,35 @@ import (
 // page-tail boundary (offsets the decode cache leaves undecided), so every
 // entry in a block is a fully decoded instruction of this frame's bytes.
 //
+// Two layers keep the dispatch cost amortized:
+//
+//   - Hotness-gated formation. Forming a block is not free: it decodes
+//     forward and copies a dense blkEnt slice. On short, snapshot/restore-
+//     heavy runs (a fuzz iteration is a few hundred instructions), eager
+//     formation at every executed RIP costs more than it saves. A per-offset
+//     heat counter on the page defers formation until an entry point has
+//     been dispatched BlockHotThreshold times (SetBlockHotThreshold; default
+//     DefaultBlockHotThreshold); cold offsets keep single-stepping through
+//     the decode cache. Heat survives page flushes and engine toggles — it
+//     measures the workload, not the cached bytes — so hot code re-forms
+//     immediately after an invalidation.
+//
+//   - Block chaining. Each block carries two successor links (taken /
+//     fallthrough), resolved lazily the first time the block exits to that
+//     successor. While a link validates, runChain executes block-to-block
+//     in a single loop without returning to Run's dispatcher — no TLB
+//     probe, no map lookup, no blkIdx load on the hot edge. Validation is
+//     exactly what blockLookup would do (see chainNext): same frame
+//     identity, same content generation, same map generation, and the
+//     link's own resolution generation; any mismatch severs the link and
+//     falls back to the full lookup, which revalidates (flushing and
+//     re-forming as needed) before anything executes.
+//
 // Validation is hoisted to block granularity: the page's frame is resolved
 // and its MapGen/Frame.Gen generations are checked ONCE at block entry (by
-// blockLookup, through the same resolve path the per-instruction cache
-// uses), and the block then executes in a tight loop with no per-instruction
-// lookups. Three things make that sound:
+// blockLookup through resolvePage, or by chainNext's equivalent link
+// checks), and the block then executes in a tight loop with no
+// per-instruction lookups. Three things make that sound:
 //
 //   - Control flow cannot leave the block silently: every instruction that
 //     can set RIP anywhere but the next sequential address is a terminator,
@@ -37,28 +61,43 @@ import (
 //   - The privilege mode cannot change mid-block: mode switches happen only
 //     in terminators (syscall/sysret/iret) or through trap delivery, which
 //     exits the block. The fetch privilege checks (user/upper-half, SMEP)
-//     done once at block entry therefore hold for every instruction in it.
+//     done once at block entry therefore hold for every instruction in it —
+//     and runChain re-checks them before every chained block entry, because
+//     a terminator may have switched the mode.
 //
 //   - Self-modification cannot outrun invalidation: after every instruction
 //     that can store to memory (flagged dcStore at decode time), the frame
 //     generation is re-checked; a mismatch means the block just overwrote
 //     its own page, so execution aborts back to the dispatch loop, whose
 //     next lookup flushes and redecodes. Stores to *other* pages need no
-//     mid-block check — their cached blocks revalidate at next entry.
+//     mid-block check — their cached blocks revalidate at next entry, and
+//     their inbound chain links fail the generation checks and sever.
 //
 // Accounting stays per-instruction (Instrs++/Cycles+=cost before each
 // exec), not per-block: a mid-block trap must observe exactly the counter
 // state the single-step path would, or the bit-identical invariant breaks.
 // The precomputed block cost and count feed the limit guard and the stats.
 
-// BlockStats reports superblock-engine behaviour for one CPU.
+// BlockStats reports superblock-engine behaviour for one CPU. All counters
+// except Blocks are cumulative: they survive page flushes, SetBlockEngine
+// toggles, and SetDecodeCache toggles (the counters live on the CPU, not on
+// the cache they describe). Blocks is the current live footprint.
 type BlockStats struct {
 	Formed     uint64 // blocks ever formed (cumulative, survives flushes)
-	Dispatches uint64 // block executions entered via the Run fast path
+	Dispatches uint64 // block executions entered via the Run fast path or a chain
 	Instrs     uint64 // instructions executed inside dispatched blocks
 	Aborts     uint64 // mid-block self-modification resyncs
-	Blocks     uint64 // blocks currently live in the cache
+	Chained    uint64 // block-to-block transitions that bypassed the dispatcher
+	Severed    uint64 // successor links invalidated by the generation checks
+	Cold       uint64 // block dispatch attempts deferred by the hotness gate
+	Blocks     uint64 // blocks currently live (on pages that would still validate)
 }
+
+// DefaultBlockHotThreshold is the default number of times an entry offset
+// must be dispatched before a superblock is formed over it. Small: a hot
+// path crosses it within a handful of executions, but one-shot code (boot
+// straight-lines, cold fuzz-program bytes) never pays formation.
+const DefaultBlockHotThreshold = 4
 
 // Entry flag bits, computed once at decode time (dcache.fill).
 const (
@@ -99,22 +138,52 @@ type blkEnt struct {
 	flags uint8
 }
 
+// blkLink is one cached successor edge of a block, filled in lazily the
+// first time the block exits toward that successor. Following it must be
+// exactly as safe as a fresh blockLookup, which chainNext guarantees by
+// re-deriving every generation blockLookup's resolvePage would check:
+//
+//   - frame must still be the page's resolved frame (identity, not just
+//     generation — two frames' generation counters can coincide),
+//   - fgen must equal both the page's decode generation (p.fgen) and the
+//     frame's live generation: the page was neither flushed+re-formed nor
+//     written since the link was resolved,
+//   - the address space's MapGen must equal the page's mgen: no remap,
+//     protect, shadow, or rollback has restructured the translation since
+//     the page was last validated.
+//
+// A link can never dangle into wrong code: links live inside blocks, so
+// every event that drops blocks (flush, SetBlockEngine(false)) destroys the
+// links with them, and every event that re-forms a page's blocks bumps the
+// generations the link pins.
+type blkLink struct {
+	p     *dcPage
+	frame *mem.Frame
+	bi    int32
+	rip   uint64
+	fgen  uint64
+}
+
 // dcBlock is one superblock: consecutive instructions of its page,
-// terminator (if any) last.
+// terminator (if any) last, plus its lazily resolved successor links.
 type dcBlock struct {
 	ents  []blkEnt
 	count uint64 // len(ents): the Run fast path's limit guard
 	cost  uint64 // cumulative static cycle cost of the block
+	blen  uint64 // byte length: entry VA + blen = fallthrough VA
+	taken blkLink
+	fall  blkLink
 }
 
 // formBlock builds (and registers) the block starting at page offset off,
 // decoding forward as needed. It returns the blkIdx value for off: >0 for
 // blocks[i-1], -1 when no block can start here (a cached #UD or an
 // undecidable page-tail offset — the single-step path owns those).
-func (p *dcPage) formBlock(off int, dc *decodeCache) int32 {
+func (p *dcPage) formBlock(off int, c *CPU) int32 {
+	dc := c.dc
 	start := off
 	var ents []blkEnt
-	var cost uint64
+	var cost, blen uint64
 	for off < mem.PageSize {
 		i := p.idx[off]
 		if i == 0 {
@@ -130,6 +199,7 @@ func (p *dcPage) formBlock(off int, dc *decodeCache) int32 {
 		e := &p.entries[i-1]
 		ents = append(ents, blkEnt{in: e.in, cost: e.cost, ilen: e.ilen, flags: e.flags})
 		cost += e.cost
+		blen += uint64(e.ilen)
 		if e.flags&dcEnd != 0 {
 			break
 		}
@@ -139,26 +209,35 @@ func (p *dcPage) formBlock(off int, dc *decodeCache) int32 {
 		p.blkIdx[start] = -1
 		return -1
 	}
-	p.blocks = append(p.blocks, dcBlock{ents: ents, count: uint64(len(ents)), cost: cost})
+	p.blocks = append(p.blocks, dcBlock{ents: ents, count: uint64(len(ents)), cost: cost, blen: blen})
 	bi := int32(len(p.blocks))
 	p.blkIdx[start] = bi
-	dc.bstats.Formed++
+	c.bstats.Formed++
 	return bi
 }
 
 // blockLookup resolves rip to a formed superblock, validating the page's
-// generations exactly as the per-instruction lookup does. It returns
-// (nil, nil) when no block starts at rip — not executable, a cached #UD, or
-// a page-tail offset — and the caller must fall back to single-step.
-func (dc *decodeCache) blockLookup(as *mem.AddressSpace, rip uint64) (*dcPage, *dcBlock) {
-	p := dc.resolvePage(as, rip)
+// generations exactly as the per-instruction lookup does, and applying the
+// hotness gate: an offset with no block yet must accumulate BlockHotThreshold
+// dispatch attempts before formation happens; until then the caller single-
+// steps (through the decode cache — the bytes are still cached, only the
+// block-granular dispatch is deferred). It returns (nil, nil) when no block
+// is available at rip — cold, not executable, a cached #UD, or a page-tail
+// offset — and the caller must fall back to single-step.
+func (c *CPU) blockLookup(rip uint64) (*dcPage, *dcBlock) {
+	p := c.dc.resolvePage(c.AS, rip)
 	if p == nil {
 		return nil, nil
 	}
 	off := int(rip & uint64(mem.PageMask))
 	bi := p.blkIdx[off]
 	if bi == 0 {
-		bi = p.formBlock(off, dc)
+		if h := uint32(p.heat[off]); h+1 < c.blockHot {
+			p.heat[off]++
+			c.bstats.Cold++
+			return nil, nil
+		}
+		bi = p.formBlock(off, c)
 	}
 	if bi < 0 {
 		return nil, nil
@@ -166,14 +245,82 @@ func (dc *decodeCache) blockLookup(as *mem.AddressSpace, rip uint64) (*dcPage, *
 	return p, &p.blocks[bi-1]
 }
 
+// blockStep is Run's fast-path dispatch when the engine is armed: one page
+// resolution decides between entering the chain executor and single-stepping
+// the instruction at RIP from the already-resolved page. The single lookup
+// matters — the hotness gate makes cold single-stepping the common case on
+// short runs, and routing it through Step would pay the page resolution and
+// the fetch privilege checks (already done by Run's guard) a second time per
+// instruction, which is how the gate could cost more than it saves. The
+// caller guarantees probe-free execution and the block-entry privilege
+// preconditions.
+func (c *CPU) blockStep(limit, done, startInstrs uint64) (StopReason, *Trap) {
+	p := c.dc.resolvePage(c.AS, c.RIP)
+	if p == nil {
+		// Not executable (or unmapped): the slow fetch raises the
+		// authoritative fault.
+		return c.stepSlow()
+	}
+	off := int(c.RIP & uint64(mem.PageMask))
+	bi := p.blkIdx[off]
+	if bi == 0 {
+		if h := uint32(p.heat[off]); h+1 < c.blockHot {
+			p.heat[off]++
+			c.bstats.Cold++
+			return c.stepCached(p, off)
+		}
+		bi = p.formBlock(off, c)
+	}
+	if bi < 0 {
+		return c.stepCached(p, off)
+	}
+	b := &p.blocks[bi-1]
+	if limit != 0 && limit-done < b.count {
+		return c.stepCached(p, off)
+	}
+	return c.runChain(p, b, limit, startInstrs)
+}
+
+// stepCached executes one instruction from a resolved, validated cache page
+// — Step's decode-cache hit path minus the redundant page resolution and
+// privilege checks the blockStep caller already performed. Only reached
+// probe-free (Run's fast-path guard), so no exec notification is needed.
+func (c *CPU) stepCached(p *dcPage, off int) (StopReason, *Trap) {
+	dc := c.dc
+	i := p.idx[off]
+	if i != 0 {
+		dc.stats.Hits++
+	} else {
+		dc.stats.Misses++
+		p.fill(off, &dc.stats)
+		i = p.idx[off]
+	}
+	switch {
+	case i > 0:
+		e := &p.entries[i-1]
+		c.Instrs++
+		c.Cycles += e.cost
+		return c.exec(&e.in, c.RIP+uint64(e.ilen))
+	case i < 0:
+		// Cached deterministic decode failure: same #UD the slow path
+		// would raise, with no Instrs/Cycles side effects.
+		return StepContinue, &Trap{Kind: TrapUndefined, Addr: c.RIP, RIP: c.RIP, Mode: c.Mode}
+	}
+	// Page-tail straddler the cache cannot own: fetch across the boundary.
+	return c.stepSlow()
+}
+
 // runBlock executes one superblock in a tight loop. exec() is shared with
 // Step and every instruction is charged individually, so a trap anywhere in
 // the block observes exactly the Instrs/Cycles/register state the
-// single-step path would have produced.
-func (c *CPU) runBlock(p *dcPage, b *dcBlock) (stop StopReason, trap *Trap) {
+// single-step path would have produced. complete reports that every entry
+// executed with no trap, stop, or self-modification abort — the only state
+// from which chaining into a successor is allowed.
+func (c *CPU) runBlock(p *dcPage, b *dcBlock) (stop StopReason, trap *Trap, complete bool) {
 	dc := c.dc
 	fgen := p.fgen
 	frame := p.frame
+	last := len(b.ents) - 1
 	var done uint64
 	for i := range b.ents {
 		e := &b.ents[i]
@@ -184,11 +331,19 @@ func (c *CPU) runBlock(p *dcPage, b *dcBlock) (stop StopReason, trap *Trap) {
 		if trap != nil || stop != StepContinue {
 			break
 		}
+		if i == last {
+			// The block ran to completion; a store by this final entry needs
+			// no generation re-check — there are no stale entries left to
+			// execute, and both the dispatcher's next lookup and any chain
+			// link revalidate before anything else runs.
+			complete = true
+			break
+		}
 		if e.flags&dcStore != 0 && frame.Gen() != fgen {
 			// The store landed on this very frame (directly or through an
 			// alias): the rest of the block is stale. Resync through the
 			// dispatch loop — its next lookup flushes and redecodes.
-			dc.bstats.Aborts++
+			c.bstats.Aborts++
 			break
 		}
 	}
@@ -196,9 +351,79 @@ func (c *CPU) runBlock(p *dcPage, b *dcBlock) (stop StopReason, trap *Trap) {
 	// and a block-engine instruction. Nothing inside exec reads these, so
 	// deferring them off the hot loop cannot be observed mid-block.
 	dc.stats.Hits += done
-	dc.bstats.Instrs += done
-	dc.bstats.Dispatches++
-	return stop, trap
+	c.bstats.Instrs += done
+	c.bstats.Dispatches++
+	return stop, trap, complete
+}
+
+// chainNext resolves the successor of a just-completed block (entered at
+// entry) to the next block to execute, or nil when the chain must break and
+// control return to Run's dispatcher. The terminator's outcome picks the
+// slot: c.RIP equal to the block's fallthrough address selects the fall
+// link (jcc not taken, or a block cut at a formation boundary); anything
+// else selects the taken link (jumps, calls, returns, mode switches). A
+// cached link is followed only if every generation it pinned still holds
+// (see blkLink); otherwise it is severed and re-resolved through the full
+// hotness-gated blockLookup — so a stale link can never execute stale
+// bytes, and a cold or invalidated successor falls back to single-step
+// exactly as if the chain had never existed.
+func (c *CPU) chainNext(b *dcBlock, entry uint64) (*dcPage, *dcBlock) {
+	l := &b.taken
+	if c.RIP == entry+b.blen {
+		l = &b.fall
+	}
+	if l.p != nil && l.rip == c.RIP {
+		p := l.p
+		if p.frame == l.frame && l.frame != nil &&
+			p.fgen == l.fgen && l.frame.Gen() == l.fgen &&
+			p.mgen == c.AS.MapGen() &&
+			l.bi > 0 && int(l.bi) <= len(p.blocks) {
+			c.bstats.Chained++
+			return p, &p.blocks[l.bi-1]
+		}
+		*l = blkLink{}
+		c.bstats.Severed++
+	}
+	np, nb := c.blockLookup(c.RIP)
+	if nb == nil {
+		return nil, nil
+	}
+	*l = blkLink{p: np, frame: np.frame, bi: np.blkIdx[int(c.RIP&uint64(mem.PageMask))], rip: c.RIP, fgen: np.fgen}
+	c.bstats.Chained++
+	return np, nb
+}
+
+// runChain executes a chain of superblocks starting at b, following
+// successor links until a block stops, traps, aborts, fails a fetch
+// privilege precondition, exits to a cold or unformable successor, or
+// would overrun the remaining instruction budget. Every condition Run's
+// dispatcher would check between two blocks is re-checked here between two
+// chained blocks — the chain is transparent: it only skips the dispatcher's
+// redundant lookups, never its semantics.
+func (c *CPU) runChain(p *dcPage, b *dcBlock, limit, startInstrs uint64) (StopReason, *Trap) {
+	for {
+		entry := c.RIP
+		stop, trap, complete := c.runBlock(p, b)
+		if !complete || trap != nil || stop != StepContinue || c.Pending != nil {
+			return stop, trap
+		}
+		// A terminator may have switched the mode (syscall/sysret/iret):
+		// re-establish the fetch privilege preconditions before chaining.
+		if c.Mode == User && c.RIP >= UpperHalf {
+			return stop, trap
+		}
+		if c.SMEP && c.Mode == Kernel && c.RIP < UpperHalf {
+			return stop, trap
+		}
+		np, nb := c.chainNext(b, entry)
+		if nb == nil {
+			return stop, trap
+		}
+		if limit > 0 && limit-(c.Instrs-startInstrs) < nb.count {
+			return stop, trap
+		}
+		p, b = np, nb
+	}
 }
 
 // SetBlockEngine enables or disables the superblock engine (on by default).
@@ -209,8 +434,13 @@ func (c *CPU) runBlock(p *dcPage, b *dcBlock) (stop StopReason, trap *Trap) {
 func (c *CPU) SetBlockEngine(on bool) {
 	c.blocks = on
 	if !on && c.dc != nil {
-		// Drop formed blocks so Blocks/live stats read zero; the decoded
-		// entries stay (they belong to the decode cache).
+		// Drop formed blocks so the live Blocks stat reads zero; the decoded
+		// entries stay (they belong to the decode cache), and so do the heat
+		// counters (hotness measures the workload, not the cached state).
+		// Every successor link dies here with the block that holds it — a
+		// re-enabled engine re-forms blocks with empty links, so no chain
+		// can survive a disable/enable cycle and index into the rebuilt
+		// block lists.
 		for _, p := range c.dc.pages {
 			p.blocks = nil
 			p.blkIdx = [mem.PageSize]int32{}
@@ -222,14 +452,40 @@ func (c *CPU) SetBlockEngine(on bool) {
 // also requires the decode cache to be enabled to take effect).
 func (c *CPU) BlockEngineEnabled() bool { return c.blocks && c.dc != nil }
 
-// BlockStats returns a snapshot of the superblock-engine counters. Blocks
-// reflects the current live footprint; the rest are cumulative.
-func (c *CPU) BlockStats() BlockStats {
-	if c.dc == nil {
-		return BlockStats{}
+// SetBlockHotThreshold sets the number of times a block entry offset must
+// be dispatched before a superblock is formed over it. 1 forms eagerly on
+// first dispatch (the pre-gate behaviour); larger values defer formation
+// cost on cold code at the price of single-stepping the first n-1 passes.
+// 0 restores DefaultBlockHotThreshold; values above 255 are clamped (the
+// per-offset counters are bytes).
+func (c *CPU) SetBlockHotThreshold(n int) {
+	switch {
+	case n <= 0:
+		n = DefaultBlockHotThreshold
+	case n > 255:
+		n = 255
 	}
-	s := c.dc.bstats
+	c.blockHot = uint32(n)
+}
+
+// BlockHotThreshold reports the current hotness-gate threshold.
+func (c *CPU) BlockHotThreshold() int { return int(c.blockHot) }
+
+// BlockStats returns a snapshot of the superblock-engine counters. The
+// cumulative counters survive flushes and SetBlockEngine/SetDecodeCache
+// toggles; Blocks reflects the current live footprint and only counts
+// blocks whose page would still pass content validation — a page whose
+// frame was rewritten holds its stale blocks only until the next lookup
+// flushes them, and they are already dead weight, not live cache.
+func (c *CPU) BlockStats() BlockStats {
+	s := c.bstats
+	if c.dc == nil {
+		return s
+	}
 	for _, p := range c.dc.pages {
+		if p.frame == nil || p.frame.Gen() != p.fgen {
+			continue
+		}
 		s.Blocks += uint64(len(p.blocks))
 	}
 	return s

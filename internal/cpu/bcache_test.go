@@ -43,6 +43,7 @@ func TestBlockSelfModAbort(t *testing.T) {
 	run := func(blocksOn bool) (uint64, BlockStats, *RunResult) {
 		c := rawCPU(t, mem.PermRWX, prog...)
 		c.SetBlockEngine(blocksOn)
+		c.SetBlockHotThreshold(1) // form on first dispatch: the abort is the point
 		res := mustReturn(t, c, 100)
 		return c.Reg(isa.RAX), c.BlockStats(), res
 	}
@@ -100,6 +101,11 @@ func TestBlockStatsAndToggle(t *testing.T) {
 	if !c.BlockEngineEnabled() {
 		t.Fatal("block engine must default on")
 	}
+	if c.BlockHotThreshold() != DefaultBlockHotThreshold {
+		t.Fatalf("hot threshold must default to %d, got %d",
+			DefaultBlockHotThreshold, c.BlockHotThreshold())
+	}
+	c.SetBlockHotThreshold(1) // single pass must dispatch every instruction
 	mustReturn(t, c, 100)
 	s := c.BlockStats()
 	if s.Formed == 0 || s.Dispatches == 0 || s.Instrs == 0 || s.Blocks == 0 {
@@ -131,13 +137,21 @@ func TestBlockStatsAndToggle(t *testing.T) {
 		t.Fatalf("re-enabled engine must dispatch again: %+v", got)
 	}
 
-	// With the decode cache off the engine has nothing to run on.
+	// With the decode cache off the engine has nothing to run on, but the
+	// cumulative counters live on the CPU and must survive the toggle; only
+	// the live footprint goes to zero.
+	cum := c.BlockStats()
 	c.SetDecodeCache(false)
 	if c.BlockEngineEnabled() {
 		t.Fatal("no decode cache, no block engine")
 	}
-	if got := c.BlockStats(); got != (BlockStats{}) {
-		t.Fatalf("no decode cache must report zero block stats: %+v", got)
+	got := c.BlockStats()
+	if got.Blocks != 0 {
+		t.Fatalf("no decode cache must report zero live blocks: %+v", got)
+	}
+	cum.Blocks = 0
+	if got != cum {
+		t.Fatalf("cumulative stats must survive SetDecodeCache(false): got %+v want %+v", got, cum)
 	}
 }
 
@@ -155,6 +169,7 @@ func TestBlockProbeFallback(t *testing.T) {
 		isa.MovRI(isa.RAX, 5),
 		isa.Ret(),
 	)
+	c.SetBlockHotThreshold(1)
 	p := &blkCountProbe{}
 	c.AddProbe(p)
 	mustReturn(t, c, 100)
@@ -213,7 +228,7 @@ func FuzzBlockEquivalence(f *testing.F) {
 			cycles    uint64
 			memory    []byte
 		}
-		run := func(blocksOn bool) outcome {
+		run := func(blocksOn bool, hot int) outcome {
 			as := mem.NewAddressSpace()
 			for _, m := range []struct {
 				va   uint64
@@ -233,6 +248,7 @@ func FuzzBlockEquivalence(f *testing.F) {
 			}
 			c := New(as)
 			c.SetBlockEngine(blocksOn)
+			c.SetBlockHotThreshold(hot)
 			c.Mode = Kernel
 			c.RIP = dcCodeVA
 			rng := rand.New(rand.NewSource(int64(seed)))
@@ -270,16 +286,23 @@ func FuzzBlockEquivalence(f *testing.F) {
 			return o
 		}
 
-		on, off := run(true), run(false)
-		if on.res != off.res || on.trap != off.trap ||
-			on.faultKind != off.faultKind || on.faultAddr != off.faultAddr ||
-			on.regs != off.regs || on.rip != off.rip || on.flags != off.flags ||
-			on.instrs != off.instrs || on.cycles != off.cycles {
-			t.Fatalf("blocks on/off diverge:\n on: %+v trap=%+v rip=%#x\noff: %+v trap=%+v rip=%#x",
-				on.res, on.trap, on.rip, off.res, off.trap, off.rip)
-		}
-		if !bytes.Equal(on.memory, off.memory) {
-			t.Fatal("blocks on/off diverge in final memory")
+		// Three modes: chained blocks formed eagerly (hot=1 exercises
+		// formation+chaining on everything), chained blocks behind the
+		// default hotness gate (mixes single-step and block dispatch of the
+		// same code), and pure single-step. All must be bit-identical.
+		off := run(false, 1)
+		for _, hot := range []int{1, DefaultBlockHotThreshold} {
+			on := run(true, hot)
+			if on.res != off.res || on.trap != off.trap ||
+				on.faultKind != off.faultKind || on.faultAddr != off.faultAddr ||
+				on.regs != off.regs || on.rip != off.rip || on.flags != off.flags ||
+				on.instrs != off.instrs || on.cycles != off.cycles {
+				t.Fatalf("blocks(hot=%d) vs single-step diverge:\n on: %+v trap=%+v rip=%#x\noff: %+v trap=%+v rip=%#x",
+					hot, on.res, on.trap, on.rip, off.res, off.trap, off.rip)
+			}
+			if !bytes.Equal(on.memory, off.memory) {
+				t.Fatalf("blocks(hot=%d) vs single-step diverge in final memory", hot)
+			}
 		}
 	})
 }

@@ -197,10 +197,14 @@ type CPU struct {
 
 	// dc is the predecoded translation cache (see dcache.go); nil when
 	// disabled. blocks arms the superblock engine layered on it (see
-	// bcache.go). Both affect host wall-clock only — Instrs, Cycles,
+	// bcache.go), blockHot its hotness-gate threshold, and bstats its
+	// cumulative counters (on the CPU, not the cache, so they survive
+	// cache toggles). All affect host wall-clock only — Instrs, Cycles,
 	// traps, and probe callbacks are bit-identical with them on or off.
-	dc     *decodeCache
-	blocks bool
+	dc       *decodeCache
+	blocks   bool
+	blockHot uint32
+	bstats   BlockStats
 }
 
 // New creates a CPU over the given address space. The decode cache and the
@@ -208,7 +212,8 @@ type CPU struct {
 // fetch+decode per instruction, SetBlockEngine(false) to per-instruction
 // dispatch over cached decodes.
 func New(as *mem.AddressSpace) *CPU {
-	return &CPU{AS: as, MSRs: make(map[uint64]uint64), dc: newDecodeCache(), blocks: true}
+	return &CPU{AS: as, MSRs: make(map[uint64]uint64), dc: newDecodeCache(),
+		blocks: true, blockHot: DefaultBlockHotThreshold}
 }
 
 // Reg returns a register value.
@@ -347,10 +352,12 @@ func (c *CPU) deliverTrap(t *Trap) *Trap {
 
 // Run executes until a stop condition or the instruction limit. When the
 // superblock engine is armed it dispatches whole basic blocks per loop
-// iteration (bcache.go); it falls back to single-step dispatch whenever an
-// exec probe is installed (the per-instruction callback stream must be
-// produced), a trap is pending, a fetch privilege check fails, no block
-// starts at RIP, or the remaining limit budget is smaller than the block.
+// iteration — and chains block-to-block across successor links without
+// re-entering this loop (bcache.go) — falling back to single-step dispatch
+// whenever an exec probe is installed (the per-instruction callback stream
+// must be produced), a trap is pending, a fetch privilege check fails, the
+// entry point is still cold under the hotness gate, no block starts at RIP,
+// or the remaining limit budget is smaller than the block.
 func (c *CPU) Run(limit uint64) *RunResult {
 	res := &RunResult{}
 	startInstrs, startCycles := c.Instrs, c.Cycles
@@ -378,12 +385,7 @@ func (c *CPU) Run(limit uint64) *RunResult {
 			// Fetch privilege holds for the whole block: the mode cannot
 			// change mid-block (mode switches are terminators) and the
 			// block never leaves its page.
-			if p, b := c.dc.blockLookup(c.AS, c.RIP); b != nil &&
-				(limit == 0 || limit-done >= b.count) {
-				stop, trap = c.runBlock(p, b)
-			} else {
-				stop, trap = c.Step()
-			}
+			stop, trap = c.blockStep(limit, done, startInstrs)
 		} else {
 			stop, trap = c.Step()
 		}
@@ -441,6 +443,14 @@ func (c *CPU) Step() (StopReason, *Trap) {
 			return stop, trap
 		}
 	}
+	return c.stepSlow()
+}
+
+// stepSlow is the uncached fetch+decode+execute path: the fallback when the
+// decode cache is off, the address is not executable (the Fetch fault is
+// authoritative), or the instruction straddles a page boundary the cache
+// cannot own. Callers have already passed the fetch privilege checks.
+func (c *CPU) stepSlow() (StopReason, *Trap) {
 	n, f := c.AS.Fetch(c.RIP, c.fetchBuf[:])
 	if f != nil {
 		return StepContinue, &Trap{Kind: TrapPageFault, Addr: c.RIP, RIP: c.RIP, Mode: c.Mode, Fault: f}

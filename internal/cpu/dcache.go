@@ -78,6 +78,11 @@ type dcPage struct {
 	// >0 = blocks[blkIdx-1], -1 = no block can start here (cached #UD or
 	// an undecidable page-tail offset).
 	blkIdx [mem.PageSize]int32
+	// heat counts block-dispatch attempts per entry offset for the hotness
+	// gate (bcache.go). Saturating bytes; deliberately NOT cleared by flush —
+	// hotness measures the workload, not the cached bytes, so hot code
+	// re-forms immediately after an invalidation.
+	heat [mem.PageSize]uint8
 }
 
 // flush discards every cached decode — and every block formed over them —
@@ -133,8 +138,7 @@ type decodeCache struct {
 		base uint64
 		p    *dcPage
 	}
-	stats  DecodeCacheStats
-	bstats BlockStats
+	stats DecodeCacheStats
 }
 
 func newDecodeCache() *decodeCache {
@@ -213,7 +217,9 @@ func (dc *decodeCache) lookup(as *mem.AddressSpace, rip uint64) (e *dcEntry, ud 
 }
 
 // SetDecodeCache enables or disables the predecoded translation cache.
-// Disabling drops all cached state; execution semantics are bit-identical
+// Disabling drops all cached state (decodes, blocks, links, and the
+// hotness counters); the cumulative block-engine counters live on the CPU
+// and survive (see BlockStats). Execution semantics are bit-identical
 // either way — only host wall-clock changes.
 func (c *CPU) SetDecodeCache(on bool) {
 	if on {

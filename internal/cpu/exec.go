@@ -1,9 +1,11 @@
 package cpu
 
 import (
+	"encoding/binary"
 	"math/bits"
 
 	"repro/internal/isa"
+	"repro/internal/mem"
 )
 
 // Flag computation helpers. All ALU operations are 64-bit.
@@ -512,6 +514,9 @@ func (c *CPU) execString(in *isa.Instr) *Trap {
 		_, t := one()
 		return t
 	}
+	if step > 0 && (in.Op == isa.MOVS || in.Op == isa.STOS) {
+		return c.execRepBulk(in, w, one)
+	}
 	// Guard: a hijacked control flow landing mid-stream can execute a rep
 	// with a garbage (huge) %rcx; bound the per-instruction work so the
 	// emulator cannot hang inside a single Step. Real code never gets
@@ -530,6 +535,83 @@ func (c *CPU) execString(in *isa.Instr) *Trap {
 		if stop {
 			break
 		}
+	}
+	return nil
+}
+
+// execRepBulk executes an ascending REP MOVS/STOS in page-sized runs: one
+// translation + permission check (mem.ReadRun/WriteRun) covers every element
+// that fits wholly inside the current source and destination pages, instead
+// of one per element — kernel memcpy/memset is the emulator's hottest
+// instruction by a wide margin. Architected state evolves exactly as the
+// per-element loop's: registers, cycles, and the rep cap advance per
+// completed element, a faulting run traps with the registers reflecting the
+// elements already done, and every case with per-element-visible semantics —
+// an element straddling a page boundary (whose partial byte progress the
+// byte-loop store defines), a user-mode access at the kernel boundary, or
+// overlapping MOVS operands (ascending element copy replicates patterns;
+// memmove would not) — falls back to the one() element closure.
+func (c *CPU) execRepBulk(in *isa.Instr, w uint64, one func() (bool, *Trap)) *Trap {
+	const repCap = 1 << 22 // same runaway-rep guard as the element loop
+	for n := uint64(0); c.Regs[isa.RCX] != 0; {
+		if n >= repCap {
+			return &Trap{Kind: TrapProtection, Addr: c.RIP, RIP: c.RIP, Mode: c.Mode}
+		}
+		di := c.Regs[isa.RDI]
+		k := (mem.PageSize - di&mem.PageMask) / w
+		si := uint64(0)
+		if in.Op == isa.MOVS {
+			si = c.Regs[isa.RSI]
+			if ks := (mem.PageSize - si&mem.PageMask) / w; ks < k {
+				k = ks
+			}
+		}
+		if rcx := c.Regs[isa.RCX]; rcx < k {
+			k = rcx
+		}
+		if left := repCap - n; left < k {
+			k = left
+		}
+		bytes := k * w
+		if k == 0 || // element straddles a page boundary
+			(c.Mode == User && (di >= UpperHalf || (in.Op == isa.MOVS && si >= UpperHalf))) ||
+			(in.Op == isa.MOVS && si < di+bytes && di < si+bytes) {
+			if _, t := one(); t != nil {
+				return t
+			}
+			c.Regs[isa.RCX]--
+			c.Cycles += isa.StrUnitCost
+			n++
+			continue
+		}
+		if in.Op == isa.MOVS {
+			src, f := c.AS.ReadRun(si)
+			if f != nil {
+				return &Trap{Kind: TrapPageFault, Addr: si, RIP: c.RIP, Mode: c.Mode, Fault: f}
+			}
+			dst, f := c.AS.WriteRun(di)
+			if f != nil {
+				return &Trap{Kind: TrapPageFault, Addr: di, RIP: c.RIP, Mode: c.Mode, Fault: f}
+			}
+			copy(dst[:bytes], src[:bytes])
+			c.Regs[isa.RSI] += bytes
+		} else { // STOS
+			dst, f := c.AS.WriteRun(di)
+			if f != nil {
+				return &Trap{Kind: TrapPageFault, Addr: di, RIP: c.RIP, Mode: c.Mode, Fault: f}
+			}
+			fill := dst[:bytes]
+			var eb [8]byte
+			binary.LittleEndian.PutUint64(eb[:], c.Regs[isa.RAX])
+			copy(fill, eb[:w])
+			for done := w; done < bytes; done *= 2 {
+				copy(fill[done:], fill[:done])
+			}
+		}
+		c.Regs[isa.RDI] += bytes
+		c.Regs[isa.RCX] -= k
+		c.Cycles += k * isa.StrUnitCost
+		n += k
 	}
 	return nil
 }

@@ -74,6 +74,12 @@ type Options struct {
 	// cache and executes a deterministic shard of every batch; the report
 	// is byte-identical for any value.
 	Workers int
+	// NoCoverage skips installing the per-instruction coverage probe. With
+	// no probe the CPU's superblock fast path stays armed, so this is the
+	// mode host-performance benchmarks use to measure what a campaign
+	// *could* run at; corpus growth and crash triage need coverage, so a
+	// real campaign must leave this false.
+	NoCoverage bool
 	// Trace arms per-iteration event tracing: every worker records
 	// snapshot/restore, syscall enter/exit, trap, and injected-fault events,
 	// and the merge folds them into Report.Trace in canonical iteration
@@ -337,7 +343,12 @@ func NewExecutor(opts Options) (*Executor, error) {
 	// Coverage probe, installed once at boot; per-iteration injectors append
 	// after it, so coverage sees each instruction first — the same order the
 	// old OnExec chaining produced. Snapshot/Restore leaves probes alone.
-	k.CPU.AddProbe(w)
+	// NoCoverage (benchmark mode) skips it: any installed exec probe disarms
+	// the CPU's superblock fast path, and the probe callback itself is the
+	// hottest per-instruction cost in a campaign.
+	if !opts.NoCoverage {
+		k.CPU.AddProbe(w)
+	}
 	w.snap = k.Snapshot()
 	return w, nil
 }

@@ -147,15 +147,19 @@ func TestModuleReloadOnWarmCache(t *testing.T) {
 	}
 }
 
-// TestSelfModBlockEngineParity re-runs the kprobe/livepatch/TextPoke ladder
-// with the superblock engine on and off, requiring identical syscall returns
-// and identical Instrs/Cycles — and proving the engine was actually in the
-// loop: the warm path dispatches through blocks, and every text rewrite
-// invalidates cached blocks mid-flight.
+// TestSelfModBlockEngineParity re-runs the text-rewrite ladder — kprobe,
+// livepatch, module reload over a warm region, Snapshot/Restore — with the
+// superblock engine (and its chaining) on and off, requiring identical
+// syscall returns and identical Instrs/Cycles — and proving the engine was
+// actually in the loop: the warm path dispatches AND chains through blocks,
+// and every text rewrite invalidates cached blocks mid-flight.
 func TestSelfModBlockEngineParity(t *testing.T) {
 	run := func(blocksOn bool) (rets []uint64, instrs, cycles uint64, bs cpu.BlockStats) {
 		k := bootK(t)
 		k.CPU.SetBlockEngine(blocksOn)
+		// Form on first dispatch so a single pass over each rewritten path
+		// exercises the engine deterministically.
+		k.CPU.SetBlockHotThreshold(1)
 		warm(t, k)
 
 		// kprobe plant + remove.
@@ -178,7 +182,8 @@ func TestSelfModBlockEngineParity(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		m, err := module.NewLoader(k).Load(&module.Object{
+		loader := module.NewLoader(k)
+		m, err := loader.Load(&module.Object{
 			Name: "getpid-v2",
 			Prog: &ir.Program{Funcs: []*ir.Function{v2}},
 		})
@@ -194,12 +199,46 @@ func TestSelfModBlockEngineParity(t *testing.T) {
 			t.Fatal(err)
 		}
 		rets = append(rets, k.Syscall(kernel.SysGetpid).Ret)
+
+		// Module reload over the warm region: mod2's code must execute, not
+		// mod1's cached blocks (or a stale chain link into them).
+		mkMod := func(name string, ret int64) *module.Object {
+			f, err := ir.NewBuilder(name + "_fn").
+				I(isa.MovRI(isa.RAX, ret), isa.Ret()).Func()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return &module.Object{Name: name, Prog: &ir.Program{Funcs: []*ir.Function{f}}}
+		}
+		m1, err := loader.Load(mkMod("mod1", 111))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rets = append(rets, callAddr(t, k, m1.Symbols["mod1_fn"]))
+		if err := loader.Unload("mod1"); err != nil {
+			t.Fatal(err)
+		}
+		m2, err := loader.Load(mkMod("mod2", 222))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rets = append(rets, callAddr(t, k, m2.Symbols["mod2_fn"]))
+
+		// Snapshot/Restore: rollback bumps the map generation, so every
+		// cached chain link severs and re-validates; the restored machine
+		// must behave exactly like the snapshot.
+		snap := k.Snapshot()
+		rets = append(rets, k.Syscall(kernel.SysGetpid).Ret)
+		if err := k.Restore(snap); err != nil {
+			t.Fatal(err)
+		}
+		rets = append(rets, k.Syscall(kernel.SysGetpid).Ret)
 		return rets, k.CPU.Instrs, k.CPU.Cycles, k.CPU.BlockStats()
 	}
 
 	retsOn, iOn, cOn, bsOn := run(true)
 	retsOff, iOff, cOff, bsOff := run(false)
-	want := []uint64{1, 42, 1}
+	want := []uint64{1, 42, 1, 111, 222, 1, 1}
 	for i := range want {
 		if retsOn[i] != want[i] || retsOff[i] != want[i] {
 			t.Fatalf("returns diverge: on=%v off=%v want %v", retsOn, retsOff, want)
@@ -211,7 +250,10 @@ func TestSelfModBlockEngineParity(t *testing.T) {
 	if bsOn.Dispatches == 0 || bsOn.Instrs == 0 {
 		t.Errorf("blocks=on must dispatch through the engine: %+v", bsOn)
 	}
-	if bsOff.Dispatches != 0 {
+	if bsOn.Chained == 0 {
+		t.Errorf("the syscall path must chain block-to-block: %+v", bsOn)
+	}
+	if bsOff.Dispatches != 0 || bsOff.Chained != 0 {
 		t.Errorf("blocks=off must not dispatch: %+v", bsOff)
 	}
 }

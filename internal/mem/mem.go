@@ -16,6 +16,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Page geometry.
@@ -69,6 +70,14 @@ type Frame struct {
 	// truth: a write through a synonym mapping (text_poke's scratch alias)
 	// must invalidate the view cached under every other virtual address.
 	gen uint64
+
+	// undoEpoch caches "this frame is already in the undo log of the
+	// address space whose current undo epoch this is" (epochs are globally
+	// unique, so a match can only mean that). It spares the store fast
+	// path a map probe per store — preimage()'s log-membership test was
+	// the single hottest line of a fuzzing iteration. Purely a cache: on
+	// a mismatch preimage still consults the log itself.
+	undoEpoch uint64
 }
 
 // Gen returns the frame's content generation. It changes (strictly
@@ -221,6 +230,13 @@ type AddressSpace struct {
 	snapPages  map[uint64]pageSnap
 	snapShadow map[uint64]*Frame
 	undo       map[*Frame]*[PageSize]byte
+	// undoEpoch identifies the current undo-log cycle (checkpoint to
+	// rollback). Epochs are drawn from a process-global counter so no two
+	// spaces — and no two cycles of the same space — ever share one, which
+	// is what lets Frame.undoEpoch == undoEpoch prove log membership
+	// without touching the map. Refreshed by Checkpoint and by every
+	// Rollback (the log empties there, so prior stamps must stop matching).
+	undoEpoch uint64
 	// snapMapGen is mapGen as of the last Checkpoint/Rollback sync point;
 	// when it still matches at Rollback time, no structural mutation
 	// happened and the page-table rebuild is skipped entirely.
@@ -242,6 +258,13 @@ type AddressSpace struct {
 	dtlb      [dtlbSize]dtlbEntry
 	dtlbStats DataTLBStats
 }
+
+// undoEpochCounter feeds nextUndoEpoch. Global (not per-space) because a
+// frame mapped into several spaces carries a single undoEpoch stamp: unique
+// epochs guarantee a stale stamp can never equal another space's live one.
+var undoEpochCounter atomic.Uint64
+
+func nextUndoEpoch() uint64 { return undoEpochCounter.Add(1) }
 
 // NewAddressSpace returns an empty address space with x86 semantics.
 func NewAddressSpace() *AddressSpace {
@@ -488,10 +511,13 @@ func (as *AddressSpace) StoreByte(va uint64, v byte) *Fault {
 // modification after a checkpoint. Frames already logged keep their original
 // (checkpoint-time) pre-image.
 func (as *AddressSpace) preimage(f *Frame) {
-	if as.undo == nil {
+	if as.undo == nil || f.undoEpoch == as.undoEpoch {
 		return
 	}
 	if _, ok := as.undo[f]; ok {
+		// Logged, but the stamp was overwritten (a frame shared with
+		// another checkpointed space). Re-stamp; the log stays authoritative.
+		f.undoEpoch = as.undoEpoch
 		return
 	}
 	var cp *[PageSize]byte
@@ -503,6 +529,7 @@ func (as *AddressSpace) preimage(f *Frame) {
 	}
 	*cp = f.Data
 	as.undo[f] = cp
+	f.undoEpoch = as.undoEpoch
 }
 
 // Checkpoint captures the current page-table structure (mappings, permissions,
@@ -522,6 +549,7 @@ func (as *AddressSpace) Checkpoint() {
 		}
 	}
 	as.undo = make(map[*Frame]*[PageSize]byte)
+	as.undoEpoch = nextUndoEpoch()
 	as.snapMapGen = as.mapGen
 }
 
@@ -544,6 +572,7 @@ func (as *AddressSpace) Rollback() error {
 		as.undoPool = append(as.undoPool, img)
 		delete(as.undo, f)
 	}
+	as.undoEpoch = nextUndoEpoch()
 	// Structure: the page table is rebuilt only if a structural mutation
 	// (Map/Unmap/Protect/Shadow) actually happened since the checkpoint —
 	// mapGen tracks exactly that; plain stores leave it alone.
@@ -650,6 +679,42 @@ func (as *AddressSpace) Write(va uint64, v uint64, size uint8) *Fault {
 		}
 	}
 	return nil
+}
+
+// ReadRun resolves va through the data TLB and returns the data-read view
+// (shadow-aware, like Read) of its page from va to the page end. The caller
+// owns splitting accesses at the page boundary; the window never spans one.
+// Built for the CPU's REP string fast path: one translation and permission
+// check covers a whole in-page run instead of one per element.
+func (as *AddressSpace) ReadRun(va uint64) ([]byte, *Fault) {
+	e := as.dataPage(vpn(va))
+	if e == nil {
+		return nil, &Fault{Addr: va, Kind: FaultNotMapped}
+	}
+	if !as.readable(e.pg.perm) {
+		return nil, &Fault{Addr: va, Kind: FaultNoRead}
+	}
+	return e.data[va&PageMask:], nil
+}
+
+// WriteRun is ReadRun's store-side counterpart: it returns a writable window
+// over va's page from va to the page end, targeting the real frame (never a
+// data shadow, same as Write). The pre-image is logged and the content
+// generation bumped before the window is handed out, so the caller may store
+// through it directly; callers must request a window only when they will
+// write at least one byte.
+func (as *AddressSpace) WriteRun(va uint64) ([]byte, *Fault) {
+	e := as.dataPage(vpn(va))
+	if e == nil {
+		return nil, &Fault{Addr: va, Kind: FaultNotMapped, Write: true}
+	}
+	if e.pg.perm&PermW == 0 {
+		return nil, &Fault{Addr: va, Kind: FaultNoWrite, Write: true}
+	}
+	f := e.pg.frame
+	as.preimage(f)
+	f.gen++
+	return f.Data[va&PageMask:], nil
 }
 
 // Fetch reads up to len(buf) instruction bytes at va. Fetching requires the
