@@ -34,6 +34,7 @@ import (
 	"repro/internal/fuzzd/chaos"
 	"repro/internal/inject"
 	"repro/internal/kernel"
+	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/sfi"
 )
@@ -52,6 +53,7 @@ func run() error {
 	vanilla := flag.Bool("vanilla", false, "fuzz the unprotected kernel instead of SFI+X")
 	budget := flag.Uint64("budget", 0, "per-syscall instruction watchdog budget (0 = default)")
 	workers := flag.Int("workers", 1, "parallel execution workers (report is byte-identical for any count)")
+	forkMode := flag.Bool("fork", false, "stand workers up as copy-on-write forks of one golden kernel instead of booting each (report is byte-identical either way)")
 	jsonOut := flag.Bool("json", false, "emit the report as machine-readable JSON (schema_version marks the format)")
 	traceOut := flag.String("trace", "", "record the campaign event stream (byte-identical for any -workers count); write Chrome trace-event JSON to this file")
 	stats := flag.Bool("stats", false, "print the observability metric registry after the campaign")
@@ -81,6 +83,7 @@ func run() error {
 	}
 	opts := fuzz.Options{
 		Iters: *iters, Seed: *seed, Config: cfg, Workers: *workers,
+		Fork:  *forkMode,
 		Trace: *traceOut != "",
 	}
 	if !*noInject {
@@ -142,6 +145,11 @@ func run() error {
 		obs.RegisterBlockEngine(reg, "block_engine", k.CPU)
 		obs.RegisterDataTLB(reg, "dtlb", k.CPU.AS)
 		obs.RegisterBuildCache(reg, "build_cache", kernel.BuildCache())
+		if opts.Fork {
+			// The first worker is the golden kernel every other worker
+			// forked from; its space carries the frame-sharing counters.
+			obs.RegisterFork(reg, "fork", kernel.Forks, func() *mem.AddressSpace { return k.CPU.AS })
+		}
 		fmt.Print(reg.Format())
 	}
 	return nil

@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/diversify"
 	"repro/internal/kernel"
+	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/pgtable"
 	"repro/internal/sfi"
@@ -100,12 +101,25 @@ func printMetrics() error {
 			k.Syscall(kernel.SysNull)
 			k.Syscall(kernel.SysGetpid)
 		}
+		// Fork the exercised kernel and run the same mix in the child: the
+		// fork.* gauges then show real sharing (the frames the child still
+		// shares with the parent) and real CoW traffic (the pages the
+		// child's syscalls wrote, each now a private copy).
+		child, err := k.Fork()
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 8; i++ {
+			child.Syscall(kernel.SysNull)
+			child.Syscall(kernel.SysGetpid)
+		}
 		reg := obs.NewRegistry()
 		obs.RegisterCPU(reg, "cpu", k.CPU)
 		obs.RegisterDecodeCache(reg, "decode_cache", k.CPU)
 		obs.RegisterBlockEngine(reg, "block_engine", k.CPU)
 		obs.RegisterDataTLB(reg, "dtlb", k.CPU.AS)
 		obs.RegisterBuildCache(reg, "build_cache", kernel.BuildCache())
+		obs.RegisterFork(reg, "fork", kernel.Forks, func() *mem.AddressSpace { return child.Space.AS })
 		fmt.Printf("=== %s ===\n%s\n", cfg.Name(), reg.Format())
 	}
 	return nil

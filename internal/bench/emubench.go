@@ -45,7 +45,9 @@ type EmuResult struct {
 // mean — a mean folds GC pauses and scheduler noise into the baseline,
 // which is how v3 recorded physically impossible sub-1.0 speedups on
 // noise-dominated rows.
-const EmuSchemaVersion = 4
+// v5: added fork rows (ForkResult): copy-on-write kernel fork cost vs cold
+// boot, and fuzz-iteration cost in a forked vs booted worker.
+const EmuSchemaVersion = 5
 
 // emuReps is the number of repetitions per mode; the reported time is the
 // minimum over them, matching the KRX_PERF_GATE min-of-3 convention (the
@@ -53,14 +55,32 @@ const EmuSchemaVersion = 4
 // amounts of host interference).
 const emuReps = 3
 
+// ForkResult is one configuration's fork-mode measurement: what a kernel
+// fork costs next to a cold boot, and what a fuzz iteration costs inside a
+// forked worker next to a booted one. Cycles is the emulated total over the
+// timed iterations, asserted identical between the fork-mode and boot-mode
+// windows (the determinism invariant — a fork may only change host time).
+type ForkResult struct {
+	Name         string  `json:"name"`
+	Reps         int     `json:"reps"`
+	BootNs       int64   `json:"host_ns_per_boot"`
+	ForkNs       int64   `json:"host_ns_per_fork"`
+	ForksPerSec  float64 `json:"forks_per_sec"`
+	BootOverFork float64 `json:"boot_over_fork"`
+	IterNsFork   int64   `json:"host_ns_per_fork_iteration"`
+	IterNsBoot   int64   `json:"host_ns_per_boot_iteration"`
+	Cycles       uint64  `json:"emulated_cycles"`
+}
+
 // EmuReport is the machine-readable emulator benchmark baseline
 // (BENCH_emulator.json).
 type EmuReport struct {
-	Schema        string      `json:"schema"`
-	SchemaVersion int         `json:"schema_version"`
-	GoOS          string      `json:"goos"`
-	GoArch        string      `json:"goarch"`
-	Results       []EmuResult `json:"results"`
+	Schema        string       `json:"schema"`
+	SchemaVersion int          `json:"schema_version"`
+	GoOS          string       `json:"goos"`
+	GoArch        string       `json:"goarch"`
+	Results       []EmuResult  `json:"results"`
+	Fork          []ForkResult `json:"fork"`
 }
 
 // JSON renders the report for the BENCH_emulator.json trajectory file.
@@ -241,9 +261,127 @@ func measureEmu(w emuWorkload, iters int) (EmuResult, error) {
 	return res, nil
 }
 
+// forkBatch is how many forks one timed repetition performs: a single fork
+// is sub-millisecond, so the per-fork time comes from a batch window, like
+// emuWorkload.mult keeps the iteration windows above the noise floor.
+const forkBatch = 64
+
+// measureFork times what snapshot-fork execution buys under one
+// configuration: the cost of a cold executor boot (build served from the
+// warm cache) against the cost of a copy-on-write fork of a golden
+// executor, and the steady-state cost of a fuzz iteration inside a forked
+// worker against one inside a booted worker. All timings are min-of-emuReps;
+// the iteration windows additionally enforce the determinism invariant —
+// identical emulated cycles in fork mode and boot mode, every repetition.
+func measureFork(cfg core.Config, seed int64, iters int) (ForkResult, error) {
+	res := ForkResult{Name: "fork/" + cfg.Name(), Reps: emuReps}
+	opts := fuzz.Options{Iters: 1, Seed: seed, Config: cfg, Workers: 1, NoCoverage: true}
+	// The golden executor doubles as the build-cache warmer: every boot
+	// timed below compiles nothing, so the boot number is kernel
+	// construction, not toolchain work.
+	golden, err := fuzz.NewExecutor(opts)
+	if err != nil {
+		return res, fmt.Errorf("bench: %s: golden: %w", res.Name, err)
+	}
+	var boot, fork time.Duration
+	for rep := 0; rep < emuReps; rep++ {
+		start := time.Now()
+		if _, err := fuzz.NewExecutor(opts); err != nil {
+			return res, fmt.Errorf("bench: %s: boot: %w", res.Name, err)
+		}
+		if d := time.Since(start); rep == 0 || d < boot {
+			boot = d
+		}
+	}
+	for rep := 0; rep < emuReps; rep++ {
+		start := time.Now()
+		for i := 0; i < forkBatch; i++ {
+			if _, err := golden.Fork(); err != nil {
+				return res, fmt.Errorf("bench: %s: fork: %w", res.Name, err)
+			}
+		}
+		if d := time.Since(start) / forkBatch; rep == 0 || d < fork {
+			fork = d
+		}
+	}
+	res.BootNs = boot.Nanoseconds()
+	res.ForkNs = fork.Nanoseconds()
+	if res.ForkNs > 0 {
+		res.ForksPerSec = 1e9 / float64(res.ForkNs)
+		res.BootOverFork = float64(res.BootNs) / float64(res.ForkNs)
+	}
+
+	// Iteration cost, fork-mode vs boot-mode. The warmup runs the full
+	// iteration window once, not a fixed prefix: each iteration's program
+	// touches its own set of pages, so a short warmup would leave
+	// first-touch CoW breaks inside the timed window — a one-time ramp cost
+	// a real campaign amortizes over thousands of iterations, not the
+	// steady state this row reports. (A full-window warmup also covers the
+	// fuzzWorkload rationale: the block engine's hotness gate is past its
+	// ramp by the time timing starts.)
+	iters *= 10
+	var host [2]time.Duration
+	var cycles [2]uint64
+	for m, forked := range [2]bool{true, false} {
+		for rep := 0; rep < emuReps; rep++ {
+			var ex *fuzz.Executor
+			var err error
+			if forked {
+				ex, err = golden.Fork()
+			} else {
+				ex, err = fuzz.NewExecutor(opts)
+			}
+			if err != nil {
+				return res, fmt.Errorf("bench: %s: %w", res.Name, err)
+			}
+			k := ex.Kernel()
+			base := k.CPU.Cycles
+			run := func(i int) error {
+				prog := fuzz.PickProg(seed, i, nil, ex.Kaddrs())
+				_, err := ex.Exec(prog, fuzz.InjSeed(seed, i))
+				return err
+			}
+			for wi := 0; wi < iters; wi++ {
+				if err := run(wi); err != nil {
+					return res, fmt.Errorf("bench: %s: warmup: %w", res.Name, err)
+				}
+			}
+			var c uint64
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				if err := run(i); err != nil {
+					return res, fmt.Errorf("bench: %s: %w", res.Name, err)
+				}
+				c += k.CPU.Cycles - base
+			}
+			d := time.Since(start)
+			if rep == 0 {
+				cycles[m], host[m] = c, d
+				continue
+			}
+			if c != cycles[m] {
+				return res, fmt.Errorf("bench: %s: emulated cycles diverge across reps: %d vs %d",
+					res.Name, cycles[m], c)
+			}
+			if d < host[m] {
+				host[m] = d
+			}
+		}
+	}
+	if cycles[0] != cycles[1] {
+		return res, fmt.Errorf("bench: %s: fork-mode cycles %d != boot-mode cycles %d — fork changed semantics",
+			res.Name, cycles[0], cycles[1])
+	}
+	res.Cycles = cycles[0]
+	res.IterNsFork = host[0].Nanoseconds() / int64(iters)
+	res.IterNsBoot = host[1].Nanoseconds() / int64(iters)
+	return res, nil
+}
+
 // EmuBench measures the emulator's host performance with the decode cache
 // on and off: the Table 1 micro-op suite under vanilla and a fully
-// protected column, and a fuzzing iteration (restore + program execution).
+// protected column, a fuzzing iteration (restore + program execution), and
+// the fork rows (copy-on-write worker startup and steady state).
 func EmuBench(iters int) (*EmuReport, error) {
 	if iters <= 0 {
 		iters = 20
@@ -268,6 +406,13 @@ func EmuBench(iters int) (*EmuReport, error) {
 			return nil, err
 		}
 		rep.Results = append(rep.Results, r)
+	}
+	for _, cfg := range []core.Config{core.Vanilla, full} {
+		fr, err := measureFork(cfg, 42, iters)
+		if err != nil {
+			return nil, err
+		}
+		rep.Fork = append(rep.Fork, fr)
 	}
 	return rep, nil
 }

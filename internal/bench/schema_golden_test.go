@@ -52,6 +52,17 @@ func TestEmuReportSchemaGolden(t *testing.T) {
 			BlockSpeedup: 1.25,
 			Cycles:       123456,
 		}},
+		Fork: []ForkResult{{
+			Name:         "fork/Vanilla",
+			Reps:         3,
+			BootNs:       20000000,
+			ForkNs:       1500000,
+			ForksPerSec:  666.67,
+			BootOverFork: 13.33,
+			IterNsFork:   50000,
+			IterNsBoot:   51000,
+			Cycles:       654321,
+		}},
 	}
 	b, err := rep.JSON()
 	if err != nil {

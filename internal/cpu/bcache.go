@@ -339,10 +339,13 @@ func (c *CPU) runBlock(p *dcPage, b *dcBlock) (stop StopReason, trap *Trap, comp
 			complete = true
 			break
 		}
-		if e.flags&dcStore != 0 && frame.Gen() != fgen {
+		if e.flags&dcStore != 0 && (frame.Gen() != fgen || c.AS.MapGen() != p.mgen) {
 			// The store landed on this very frame (directly or through an
-			// alias): the rest of the block is stale. Resync through the
-			// dispatch loop — its next lookup flushes and redecodes.
+			// alias) — or broke copy-on-write on a frozen executable page,
+			// which repoints the mapping at a fresh frame under a mapGen
+			// bump without touching the old frame's gen. Either way the
+			// rest of the block is stale. Resync through the dispatch loop —
+			// its next lookup re-resolves, flushes, and redecodes.
 			c.bstats.Aborts++
 			break
 		}

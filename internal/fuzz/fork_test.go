@@ -1,0 +1,91 @@
+package fuzz
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// TestForkReportIdentical is the fork-mode acceptance property: a campaign
+// whose workers are copy-on-write forks of one golden kernel renders a
+// report byte-identical to the same campaign with boot-per-worker kernels,
+// at any worker count. The CI determinism gate runs the same comparison
+// through the krxfuzz binary.
+func TestForkReportIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		workers int
+		trace   bool
+	}{
+		{workers: 1}, {workers: 4}, {workers: 2, trace: true},
+	} {
+		boot := campaignOpts(120)
+		boot.Workers = tc.workers
+		boot.Trace = tc.trace
+		rb, err := Fuzz(boot)
+		if err != nil {
+			t.Fatalf("workers=%d boot-mode: %v", tc.workers, err)
+		}
+		fork := boot
+		fork.Fork = true
+		rf, err := Fuzz(fork)
+		if err != nil {
+			t.Fatalf("workers=%d fork-mode: %v", tc.workers, err)
+		}
+		if rb.String() != rf.String() {
+			t.Fatalf("workers=%d trace=%v: fork-mode report diverges:\n--- boot ---\n%s--- fork ---\n%s",
+				tc.workers, tc.trace, rb, rf)
+		}
+	}
+}
+
+// sortedCover returns a sorted copy of an unordered coverage set so two
+// executions can be compared element-wise.
+func sortedCover(c []uint64) []uint64 {
+	s := append([]uint64(nil), c...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s
+}
+
+// FuzzForkEquivalence drives randomized iteration prefixes through a forked
+// executor and a fresh-boot executor of the same campaign and requires
+// bit-identical outcomes — crash bucket, fault count, syscall count, audit
+// findings, and the exact coverage set.
+func FuzzForkEquivalence(f *testing.F) {
+	f.Add(int64(42), uint8(6))
+	f.Add(int64(7), uint8(3))
+	f.Fuzz(func(t *testing.T, seed int64, n uint8) {
+		iters := int(n%8) + 1
+		opts := campaignOpts(iters)
+		opts.Seed = seed
+		if err := opts.Normalize(); err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := NewExecutor(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		golden, err := NewExecutor(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		child, err := golden.Fork()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < iters; i++ {
+			prog := PickProg(opts.Seed, i, nil, fresh.Kaddrs())
+			want, err := fresh.Exec(prog, InjSeed(opts.Seed, i))
+			if err != nil {
+				t.Fatalf("iter %d fresh: %v", i, err)
+			}
+			got, err := child.Exec(PickProg(opts.Seed, i, nil, child.Kaddrs()), InjSeed(opts.Seed, i))
+			if err != nil {
+				t.Fatalf("iter %d fork: %v", i, err)
+			}
+			got.Cover, want.Cover = sortedCover(got.Cover), sortedCover(want.Cover)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("iter %d: fork result diverges from fresh boot:\nfork:  %+v\nfresh: %+v", i, got, want)
+			}
+		}
+	})
+}

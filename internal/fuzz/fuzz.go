@@ -80,6 +80,14 @@ type Options struct {
 	// *could* run at; corpus growth and crash triage need coverage, so a
 	// real campaign must leave this false.
 	NoCoverage bool
+	// Fork boots a single golden kernel and stands the remaining workers up
+	// as copy-on-write forks of its boot snapshot (kernel.Fork) instead of
+	// booting each one: workers share every unwritten frame and start with
+	// the golden kernel's warm decode cache. Reports are byte-identical to
+	// boot-per-worker mode at any worker count — emulated semantics cannot
+	// observe frame identity or host cache warmth — which TestForkReport-
+	// Identical and the CI cmp gates enforce.
+	Fork bool
 	// Trace arms per-iteration event tracing: every worker records
 	// snapshot/restore, syscall enter/exit, trap, and injected-fault events,
 	// and the merge folds them into Report.Trace in canonical iteration
@@ -291,14 +299,22 @@ type Executor struct {
 
 // New boots the campaign's kernels (one per worker, all sharing one cached
 // build) and prepares the campaign. Each boot snapshot is taken after user
-// memory seeding, so every iteration starts from an identical machine.
+// memory seeding, so every iteration starts from an identical machine. With
+// Options.Fork set, only worker 0 boots; the rest are copy-on-write forks
+// of its snapshot — identical machines by construction.
 func New(opts Options) (*Fuzzer, error) {
 	if err := opts.Normalize(); err != nil {
 		return nil, err
 	}
 	f := &Fuzzer{opts: opts}
 	for i := 0; i < opts.Workers; i++ {
-		w, err := NewExecutor(opts)
+		var w *Executor
+		var err error
+		if opts.Fork && i > 0 {
+			w, err = f.workers[0].Fork()
+		} else {
+			w, err = NewExecutor(opts)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -351,6 +367,43 @@ func NewExecutor(opts Options) (*Executor, error) {
 	}
 	w.snap = k.Snapshot()
 	return w, nil
+}
+
+// Fork stands up a new executor whose kernel is a copy-on-write fork of
+// this executor's machine (kernel.Fork): frames, and the warm decode cache,
+// are shared until first write, so the child costs a few map clones instead
+// of a boot plus warmup. The parent must be at its snapshot point — freshly
+// built by NewExecutor, or restored — which is where fuzz.New and the fuzzd
+// transport call it from. The child takes its own boot snapshot and behaves
+// exactly like a NewExecutor-built worker from then on: byte-identical
+// execution, reports, and traces.
+func (w *Executor) Fork() (*Executor, error) {
+	var forkOpts []kernel.BootOption
+	var tr *obs.Tracer
+	if w.opts.Trace {
+		tr = obs.NewTracer(0)
+		forkOpts = append(forkOpts, kernel.WithTracer(tr))
+	}
+	k, err := w.k.Fork(forkOpts...)
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: fork: %w", err)
+	}
+	nw := &Executor{
+		opts:     w.opts,
+		k:        k,
+		tracer:   tr,
+		funcs:    w.funcs, // sorted once, never mutated — shareable
+		kaddrs:   w.kaddrs,
+		curCover: make(map[uint64]struct{}),
+		covBase:  w.covBase,
+		covSpan:  w.covSpan,
+		covBits:  make([]uint64, len(w.covBits)),
+	}
+	if !w.opts.NoCoverage {
+		k.CPU.AddProbe(nw)
+	}
+	nw.snap = k.Snapshot()
+	return nw, nil
 }
 
 // Kernel returns the executor's booted kernel.

@@ -42,6 +42,7 @@ import (
 	"repro/internal/fuzz"
 	"repro/internal/fuzzd/chaos"
 	"repro/internal/kernel"
+	"repro/internal/mem"
 	"repro/internal/obs"
 )
 
@@ -261,6 +262,17 @@ func New(opts Options) (*Manager, error) {
 	m.cSpawned = m.reg.Counter("fuzzd.workers.spawned")
 	m.cDeaths = m.reg.Counter("fuzzd.workers.deaths")
 	m.cRespawns = m.reg.Counter("fuzzd.workers.respawns")
+	// Fork-mode observability: the golden kernel does not exist until the
+	// first worker spawns, so the gauges resolve it at read time (and read
+	// zero before then).
+	if lt, ok := m.opts.Transport.(*LocalTransport); ok && opts.Fuzz.Fork {
+		obs.RegisterFork(m.reg, "fork", kernel.Forks, func() *mem.AddressSpace {
+			if lt.golden == nil {
+				return nil
+			}
+			return lt.golden.Kernel().Space.AS
+		})
+	}
 	return m, nil
 }
 

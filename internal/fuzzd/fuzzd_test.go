@@ -403,3 +403,43 @@ func TestSeededChaosSoak(t *testing.T) {
 		}
 	}
 }
+
+// TestForkModeServiceReport drives the golden-fork transport end to end:
+// every worker — the initial fleet and the respawns a kill schedule forces —
+// is a copy-on-write fork of one lazily booted golden kernel, and the report
+// must still be byte-identical to the in-process boot-per-worker baseline.
+// The fork.* gauges must land on the manager's registry and show the golden
+// actually shared its frames.
+func TestForkModeServiceReport(t *testing.T) {
+	const iters = 128
+	baseline := direct(t, iters)
+	o := serviceOpts(iters, 4)
+	o.Fuzz.Fork = true
+	o.Chaos = func(worker, lease int) chaos.Action {
+		if worker == 1 && lease == 0 {
+			return chaos.ActKill // force a respawn, which must also fork
+		}
+		return chaos.ActNone
+	}
+	m, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.String(); got != baseline {
+		t.Errorf("fork-mode service report diverges from direct run:\n--- service ---\n%s--- direct ---\n%s", got, baseline)
+	}
+	stats := map[string]uint64{}
+	for _, mt := range m.Registry().Snapshot() {
+		stats[mt.Name] = mt.Value
+	}
+	if stats["fork.shared_frames"] == 0 {
+		t.Error("fork.shared_frames = 0: golden kernel never froze its frames")
+	}
+	if spawned := stats["fuzzd.workers.spawned"]; spawned < 5 {
+		t.Errorf("workers spawned = %d, want >= 5 (fleet of 4 + 1 respawn)", spawned)
+	}
+}

@@ -89,6 +89,37 @@ type LocalTransport struct {
 	// enabling the block engine) — mirroring what krxfuzz applies to the
 	// in-process fuzzer's kernels.
 	Tune func(*kernel.Kernel)
+
+	// golden, when Opts.Fork is set, is the lazily booted fork source:
+	// every spawned worker — initial fleet and respawns alike — is a
+	// copy-on-write fork of this one pristine executor, which never runs an
+	// iteration itself and so stays parked at its snapshot point. Spawn is
+	// only called from the (single-goroutine) manager loop, so lazy
+	// initialization and forking need no locking; the forks themselves are
+	// safe to run concurrently because shared frames are frozen.
+	golden *fuzz.Executor
+}
+
+// newExecutor stands up one worker executor: a fresh boot, or — in fork
+// mode — a copy-on-write fork of the golden executor. Tune runs on each
+// booted kernel; forks inherit the golden kernel's tuned state instead of
+// re-running the hook, so both paths spawn identically tuned workers.
+func (t *LocalTransport) newExecutor() (*fuzz.Executor, error) {
+	if t.Opts.Fork && t.golden != nil {
+		return t.golden.Fork()
+	}
+	ex, err := fuzz.NewExecutor(t.Opts)
+	if err != nil {
+		return nil, err
+	}
+	if t.Tune != nil {
+		t.Tune(ex.Kernel())
+	}
+	if t.Opts.Fork {
+		t.golden = ex
+		return t.golden.Fork()
+	}
+	return ex, nil
 }
 
 // localWorker is one spawned goroutine worker.
@@ -104,14 +135,12 @@ func (w *localWorker) Send(l Lease) { w.leases <- l }
 // Stop implements Worker.
 func (w *localWorker) Stop() { close(w.quit) }
 
-// Spawn implements Transport: boot an executor, start the worker loop.
+// Spawn implements Transport: stand up an executor (boot, or a CoW fork of
+// the golden one in fork mode), start the worker loop.
 func (t *LocalTransport) Spawn(id int, msgs chan<- Msg) (Worker, error) {
-	ex, err := fuzz.NewExecutor(t.Opts)
+	ex, err := t.newExecutor()
 	if err != nil {
 		return nil, fmt.Errorf("fuzzd: spawn worker %d: %w", id, err)
-	}
-	if t.Tune != nil {
-		t.Tune(ex.Kernel())
 	}
 	w := &localWorker{leases: make(chan Lease, 1), quit: make(chan struct{})}
 	go t.run(id, ex, w, msgs)

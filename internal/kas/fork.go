@@ -1,0 +1,30 @@
+package kas
+
+import "fmt"
+
+// Fork returns a pool sharing this pool's frames but with an independent
+// allocation watermark. The frames slice is never mutated after NewPhysPool,
+// so sharing it is safe; allocations in the fork hand out the same *frames*
+// a sibling's allocations would, which is exactly the copy-on-write model —
+// a forked kernel that maps and writes a pool frame breaks CoW on it like
+// any other shared frame (and frames past the golden parent's watermark were
+// never frozen, so post-fork allocations are private until a future fork).
+func (p *PhysPool) Fork() *PhysPool {
+	return &PhysPool{frames: p.frames, next: p.next}
+}
+
+// Fork returns a copy-on-write child of the installed space: the address
+// space is forked (sharing every frozen frame, see mem.AddressSpace.Fork),
+// the pool watermark is carried over, and the layout plus region table —
+// immutable after Install — are shared.
+func (s *Space) Fork() (*Space, error) {
+	as, err := s.AS.Fork()
+	if err != nil {
+		return nil, fmt.Errorf("kas: fork: %w", err)
+	}
+	pfn := make(map[string]int, len(s.regionPFN))
+	for name, p := range s.regionPFN {
+		pfn[name] = p
+	}
+	return &Space{Layout: s.Layout, AS: as, Pool: s.Pool.Fork(), regionPFN: pfn}, nil
+}

@@ -1,0 +1,205 @@
+package kernel
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// warmup drives a short, deterministic syscall mix — enough to touch the
+// dispatcher, the file layer, and the mm layer so the decode cache has real
+// content to clone across a fork.
+func warmup(t *testing.T, k *Kernel) {
+	t.Helper()
+	sysOK(t, k, SysNull)
+	sysOK(t, k, SysGetpid)
+	if err := k.WriteUser(0, append([]byte("forkfile"), 0)); err != nil {
+		t.Fatal(err)
+	}
+	fd := sysOK(t, k, SysOpen, UserBuf)
+	sysOK(t, k, SysWrite, fd, UserBuf+512, 32)
+	sysOK(t, k, SysClose, fd)
+	base := sysOK(t, k, SysMmap, 2)
+	sysOK(t, k, SysMunmap, base, 2)
+}
+
+func TestRestoreStaleSnapshot(t *testing.T) {
+	k := boot(t, core.Vanilla)
+	old := k.Snapshot()
+	cur := k.Snapshot()
+
+	err := k.Restore(old)
+	var stale *StaleSnapshotError
+	if !errors.As(err, &stale) {
+		t.Fatalf("Restore(superseded) = %v, want *StaleSnapshotError", err)
+	}
+	if stale.Foreign || stale.Seq != 1 || stale.Current != 2 {
+		t.Fatalf("stale error = %+v, want {Seq:1 Current:2 Foreign:false}", stale)
+	}
+	// The current snapshot still restores, repeatedly.
+	if err := k.Restore(cur); err != nil {
+		t.Fatalf("Restore(current): %v", err)
+	}
+	if err := k.Restore(cur); err != nil {
+		t.Fatalf("Restore(current) again: %v", err)
+	}
+}
+
+func TestRestoreForeignSnapshot(t *testing.T) {
+	k1 := boot(t, core.Vanilla)
+	k2 := boot(t, core.Vanilla)
+	s1 := k1.Snapshot()
+
+	err := k2.Restore(s1)
+	var stale *StaleSnapshotError
+	if !errors.As(err, &stale) {
+		t.Fatalf("Restore(foreign) = %v, want *StaleSnapshotError", err)
+	}
+	if !stale.Foreign {
+		t.Fatalf("stale error = %+v, want Foreign", stale)
+	}
+
+	// A fork is a different kernel: the parent's snapshot is foreign to it.
+	child, err := k1.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := child.Restore(s1); !errors.As(err, &stale) || !stale.Foreign {
+		t.Fatalf("child.Restore(parent snapshot) = %v, want foreign *StaleSnapshotError", err)
+	}
+	// And the parent still honors it.
+	if err := k1.Restore(s1); err != nil {
+		t.Fatalf("parent Restore after fork: %v", err)
+	}
+}
+
+func TestForkRejectsImageOptions(t *testing.T) {
+	k := boot(t, core.Vanilla)
+	if _, err := k.Fork(WithCache()); err == nil {
+		t.Fatal("Fork(WithCache()) succeeded, want error")
+	}
+}
+
+// TestForkEquivalence is the core determinism claim: a syscall sequence run
+// in a fork of a warmed golden kernel retires the same instruction and cycle
+// counts, and returns the same values, as the identical sequence run on a
+// kernel that booted and warmed up on its own.
+func TestForkEquivalence(t *testing.T) {
+	cfgs := []core.Config{core.Vanilla, core.Presets()[len(core.Presets())-1]}
+	for _, cfg := range cfgs {
+		t.Run(cfg.Name(), func(t *testing.T) {
+			golden, err := Boot(cfg, WithCache())
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh, err := Boot(cfg, WithCache())
+			if err != nil {
+				t.Fatal(err)
+			}
+			warmup(t, golden)
+			warmup(t, fresh)
+
+			child, err := golden.Fork()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c, f := child.CPU.Cycles, fresh.CPU.Cycles; c != f {
+				t.Fatalf("post-warmup cycles diverge before sequence: fork %d, fresh %d", c, f)
+			}
+
+			seq := func(k *Kernel) []uint64 {
+				var out []uint64
+				if err := k.WriteUser(0, append([]byte("forkfile"), 0)); err != nil {
+					t.Fatal(err)
+				}
+				out = append(out, sysOK(t, k, SysOpen, UserBuf))
+				out = append(out, sysOK(t, k, SysRead, out[0], UserBuf+1024, 32))
+				out = append(out, sysOK(t, k, SysFork))
+				out = append(out, sysOK(t, k, SysMmap, 4))
+				out = append(out, sysOK(t, k, SysUname, UserBuf+2048))
+				out = append(out, sysOK(t, k, SysGetdents, UserBuf+3072, 256))
+				return out
+			}
+			got, want := seq(child), seq(fresh)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("syscall %d: fork ret %#x, fresh ret %#x", i, got[i], want[i])
+				}
+			}
+			if child.CPU.Instrs != fresh.CPU.Instrs {
+				t.Errorf("instrs: fork %d, fresh %d", child.CPU.Instrs, fresh.CPU.Instrs)
+			}
+			if child.CPU.Cycles != fresh.CPU.Cycles {
+				t.Errorf("cycles: fork %d, fresh %d", child.CPU.Cycles, fresh.CPU.Cycles)
+			}
+		})
+	}
+}
+
+// TestForkWarmCache asserts the point of cloning the decode cache: a fork
+// replays the parent's warmed syscall path without decoding a single new
+// instruction.
+func TestForkWarmCache(t *testing.T) {
+	k := boot(t, core.Vanilla)
+	k.CPU.SetDecodeCache(true)
+	warmup(t, k)
+	warmup(t, k) // second pass so every path is fully decoded
+
+	child, err := k.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0 := child.CPU.DecodeCacheStats()
+	if s0.Pages == 0 || s0.Entries == 0 {
+		t.Fatalf("fork carried no warm cache: %+v", s0)
+	}
+	warmup(t, child)
+	s1 := child.CPU.DecodeCacheStats()
+	if s1.Decoded != 0 {
+		t.Errorf("fork re-decoded %d instructions on a warmed path", s1.Decoded)
+	}
+	if s1.Hits == 0 {
+		t.Error("fork dispatched without any cache hits")
+	}
+}
+
+// TestForkPhysmapAliasWrite writes kernel text through its physmap synonym
+// inside a fork: both views of the child must agree on the new byte (one
+// private frame behind two virtual addresses) while the parent's text — and
+// its own synonym — keep the original bytes.
+func TestForkPhysmapAliasWrite(t *testing.T) {
+	k := boot(t, core.Vanilla)
+	text := k.Sym("_text")
+	syn, ok := k.Space.SynonymAddr(text)
+	if !ok {
+		t.Fatal("no physmap synonym for _text under vanilla")
+	}
+	orig, f := k.Space.AS.Peek(text, 1)
+	if f != nil {
+		t.Fatal(f)
+	}
+
+	child, err := k.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := child.Space.AS.StoreBytes(syn, []byte{0xCC}); f != nil {
+		t.Fatal(f)
+	}
+	if b, f := child.Space.AS.Peek(text, 1); f != nil || b[0] != 0xCC {
+		t.Fatalf("child text view after synonym write = %v, %v; want CC", b, f)
+	}
+	if b, f := child.Space.AS.Peek(syn, 1); f != nil || b[0] != 0xCC {
+		t.Fatalf("child synonym view = %v, %v; want CC", b, f)
+	}
+	if b, f := k.Space.AS.Peek(text, 1); f != nil || b[0] != orig[0] {
+		t.Fatalf("parent text changed by child write: %v, %v; want %v", b, f, orig)
+	}
+	if b, f := k.Space.AS.Peek(syn, 1); f != nil || b[0] != orig[0] {
+		t.Fatalf("parent synonym changed by child write: %v, %v; want %v", b, f, orig)
+	}
+	if st := child.Space.AS.CowStats(); st.Breaks == 0 || st.PrivateFrames == 0 {
+		t.Errorf("child CowStats after aliased write = %+v, want a recorded break", st)
+	}
+}

@@ -115,6 +115,10 @@ type Kernel struct {
 	// delivery too, every exception the CPU delivers). Set it with
 	// WithTracer or assign before issuing syscalls.
 	Trace *obs.Tracer
+
+	// snapSeq numbers this kernel's snapshots; Restore refuses any snapshot
+	// that is not the most recent one (see StaleSnapshotError).
+	snapSeq uint64
 }
 
 // BootOption customizes Boot. The zero set of options compiles the shared
@@ -389,21 +393,55 @@ func (k *Kernel) FaultTargets() inject.Targets {
 type Snapshot struct {
 	cpu      cpu.State
 	poolMark int
+	owner    *Kernel
+	seq      uint64
+}
+
+// StaleSnapshotError reports a Restore with a snapshot that is not the
+// kernel's most recent one — superseded by a later Snapshot, or taken from
+// a different kernel entirely (a fork's snapshots do not transfer). The
+// address-space checkpoint that backs a snapshot is replaced wholesale by
+// the next Checkpoint, so restoring a stale snapshot would silently rewind
+// to the *newer* checkpoint's state under the old snapshot's CPU registers
+// and pool watermark — a torn machine state. Restore refuses instead.
+type StaleSnapshotError struct {
+	// Seq is the stale snapshot's sequence number; Current the kernel's
+	// live one. Both are 0 when the snapshot belongs to another kernel.
+	Seq     uint64
+	Current uint64
+	// Foreign is set when the snapshot was taken from a different kernel.
+	Foreign bool
+}
+
+func (e *StaleSnapshotError) Error() string {
+	if e.Foreign {
+		return "kernel: restore of a snapshot taken from a different kernel"
+	}
+	return fmt.Sprintf("kernel: restore of a stale snapshot (seq %d, superseded by %d)", e.Seq, e.Current)
 }
 
 // Snapshot checkpoints the kernel. Only the most recent snapshot is
-// restorable (taking a new one supersedes the old).
+// restorable: taking a new one supersedes the old, and Restore with a
+// superseded snapshot fails with a StaleSnapshotError.
 func (k *Kernel) Snapshot() *Snapshot {
 	k.Space.AS.Checkpoint()
 	if k.Trace != nil {
 		k.Trace.Emit(obs.EvSnapshot, "snapshot", 0, 0)
 	}
-	return &Snapshot{cpu: k.CPU.SaveState(), poolMark: k.Space.Pool.Mark()}
+	k.snapSeq++
+	return &Snapshot{cpu: k.CPU.SaveState(), poolMark: k.Space.Pool.Mark(), owner: k, seq: k.snapSeq}
 }
 
 // Restore rewinds the kernel to a snapshot. It may be called repeatedly on
-// the same snapshot (the fuzzing loop restores once per iteration).
+// the same snapshot (the fuzzing loop restores once per iteration), but only
+// the kernel's most recent snapshot is restorable.
 func (k *Kernel) Restore(s *Snapshot) error {
+	if s.owner != k {
+		return &StaleSnapshotError{Foreign: true}
+	}
+	if s.seq != k.snapSeq {
+		return &StaleSnapshotError{Seq: s.seq, Current: k.snapSeq}
+	}
 	if err := k.Space.AS.Rollback(); err != nil {
 		return err
 	}

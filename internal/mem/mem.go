@@ -15,6 +15,7 @@ package mem
 import (
 	"encoding/binary"
 	"fmt"
+	"maps"
 	"sort"
 	"sync/atomic"
 )
@@ -78,6 +79,17 @@ type Frame struct {
 	// the single hottest line of a fuzzing iteration. Purely a cache: on
 	// a mismatch preimage still consults the log itself.
 	undoEpoch uint64
+
+	// frozen marks the frame as potentially shared between a forked address
+	// space and the rest of its fork family (see AddressSpace.Freeze). A
+	// frozen frame is immutable forever: every store path breaks
+	// copy-on-write first — repointing the writing space's mappings at a
+	// private copy — so the bytes, gen, and undoEpoch of a frozen frame
+	// never change again. That immutability is what lets forks share
+	// frames, warm decode caches, and superblocks with their parent without
+	// any cross-space invalidation protocol, and without data races between
+	// concurrently executing forks.
+	frozen bool
 }
 
 // Gen returns the frame's content generation. It changes (strictly
@@ -85,8 +97,13 @@ type Frame struct {
 func (f *Frame) Gen() uint64 { return f.gen }
 
 // Zap clears the frame's contents (used when modules are unloaded, to
-// prevent code-layout inference attacks per §5.1.1).
+// prevent code-layout inference attacks per §5.1.1). Zapping a frozen frame
+// panics: the zap would be observable in every fork sharing it. Unload the
+// module before forking, or in the fork family's golden parent only.
 func (f *Frame) Zap() {
+	if f.frozen {
+		panic("mem: Zap of a frozen (fork-shared) frame")
+	}
 	for i := range f.Data {
 		f.Data[i] = 0
 	}
@@ -141,6 +158,10 @@ func (f *Fault) Error() string {
 	return fmt.Sprintf("page fault: %s at 0x%x (%s)", mode, f.Addr, f.Kind)
 }
 
+// page is one page-table entry. Once inserted a page struct is never
+// mutated — Protect and CoW breaks replace the struct — so the pages map can
+// be cloned structurally (maps.Clone) into a checkpoint (snapPages) or a
+// fork, with both sides sharing the immutable entry structs.
 type page struct {
 	frame *Frame
 	perm  Perm
@@ -190,12 +211,6 @@ type DataTLBStats struct {
 	Misses uint64 // fills; faulting accesses are not cached and count neither
 }
 
-// pageSnap records one page-table entry at checkpoint time.
-type pageSnap struct {
-	frame *Frame
-	perm  Perm
-}
-
 // AddressSpace is a sparse paged virtual address space.
 type AddressSpace struct {
 	pages map[uint64]*page // keyed by virtual page number
@@ -227,7 +242,7 @@ type AddressSpace struct {
 	// return the space to exactly the checkpointed state (the substrate of
 	// Kernel.Snapshot/Restore — crashed fuzzing runs must not poison
 	// subsequent iterations).
-	snapPages  map[uint64]pageSnap
+	snapPages  map[uint64]*page
 	snapShadow map[uint64]*Frame
 	undo       map[*Frame]*[PageSize]byte
 	// undoEpoch identifies the current undo-log cycle (checkpoint to
@@ -245,6 +260,19 @@ type AddressSpace struct {
 	// per-iteration restore loop (the fuzzer's hottest mem path) does not
 	// re-allocate a 4KB copy per dirtied frame every iteration.
 	undoPool []*[PageSize]byte
+
+	// Copy-on-write fork state (see cow.go). aliases maps a frozen frame to
+	// every virtual page number it is (or, at freeze time, was in the armed
+	// checkpoint) mapped at, so a CoW break can repoint all synonym mappings
+	// at the private copy in one step. frozenFrames and cowBreaks feed
+	// CowStats; frozenClean records that every frame reachable from the page
+	// table was frozen by Freeze and nothing unfrozen has been mapped or
+	// created since — the invariant Fork needs, letting consecutive forks
+	// skip the re-freeze scan.
+	aliases      map[*Frame][]uint64
+	frozenFrames uint64
+	cowBreaks    uint64
+	frozenClean  bool
 
 	// Cached Ranges() result, valid while rangesGen matches mapGen (the
 	// audit walks the ranges several times per invocation; the layout only
@@ -324,8 +352,19 @@ func (as *AddressSpace) MapFrames(va uint64, frames []*Frame, perm Perm) error {
 			return fmt.Errorf("mem: page 0x%x already mapped", (base+uint64(i))<<PageShift)
 		}
 	}
+	frozen := false
 	for i, f := range frames {
 		as.pages[base+uint64(i)] = &page{frame: f, perm: perm}
+		if f.frozen {
+			frozen = true
+		} else {
+			// An unfrozen frame entered a (possibly) frozen-clean space; the
+			// next Fork must re-scan.
+			as.frozenClean = false
+		}
+	}
+	if frozen {
+		as.registerFrozenAliases(frames)
 	}
 	as.mapGen++
 	return nil
@@ -360,7 +399,9 @@ func (as *AddressSpace) Protect(va uint64, n int, perm Perm) error {
 		if !ok {
 			return fmt.Errorf("mem: protect of unmapped page 0x%x", (base+uint64(i))<<PageShift)
 		}
-		pg.perm = perm
+		// Replace, never mutate: the struct may be shared with a checkpoint
+		// or a fork (see the page type comment).
+		as.pages[base+uint64(i)] = &page{frame: pg.frame, perm: perm}
 	}
 	as.mapGen++
 	return nil
@@ -474,6 +515,9 @@ func (as *AddressSpace) ShadowData(va uint64, n int, frames []*Frame) error {
 		} else {
 			f = new(Frame)
 		}
+		if !f.frozen {
+			as.frozenClean = false
+		}
 		as.shadow[base+uint64(i)] = f
 	}
 	as.mapGen++
@@ -501,6 +545,9 @@ func (as *AddressSpace) StoreByte(va uint64, v byte) *Fault {
 		return &Fault{Addr: va, Kind: FaultNoWrite, Write: true}
 	}
 	f := e.pg.frame
+	if f.frozen {
+		f = as.breakCoW(vpn(va))
+	}
 	as.preimage(f)
 	f.Data[va&PageMask] = v
 	f.gen++
@@ -511,6 +558,12 @@ func (as *AddressSpace) StoreByte(va uint64, v byte) *Fault {
 // modification after a checkpoint. Frames already logged keep their original
 // (checkpoint-time) pre-image.
 func (as *AddressSpace) preimage(f *Frame) {
+	if f.frozen {
+		// Every store path breaks copy-on-write before reaching here; a
+		// frozen frame in the undo log would be restored by Rollback —
+		// mutating state shared with every other fork.
+		panic("mem: write reached a frozen (fork-shared) frame without a CoW break")
+	}
 	if as.undo == nil || f.undoEpoch == as.undoEpoch {
 		return
 	}
@@ -537,17 +590,11 @@ func (as *AddressSpace) preimage(f *Frame) {
 // Rollback restores the space to this exact state. Calling Checkpoint again
 // replaces the previous checkpoint.
 func (as *AddressSpace) Checkpoint() {
-	as.snapPages = make(map[uint64]pageSnap, len(as.pages))
-	for v, pg := range as.pages {
-		as.snapPages[v] = pageSnap{frame: pg.frame, perm: pg.perm}
-	}
-	as.snapShadow = nil
-	if as.shadow != nil {
-		as.snapShadow = make(map[uint64]*Frame, len(as.shadow))
-		for v, f := range as.shadow {
-			as.snapShadow[v] = f
-		}
-	}
+	// Page structs are immutable once inserted, so the checkpoint is a
+	// structural clone sharing the entry structs (maps.Clone of a nil map is
+	// nil, which is exactly the no-shadow representation).
+	as.snapPages = maps.Clone(as.pages)
+	as.snapShadow = maps.Clone(as.shadow)
 	as.undo = make(map[*Frame]*[PageSize]byte)
 	as.undoEpoch = nextUndoEpoch()
 	as.snapMapGen = as.mapGen
@@ -577,20 +624,11 @@ func (as *AddressSpace) Rollback() error {
 	// (Map/Unmap/Protect/Shadow) actually happened since the checkpoint —
 	// mapGen tracks exactly that; plain stores leave it alone.
 	if as.mapGen != as.snapMapGen {
-		pages := make(map[uint64]*page, len(as.snapPages))
-		for v, s := range as.snapPages {
-			pages[v] = &page{frame: s.frame, perm: s.perm}
-		}
-		as.pages = pages
-		if as.snapShadow == nil {
-			as.shadow = nil
-		} else {
-			sh := make(map[uint64]*Frame, len(as.snapShadow))
-			for v, f := range as.snapShadow {
-				sh[v] = f
-			}
-			as.shadow = sh
-		}
+		as.pages = maps.Clone(as.snapPages)
+		as.shadow = maps.Clone(as.snapShadow)
+		// The rebuild can remap frames that were unmapped when Freeze last
+		// scanned; be conservative and let the next Fork re-scan.
+		as.frozenClean = false
 		as.mapGen++
 		as.snapMapGen = as.mapGen
 	}
@@ -654,6 +692,9 @@ func (as *AddressSpace) Write(va uint64, v uint64, size uint8) *Fault {
 			return &Fault{Addr: va, Kind: FaultNoWrite, Write: true}
 		}
 		f := e.pg.frame
+		if f.frozen {
+			f = as.breakCoW(vpn(va))
+		}
 		as.preimage(f)
 		off := va & PageMask
 		switch size {
@@ -712,6 +753,9 @@ func (as *AddressSpace) WriteRun(va uint64) ([]byte, *Fault) {
 		return nil, &Fault{Addr: va, Kind: FaultNoWrite, Write: true}
 	}
 	f := e.pg.frame
+	if f.frozen {
+		f = as.breakCoW(vpn(va))
+	}
 	as.preimage(f)
 	f.gen++
 	return f.Data[va&PageMask:], nil
@@ -782,9 +826,13 @@ func (as *AddressSpace) StoreBytes(va uint64, b []byte) *Fault {
 		if pg.perm&PermW == 0 {
 			return &Fault{Addr: a, Kind: FaultNoWrite, Write: true}
 		}
-		as.preimage(pg.frame)
-		i += copy(pg.frame.Data[a&PageMask:], b[i:])
-		pg.frame.gen++
+		f := pg.frame
+		if f.frozen {
+			f = as.breakCoW(vpn(a))
+		}
+		as.preimage(f)
+		i += copy(f.Data[a&PageMask:], b[i:])
+		f.gen++
 	}
 	return nil
 }
@@ -800,9 +848,13 @@ func (as *AddressSpace) Poke(va uint64, b []byte) error {
 		if !ok {
 			return fmt.Errorf("mem: poke of unmapped page 0x%x", a)
 		}
-		as.preimage(pg.frame)
-		i += copy(pg.frame.Data[a&PageMask:], b[i:])
-		pg.frame.gen++
+		f := pg.frame
+		if f.frozen {
+			f = as.breakCoW(vpn(a))
+		}
+		as.preimage(f)
+		i += copy(f.Data[a&PageMask:], b[i:])
+		f.gen++
 	}
 	return nil
 }

@@ -170,3 +170,26 @@ func RegisterTracer(r *Registry, prefix string, t *Tracer) {
 	r.Gauge(prefix+".events", func() uint64 { return uint64(t.Len()) })
 	r.Gauge(prefix+".dropped", func() uint64 { return t.Dropped() })
 }
+
+// RegisterFork publishes copy-on-write fork statistics under prefix (e.g.
+// "fork"): the process-wide fork count (pass kernel.Forks — taking a func
+// keeps obs from importing kernel) and one address space's frame-sharing
+// counters. The space is a provider, not a pointer, because the space worth
+// watching may not exist yet at registration time (fuzzd boots its golden
+// kernel lazily on the first worker spawn); a nil provider result reads as
+// zeros.
+func RegisterFork(r *Registry, prefix string, forks func() uint64, as func() *mem.AddressSpace) {
+	r.Gauge(prefix+".forks", forks)
+	stat := func(pick func(mem.CowStats) uint64) func() uint64 {
+		return func() uint64 {
+			a := as()
+			if a == nil {
+				return 0
+			}
+			return pick(a.CowStats())
+		}
+	}
+	r.Gauge(prefix+".shared_frames", stat(func(s mem.CowStats) uint64 { return s.SharedFrames }))
+	r.Gauge(prefix+".cow_breaks", stat(func(s mem.CowStats) uint64 { return s.Breaks }))
+	r.Gauge(prefix+".private_frames", stat(func(s mem.CowStats) uint64 { return s.PrivateFrames }))
+}

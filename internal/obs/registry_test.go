@@ -4,6 +4,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"repro/internal/mem"
 )
 
 func TestRegistrySnapshotSortedAndComplete(t *testing.T) {
@@ -76,5 +78,36 @@ func TestRegistryFormat(t *testing.T) {
 	r.Counter("events").Add(5)
 	if s := r.Format(); !strings.Contains(s, "events") || !strings.Contains(s, "5") {
 		t.Errorf("format missing metric: %q", s)
+	}
+}
+
+func TestRegisterFork(t *testing.T) {
+	as := mem.NewAddressSpace()
+	if _, err := as.Map(0x1000, 1, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRegistry()
+	RegisterFork(r, "fork", func() uint64 { return 5 }, func() *mem.AddressSpace { return as })
+	got := map[string]uint64{}
+	for _, m := range r.Snapshot() {
+		got[m.Name] = m.Value
+	}
+	want := map[string]uint64{
+		"fork.forks": 5, "fork.shared_frames": 1,
+		"fork.cow_breaks": 0, "fork.private_frames": 0,
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s = %d, want %d", k, got[k], v)
+		}
+	}
+	if fa := as.StoreByte(0x1008, 0xAA); fa != nil {
+		t.Fatal(fa)
+	}
+	if v := as.CowStats().Breaks; v != 1 {
+		t.Fatalf("cow breaks after write = %d, want 1", v)
 	}
 }
