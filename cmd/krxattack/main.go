@@ -14,6 +14,7 @@ import (
 	"repro/internal/diversify"
 	"repro/internal/kernel"
 	"repro/internal/sfi"
+	"repro/internal/store"
 )
 
 func main() {
@@ -26,8 +27,19 @@ func main() {
 		ret2usr  = flag.Bool("ret2usr", false, "legacy ret2usr with and without SMEP")
 		survival = flag.Bool("survival", false, "gadget survival analysis across seeds")
 		seed     = flag.Int64("seed", 101, "target kernel diversification seed")
+		cacheDir = flag.String("cache-dir", "", "persistent artifact store directory: kernel images are reused across invocations instead of re-linked")
+		quota    = flag.String("cache-quota", "1G", "artifact store byte quota, LRU-evicted (accepts K/M/G suffixes; 0 = unlimited)")
 	)
 	flag.Parse()
+	if *cacheDir != "" {
+		artifacts, err := store.Open(*cacheDir, *quota)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "krxattack:", err)
+			os.Exit(1)
+		}
+		defer artifacts.Close()
+		kernel.SetBuildCache(core.NewImageCache(artifacts))
+	}
 	if !*direct && !*jitrop && !*indirect && !*subst && !*race && !*survival && !*ret2usr {
 		*direct, *jitrop, *indirect, *subst, *race, *survival, *ret2usr = true, true, true, true, true, true, true
 	}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/obs"
 	"repro/internal/sfi"
+	"repro/internal/store"
 )
 
 func main() {
@@ -32,6 +33,8 @@ func main() {
 		blocks   = flag.Bool("blocks", true, "dispatch through the superblock engine where no probes are armed (bit-identical either way)")
 		hot      = flag.Int("hot", 0, "block-formation hotness threshold: form a superblock after this many dispatches of an entry point (0 = engine default)")
 		iters    = flag.Int("iters", 10, "measured iterations per data point")
+		cacheDir = flag.String("cache-dir", "", "persistent artifact store directory: kernel images are reused across invocations instead of re-linked")
+		quota    = flag.String("cache-quota", "1G", "artifact store byte quota, LRU-evicted (accepts K/M/G suffixes; 0 = unlimited)")
 	)
 	flag.Parse()
 	observe := *traceOut != "" || *funcs || *stats
@@ -41,6 +44,14 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "krxbench:", err)
 		os.Exit(1)
+	}
+	if *cacheDir != "" {
+		artifacts, err := store.Open(*cacheDir, *quota)
+		if err != nil {
+			fail(err)
+		}
+		defer artifacts.Close()
+		kernel.SetBuildCache(core.NewImageCache(artifacts))
 	}
 
 	if *jsonOut {
@@ -171,7 +182,7 @@ func runObserved(traceOut string, funcs, stats, blocks bool, hot int) error {
 		obs.RegisterDecodeCache(reg, "decode_cache", k.CPU)
 		obs.RegisterBlockEngine(reg, "block_engine", k.CPU)
 		obs.RegisterDataTLB(reg, "dtlb", k.CPU.AS)
-		obs.RegisterBuildCache(reg, "build_cache", kernel.BuildCache())
+		obs.RegisterStore(reg, "store", kernel.BuildCache())
 		obs.RegisterTracer(reg, "trace", tr)
 		fmt.Print(reg.Format())
 	}

@@ -18,7 +18,9 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/gob"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -37,6 +39,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/sfi"
+	"repro/internal/store"
 )
 
 func main() {
@@ -64,6 +67,9 @@ func run() error {
 	leaseIters := flag.Int("lease-iters", 16, "serve: iterations per lease grant")
 	retries := flag.Int("retries", 3, "serve: regrants of a lost lease before its range is quarantined to the manager")
 	chaosSpec := flag.String("chaos", "", "serve: worker fault schedule (kill-one, expire-third, stall-recover, seeded:<seed>); the report must not change")
+	cacheDir := flag.String("cache-dir", "", "persistent artifact store directory: kernel images (and block heat profiles) are reused across invocations; a warm run performs zero link builds")
+	cacheQuota := flag.String("cache-quota", "1G", "artifact store byte quota, LRU-evicted (accepts K/M/G suffixes; 0 = unlimited)")
+	corpusDir := flag.String("corpus-dir", "", "campaign checkpoint store directory: the corpus, coverage, and crash ledger persist at batch boundaries and the campaign resumes from its last checkpoint (incompatible with -trace)")
 	flag.Parse()
 
 	// Graceful shutdown: first SIGINT/SIGTERM cancels the campaign; the
@@ -91,6 +97,28 @@ func run() error {
 		opts.Plan = &plan
 	}
 
+	// Persistent artifact store: every Boot(WithCache) in this process —
+	// in-process workers and serve-mode fleets alike — builds through it, so
+	// a populated store serves the image with zero link builds.
+	var artifacts store.Store
+	if *cacheDir != "" {
+		var err error
+		artifacts, err = store.Open(*cacheDir, *cacheQuota)
+		if err != nil {
+			return err
+		}
+		defer artifacts.Close()
+		kernel.SetBuildCache(core.NewImageCache(artifacts))
+	}
+	if *corpusDir != "" {
+		cs, err := store.Open(*corpusDir, "0")
+		if err != nil {
+			return err
+		}
+		defer cs.Close()
+		opts.Checkpoint = cs
+	}
+
 	if *serve {
 		return runServe(ctx, opts, serveFlags{
 			leaseTimeout: *leaseTimeout,
@@ -113,13 +141,34 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// The heat-profile key: one profile per (corpus, build) pair, like the
+	// image itself.
+	heatKey := store.Key{ProgID: "kernel-corpus", BuildKey: cfg.BuildKey()}
+	var seedRips []uint64
+	if artifacts != nil && *blocks {
+		if data, gerr := artifacts.Get(store.KindHeat, heatKey); gerr == nil {
+			seedRips, _ = decodeHeat(data)
+		}
+	}
 	for _, k := range ks {
 		k.CPU.SetBlockEngine(*blocks)
 		k.CPU.SetBlockHotThreshold(*hot)
+		k.CPU.SeedHotProfile(seedRips)
 	}
 	rep, err := f.RunContext(ctx)
 	if err != nil {
 		return err
+	}
+	if artifacts != nil && *blocks {
+		// Persist the superblocks this campaign formed so the next warm run
+		// skips their hotness ramp (bit-identical either way).
+		if k, kerr := f.Kernel(); kerr == nil {
+			if rips := k.CPU.HotProfile(); len(rips) > 0 {
+				if data, eerr := encodeHeat(rips); eerr == nil {
+					_ = artifacts.Put(store.KindHeat, heatKey, data)
+				}
+			}
+		}
 	}
 	if err := emitReport(rep, *jsonOut); err != nil {
 		return err
@@ -144,7 +193,7 @@ func run() error {
 		obs.RegisterDecodeCache(reg, "decode_cache", k.CPU)
 		obs.RegisterBlockEngine(reg, "block_engine", k.CPU)
 		obs.RegisterDataTLB(reg, "dtlb", k.CPU.AS)
-		obs.RegisterBuildCache(reg, "build_cache", kernel.BuildCache())
+		obs.RegisterStore(reg, "store", kernel.BuildCache())
 		if opts.Fork {
 			// The first worker is the golden kernel every other worker
 			// forked from; its space carries the frame-sharing counters.
@@ -212,10 +261,28 @@ func runServe(ctx context.Context, opts fuzz.Options, sf serveFlags) error {
 			len(rep.Trace), m.Tracer().Len(), sf.traceOut)
 	}
 	if sf.stats {
-		obs.RegisterBuildCache(m.Registry(), "build_cache", kernel.BuildCache())
+		obs.RegisterStore(m.Registry(), "store", kernel.BuildCache())
 		fmt.Print(m.Registry().Format())
 	}
 	return nil
+}
+
+// encodeHeat/decodeHeat serialize a heat profile (sorted block entry RIPs)
+// for the artifact store.
+func encodeHeat(rips []uint64) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(rips); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeHeat(data []byte) ([]uint64, error) {
+	var rips []uint64
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&rips); err != nil {
+		return nil, err
+	}
+	return rips, nil
 }
 
 func emitReport(rep *fuzz.Report, jsonOut bool) error {

@@ -18,13 +18,26 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pgtable"
 	"repro/internal/sfi"
+	"repro/internal/store"
 )
 
 func main() {
 	appendixA := flag.Bool("appendix-a", false, "demonstrate the Appendix A XD-bit bug")
 	runAudit := flag.Bool("audit", false, "audit the security invariants of every preset")
-	metrics := flag.Bool("metrics", false, "print the observability metric registry (CPU, decode cache, build cache) for every preset")
+	metrics := flag.Bool("metrics", false, "print the observability metric registry (CPU, decode cache, artifact store) for every preset")
+	cacheDir := flag.String("cache-dir", "", "persistent artifact store directory: kernel images are reused across invocations instead of re-linked")
+	quota := flag.String("cache-quota", "1G", "artifact store byte quota, LRU-evicted (accepts K/M/G suffixes; 0 = unlimited)")
 	flag.Parse()
+
+	if *cacheDir != "" {
+		artifacts, err := store.Open(*cacheDir, *quota)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "krxstats:", err)
+			os.Exit(1)
+		}
+		defer artifacts.Close()
+		kernel.SetBuildCache(core.NewImageCache(artifacts))
+	}
 
 	if *appendixA {
 		demoAppendixA()
@@ -118,7 +131,7 @@ func printMetrics() error {
 		obs.RegisterDecodeCache(reg, "decode_cache", k.CPU)
 		obs.RegisterBlockEngine(reg, "block_engine", k.CPU)
 		obs.RegisterDataTLB(reg, "dtlb", k.CPU.AS)
-		obs.RegisterBuildCache(reg, "build_cache", kernel.BuildCache())
+		obs.RegisterStore(reg, "store", kernel.BuildCache())
 		obs.RegisterFork(reg, "fork", kernel.Forks, func() *mem.AddressSpace { return child.Space.AS })
 		fmt.Printf("=== %s ===\n%s\n", cfg.Name(), reg.Format())
 	}

@@ -341,7 +341,7 @@ func TestSweepBuildsEachConfigOnce(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full table sweep")
 	}
-	kernel.BuildCache().Reset()
+	defer kernel.SetBuildCache(kernel.SetBuildCache(core.NewImageCache(nil)))
 	if _, err := RunTable1(1); err != nil {
 		t.Fatal(err)
 	}
@@ -355,10 +355,10 @@ func TestSweepBuildsEachConfigOnce(t *testing.T) {
 	for _, cfg := range Table2Configs() {
 		distinct[cfg.BuildKey()] = true
 	}
-	if got := kernel.BuildCache().Builds(); got != len(distinct) {
+	if got := kernel.BuildCache().Stats().Builds; got != uint64(len(distinct)) {
 		t.Fatalf("sweeps ran %d builds for %d distinct configs", got, len(distinct))
 	}
-	if kernel.BuildCache().Hits() == 0 {
+	if kernel.BuildCache().Stats().Hits == 0 {
 		t.Fatal("the second sweep produced no cache hits")
 	}
 }

@@ -47,7 +47,9 @@ type EmuResult struct {
 // noise-dominated rows.
 // v5: added fork rows (ForkResult): copy-on-write kernel fork cost vs cold
 // boot, and fuzz-iteration cost in a forked vs booted worker.
-const EmuSchemaVersion = 5
+// v6: added store rows (StoreResult): cold-link boot cost vs a boot served
+// from the persistent artifact store by a fresh ImageCache.
+const EmuSchemaVersion = 6
 
 // emuReps is the number of repetitions per mode; the reported time is the
 // minimum over them, matching the KRX_PERF_GATE min-of-3 convention (the
@@ -79,8 +81,9 @@ type EmuReport struct {
 	SchemaVersion int          `json:"schema_version"`
 	GoOS          string       `json:"goos"`
 	GoArch        string       `json:"goarch"`
-	Results       []EmuResult  `json:"results"`
-	Fork          []ForkResult `json:"fork"`
+	Results       []EmuResult   `json:"results"`
+	Fork          []ForkResult  `json:"fork"`
+	Store         []StoreResult `json:"store"`
 }
 
 // JSON renders the report for the BENCH_emulator.json trajectory file.
@@ -380,8 +383,9 @@ func measureFork(cfg core.Config, seed int64, iters int) (ForkResult, error) {
 
 // EmuBench measures the emulator's host performance with the decode cache
 // on and off: the Table 1 micro-op suite under vanilla and a fully
-// protected column, a fuzzing iteration (restore + program execution), and
-// the fork rows (copy-on-write worker startup and steady state).
+// protected column, a fuzzing iteration (restore + program execution), the
+// fork rows (copy-on-write worker startup and steady state), and the store
+// rows (cold-link boot vs a boot served from the persistent artifact store).
 func EmuBench(iters int) (*EmuReport, error) {
 	if iters <= 0 {
 		iters = 20
@@ -413,6 +417,13 @@ func EmuBench(iters int) (*EmuReport, error) {
 			return nil, err
 		}
 		rep.Fork = append(rep.Fork, fr)
+	}
+	for _, cfg := range []core.Config{core.Vanilla, full} {
+		sr, err := measureStore(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rep.Store = append(rep.Store, sr)
 	}
 	return rep, nil
 }

@@ -63,6 +63,13 @@ func TestEmuReportSchemaGolden(t *testing.T) {
 			IterNsBoot:   51000,
 			Cycles:       654321,
 		}},
+		Store: []StoreResult{{
+			Name:            "store/Vanilla",
+			Reps:            3,
+			ColdNs:          20000000,
+			HitNs:           4000000,
+			StoreHitSpeedup: 5.0,
+		}},
 	}
 	b, err := rep.JSON()
 	if err != nil {

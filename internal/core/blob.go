@@ -1,0 +1,88 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/diversify"
+	"repro/internal/ir"
+	"repro/internal/link"
+	"repro/internal/sfi"
+)
+
+// BuildResult store-blob layout. The image reuses the KRXIMG01 file format
+// (the same bytes `krxbench -emit` writes), prefixed with its length so
+// the gob trailer can follow in the same blob:
+//
+//	u64 image length
+//	KRXIMG01 image bytes
+//	gob{SFIStats, DivStats, Prog}
+//
+// Prog is the post-pass IR and must travel with the image: the audit layer
+// resolves function bodies through Build.Prog during fuzz execution, so a
+// decoded result without it would boot but crash the first audited Exec.
+// Config is NOT serialized — runtime-only knobs (watchdog budget, fault
+// plan) belong to the requesting caller, and build-affecting fields are
+// already the key.
+
+// buildTrailer is the gob-encoded remainder of a BuildResult blob.
+type buildTrailer struct {
+	SFIStats sfi.Stats
+	DivStats diversify.Stats
+	Prog     *ir.Program
+}
+
+// EncodeBuildResult serializes res for the artifact store.
+func EncodeBuildResult(res *BuildResult) ([]byte, error) {
+	var img bytes.Buffer
+	if err := res.Image.WriteImage(&img); err != nil {
+		return nil, fmt.Errorf("core: encode image: %w", err)
+	}
+	var out bytes.Buffer
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(img.Len()))
+	out.Write(n[:])
+	out.Write(img.Bytes())
+	if err := gob.NewEncoder(&out).Encode(buildTrailer{
+		SFIStats: res.SFIStats,
+		DivStats: res.DivStats,
+		Prog:     res.Prog,
+	}); err != nil {
+		return nil, fmt.Errorf("core: encode trailer: %w", err)
+	}
+	return out.Bytes(), nil
+}
+
+// DecodeBuildResult reverses EncodeBuildResult. The returned result's
+// Config is zero — the caller owns it (see the layout note above).
+func DecodeBuildResult(data []byte) (*BuildResult, error) {
+	r := bytes.NewReader(data)
+	var n [8]byte
+	if _, err := io.ReadFull(r, n[:]); err != nil {
+		return nil, fmt.Errorf("core: decode image length: %w", err)
+	}
+	imgLen := binary.LittleEndian.Uint64(n[:])
+	if imgLen > uint64(r.Len()) {
+		return nil, fmt.Errorf("core: image length %d exceeds blob remainder %d", imgLen, r.Len())
+	}
+	img, err := link.ReadImage(io.LimitReader(r, int64(imgLen)))
+	if err != nil {
+		return nil, fmt.Errorf("core: decode image: %w", err)
+	}
+	var tr buildTrailer
+	if err := gob.NewDecoder(r).Decode(&tr); err != nil {
+		return nil, fmt.Errorf("core: decode trailer: %w", err)
+	}
+	if tr.Prog == nil {
+		return nil, fmt.Errorf("core: blob trailer missing program IR")
+	}
+	return &BuildResult{
+		Prog:     tr.Prog,
+		Image:    img,
+		SFIStats: tr.SFIStats,
+		DivStats: tr.DivStats,
+	}, nil
+}

@@ -137,11 +137,11 @@ func TestCacheSingleflight(t *testing.T) {
 			t.Fatalf("goroutine %d got a different result pointer (cache did not coalesce)", i)
 		}
 	}
-	if cache.Builds() != 1 {
-		t.Fatalf("16 concurrent requests ran %d builds, want 1", cache.Builds())
+	if got := cache.Stats().Builds; got != 1 {
+		t.Fatalf("16 concurrent requests ran %d builds, want 1", got)
 	}
-	if cache.Hits() != 15 {
-		t.Fatalf("Hits() = %d, want 15", cache.Hits())
+	if got := cache.Stats().Hits; got != 15 {
+		t.Fatalf("Stats().Hits = %d, want 15", got)
 	}
 
 	other := cfg
@@ -149,8 +149,8 @@ func TestCacheSingleflight(t *testing.T) {
 	if _, err := cache.Build(src, "mini", other); err != nil {
 		t.Fatal(err)
 	}
-	if cache.Builds() != 2 {
-		t.Fatalf("distinct config must build once more: Builds() = %d, want 2", cache.Builds())
+	if got := cache.Stats().Builds; got != 2 {
+		t.Fatalf("distinct config must build once more: Stats().Builds = %d, want 2", got)
 	}
 }
 
@@ -170,8 +170,8 @@ func TestCacheDistinguishesPrograms(t *testing.T) {
 	if r1 == r2 {
 		t.Fatal("different program identities must not share a cache entry")
 	}
-	if cache.Builds() != 2 {
-		t.Fatalf("Builds() = %d, want 2", cache.Builds())
+	if got := cache.Stats().Builds; got != 2 {
+		t.Fatalf("Stats().Builds = %d, want 2", got)
 	}
 }
 

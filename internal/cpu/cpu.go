@@ -204,6 +204,7 @@ type CPU struct {
 	dc       *decodeCache
 	blocks   bool
 	blockHot uint32
+	seedHot  map[uint64]struct{} // entry RIPs exempt from the hotness ramp
 	bstats   BlockStats
 }
 

@@ -45,6 +45,7 @@ func (c *CPU) Fork(as *mem.AddressSpace) *CPU {
 		inSyscall:      c.inSyscall,
 		blocks:         c.blocks,
 		blockHot:       c.blockHot,
+		seedHot:        c.seedHot, // read-only after SeedHotProfile; aliasable
 		MSRs:           make(map[uint64]uint64, len(c.MSRs)),
 	}
 	for k, v := range c.MSRs {

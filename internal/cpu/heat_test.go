@@ -1,0 +1,69 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// TestSeedHotProfileFormsOnFirstDispatch pins the heat-profile contract:
+// entry RIPs named by SeedHotProfile bypass the hotness ramp and form a
+// superblock on their first dispatch, while unseeded entries at the default
+// threshold stay cold — and seeding never changes architectural results.
+func TestSeedHotProfileFormsOnFirstDispatch(t *testing.T) {
+	prog := []isa.Instr{
+		isa.MovRI(isa.RAX, 5),
+		isa.AddRI(isa.RAX, 7),
+		isa.Ret(),
+	}
+
+	// Reference run at hot=1: forms eagerly; its HotProfile is the artifact
+	// a prior campaign would have persisted.
+	ref := rawCPU(t, mem.PermX, prog...)
+	ref.SetBlockHotThreshold(1)
+	mustReturn(t, ref, 100)
+	profile := ref.HotProfile()
+	if len(profile) == 0 {
+		t.Fatal("eager run formed blocks but HotProfile is empty")
+	}
+	for i := 1; i < len(profile); i++ {
+		if profile[i-1] >= profile[i] {
+			t.Fatalf("HotProfile not sorted: %#x after %#x", profile[i], profile[i-1])
+		}
+	}
+
+	// Unseeded at the default threshold: a single pass stays cold.
+	cold := rawCPU(t, mem.PermX, prog...)
+	mustReturn(t, cold, 100)
+	if s := cold.BlockStats(); s.Formed != 0 || s.Cold == 0 {
+		t.Fatalf("one unseeded pass at threshold %d must single-step: %+v",
+			DefaultBlockHotThreshold, s)
+	}
+
+	// Seeded at the default threshold: first dispatch forms, zero cold
+	// passes, identical architectural result.
+	warm := rawCPU(t, mem.PermX, prog...)
+	warm.SeedHotProfile(profile)
+	mustReturn(t, warm, 100)
+	s := warm.BlockStats()
+	if s.Formed == 0 {
+		t.Fatalf("seeded entry must form on first dispatch: %+v", s)
+	}
+	if s.Cold != 0 {
+		t.Fatalf("seeded run must skip the cold ramp entirely: %+v", s)
+	}
+	if warm.Reg(isa.RAX) != cold.Reg(isa.RAX) {
+		t.Fatalf("seeding changed architectural state: rax=%d vs %d",
+			warm.Reg(isa.RAX), cold.Reg(isa.RAX))
+	}
+
+	// SeedHotProfile(nil) clears: the ramp applies again.
+	cleared := rawCPU(t, mem.PermX, prog...)
+	cleared.SeedHotProfile(profile)
+	cleared.SeedHotProfile(nil)
+	mustReturn(t, cleared, 100)
+	if s := cleared.BlockStats(); s.Formed != 0 {
+		t.Fatalf("cleared profile must restore the ramp: %+v", s)
+	}
+}

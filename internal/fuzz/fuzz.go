@@ -52,6 +52,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/kernel"
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 // Options configures one fuzzing campaign.
@@ -88,6 +89,13 @@ type Options struct {
 	// observe frame identity or host cache warmth — which TestForkReport-
 	// Identical and the CI cmp gates enforce.
 	Fork bool
+	// Checkpoint, when non-nil, persists the campaign ledger to this store
+	// at every batch boundary and resumes from the stored checkpoint on
+	// start: a killed campaign (or a warm-starting worker fleet) continues
+	// from its last completed batch, and the resumed run finalizes to the
+	// byte-identical report of an uninterrupted one. Incompatible with
+	// Trace (the event stream is not checkpointed).
+	Checkpoint store.Store
 	// Trace arms per-iteration event tracing: every worker records
 	// snapshot/restore, syscall enter/exit, trap, and injected-fault events,
 	// and the merge folds them into Report.Trace in canonical iteration
@@ -129,6 +137,9 @@ func (o *Options) Normalize() error {
 	}
 	if o.Workers == 0 {
 		o.Workers = 1
+	}
+	if o.Checkpoint != nil && o.Trace {
+		return fmt.Errorf("fuzz: Options.Checkpoint is incompatible with Trace (the event stream is not checkpointed)")
 	}
 	return nil
 }
@@ -322,6 +333,9 @@ func New(opts Options) (*Fuzzer, error) {
 	}
 	f.kaddrs = f.workers[0].Kaddrs()
 	f.ledger = NewLedger(opts, f.workers[0])
+	if _, err := f.ledger.LoadCheckpoint(); err != nil {
+		return nil, err
+	}
 	return f, nil
 }
 
@@ -788,8 +802,10 @@ func (f *Fuzzer) RunContext(ctx context.Context) (*Report, error) {
 	if len(f.workers) == 0 {
 		return nil, &NoWorkersError{Op: "Run"}
 	}
-	done := 0
-	for lo := 0; lo < f.opts.Iters; lo += BatchSize {
+	// A checkpoint-restored ledger starts mid-campaign: resume at the first
+	// unfolded iteration (always a batch boundary — saves are batch-aligned).
+	done := f.ledger.Done()
+	for lo := done; lo < f.opts.Iters; lo += BatchSize {
 		if ctx.Err() != nil {
 			break
 		}
@@ -837,6 +853,9 @@ func (f *Fuzzer) RunContext(ctx context.Context) (*Report, error) {
 			f.ledger.Fold(i, out.prog, out.res)
 		}
 		done = hi
+		if err := f.ledger.SaveCheckpoint(); err != nil {
+			return nil, err
+		}
 		if f.batchHook != nil {
 			f.batchHook(done)
 		}

@@ -227,10 +227,17 @@ func New(opts Options) (*Manager, error) {
 			Tune:      opts.Tune,
 		}
 	}
+	ledger := fuzz.NewLedger(opts.Fuzz, triage)
+	// Warm start: with Options.Fuzz.Checkpoint set, the service resumes the
+	// campaign from its stored batch-aligned checkpoint, exactly like the
+	// in-process fuzzer.
+	if _, err := ledger.LoadCheckpoint(); err != nil {
+		return nil, err
+	}
 	m := &Manager{
 		opts:   opts,
 		triage: triage,
-		ledger: fuzz.NewLedger(opts.Fuzz, triage),
+		ledger: ledger,
 		reg:    opts.Registry,
 		tracer: opts.Tracer,
 		epoch:  time.Now(),
@@ -296,7 +303,8 @@ func (m *Manager) Run(ctx context.Context) (*fuzz.Report, error) {
 	}
 	defer m.stopAll()
 	total := m.opts.Fuzz.Iters
-	for lo := 0; lo < total; lo += fuzz.BatchSize {
+	// A checkpoint-restored ledger starts at its last completed batch.
+	for lo := m.ledger.Done(); lo < total; lo += fuzz.BatchSize {
 		if ctx.Err() != nil {
 			break
 		}
@@ -305,6 +313,9 @@ func (m *Manager) Run(ctx context.Context) (*fuzz.Report, error) {
 			hi = total
 		}
 		if err := m.runBatch(lo, hi); err != nil {
+			return nil, err
+		}
+		if err := m.ledger.SaveCheckpoint(); err != nil {
 			return nil, err
 		}
 		if m.batchHook != nil {

@@ -69,7 +69,8 @@ func TestBootCachedEquivalentToBoot(t *testing.T) {
 // and racing — compile exactly once; a different configuration compiles
 // exactly once more.
 func TestBootCachedBuildsOnce(t *testing.T) {
-	BuildCache().Reset()
+	// A fresh cache isolates the counters; restore the shared one after.
+	defer SetBuildCache(SetBuildCache(core.NewImageCache(nil)))
 	cfg := core.Config{XOM: core.XOMSFI, SFILevel: sfi.O3, Diversify: true, RAProt: diversify.RAEncrypt, Seed: 99}
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {
@@ -82,7 +83,7 @@ func TestBootCachedBuildsOnce(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	if got := BuildCache().Builds(); got != 1 {
+	if got := BuildCache().Stats().Builds; got != 1 {
 		t.Fatalf("8 racing boots of one config ran %d builds, want 1", got)
 	}
 	other := cfg
@@ -90,8 +91,8 @@ func TestBootCachedBuildsOnce(t *testing.T) {
 	if _, err := Boot(other, WithCache()); err != nil {
 		t.Fatal(err)
 	}
-	if got := BuildCache().Builds(); got != 2 {
-		t.Fatalf("second config: Builds() = %d, want 2", got)
+	if got := BuildCache().Stats().Builds; got != 2 {
+		t.Fatalf("second config: Stats().Builds = %d, want 2", got)
 	}
 	// Runtime-only knobs must hit the same entry.
 	budgeted := cfg
@@ -99,8 +100,8 @@ func TestBootCachedBuildsOnce(t *testing.T) {
 	if _, err := Boot(budgeted, WithCache()); err != nil {
 		t.Fatal(err)
 	}
-	if got := BuildCache().Builds(); got != 2 {
-		t.Fatalf("watchdog budget fragmented the cache: Builds() = %d, want 2", got)
+	if got := BuildCache().Stats().Builds; got != 2 {
+		t.Fatalf("watchdog budget fragmented the cache: Stats().Builds = %d, want 2", got)
 	}
 }
 

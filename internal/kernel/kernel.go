@@ -237,7 +237,7 @@ var (
 	corpusProg *ir.Program
 	corpusErr  error
 
-	buildCache = core.NewCache()
+	buildCache = core.NewImageCache(nil)
 )
 
 // corpusID names the shared corpus in the build-cache key. Bump it if the
@@ -254,9 +254,19 @@ func sharedCorpus() (*ir.Program, error) {
 	return corpusProg, corpusErr
 }
 
-// BuildCache exposes the process-wide build cache (hit/build counters for
-// the sweep tests; Reset for test isolation).
-func BuildCache() *core.Cache { return buildCache }
+// BuildCache exposes the process-wide build cache (Stats() feeds the
+// store.* gauges and the sweep tests).
+func BuildCache() *core.ImageCache { return buildCache }
+
+// SetBuildCache replaces the process-wide build cache — how a CLI wires a
+// persistent -cache-dir store under every Boot(cfg, WithCache()) — and
+// returns the previous cache so tests can restore it. Boot-time wiring
+// only: swapping while boots are in flight races with them.
+func SetBuildCache(c *core.ImageCache) *core.ImageCache {
+	old := buildCache
+	buildCache = c
+	return old
+}
 
 // bootImage installs an already-built image into a fresh machine and
 // performs the boot-time steps. res may be shared (cached): everything it

@@ -7,9 +7,9 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/mem"
+	"repro/internal/store"
 )
 
 // Registry is a named counter/gauge collection: the one place the ad-hoc
@@ -150,11 +150,22 @@ func RegisterDataTLB(r *Registry, prefix string, as *mem.AddressSpace) {
 	r.Gauge(prefix+".misses", func() uint64 { return as.DataTLBStats().Misses })
 }
 
-// RegisterBuildCache publishes a build cache's counters under prefix
-// (e.g. "build_cache").
-func RegisterBuildCache(r *Registry, prefix string, c *core.Cache) {
-	r.Gauge(prefix+".builds", func() uint64 { return uint64(c.Builds()) })
-	r.Gauge(prefix+".hits", func() uint64 { return uint64(c.Hits()) })
+// RegisterStore publishes an artifact store's (or build cache's) counters
+// under prefix (e.g. "store"). Anything implementing store.StatsSource
+// registers the same way — a single layer, a layered composition, or the
+// image cache folding its backing store in.
+func RegisterStore(r *Registry, prefix string, src store.StatsSource) {
+	stat := func(pick func(store.Stats) uint64) func() uint64 {
+		return func() uint64 { return pick(src.Stats()) }
+	}
+	r.Gauge(prefix+".hits", stat(func(s store.Stats) uint64 { return s.Hits }))
+	r.Gauge(prefix+".misses", stat(func(s store.Stats) uint64 { return s.Misses }))
+	r.Gauge(prefix+".puts", stat(func(s store.Stats) uint64 { return s.Puts }))
+	r.Gauge(prefix+".evictions", stat(func(s store.Stats) uint64 { return s.Evictions }))
+	r.Gauge(prefix+".corrupt", stat(func(s store.Stats) uint64 { return s.Corrupt }))
+	r.Gauge(prefix+".bytes", stat(func(s store.Stats) uint64 { return s.Bytes }))
+	r.Gauge(prefix+".pins", stat(func(s store.Stats) uint64 { return s.Pins }))
+	r.Gauge(prefix+".builds", stat(func(s store.Stats) uint64 { return s.Builds }))
 }
 
 // RegisterCPU publishes a CPU's cumulative execution counters under prefix

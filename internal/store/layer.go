@@ -1,0 +1,81 @@
+package store
+
+// Layered composes two stores into one: Gets try the upper layer first and
+// promote lower-layer hits upward; Puts and Pins go to both. The canonical
+// composition is Layered(NewMem(q), disk) — hot artifacts served from
+// memory, the disk layer holding the cross-process truth — but layers are
+// just Stores, so deeper stacks compose the same way.
+type Layered struct {
+	upper Store
+	lower Store
+}
+
+// NewLayered stacks upper over lower.
+func NewLayered(upper, lower Store) *Layered {
+	return &Layered{upper: upper, lower: lower}
+}
+
+// Get returns the blob from the upper layer if present, otherwise fetches
+// it from the lower layer and promotes it into the upper so the next Get
+// is a memory hit.
+func (l *Layered) Get(kind string, key Key) ([]byte, error) {
+	if data, err := l.upper.Get(kind, key); err == nil {
+		return data, nil
+	}
+	data, err := l.lower.Get(kind, key)
+	if err != nil {
+		return nil, err
+	}
+	// Promotion failure is not a Get failure: the artifact is in hand.
+	_ = l.upper.Put(kind, key, data)
+	return data, nil
+}
+
+// Put writes to both layers. The lower (persistent) layer's error wins —
+// that is the write that matters across processes.
+func (l *Layered) Put(kind string, key Key, data []byte) error {
+	uerr := l.upper.Put(kind, key, data)
+	if err := l.lower.Put(kind, key, data); err != nil {
+		return err
+	}
+	return uerr
+}
+
+// Pin pins in both layers; the returned release frees both.
+func (l *Layered) Pin(kind string, key Key) func() {
+	ru := l.upper.Pin(kind, key)
+	rl := l.lower.Pin(kind, key)
+	return func() {
+		ru()
+		rl()
+	}
+}
+
+// Stats folds both layers' counters into one snapshot.
+func (l *Layered) Stats() Stats {
+	return l.upper.Stats().Add(l.lower.Stats())
+}
+
+// Close closes both layers.
+func (l *Layered) Close() error {
+	uerr := l.upper.Close()
+	if err := l.lower.Close(); err != nil {
+		return err
+	}
+	return uerr
+}
+
+// Open is the flag-level constructor behind -cache-dir/-cache-quota: the
+// canonical memory-over-disk stack rooted at dir, both layers bounded by
+// the parsed quota spec (see ParseBytes).
+func Open(dir, quotaSpec string) (Store, error) {
+	quota, err := ParseBytes(quotaSpec)
+	if err != nil {
+		return nil, err
+	}
+	disk, err := OpenDisk(dir, quota)
+	if err != nil {
+		return nil, err
+	}
+	return NewLayered(NewMem(quota), disk), nil
+}

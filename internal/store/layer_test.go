@@ -1,0 +1,113 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestLayeredPromotesLowerHits(t *testing.T) {
+	disk, err := OpenDisk(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := NewMem(0)
+	l := NewLayered(mem, disk)
+
+	k := Key{ProgID: "promote-me"}
+	payload := []byte("artifact")
+	// Seed only the lower layer — the warm-start situation.
+	if err := disk.Put(KindImage, k, payload); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := l.Get(KindImage, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q", got)
+	}
+	// The hit must have been promoted: a direct upper-layer Get now works.
+	if _, err := mem.Get(KindImage, k); err != nil {
+		t.Fatalf("lower hit not promoted to upper: %v", err)
+	}
+	// And the second layered Get is a memory hit (disk hit count unchanged).
+	before := disk.Stats().Hits
+	if _, err := l.Get(KindImage, k); err != nil {
+		t.Fatal(err)
+	}
+	if after := disk.Stats().Hits; after != before {
+		t.Fatalf("second Get went to disk (hits %d -> %d)", before, after)
+	}
+}
+
+func TestLayeredPutWritesBothLayers(t *testing.T) {
+	disk, err := OpenDisk(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := NewMem(0)
+	l := NewLayered(mem, disk)
+	k := Key{ProgID: "both"}
+	if err := l.Put(KindImage, k, []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mem.Get(KindImage, k); err != nil {
+		t.Fatalf("upper layer missing put: %v", err)
+	}
+	if _, err := disk.Get(KindImage, k); err != nil {
+		t.Fatalf("lower layer missing put: %v", err)
+	}
+}
+
+func TestLayeredMissFallsThrough(t *testing.T) {
+	disk, err := OpenDisk(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLayered(NewMem(0), disk)
+	if _, err := l.Get(KindImage, Key{ProgID: "absent"}); !IsNotFound(err) {
+		t.Fatalf("want NotFoundError, got %v", err)
+	}
+}
+
+func TestLayeredStatsFoldsLayers(t *testing.T) {
+	disk, err := OpenDisk(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := NewMem(0)
+	l := NewLayered(mem, disk)
+	k := Key{ProgID: "stats"}
+	if err := l.Put(KindImage, k, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Get(KindImage, k); err != nil {
+		t.Fatal(err)
+	}
+	want := mem.Stats().Add(disk.Stats())
+	if got := l.Stats(); got != want {
+		t.Fatalf("Stats = %+v, want fold %+v", got, want)
+	}
+	if l.Stats().Puts != 2 {
+		t.Fatalf("Puts = %d, want 2 (one per layer)", l.Stats().Puts)
+	}
+}
+
+func TestLayeredPinPinsBothLayers(t *testing.T) {
+	disk, err := OpenDisk(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := NewMem(0)
+	l := NewLayered(mem, disk)
+	k := Key{ProgID: "pinned"}
+	release := l.Pin(KindImage, k)
+	if mem.Stats().Pins != 1 || disk.Stats().Pins != 1 {
+		t.Fatalf("pins: mem=%d disk=%d, want 1/1", mem.Stats().Pins, disk.Stats().Pins)
+	}
+	release()
+	if mem.Stats().Pins != 0 || disk.Stats().Pins != 0 {
+		t.Fatalf("pins after release: mem=%d disk=%d", mem.Stats().Pins, disk.Stats().Pins)
+	}
+}

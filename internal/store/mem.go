@@ -1,0 +1,128 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Mem is the in-memory layer: a byte-quota LRU over raw blobs. It is what
+// a process-private cache looks like through the Store interface — and the
+// upper layer of the usual Layered(Mem, Disk) composition, keeping hot
+// artifacts decoded-distance from the consumer while the disk layer holds
+// the cross-process truth.
+type Mem struct {
+	mu    sync.Mutex
+	quota uint64 // 0 = unlimited
+	bytes uint64
+	lru   *list.List               // front = most recently used
+	ents  map[string]*list.Element // addr -> element holding *memEnt
+	stats Stats
+	pins  map[string]int
+}
+
+type memEnt struct {
+	addr string
+	data []byte
+}
+
+// NewMem returns an empty in-memory store bounded by quota bytes
+// (0 = unlimited).
+func NewMem(quota uint64) *Mem {
+	return &Mem{
+		quota: quota,
+		lru:   list.New(),
+		ents:  make(map[string]*list.Element),
+		pins:  make(map[string]int),
+	}
+}
+
+func addr(kind string, key Key) string { return kind + "/" + key.Hash() }
+
+// Get returns the blob under (kind, key) and marks it most recently used.
+func (m *Mem) Get(kind string, key Key) ([]byte, error) {
+	a := addr(kind, key)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el, ok := m.ents[a]
+	if !ok {
+		m.stats.Misses++
+		return nil, &NotFoundError{Kind: kind, Key: key}
+	}
+	m.stats.Hits++
+	m.lru.MoveToFront(el)
+	return el.Value.(*memEnt).data, nil
+}
+
+// Put stores data, evicting LRU unpinned entries if the quota would be
+// exceeded. Callers must not mutate data afterwards (the store aliases it).
+func (m *Mem) Put(kind string, key Key, data []byte) error {
+	a := addr(kind, key)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.ents[a]; ok {
+		e := el.Value.(*memEnt)
+		m.bytes -= uint64(len(e.data))
+		e.data = data
+		m.bytes += uint64(len(data))
+		m.lru.MoveToFront(el)
+	} else {
+		el = m.lru.PushFront(&memEnt{addr: a, data: data})
+		m.ents[a] = el
+		m.bytes += uint64(len(data))
+	}
+	m.stats.Puts++
+	m.evictLocked()
+	return nil
+}
+
+// evictLocked removes LRU unpinned entries until the quota holds. Pinned
+// entries are skipped; if only pinned entries remain the store runs over
+// quota rather than tearing an in-flight artifact out from under a build.
+func (m *Mem) evictLocked() {
+	if m.quota == 0 {
+		return
+	}
+	for el := m.lru.Back(); el != nil && m.bytes > m.quota; {
+		prev := el.Prev()
+		e := el.Value.(*memEnt)
+		if m.pins[e.addr] == 0 {
+			m.lru.Remove(el)
+			delete(m.ents, e.addr)
+			m.bytes -= uint64(len(e.data))
+			m.stats.Evictions++
+		}
+		el = prev
+	}
+}
+
+// Pin marks (kind, key) unevictable until released.
+func (m *Mem) Pin(kind string, key Key) func() {
+	a := addr(kind, key)
+	m.mu.Lock()
+	m.pins[a]++
+	m.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			m.mu.Lock()
+			if m.pins[a]--; m.pins[a] == 0 {
+				delete(m.pins, a)
+			}
+			m.evictLocked()
+			m.mu.Unlock()
+		})
+	}
+}
+
+// Stats returns a snapshot of the layer's counters.
+func (m *Mem) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.stats
+	s.Bytes = m.bytes
+	s.Pins = uint64(len(m.pins))
+	return s
+}
+
+// Close is a no-op for the memory layer.
+func (m *Mem) Close() error { return nil }

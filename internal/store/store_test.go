@@ -1,0 +1,202 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestKeyHashDistinguishesFieldBoundaries(t *testing.T) {
+	// The length-prefixed hash must not collide keys whose concatenation is
+	// identical — the exact weakness of the old "\x00" string scheme if a
+	// field ever contained the separator.
+	a := Key{ProgID: "ab", BuildKey: "c"}
+	b := Key{ProgID: "a", BuildKey: "bc"}
+	if a.Hash() == b.Hash() {
+		t.Fatalf("boundary-shifted keys collide: %s", a.Hash())
+	}
+	if a.Hash() != a.Hash() {
+		t.Fatal("hash not deterministic")
+	}
+	if len(a.Hash()) != 64 {
+		t.Fatalf("hash length = %d, want 64 hex chars", len(a.Hash()))
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	k := Key{ProgID: "prog", BuildKey: "xom=1"}
+	if got := k.String(); got != "prog+xom=1" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want uint64
+		err  bool
+	}{
+		{"0", 0, false},
+		{"1024", 1024, false},
+		{"4K", 4096, false},
+		{"4k", 4096, false},
+		{"2M", 2 << 20, false},
+		{"1G", 1 << 30, false},
+		{"16MB", 16 << 20, false},
+		{"16MiB", 16 << 20, false},
+		{"8 K", 8192, false},
+		{"", 0, true},
+		{"twelve", 0, true},
+		{"1.5G", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseBytes(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("ParseBytes(%q): want error, got %d", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseBytes(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseBytes(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMemLRUEviction(t *testing.T) {
+	// Quota fits exactly two 8-byte blobs; the third Put must evict the
+	// least recently used.
+	m := NewMem(16)
+	k1 := Key{ProgID: "p1"}
+	k2 := Key{ProgID: "p2"}
+	k3 := Key{ProgID: "p3"}
+	blob := func(s string) []byte { return []byte(fmt.Sprintf("%-8s", s)[:8]) }
+
+	if err := m.Put(KindImage, k1, blob("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put(KindImage, k2, blob("two")); err != nil {
+		t.Fatal(err)
+	}
+	// Touch k1 so k2 becomes the LRU victim.
+	if _, err := m.Get(KindImage, k1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put(KindImage, k3, blob("three")); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := m.Get(KindImage, k2); !IsNotFound(err) {
+		t.Fatalf("k2 should have been evicted, got err=%v", err)
+	}
+	if _, err := m.Get(KindImage, k1); err != nil {
+		t.Fatalf("k1 (recently used) evicted: %v", err)
+	}
+	if _, err := m.Get(KindImage, k3); err != nil {
+		t.Fatalf("k3 (just written) evicted: %v", err)
+	}
+	s := m.Stats()
+	if s.Evictions != 1 {
+		t.Fatalf("Evictions = %d, want 1", s.Evictions)
+	}
+	if s.Bytes != 16 {
+		t.Fatalf("Bytes = %d, want 16", s.Bytes)
+	}
+}
+
+func TestMemPinBlocksEviction(t *testing.T) {
+	m := NewMem(8)
+	k1 := Key{ProgID: "pinned"}
+	k2 := Key{ProgID: "other"}
+	release := m.Pin(KindImage, k1)
+	if err := m.Put(KindImage, k1, []byte("12345678")); err != nil {
+		t.Fatal(err)
+	}
+	// Over quota now; k1 is pinned so it must survive and k2 (newer but
+	// unpinned) is the only legal victim.
+	if err := m.Put(KindImage, k2, []byte("abcdefgh")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Get(KindImage, k1); err != nil {
+		t.Fatalf("pinned entry evicted: %v", err)
+	}
+	if s := m.Stats(); s.Pins != 1 {
+		t.Fatalf("Pins = %d, want 1", s.Pins)
+	}
+	release()
+	release() // double-release must be a no-op
+	if s := m.Stats(); s.Pins != 0 {
+		t.Fatalf("Pins after release = %d, want 0", s.Pins)
+	}
+	// Release re-runs eviction: if still over quota the ex-pinned entry may
+	// now be evicted; either way the quota must hold.
+	if s := m.Stats(); s.Bytes > 8 {
+		t.Fatalf("Bytes = %d over quota 8 with nothing pinned", s.Bytes)
+	}
+}
+
+func TestMemConcurrentAccess(t *testing.T) {
+	// Race-detector fodder: hammer one Mem from many goroutines.
+	m := NewMem(1 << 10)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				k := Key{ProgID: fmt.Sprintf("p%d", i%10)}
+				switch i % 3 {
+				case 0:
+					m.Put(KindImage, k, []byte("payload"))
+				case 1:
+					m.Get(KindImage, k)
+				case 2:
+					release := m.Pin(KindImage, k)
+					release()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	m.Stats()
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Hits: 1, Misses: 2, Puts: 3, Evictions: 4, Corrupt: 5, Bytes: 6, Pins: 7, Builds: 8}
+	b := Stats{Hits: 10, Misses: 20, Puts: 30, Evictions: 40, Corrupt: 50, Bytes: 60, Pins: 70, Builds: 80}
+	got := a.Add(b)
+	want := Stats{Hits: 11, Misses: 22, Puts: 33, Evictions: 44, Corrupt: 55, Bytes: 66, Pins: 77, Builds: 88}
+	if got != want {
+		t.Fatalf("Add = %+v, want %+v", got, want)
+	}
+}
+
+func TestBlobRoundTrip(t *testing.T) {
+	payload := []byte("the artifact payload")
+	blob := wrapBlob(payload)
+	got, err := unwrapBlob(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("round trip mismatch: %q", got)
+	}
+	if _, err := unwrapBlob(blob[:len(blob)-1]); err == nil {
+		t.Fatal("truncated blob accepted")
+	}
+	flipped := append([]byte(nil), blob...)
+	flipped[len(flipped)-1] ^= 0x01
+	if _, err := unwrapBlob(flipped); err == nil {
+		t.Fatal("bit-flipped blob accepted")
+	}
+	badMagic := append([]byte(nil), blob...)
+	badMagic[0] = 'X'
+	if _, err := unwrapBlob(badMagic); err == nil {
+		t.Fatal("bad-magic blob accepted")
+	}
+}
