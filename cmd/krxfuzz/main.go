@@ -61,6 +61,7 @@ func run() error {
 	traceOut := flag.String("trace", "", "record the campaign event stream (byte-identical for any -workers count); write Chrome trace-event JSON to this file")
 	stats := flag.Bool("stats", false, "print the observability metric registry after the campaign")
 	blocks := flag.Bool("blocks", true, "dispatch through the superblock engine (bit-identical either way; -blocks=false forces per-instruction stepping)")
+	compile := flag.Bool("compile", true, "compile hot superblocks into per-opcode thunks (bit-identical either way; -compile=false keeps the interpreted block dispatcher)")
 	hot := flag.Int("hot", 0, "block-formation hotness threshold: form a superblock after this many dispatches of an entry point (0 = engine default)")
 	serve := flag.Bool("serve", false, "run through the fault-tolerant fuzzd manager/worker service instead of the in-process scheduler")
 	leaseTimeout := flag.Duration("lease-timeout", time.Second, "serve: lease deadline; a lease unrenewed for this long is reclaimed and reassigned")
@@ -70,7 +71,15 @@ func run() error {
 	cacheDir := flag.String("cache-dir", "", "persistent artifact store directory: kernel images (and block heat profiles) are reused across invocations; a warm run performs zero link builds")
 	cacheQuota := flag.String("cache-quota", "1G", "artifact store byte quota, LRU-evicted (accepts K/M/G suffixes; 0 = unlimited)")
 	corpusDir := flag.String("corpus-dir", "", "campaign checkpoint store directory: the corpus, coverage, and crash ledger persist at batch boundaries and the campaign resumes from its last checkpoint (incompatible with -trace)")
+	cpuProf := flag.String("cpuprofile", "", "write a host pprof CPU profile of the campaign to this file")
+	memProf := flag.String("memprofile", "", "write a host pprof heap profile (collected after the campaign) to this file")
 	flag.Parse()
+
+	stopProf, err := obs.StartPprof(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	// Graceful shutdown: first SIGINT/SIGTERM cancels the campaign; the
 	// in-flight batch drains and a partial report is emitted. A second
@@ -126,6 +135,7 @@ func run() error {
 			retries:      *retries,
 			chaosSpec:    *chaosSpec,
 			blocks:       *blocks,
+			compile:      *compile,
 			hot:          *hot,
 			jsonOut:      *jsonOut,
 			traceOut:     *traceOut,
@@ -152,6 +162,7 @@ func run() error {
 	}
 	for _, k := range ks {
 		k.CPU.SetBlockEngine(*blocks)
+		k.CPU.SetBlockCompile(*compile)
 		k.CPU.SetBlockHotThreshold(*hot)
 		k.CPU.SeedHotProfile(seedRips)
 	}
@@ -210,6 +221,7 @@ type serveFlags struct {
 	retries      int
 	chaosSpec    string
 	blocks       bool
+	compile      bool
 	hot          int
 	jsonOut      bool
 	traceOut     string
@@ -230,6 +242,7 @@ func runServe(ctx context.Context, opts fuzz.Options, sf serveFlags) error {
 		Chaos:        fn,
 		Tune: func(k *kernel.Kernel) {
 			k.CPU.SetBlockEngine(sf.blocks)
+			k.CPU.SetBlockCompile(sf.compile)
 			k.CPU.SetBlockHotThreshold(sf.hot)
 		},
 	})

@@ -1,10 +1,10 @@
 // Block-engine bit-identity enforcement at system scale: the superblock
-// engine must not change any architecturally visible outcome of the Table 1
-// suite, the paper's attack scenarios, or a fuzzing campaign — and the fuzz
-// report must stay byte-identical across worker counts with the engine on.
-// These runs are probe-free (probes disarm the block fast path), so the
-// on-side genuinely executes through block dispatch; each test asserts so
-// via BlockStats.
+// engine — interpreted or compiled to per-opcode thunks — must not change
+// any architecturally visible outcome of the Table 1 suite, the paper's
+// attack scenarios, or a fuzzing campaign — and the fuzz report must stay
+// byte-identical across worker counts with the engine on. These runs are
+// probe-free (probes disarm the block fast path), so the on-side genuinely
+// executes through block dispatch; each test asserts so via BlockStats.
 package bench
 
 import (
@@ -16,95 +16,125 @@ import (
 	"repro/internal/kernel"
 )
 
-func bootBlocks(t *testing.T, cfg core.Config, blocksOn bool) *kernel.Kernel {
+// blockMode names one (blocksOn, compileOn) engine configuration. compiled
+// is the default shipping configuration; interp exercises the interpreted
+// block dispatcher the compiler replaced; off is the single-step baseline.
+type blockMode struct {
+	name      string
+	blocksOn  bool
+	compileOn bool
+}
+
+var blockModes = []blockMode{
+	{"compiled", true, true},
+	{"interp", true, false},
+	{"off", false, false},
+}
+
+func bootBlocks(t *testing.T, cfg core.Config, m blockMode) *kernel.Kernel {
 	t.Helper()
 	k, err := kernel.Boot(cfg, kernel.WithCache())
 	if err != nil {
 		t.Fatal(err)
 	}
-	k.CPU.SetBlockEngine(blocksOn)
+	k.CPU.SetBlockEngine(m.blocksOn)
+	k.CPU.SetBlockCompile(m.compileOn)
 	return k
 }
 
-// TestTable1SuiteBlockEquivalence: every micro-op under block dispatch must
-// produce the identical cycle and instruction totals as single-step, on the
-// unprotected and the fully protected columns.
+// TestTable1SuiteBlockEquivalence: every micro-op under block dispatch —
+// compiled and interpreted — must produce the identical cycle and
+// instruction totals as single-step, on the unprotected and the fully
+// protected columns.
 func TestTable1SuiteBlockEquivalence(t *testing.T) {
 	for _, cfg := range equivConfigs() {
 		type outcome struct {
 			cycles, instrs uint64
 		}
-		run := func(blocksOn bool) outcome {
-			k := bootBlocks(t, cfg, blocksOn)
+		run := func(m blockMode) outcome {
+			k := bootBlocks(t, cfg, m)
 			instrs0 := k.CPU.Instrs
 			cycles, err := RunTable1Suite(k)
 			if err != nil {
-				t.Fatalf("%s: %v", cfg.Name(), err)
+				t.Fatalf("%s/%s: %v", cfg.Name(), m.name, err)
 			}
-			if bs := k.CPU.BlockStats(); blocksOn && bs.Dispatches == 0 {
-				t.Fatalf("%s: block engine never dispatched", cfg.Name())
-			} else if !blocksOn && bs.Dispatches != 0 {
-				t.Fatalf("%s: disabled engine dispatched: %+v", cfg.Name(), bs)
+			bs := k.CPU.BlockStats()
+			if m.blocksOn && bs.Dispatches == 0 {
+				t.Fatalf("%s/%s: block engine never dispatched", cfg.Name(), m.name)
+			} else if !m.blocksOn && bs.Dispatches != 0 {
+				t.Fatalf("%s/%s: disabled engine dispatched: %+v", cfg.Name(), m.name, bs)
+			}
+			if m.compileOn && bs.Compiled == 0 {
+				t.Fatalf("%s/%s: compiler never ran", cfg.Name(), m.name)
+			} else if !m.compileOn && bs.Compiled != 0 {
+				t.Fatalf("%s/%s: disabled compiler ran: %+v", cfg.Name(), m.name, bs)
 			}
 			return outcome{cycles: cycles, instrs: k.CPU.Instrs - instrs0}
 		}
-		on, off := run(true), run(false)
-		if on != off {
-			t.Errorf("%s: blocks on/off diverge: %+v vs %+v", cfg.Name(), on, off)
+		base := run(blockModes[0])
+		for _, m := range blockModes[1:] {
+			if got := run(m); got != base {
+				t.Errorf("%s: %s diverges from %s: %+v vs %+v",
+					cfg.Name(), m.name, blockModes[0].name, got, base)
+			}
 		}
 	}
 }
 
 // TestAttackScenariosBlockEquivalence: the paper's three attack scenarios —
 // including JIT-ROP gadget harvesting, exactly the adversarial control flow
-// and text-reading a block engine could corrupt — end identically with the
-// engine on and off.
+// and text-reading a block engine could corrupt — end identically in every
+// engine mode.
 func TestAttackScenariosBlockEquivalence(t *testing.T) {
 	scenarios := []struct {
 		name string
-		run  func(cfg core.Config, blocksOn bool) (attack.Result, *kernel.Kernel)
+		run  func(cfg core.Config, m blockMode) (attack.Result, *kernel.Kernel)
 	}{
-		{"DirectROP", func(cfg core.Config, blocksOn bool) (attack.Result, *kernel.Kernel) {
-			target := bootBlocks(t, cfg, blocksOn)
-			ref := bootBlocks(t, cfg, blocksOn)
+		{"DirectROP", func(cfg core.Config, m blockMode) (attack.Result, *kernel.Kernel) {
+			target := bootBlocks(t, cfg, m)
+			ref := bootBlocks(t, cfg, m)
 			return attack.DirectROP(target, ref), target
 		}},
-		{"JITROP", func(cfg core.Config, blocksOn bool) (attack.Result, *kernel.Kernel) {
-			target := bootBlocks(t, cfg, blocksOn)
+		{"JITROP", func(cfg core.Config, m blockMode) (attack.Result, *kernel.Kernel) {
+			target := bootBlocks(t, cfg, m)
 			return attack.JITROP(target), target
 		}},
-		{"IndirectJITROP", func(cfg core.Config, blocksOn bool) (attack.Result, *kernel.Kernel) {
-			target := bootBlocks(t, cfg, blocksOn)
+		{"IndirectJITROP", func(cfg core.Config, m blockMode) (attack.Result, *kernel.Kernel) {
+			target := bootBlocks(t, cfg, m)
 			return attack.IndirectJITROP(target), target
 		}},
 	}
 	for _, cfg := range equivConfigs() {
 		for _, sc := range scenarios {
-			rOn, kOn := sc.run(cfg, true)
-			rOff, kOff := sc.run(cfg, false)
-			if rOn != rOff {
-				t.Errorf("%s/%s: results diverge:\n on: %v\noff: %v", cfg.Name(), sc.name, rOn, rOff)
-			}
-			if kOn.CPU.Instrs != kOff.CPU.Instrs || kOn.CPU.Cycles != kOff.CPU.Cycles {
-				t.Errorf("%s/%s: counters diverge: instrs %d/%d cycles %d/%d",
-					cfg.Name(), sc.name, kOn.CPU.Instrs, kOff.CPU.Instrs, kOn.CPU.Cycles, kOff.CPU.Cycles)
-			}
+			rBase, kBase := sc.run(cfg, blockModes[0])
 			// On the unprotected column the attack genuinely executes its
 			// payload; there the engine must have been in the loop. Protected
 			// columns may fault before a single block dispatches.
-			if bs := kOn.CPU.BlockStats(); cfg.Name() == core.Vanilla.Name() && bs.Dispatches == 0 {
+			if bs := kBase.CPU.BlockStats(); cfg.Name() == core.Vanilla.Name() && bs.Dispatches == 0 {
 				t.Errorf("%s/%s: block engine never dispatched on the target", cfg.Name(), sc.name)
+			}
+			for _, m := range blockModes[1:] {
+				r, k := sc.run(cfg, m)
+				if r != rBase {
+					t.Errorf("%s/%s: %s result diverges from %s:\n%v\nvs\n%v",
+						cfg.Name(), sc.name, m.name, blockModes[0].name, r, rBase)
+				}
+				if k.CPU.Instrs != kBase.CPU.Instrs || k.CPU.Cycles != kBase.CPU.Cycles {
+					t.Errorf("%s/%s: %s counters diverge: instrs %d/%d cycles %d/%d",
+						cfg.Name(), sc.name, m.name, k.CPU.Instrs, kBase.CPU.Instrs,
+						k.CPU.Cycles, kBase.CPU.Cycles)
+				}
 			}
 		}
 	}
 }
 
 // TestFuzzReportBlockInvariance: campaign reports must be byte-identical
-// across block engine on/off AND across -workers 1 and 4 with the engine
-// on — the worker-count invariance the deterministic scheduler guarantees
-// must survive the new dispatch path.
+// across engine modes (compiled, interpreted, off) AND across -workers 1
+// and 4 — the worker-count invariance the deterministic scheduler
+// guarantees must survive the compiled dispatch path.
 func TestFuzzReportBlockInvariance(t *testing.T) {
-	run := func(workers int, blocksOn bool) string {
+	run := func(workers int, m blockMode) string {
 		f, err := fuzz.New(fuzz.Options{Iters: 96, Seed: 17, Config: core.Vanilla, Workers: workers})
 		if err != nil {
 			t.Fatal(err)
@@ -114,7 +144,8 @@ func TestFuzzReportBlockInvariance(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, k := range ks {
-			k.CPU.SetBlockEngine(blocksOn)
+			k.CPU.SetBlockEngine(m.blocksOn)
+			k.CPU.SetBlockCompile(m.compileOn)
 		}
 		rep, err := f.Run()
 		if err != nil {
@@ -122,14 +153,16 @@ func TestFuzzReportBlockInvariance(t *testing.T) {
 		}
 		return rep.String()
 	}
-	base := run(1, true)
-	for _, tc := range []struct {
-		workers  int
-		blocksOn bool
-	}{{4, true}, {1, false}, {4, false}} {
-		if got := run(tc.workers, tc.blocksOn); got != base {
-			t.Errorf("workers=%d blocks=%v: report diverges from workers=1 blocks=on",
-				tc.workers, tc.blocksOn)
+	base := run(1, blockModes[0])
+	for _, workers := range []int{1, 4} {
+		for _, m := range blockModes {
+			if workers == 1 && m == blockModes[0] {
+				continue
+			}
+			if got := run(workers, m); got != base {
+				t.Errorf("workers=%d mode=%s: report diverges from workers=1 mode=%s",
+					workers, m.name, blockModes[0].name)
+			}
 		}
 	}
 }

@@ -92,6 +92,8 @@ type BlockStats struct {
 	Chained    uint64 // block-to-block transitions that bypassed the dispatcher
 	Severed    uint64 // successor links invalidated by the generation checks
 	Cold       uint64 // block dispatch attempts deferred by the hotness gate
+	Compiled   uint64 // blocks lowered to specialized thunks (cumulative)
+	Fused      uint64 // block entries whose flag computation the liveness pass elided
 	Blocks     uint64 // blocks currently live (on pages that would still validate)
 }
 
@@ -110,10 +112,71 @@ const (
 	// line path (isa.Instr.WritesMemory minus the string ops, which are
 	// terminators, plus the implicit stack/bound-table stores it excludes).
 	dcStore
+	// dcFW marks an instruction that unconditionally overwrites ALL of the
+	// arithmetic flags (CF/OF/SF/ZF/PF) and cannot trap — the only kind of
+	// overwrite the flag-liveness pass (compileBlock) may count as killing
+	// an earlier flag result. Memory-operand ALU forms are excluded: they
+	// can fault before writing flags.
+	dcFW
+	// dcFR marks an instruction that reads arithmetic flags (jcc, pushfq,
+	// syscall's %r11 spill, inc/dec's CF preservation, repe cmps/scas), so
+	// flags must be architectural when it executes.
+	dcFR
+	// dcTrap marks an instruction that may raise a trap mid-block: the trap
+	// path observes %rflags, so flags must be architectural at its entry.
+	dcTrap
 )
 
-// entryFlags classifies one decoded instruction for block formation.
+// entryFlags classifies one decoded instruction for block formation and for
+// the block compiler's flag-liveness pass (thunk.go). The classification is
+// conservative by construction: an opcode missing from the trap-free list is
+// dcTrap, an opcode missing from the writer list never kills liveness, and
+// an opcode missing from the reader list is protected by the block-exit and
+// dcTrap rules. Only misclassifying an op as dcFW (claiming it always writes
+// all arithmetic flags and cannot fault) or omitting a genuine flag reader
+// from dcFR could break bit-identity — both lists below name exactly the
+// exec.go cases with those properties.
 func entryFlags(op isa.Opcode) uint8 {
+	var f uint8
+
+	// Trap-free instructions: no memory access, no privilege check, no
+	// decode-dependent #UD (the decoder already proved the opcode valid).
+	switch op {
+	case isa.NOP, isa.SWAPGS, isa.MOVri, isa.MOVrr, isa.LEA,
+		isa.ADDri, isa.ADDrr, isa.SUBri, isa.SUBrr,
+		isa.ANDri, isa.ANDrr, isa.ORri, isa.ORrr, isa.XORri, isa.XORrr,
+		isa.SHLri, isa.SHRri, isa.SARri,
+		isa.NOTr, isa.NEGr, isa.IMULrr, isa.IMULri, isa.INCr, isa.DECr,
+		isa.CMPri, isa.CMPrr, isa.TESTrr, isa.TESTri,
+		isa.JMP, isa.JMPR, isa.JCC, isa.CLD, isa.STD, isa.BNDMK:
+		// trap-free
+	default:
+		f |= dcTrap
+	}
+
+	// Unconditional full arithmetic-flag writers (trap-free by the list
+	// above — the rm/mi forms are deliberately absent). Shifts qualify
+	// because this ISA's shift semantics write CF/OF/SF/ZF/PF even for a
+	// masked-to-zero count (unlike hardware x86).
+	switch op {
+	case isa.ADDri, isa.ADDrr, isa.SUBri, isa.SUBrr,
+		isa.ANDri, isa.ANDrr, isa.ORri, isa.ORrr, isa.XORri, isa.XORrr,
+		isa.SHLri, isa.SHRri, isa.SARri, isa.NEGr, isa.IMULrr, isa.IMULri,
+		isa.CMPri, isa.CMPrr, isa.TESTrr, isa.TESTri:
+		f |= dcFW
+	}
+
+	// Arithmetic-flag readers. JCC evaluates its condition; PUSHFQ spills
+	// %rflags; SYSCALL saves %rflags into %r11 (EnterKernel); INC/DEC
+	// preserve CF, which is a read; REPE CMPS/SCAS test ZF between
+	// elements (and POPFQ/IRET swap the whole register — they are dcTrap
+	// anyway, but the read is real).
+	switch op {
+	case isa.JCC, isa.PUSHFQ, isa.SYSCALL, isa.INCr, isa.DECr,
+		isa.CMPS, isa.SCAS, isa.POPFQ, isa.IRET:
+		f |= dcFR
+	}
+
 	switch op {
 	case isa.JMP, isa.JMPR, isa.JMPM, isa.JCC,
 		isa.CALL, isa.CALLR, isa.CALLM,
@@ -121,11 +184,11 @@ func entryFlags(op isa.Opcode) uint8 {
 		isa.SYSCALL, isa.SYSRET,
 		isa.HLT, isa.INT3, isa.UD2,
 		isa.MOVS, isa.STOS, isa.LODS, isa.CMPS, isa.SCAS:
-		return dcEnd
+		f |= dcEnd
 	case isa.MOVmr, isa.MOVmi, isa.XORmr, isa.PUSH, isa.PUSHFQ, isa.BNDSTX:
-		return dcStore
+		f |= dcStore
 	}
-	return 0
+	return f
 }
 
 // blkEnt is one instruction of a formed block: a dense copy of the decode
@@ -168,19 +231,42 @@ type blkLink struct {
 
 // dcBlock is one superblock: consecutive instructions of its page,
 // terminator (if any) last, plus its lazily resolved successor links.
+// When the block compiler is enabled, comp holds one specialized thunk per
+// entry (same indices as ents), lowered lazily once the block has proved
+// steady-state reuse (blockCompileHot dispatches); ents stays the decoded
+// source of truth (nil-fn entries are interpreted from it, and so is the
+// whole block while compilation is off or pending). Both slices are
+// immutable once set, so COW forks share them; the dcBlock VALUE — links,
+// execs, the comp slice header — is cloned per fork (fork.go), so the
+// lazy lowering and the per-CPU dispatch count never race across forks.
 type dcBlock struct {
 	ents  []blkEnt
-	count uint64 // len(ents): the Run fast path's limit guard
-	cost  uint64 // cumulative static cycle cost of the block
-	blen  uint64 // byte length: entry VA + blen = fallthrough VA
+	comp  []cthunk // compiled thunks; nil while uncompiled (off, or still cold)
+	count uint64   // len(ents): the Run fast path's limit guard
+	cost  uint64   // cumulative static cycle cost of the block
+	blen  uint64   // byte length: entry VA + blen = fallthrough VA
+	execs uint32   // dispatches by this CPU, for the lazy-compile gate
 	taken blkLink
 	fall  blkLink
 }
+
+// blockCompileHot is how many times a formed block must dispatch before it
+// is lowered to compiled thunks. Compilation allocates a closure per
+// specialized entry — cheap against any reuse, pure waste on one-shot code.
+// The fuzz workloads are exactly that worst case: a fresh program every
+// iteration lands on page offsets the heat counters already proved hot (heat
+// survives flushes by design), so its blocks FORM on first dispatch and then
+// die at the next iteration's flush. At 2, such single-use blocks stay
+// interpreted while anything with real reuse — kernel handlers, benchmark
+// loops — is lowered on its second dispatch.
+const blockCompileHot = 2
 
 // formBlock builds (and registers) the block starting at page offset off,
 // decoding forward as needed. It returns the blkIdx value for off: >0 for
 // blocks[i-1], -1 when no block can start here (a cached #UD or an
 // undecidable page-tail offset — the single-step path owns those).
+// Compilation does NOT happen here: it is deferred to runBlock's
+// lazy-compile gate, so one-shot blocks never pay it.
 func (p *dcPage) formBlock(off int, c *CPU) int32 {
 	dc := c.dc
 	start := off
@@ -190,7 +276,7 @@ func (p *dcPage) formBlock(off int, c *CPU) int32 {
 		i := p.idx[off]
 		if i == 0 {
 			dc.stats.Misses++
-			p.fill(off, &dc.stats)
+			p.fill(off, dc.stats)
 			i = p.idx[off]
 		}
 		if i <= 0 {
@@ -211,7 +297,8 @@ func (p *dcPage) formBlock(off int, c *CPU) int32 {
 		p.blkIdx[start] = -1
 		return -1
 	}
-	p.blocks = append(p.blocks, dcBlock{ents: ents, count: uint64(len(ents)), cost: cost, blen: blen})
+	b := dcBlock{ents: ents, count: uint64(len(ents)), cost: cost, blen: blen}
+	p.blocks = append(p.blocks, b)
 	bi := int32(len(p.blocks))
 	p.blkIdx[start] = bi
 	c.bstats.Formed++
@@ -290,7 +377,7 @@ func (c *CPU) stepCached(p *dcPage, off int) (StopReason, *Trap) {
 		dc.stats.Hits++
 	} else {
 		dc.stats.Misses++
-		p.fill(off, &dc.stats)
+		p.fill(off, dc.stats)
 		i = p.idx[off]
 	}
 	switch {
@@ -308,13 +395,29 @@ func (c *CPU) stepCached(p *dcPage, off int) (StopReason, *Trap) {
 	return c.stepSlow()
 }
 
-// runBlock executes one superblock in a tight loop. exec() is shared with
-// Step and every instruction is charged individually, so a trap anywhere in
-// the block observes exactly the Instrs/Cycles/register state the
-// single-step path would have produced. complete reports that every entry
-// executed with no trap, stop, or self-modification abort — the only state
-// from which chaining into a successor is allowed.
+// runBlock executes one superblock. When the block was compiled it walks
+// the thunk array (runBlockCompiled); otherwise it interprets the entry
+// array through the shared exec() switch. Either way every instruction is
+// charged individually, so a trap anywhere in the block observes exactly
+// the Instrs/Cycles/register state the single-step path would have
+// produced. complete reports that every entry executed with no trap, stop,
+// or self-modification abort — the only state from which chaining into a
+// successor is allowed.
 func (c *CPU) runBlock(p *dcPage, b *dcBlock) (stop StopReason, trap *Trap, complete bool) {
+	if b.comp == nil && c.compile {
+		// Lazy lowering: compile only blocks that prove steady-state reuse.
+		// Every dispatcher enters a block at its entry, so c.RIP here is the
+		// entry VA the compiler constant-folds successor addresses against.
+		if b.execs++; b.execs >= blockCompileHot {
+			var fused uint64
+			b.comp, fused = compileBlock(b.ents, c.RIP)
+			c.bstats.Compiled++
+			c.bstats.Fused += fused
+		}
+	}
+	if b.comp != nil {
+		return c.runBlockCompiled(p, b)
+	}
 	dc := c.dc
 	fgen := p.fgen
 	frame := p.frame
@@ -352,6 +455,64 @@ func (c *CPU) runBlock(p *dcPage, b *dcBlock) (stop StopReason, trap *Trap, comp
 	// and a block-engine instruction. Nothing inside exec reads these, so
 	// deferring them off the hot loop cannot be observed mid-block.
 	dc.stats.Hits += done
+	c.bstats.Instrs += done
+	c.bstats.Dispatches++
+	return stop, trap, complete
+}
+
+// runBlockCompiled is runBlock over the compiled thunk array: a direct call
+// per instruction, no exec-switch dispatch, no operand re-resolution, and
+// no per-instruction accounting — the whole (possibly partial) run is
+// charged in one shot from the compiler's cumulative cycle sums. The
+// control skeleton — trap/stop break, last-entry completion, post-store
+// generation re-check — is identical to the interpreted loop, so both
+// produce the same architectural trace by construction and differ only in
+// host wall-clock.
+func (c *CPU) runBlockCompiled(p *dcPage, b *dcBlock) (stop StopReason, trap *Trap, complete bool) {
+	fgen := p.fgen
+	frame := p.frame
+	last := len(b.comp) - 1
+	i := 0
+	for {
+		ct := &b.comp[i]
+		if ct.fn != nil {
+			stop, trap = ct.fn(c)
+		} else {
+			// Entry with no specialized form: interpret it exactly as the
+			// interpreted loop would (base cost is covered by the batched
+			// accounting below; variable extras, e.g. string-op units, are
+			// added by exec itself). c.RIP is this instruction's VA — thunks
+			// (and exec) advance RIP only on success.
+			e := &b.ents[i]
+			stop, trap = c.exec(&e.in, c.RIP+uint64(e.ilen))
+		}
+		if trap != nil || stop != StepContinue {
+			break
+		}
+		if i == last {
+			complete = true
+			break
+		}
+		if ct.flags&dcStore != 0 && (frame.Gen() != fgen || c.AS.MapGen() != p.mgen) {
+			// Self-modification resync — see the interpreted loop. The
+			// liveness pass treated every dcStore entry as a possible block
+			// exit, so flags are architectural here even when later entries
+			// promised to overwrite them.
+			c.bstats.Aborts++
+			break
+		}
+		i++
+	}
+	// Batched accounting: every entry that began executing — including one
+	// that trapped — is charged, exactly as the interpreted loop's
+	// per-instruction preamble does. The cumulative fields (not i) supply
+	// the totals because a tail-fused entry retires two instructions.
+	// Nothing reads Instrs/Cycles mid-block (limit checks and chain
+	// budgeting run between dispatches), so the deferral is unobservable.
+	done := uint64(b.comp[i].ni)
+	c.Instrs += done
+	c.Cycles += b.comp[i].cyc
+	c.dc.stats.Hits += done
 	c.bstats.Instrs += done
 	c.bstats.Dispatches++
 	return stop, trap, complete
@@ -452,6 +613,33 @@ func (c *CPU) SetBlockEngine(on bool) {
 // BlockEngineEnabled reports whether the superblock engine is active (it
 // also requires the decode cache to be enabled to take effect).
 func (c *CPU) BlockEngineEnabled() bool { return c.blocks && c.dc != nil }
+
+// SetBlockCompile enables or disables the block compiler (on by default):
+// with it on, superblocks that reach blockCompileHot dispatches are lowered
+// to specialized per-opcode thunks with flag-dead arithmetic fusion
+// (thunk.go); with it off, blocks dispatch through the exec interpreter
+// switch exactly as in the pre-compiler engine. Toggling drops already-formed blocks so the whole engine runs in
+// one mode (heat counters survive — hot code re-forms immediately); the
+// cumulative Compiled/Fused counters live on the CPU and survive. Execution
+// semantics are bit-identical either way — only host wall-clock changes. It
+// has no effect while the block engine or decode cache is off.
+func (c *CPU) SetBlockCompile(on bool) {
+	if c.compile == on {
+		return
+	}
+	c.compile = on
+	if c.dc != nil {
+		for _, p := range c.dc.pages {
+			p.blocks = nil
+			p.blkIdx = [mem.PageSize]int32{}
+		}
+	}
+}
+
+// BlockCompileEnabled reports whether newly formed superblocks are compiled
+// to specialized thunks (it takes effect only while the block engine and
+// decode cache are enabled).
+func (c *CPU) BlockCompileEnabled() bool { return c.compile }
 
 // SetBlockHotThreshold sets the number of times a block entry offset must
 // be dispatched before a superblock is formed over it. 1 forms eagerly on

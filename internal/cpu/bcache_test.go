@@ -228,7 +228,7 @@ func FuzzBlockEquivalence(f *testing.F) {
 			cycles    uint64
 			memory    []byte
 		}
-		run := func(blocksOn bool, hot int) outcome {
+		run := func(cacheOn, blocksOn, compileOn bool, hot int) outcome {
 			as := mem.NewAddressSpace()
 			for _, m := range []struct {
 				va   uint64
@@ -247,7 +247,9 @@ func FuzzBlockEquivalence(f *testing.F) {
 				t.Fatal(err)
 			}
 			c := New(as)
+			c.SetDecodeCache(cacheOn)
 			c.SetBlockEngine(blocksOn)
+			c.SetBlockCompile(compileOn)
 			c.SetBlockHotThreshold(hot)
 			c.Mode = Kernel
 			c.RIP = dcCodeVA
@@ -286,22 +288,34 @@ func FuzzBlockEquivalence(f *testing.F) {
 			return o
 		}
 
-		// Three modes: chained blocks formed eagerly (hot=1 exercises
-		// formation+chaining on everything), chained blocks behind the
-		// default hotness gate (mixes single-step and block dispatch of the
-		// same code), and pure single-step. All must be bit-identical.
-		off := run(false, 1)
-		for _, hot := range []int{1, DefaultBlockHotThreshold} {
-			on := run(true, hot)
+		// The reference is the fully uncached interpreter (fetch+decode+exec
+		// per instruction); against it: cached single-step, interpreted
+		// blocks (eager and behind the default hotness gate — mixing
+		// single-step and block dispatch of the same code), and compiled
+		// blocks (same two gates — specialized thunks with flag-dead
+		// fusion). All must be bit-identical.
+		off := run(false, false, false, 1)
+		for _, m := range []struct {
+			name                     string
+			cache, blocks, compileOn bool
+			hot                      int
+		}{
+			{"cache-only", true, false, false, 1},
+			{"blocks(hot=1)", true, true, false, 1},
+			{"blocks(hot=default)", true, true, false, DefaultBlockHotThreshold},
+			{"compiled(hot=1)", true, true, true, 1},
+			{"compiled(hot=default)", true, true, true, DefaultBlockHotThreshold},
+		} {
+			on := run(m.cache, m.blocks, m.compileOn, m.hot)
 			if on.res != off.res || on.trap != off.trap ||
 				on.faultKind != off.faultKind || on.faultAddr != off.faultAddr ||
 				on.regs != off.regs || on.rip != off.rip || on.flags != off.flags ||
 				on.instrs != off.instrs || on.cycles != off.cycles {
-				t.Fatalf("blocks(hot=%d) vs single-step diverge:\n on: %+v trap=%+v rip=%#x\noff: %+v trap=%+v rip=%#x",
-					hot, on.res, on.trap, on.rip, off.res, off.trap, off.rip)
+				t.Fatalf("%s vs uncached diverge:\n on: %+v trap=%+v rip=%#x flags=%#x\noff: %+v trap=%+v rip=%#x flags=%#x",
+					m.name, on.res, on.trap, on.rip, on.flags, off.res, off.trap, off.rip, off.flags)
 			}
 			if !bytes.Equal(on.memory, off.memory) {
-				t.Fatalf("blocks(hot=%d) vs single-step diverge in final memory", hot)
+				t.Fatalf("%s vs uncached diverge in final memory", m.name)
 			}
 		}
 	})

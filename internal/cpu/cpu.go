@@ -197,24 +197,32 @@ type CPU struct {
 
 	// dc is the predecoded translation cache (see dcache.go); nil when
 	// disabled. blocks arms the superblock engine layered on it (see
-	// bcache.go), blockHot its hotness-gate threshold, and bstats its
-	// cumulative counters (on the CPU, not the cache, so they survive
-	// cache toggles). All affect host wall-clock only — Instrs, Cycles,
-	// traps, and probe callbacks are bit-identical with them on or off.
+	// bcache.go), compile the block compiler layered on THAT (see
+	// thunk.go), blockHot the hotness-gate threshold, and bstats/dstats
+	// the cumulative block-engine and decode-cache counters (on the CPU,
+	// not the cache, so both survive cache toggles under one reset
+	// contract — see BlockStats/DecodeCacheStats). All affect host
+	// wall-clock only — Instrs, Cycles, traps, and probe callbacks are
+	// bit-identical with them on or off.
 	dc       *decodeCache
 	blocks   bool
+	compile  bool
 	blockHot uint32
 	seedHot  map[uint64]struct{} // entry RIPs exempt from the hotness ramp
 	bstats   BlockStats
+	dstats   DecodeCacheStats
 }
 
-// New creates a CPU over the given address space. The decode cache and the
-// superblock engine are on by default; SetDecodeCache(false) reverts to
-// fetch+decode per instruction, SetBlockEngine(false) to per-instruction
-// dispatch over cached decodes.
+// New creates a CPU over the given address space. The decode cache, the
+// superblock engine, and the block compiler are on by default;
+// SetDecodeCache(false) reverts to fetch+decode per instruction,
+// SetBlockEngine(false) to per-instruction dispatch over cached decodes,
+// and SetBlockCompile(false) to interpreted block dispatch.
 func New(as *mem.AddressSpace) *CPU {
-	return &CPU{AS: as, MSRs: make(map[uint64]uint64), dc: newDecodeCache(),
-		blocks: true, blockHot: DefaultBlockHotThreshold}
+	c := &CPU{AS: as, MSRs: make(map[uint64]uint64),
+		blocks: true, compile: true, blockHot: DefaultBlockHotThreshold}
+	c.dc = newDecodeCache(&c.dstats)
+	return c
 }
 
 // Reg returns a register value.

@@ -44,7 +44,13 @@ import (
 // encoding), depends only on this frame's bytes and is cacheable — including
 // the failure itself, which is cached as a deterministic #UD slot.
 
-// DecodeCacheStats reports decode-cache behaviour for one CPU.
+// DecodeCacheStats reports decode-cache behaviour for one CPU. All counters
+// except Pages and Entries are cumulative-on-CPU, under the same reset
+// contract as BlockStats: they live on the CPU (CPU.dstats), not on the
+// cache they describe, so they survive page flushes, SetDecodeCache
+// toggles, and SetBlockEngine toggles, and reset only with the CPU itself
+// (a Fork's child restarts at zero). Pages and Entries are the current live
+// footprint and read zero while the cache is disabled.
 type DecodeCacheStats struct {
 	Hits          uint64 // fast-path dispatches from a pre-existing entry
 	Misses        uint64 // lookups that had to decode or fall to the slow path
@@ -60,7 +66,7 @@ type dcEntry struct {
 	in    isa.Instr
 	cost  uint64
 	ilen  uint8
-	flags uint8 // dcEnd/dcStore block-formation classification (bcache.go)
+	flags uint8 // dcEnd/dcStore/dcFW/dcFR/dcTrap classification (bcache.go)
 }
 
 // dcPage caches the decoded instructions of one executable virtual page,
@@ -131,18 +137,20 @@ func (p *dcPage) fill(off int, stats *DecodeCacheStats) {
 // thrashes on that pattern, while a small direct-mapped array absorbs it.
 const dcTLBSize = 16
 
-// decodeCache is the per-CPU translation cache.
+// decodeCache is the per-CPU translation cache. stats points at the owning
+// CPU's cumulative counters (CPU.dstats), so dropping and rebuilding the
+// cache never resets them.
 type decodeCache struct {
 	pages map[uint64]*dcPage // keyed by page base address
 	tlb   [dcTLBSize]struct {
 		base uint64
 		p    *dcPage
 	}
-	stats DecodeCacheStats
+	stats *DecodeCacheStats
 }
 
-func newDecodeCache() *decodeCache {
-	return &decodeCache{pages: make(map[uint64]*dcPage)}
+func newDecodeCache(stats *DecodeCacheStats) *decodeCache {
+	return &decodeCache{pages: make(map[uint64]*dcPage), stats: stats}
 }
 
 // resolvePage returns the cache page for rip with its frame resolved and
@@ -204,7 +212,7 @@ func (dc *decodeCache) lookup(as *mem.AddressSpace, rip uint64) (e *dcEntry, ud 
 		dc.stats.Hits++
 	} else {
 		dc.stats.Misses++
-		p.fill(off, &dc.stats)
+		p.fill(off, dc.stats)
 		i = p.idx[off]
 	}
 	switch {
@@ -218,13 +226,15 @@ func (dc *decodeCache) lookup(as *mem.AddressSpace, rip uint64) (e *dcEntry, ud 
 
 // SetDecodeCache enables or disables the predecoded translation cache.
 // Disabling drops all cached state (decodes, blocks, links, and the
-// hotness counters); the cumulative block-engine counters live on the CPU
-// and survive (see BlockStats). Execution semantics are bit-identical
+// hotness counters); the cumulative counters — both DecodeCacheStats and
+// the block-engine BlockStats — live on the CPU and survive, so a
+// disable/enable cycle never zeroes history (only the live Pages/Entries
+// footprint reads zero while off). Execution semantics are bit-identical
 // either way — only host wall-clock changes.
 func (c *CPU) SetDecodeCache(on bool) {
 	if on {
 		if c.dc == nil {
-			c.dc = newDecodeCache()
+			c.dc = newDecodeCache(&c.dstats)
 		}
 		return
 	}
@@ -235,12 +245,14 @@ func (c *CPU) SetDecodeCache(on bool) {
 func (c *CPU) DecodeCacheEnabled() bool { return c.dc != nil }
 
 // DecodeCacheStats returns a snapshot of the cache counters. Pages and
-// Entries reflect the current live footprint; the rest are cumulative.
+// Entries reflect the current live footprint (zero while the cache is
+// disabled); the rest are cumulative-on-CPU and survive cache toggles —
+// the same contract as BlockStats.
 func (c *CPU) DecodeCacheStats() DecodeCacheStats {
+	s := c.dstats
 	if c.dc == nil {
-		return DecodeCacheStats{}
+		return s
 	}
-	s := c.dc.stats
 	s.Pages = uint64(len(c.dc.pages))
 	for _, p := range c.dc.pages {
 		s.Entries += uint64(len(p.entries))

@@ -338,20 +338,84 @@ func TestSetDecodeCache(t *testing.T) {
 	if !c.DecodeCacheEnabled() {
 		t.Fatal("cache must default on")
 	}
+	warm := c.DecodeCacheStats()
+	if warm.Decoded == 0 || warm.Pages == 0 || warm.Entries == 0 {
+		t.Fatalf("warm cache must report activity and footprint: %+v", warm)
+	}
 	c.SetDecodeCache(false)
 	if c.DecodeCacheEnabled() {
 		t.Fatal("disable failed")
 	}
-	if s := c.DecodeCacheStats(); s != (DecodeCacheStats{}) {
-		t.Fatalf("disabled cache must report zero stats: %+v", s)
+	// Cumulative counters survive the toggle (they live on the CPU, same
+	// contract as BlockStats); only the live footprint reads zero while off.
+	off := c.DecodeCacheStats()
+	if off.Pages != 0 || off.Entries != 0 {
+		t.Fatalf("disabled cache must report zero live footprint: %+v", off)
+	}
+	off.Pages, off.Entries = warm.Pages, warm.Entries
+	if off != warm {
+		t.Fatalf("cumulative stats must survive SetDecodeCache(false): got %+v, want %+v", off, warm)
 	}
 	resetRaw(t, c)
 	mustReturn(t, c, 100) // slow path still executes correctly
 	c.SetDecodeCache(true)
 	resetRaw(t, c)
 	mustReturn(t, c, 100)
-	if s := c.DecodeCacheStats(); s.Decoded == 0 {
-		t.Fatal("re-enabled cache must start decoding again")
+	s := c.DecodeCacheStats()
+	if s.Decoded <= warm.Decoded {
+		t.Fatalf("re-enabled cache must keep accumulating on the surviving counters: %+v vs warm %+v", s, warm)
+	}
+}
+
+// TestCacheStatsResetUnification pins the unified reset contract across
+// every cache-layer toggle: both DecodeCacheStats and BlockStats counters
+// are cumulative-on-CPU — SetDecodeCache and SetBlockEngine toggles must
+// never zero history — and a forked CPU restarts both at zero.
+func TestCacheStatsResetUnification(t *testing.T) {
+	c := rawCPU(t, mem.PermX, isa.Nop(), isa.Ret())
+	c.SetBlockHotThreshold(1)
+	for i := 0; i < 4; i++ {
+		resetRaw(t, c)
+		mustReturn(t, c, 100)
+	}
+	ds, bs := c.DecodeCacheStats(), c.BlockStats()
+	if ds.Hits == 0 || bs.Dispatches == 0 {
+		t.Fatalf("warm-up produced no activity: dc=%+v blk=%+v", ds, bs)
+	}
+
+	// Toggling either layer off and on preserves every cumulative counter.
+	c.SetBlockEngine(false)
+	c.SetDecodeCache(false)
+	c.SetDecodeCache(true)
+	c.SetBlockEngine(true)
+	ds2, bs2 := c.DecodeCacheStats(), c.BlockStats()
+	ds2.Pages, ds2.Entries = ds.Pages, ds.Entries // live footprint: dropped by design
+	bs2.Blocks = bs.Blocks
+	if ds2 != ds {
+		t.Fatalf("decode-cache counters reset across toggles: got %+v, want %+v", ds2, ds)
+	}
+	if bs2 != bs {
+		t.Fatalf("block-engine counters reset across toggles: got %+v, want %+v", bs2, bs)
+	}
+
+	// A forked CPU is a new CPU for stats purposes: both sets restart at
+	// zero even though it inherits the warm cache.
+	fas, err := c.AS.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := c.Fork(fas)
+	fd, fb := f.DecodeCacheStats(), f.BlockStats()
+	if fd.Hits != 0 || fd.Misses != 0 || fd.Decoded != 0 {
+		t.Fatalf("forked CPU must restart decode-cache counters at zero: %+v", fd)
+	}
+	if fb.Dispatches != 0 || fb.Formed != 0 || fb.Instrs != 0 {
+		t.Fatalf("forked CPU must restart block-engine counters at zero: %+v", fb)
+	}
+	// And the parent's counters are untouched by the fork.
+	ds3 := c.DecodeCacheStats()
+	if ds3.Hits != ds.Hits || ds3.Decoded != ds.Decoded {
+		t.Fatalf("fork disturbed parent decode-cache counters: got %+v, want %+v", ds3, ds)
 	}
 }
 

@@ -8,52 +8,6 @@ import (
 	"repro/internal/mem"
 )
 
-// Flag computation helpers. All ALU operations are 64-bit.
-
-func parity(v uint64) bool {
-	return bits.OnesCount8(uint8(v))%2 == 0
-}
-
-func (c *CPU) setSZP(r uint64) {
-	c.RFlags &^= isa.FlagZF | isa.FlagSF | isa.FlagPF
-	if r == 0 {
-		c.RFlags |= isa.FlagZF
-	}
-	if r>>63 != 0 {
-		c.RFlags |= isa.FlagSF
-	}
-	if parity(r) {
-		c.RFlags |= isa.FlagPF
-	}
-}
-
-func (c *CPU) flagsAdd(a, b, r uint64) {
-	c.RFlags &^= isa.FlagCF | isa.FlagOF
-	if r < a {
-		c.RFlags |= isa.FlagCF
-	}
-	if (^(a ^ b) & (a ^ r) >> 63) != 0 {
-		c.RFlags |= isa.FlagOF
-	}
-	c.setSZP(r)
-}
-
-func (c *CPU) flagsSub(a, b, r uint64) {
-	c.RFlags &^= isa.FlagCF | isa.FlagOF
-	if a < b {
-		c.RFlags |= isa.FlagCF
-	}
-	if ((a ^ b) & (a ^ r) >> 63) != 0 {
-		c.RFlags |= isa.FlagOF
-	}
-	c.setSZP(r)
-}
-
-func (c *CPU) flagsLogic(r uint64) {
-	c.RFlags &^= isa.FlagCF | isa.FlagOF
-	c.setSZP(r)
-}
-
 // srcVal resolves the second operand of reg/imm ALU forms.
 func immSx(in *isa.Instr) uint64 { return uint64(in.Imm) }
 

@@ -44,6 +44,7 @@ func (c *CPU) Fork(as *mem.AddressSpace) *CPU {
 		savedUserBnd0:  c.savedUserBnd0,
 		inSyscall:      c.inSyscall,
 		blocks:         c.blocks,
+		compile:        c.compile,
 		blockHot:       c.blockHot,
 		seedHot:        c.seedHot, // read-only after SeedHotProfile; aliasable
 		MSRs:           make(map[uint64]uint64, len(c.MSRs)),
@@ -52,18 +53,24 @@ func (c *CPU) Fork(as *mem.AddressSpace) *CPU {
 		nc.MSRs[k] = v
 	}
 	if c.dc != nil {
-		nc.dc = c.dc.clone()
+		nc.dc = c.dc.clone(&nc.dstats)
 	}
 	return nc
 }
 
-// clone copies the decode cache for a forked CPU. Page structs are copied by
-// value (the offset-index, block-index, and heat arrays come along), entry
-// slices are shared capacity-clamped, and block slices are deep-copied with
-// their chain links re-pointed at the cloned pages — a link into a page the
-// clone does not carry is severed, never followed into the parent's cache.
-func (dc *decodeCache) clone() *decodeCache {
-	nd := newDecodeCache()
+// clone copies the decode cache for a forked CPU, wiring it to the child's
+// own cumulative counters (stats; the child restarts at zero — see
+// DecodeCacheStats). Page structs are copied by value (the offset-index,
+// block-index, and heat arrays come along), entry slices are shared
+// capacity-clamped, and block slices are deep-copied with their chain links
+// re-pointed at the cloned pages — a link into a page the clone does not
+// carry is severed, never followed into the parent's cache. The dcBlock
+// value copy shares each block's ents and comp arrays with the parent:
+// both are immutable after formation, and compiled thunks capture only
+// decoded operand constants (never a *CPU), so the child executes the
+// parent's thunks against its own state.
+func (dc *decodeCache) clone(stats *DecodeCacheStats) *decodeCache {
+	nd := newDecodeCache(stats)
 	remap := make(map[*dcPage]*dcPage, len(dc.pages))
 	for base, p := range dc.pages {
 		np := new(dcPage)

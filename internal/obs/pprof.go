@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartPprof arms the host-side pprof outputs behind the commands'
+// -cpuprofile/-memprofile flags and returns the flush function. Either
+// path may be empty to skip that profile. The returned stop must run on
+// every exit path — including error exits — or the CPU profile is
+// truncated; it is idempotent, so calling it from both a defer and an
+// explicit error path is safe.
+//
+// These profile the HOST process (the emulator, the compiler, the fuzzer
+// scheduler), not the emulated kernel — the emulated side's profiler is
+// obs.Profiler, which attributes emulated cycles. The pair is how a
+// dispatch-path optimization is validated: the emulated-cycle totals must
+// not move while the host CPU profile does.
+func StartPprof(cpuOut, memOut string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuOut != "" {
+		cpuFile, err = os.Create(cpuOut)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memOut != "" {
+			f, err := os.Create(memOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			runtime.GC() // heap profile of live objects, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+			f.Close()
+		}
+	}, nil
+}
